@@ -1,0 +1,36 @@
+// Article 1 (SBCCI), Table 3: area overhead of the DSA relative to the ARM
+// core, from the component area model (calibrated to the paper's Cadence
+// RTL Compiler synthesis results).
+//
+// Paper values: DSA logic = 2.18% of the core; DSA + caches = 10.37% of
+// core + caches.
+#include <cstdio>
+
+#include "energy/energy_model.h"
+#include "engine/config.h"
+
+int main() {
+  const dsa::energy::AreaParams p;
+  const dsa::engine::DsaConfig cfg;
+  const dsa::energy::AreaReport r = dsa::energy::ComputeArea(
+      p, cfg.dsa_cache_bytes, cfg.verification_cache_bytes, cfg.array_maps);
+
+  std::printf("Article 1 Table 3 — area overhead of DSA (um^2)\n\n");
+  std::printf("%-22s %14s\n", "component", "total area");
+  std::printf("%-22s %14.0f\n", "ARM core", r.arm_core);
+  std::printf("%-22s %14.0f\n", "DSA logic", r.dsa_logic);
+  std::printf("%-22s %13.2f%%  (paper: 2.18%%)\n", "logic overhead",
+              r.logic_overhead_pct);
+  std::printf("\n%-22s %14.0f\n", "ARM core + caches", r.arm_with_caches);
+  std::printf("%-22s %14.0f\n", "DSA + caches", r.dsa_with_caches);
+  std::printf("%-22s %13.2f%%  (paper: 10.37%%)\n", "total overhead",
+              r.total_overhead_pct);
+
+  std::printf("\nsweep: DSA cache size vs. total overhead\n");
+  for (const std::uint32_t kb : {2u, 4u, 8u, 16u, 32u}) {
+    const auto s = dsa::energy::ComputeArea(
+        p, kb * 1024, cfg.verification_cache_bytes, cfg.array_maps);
+    std::printf("  %2u kB DSA cache -> %.2f%%\n", kb, s.total_overhead_pct);
+  }
+  return 0;
+}

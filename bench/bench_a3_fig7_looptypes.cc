@@ -1,0 +1,34 @@
+// Article 3 (DATE), Fig. 7: percentage of loop types in the selected
+// applications. Two views:
+//  - the static census annotated by the workload authors (the figure's
+//    ground truth), and
+//  - the DSA's own runtime classification (loops_by_class), which must
+//    agree on which classes appear.
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "workloads/workloads.h"
+
+int main() {
+  using dsa::sim::RunMode;
+  const dsa::sim::SystemConfig cfg;
+  dsa::bench::PrintSetupHeader(cfg);
+
+  std::printf("Article 3 Fig. 7 — loop types per application\n\n");
+  for (const dsa::sim::Workload& wl : dsa::workloads::Article3Set()) {
+    std::printf("%-12s static census:", wl.name.c_str());
+    for (const auto& [type, frac] : wl.loop_type_fractions) {
+      std::printf("  %s %.0f%%", type.c_str(), frac * 100);
+    }
+    const auto r = Run(wl, RunMode::kDsa, cfg);
+    std::printf("\n%-12s DSA runtime classification:", "");
+    for (const auto& [cls, n] : r.dsa->loops_by_class) {
+      std::printf("  %s x%llu", std::string(ToString(cls)).c_str(),
+                  static_cast<unsigned long long>(n));
+    }
+    std::printf("\n\n");
+  }
+  return 0;
+}

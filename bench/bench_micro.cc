@@ -1,0 +1,108 @@
+// Google-benchmark microbenchmarks of the simulator substrate itself:
+// interpreter step rate, DSA observer overhead, cache model throughput and
+// NEON lane-op evaluation. These measure the *reproduction's* performance
+// (simulation speed), not the modeled hardware.
+#include <benchmark/benchmark.h>
+
+#include "engine/engine.h"
+#include "mem/cache.h"
+#include "neon/vector_unit.h"
+#include "prog/assembler.h"
+#include "sim/system.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using dsa::isa::Cond;
+using dsa::isa::Opcode;
+
+// An effectively endless loop over fixed addresses: a steady-state
+// instruction stream for measuring per-step costs without ever halting
+// within a benchmark run (~2^31 iterations available).
+dsa::prog::Program SteadyLoop() {
+  dsa::prog::Assembler as;
+  as.Movi(0, 0x10000);
+  as.Movi(2, 0x20000);
+  as.Movi(5, 0);
+  const auto loop = as.NewLabel();
+  as.Bind(loop);
+  as.Ldr(4, 0);
+  as.Str(4, 2);
+  as.AluImm(Opcode::kAddi, 5, 5, 1);
+  as.Cmpi(5, 0);
+  as.B(Cond::kGe, loop);
+  as.Halt();
+  return as.Finish();
+}
+
+void BM_InterpreterStep(benchmark::State& state) {
+  const dsa::prog::Program p = SteadyLoop();
+  dsa::mem::Memory mem(1 << 18);
+  dsa::mem::Hierarchy h{dsa::mem::Hierarchy::Config{}};
+  dsa::cpu::Cpu cpu(p, mem, h);
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    if (cpu.halted()) state.SkipWithError("program ended");
+    benchmark::DoNotOptimize(cpu.Step());
+    ++steps;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_InterpreterStep);
+
+void BM_DsaObserve(benchmark::State& state) {
+  const dsa::prog::Program p = SteadyLoop();
+  dsa::mem::Memory mem(1 << 18);
+  dsa::mem::Hierarchy h{dsa::mem::Hierarchy::Config{}};
+  dsa::cpu::Cpu cpu(p, mem, h);
+  dsa::engine::DsaEngine engine{dsa::engine::DsaConfig{},
+                                dsa::cpu::TimingConfig{}};
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    if (cpu.halted()) state.SkipWithError("program ended");
+    const dsa::cpu::Retired r = cpu.Step();
+    benchmark::DoNotOptimize(engine.Observe(r, cpu.state()));
+    ++steps;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_DsaObserve);
+
+void BM_CacheAccess(benchmark::State& state) {
+  dsa::mem::Hierarchy h{dsa::mem::Hierarchy::Config{}};
+  std::uint32_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.Access(addr));
+    addr = (addr + 64) & 0xFFFFF;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_NeonLaneOp(benchmark::State& state) {
+  dsa::neon::QReg a;
+  dsa::neon::QReg b;
+  for (int i = 0; i < 16; ++i) {
+    a.bytes[i] = static_cast<std::uint8_t>(i * 7);
+    b.bytes[i] = static_cast<std::uint8_t>(i * 13);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsa::neon::ExecuteLaneOp(
+        Opcode::kVmla, dsa::isa::VecType::kI16, a, b, a));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NeonLaneOp);
+
+void BM_FullWorkloadDsa(benchmark::State& state) {
+  const dsa::sim::Workload wl = dsa::workloads::MakeSusanE(2048, 48);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Run(wl, dsa::sim::RunMode::kDsa, dsa::sim::SystemConfig{}));
+  }
+}
+BENCHMARK(BM_FullWorkloadDsa);
+
+}  // namespace
+
+BENCHMARK_MAIN();

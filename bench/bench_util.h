@@ -1,0 +1,47 @@
+// Shared reporting helpers for the benchmark harness: each bench binary
+// regenerates one table or figure of the paper and prints the measured
+// series next to the paper's reported values where applicable.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/system.h"
+
+namespace dsa::bench {
+
+// Prints the Table 4 "Systems Setup" header so every bench is
+// self-describing.
+inline void PrintSetupHeader(const sim::SystemConfig& cfg = {}) {
+  std::printf(
+      "systems setup (Table 4): O3-style ARMv7 core, %u-wide, 1 GHz | "
+      "L1 %u kB / L2 %u kB LRU | NEON 128-bit, 16 Q regs | DSA cache %u kB, "
+      "VC %u kB, %u array maps\n\n",
+      cfg.timing.superscalar_width, cfg.memory.l1.size_bytes / 1024,
+      cfg.memory.l2.size_bytes / 1024, cfg.dsa.dsa_cache_bytes / 1024,
+      cfg.dsa.verification_cache_bytes / 1024, cfg.dsa.array_maps);
+}
+
+// Performance improvement (%) over a baseline, the paper's reporting unit:
+// +31 means 31% faster (speedup 1.31).
+inline double ImprovementPct(const sim::RunResult& base,
+                             const sim::RunResult& x) {
+  return (sim::SpeedupOver(base, x) - 1.0) * 100.0;
+}
+
+// Energy savings (%) over a baseline.
+inline double EnergySavingsPct(const sim::RunResult& base,
+                               const sim::RunResult& x) {
+  if (base.energy.total() <= 0) return 0;
+  return (1.0 - x.energy.total() / base.energy.total()) * 100.0;
+}
+
+inline double GeoMeanSpeedup(const std::vector<double>& speedups) {
+  double log_sum = 0;
+  for (const double s : speedups) log_sum += std::log(s);
+  return std::exp(log_sum / static_cast<double>(speedups.size()));
+}
+
+}  // namespace dsa::bench

@@ -1,0 +1,78 @@
+// Fig. 25 walkthrough: runs the dissertation's running example (a vector
+// sum) under the DSA, captures the takeover, and prints the NEON code the
+// SIMD generator emits for it — setup (vdup of invariants / constants)
+// plus the per-chunk load/op/store sequence.
+//
+//   $ ./examples/codegen_demo
+#include <cstdio>
+
+#include "cpu/cpu.h"
+#include "engine/engine.h"
+#include "engine/simd_gen.h"
+#include "prog/assembler.h"
+
+int main() {
+  using dsa::isa::Cond;
+  using dsa::isa::Opcode;
+
+  // float v[400]: v[i] = a[i] + b[i]  (Fig. 15's example loop)
+  dsa::prog::Assembler as;
+  as.Movi(0, 0x1000);
+  as.Movi(1, 0x3000);
+  as.Movi(2, 0x10000);
+  as.Movi(3, 400);
+  const auto loop = as.NewLabel();
+  as.Bind(loop);
+  as.Ldr(4, 0, 4);
+  as.Ldr(5, 1, 4);
+  as.Alu(Opcode::kFadd, 6, 4, 5);
+  as.Str(6, 2, 4);
+  as.AluImm(Opcode::kSubi, 3, 3, 1);
+  as.Cmpi(3, 0);
+  as.B(Cond::kGt, loop);
+  as.Halt();
+  const dsa::prog::Program program = as.Finish();
+
+  std::printf("scalar loop (what the binary contains):\n%s\n",
+              program.Disassemble().c_str());
+
+  dsa::mem::Memory memory(1 << 17);
+  dsa::mem::Hierarchy h{dsa::mem::Hierarchy::Config{}};
+  dsa::cpu::Cpu cpu(program, memory, h);
+  dsa::engine::DsaEngine engine{dsa::engine::DsaConfig{},
+                                dsa::cpu::TimingConfig{}};
+
+  while (!cpu.halted()) {
+    const dsa::cpu::Retired r = cpu.Step();
+    if (r.instr == nullptr) break;
+    const auto plan = engine.Observe(r, cpu.state());
+    if (plan.has_value()) {
+      std::printf("DSA verdict after 3 analysis iterations: %s loop, "
+                  "vectorize as %s x%d lanes\n\n",
+                  std::string(ToString(plan->record.cls)).c_str(),
+                  std::string(ToString(plan->record.body.vec_type)).c_str(),
+                  plan->record.body.lanes());
+      dsa::engine::SimdGenError err;
+      const auto gen = dsa::engine::GenerateSimd(
+          plan->record.body, cpu.state().regs, {11, 12}, &err);
+      if (!gen.has_value()) {
+        std::printf("generation failed: %s\n", err.reason.c_str());
+        return 1;
+      }
+      std::printf("generated NEON code (Fig. 25):\n");
+      if (!gen->setup.empty()) {
+        std::printf("  ; setup, once per activation\n");
+        for (const auto& i : gen->setup) {
+          std::printf("  %s\n", i.ToAsm().c_str());
+        }
+      }
+      std::printf("  ; per 128-bit chunk (%d iterations)\n", gen->lanes());
+      for (const auto& i : gen->chunk) {
+        std::printf("  %s\n", i.ToAsm().c_str());
+      }
+      return 0;
+    }
+  }
+  std::printf("no takeover happened\n");
+  return 1;
+}

@@ -1,0 +1,28 @@
+// Dumps the full gem5-style statistics report for one benchmark on one
+// system — every counter the simulator tracks, diffable across runs.
+//
+//   $ ./examples/full_report [benchmark-substring] [scalar|autovec|handvec|dsa]
+#include <cstdio>
+#include <string>
+
+#include "sim/report.h"
+#include "sim/system.h"
+#include "workloads/workloads.h"
+
+int main(int argc, char** argv) {
+  const std::string filter = argc > 1 ? argv[1] : "RGB";
+  const std::string mode_s = argc > 2 ? argv[2] : "dsa";
+  dsa::sim::RunMode mode = dsa::sim::RunMode::kDsa;
+  if (mode_s == "scalar") mode = dsa::sim::RunMode::kScalar;
+  if (mode_s == "autovec") mode = dsa::sim::RunMode::kAutoVec;
+  if (mode_s == "handvec") mode = dsa::sim::RunMode::kHandVec;
+
+  for (const dsa::sim::Workload& wl : dsa::workloads::Article3Set()) {
+    if (wl.name.find(filter) == std::string::npos) continue;
+    const dsa::sim::RunResult r = Run(wl, mode, {});
+    std::fputs(dsa::sim::FormatReport(r).c_str(), stdout);
+    return 0;
+  }
+  std::printf("no benchmark matches '%s'\n", filter.c_str());
+  return 1;
+}

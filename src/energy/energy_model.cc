@@ -1,0 +1,56 @@
+#include "energy/energy_model.h"
+
+namespace dsa::energy {
+
+EnergyBreakdown ComputeEnergy(const EnergyParams& p, const cpu::CpuStats& cpu,
+                              const mem::Hierarchy& mem, std::uint64_t cycles,
+                              const engine::DsaStats* dsa, bool neon_present) {
+  EnergyBreakdown e;
+
+  const double scalar = static_cast<double>(cpu.retired_scalar);
+  const double vec = static_cast<double>(cpu.retired_vector);
+  const double mem_ops = static_cast<double>(cpu.mem_reads + cpu.mem_writes);
+
+  e.core_dynamic = scalar * p.scalar_instr + mem_ops * p.mem_instr_extra +
+                   static_cast<double>(cpu.branches) * p.branch_extra +
+                   static_cast<double>(cpu.mispredicts) * p.mispredict_flush;
+  e.neon_dynamic = vec * p.vector_instr;
+
+  e.cache_dram =
+      static_cast<double>(mem.l1().stats().accesses()) * p.l1_access +
+      static_cast<double>(mem.l2().stats().accesses()) * p.l2_access +
+      static_cast<double>(mem.dram_accesses()) * p.dram_access;
+
+  e.core_static = static_cast<double>(cycles) * p.core_static;
+  if (neon_present) {
+    e.neon_static = static_cast<double>(cycles) * p.neon_static;
+  }
+
+  if (dsa != nullptr) {
+    e.dsa_static = static_cast<double>(cycles) * p.dsa_static;
+    e.dsa_dynamic =
+        static_cast<double>(dsa->analysis_cycles) * p.dsa_analysis_per_instr +
+        static_cast<double>(dsa->dsa_cache_accesses) * p.dsa_cache_access +
+        static_cast<double>(dsa->vc_accesses) * p.vc_access +
+        static_cast<double>(dsa->array_map_accesses) * p.array_map_access;
+  }
+  return e;
+}
+
+AreaReport ComputeArea(const AreaParams& p, std::uint32_t dsa_cache_bytes,
+                       std::uint32_t vc_bytes, std::uint32_t array_maps) {
+  AreaReport r;
+  r.arm_core = p.arm_core_um2;
+  r.dsa_logic = p.dsa_logic_um2;
+  const double dsa_bits =
+      (static_cast<double>(dsa_cache_bytes) + vc_bytes + array_maps * 16.0) *
+      8.0;
+  const double dsa_caches = dsa_bits * p.um2_per_sram_bit;
+  r.arm_with_caches = p.arm_core_um2 + p.arm_cache_um2;
+  r.dsa_with_caches = p.dsa_logic_um2 + dsa_caches;
+  r.logic_overhead_pct = 100.0 * r.dsa_logic / r.arm_core;
+  r.total_overhead_pct = 100.0 * r.dsa_with_caches / r.arm_with_caches;
+  return r;
+}
+
+}  // namespace dsa::energy

@@ -1,0 +1,90 @@
+// Event-based energy model (the reproduction's McPAT + RTL stand-in,
+// Section 5.2) and the component area model behind Article 1's Table 3.
+// Per-event energies are in nanojoules of a of 28nm-class embedded core at
+// 1 GHz; only *relative* results are meaningful, matching the paper's
+// normalized "energy savings over ARM original execution" reporting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cpu/cpu.h"
+#include "engine/stats.h"
+#include "mem/cache.h"
+
+namespace dsa::energy {
+
+struct EnergyParams {
+  // Core dynamic energy.
+  double scalar_instr = 0.120;    // fetch + decode + int execute
+  double mem_instr_extra = 0.060; // AGU + LSQ on top of scalar_instr
+  double branch_extra = 0.020;    // predictor + BTB
+  double mispredict_flush = 0.500;
+  // One NEON instruction moves a 128-bit datapath: costlier than a scalar
+  // op, far cheaper than the `lanes` scalar ops it replaces.
+  double vector_instr = 0.300;
+  // Memory hierarchy per access.
+  double l1_access = 0.050;
+  double l2_access = 0.350;
+  double dram_access = 4.000;
+  // Static (leakage) power per cycle.
+  double core_static = 0.080;
+  double neon_static = 0.025;
+  double dsa_static = 0.004;  // the DSA logic is ~2% of the core (Table 3)
+  // DSA dynamic events.
+  double dsa_analysis_per_instr = 0.008;  // observer datapath switching
+  double dsa_cache_access = 0.020;
+  double vc_access = 0.010;
+  double array_map_access = 0.006;
+};
+
+struct EnergyBreakdown {
+  double core_dynamic = 0;
+  double core_static = 0;
+  double neon_dynamic = 0;
+  double neon_static = 0;
+  double cache_dram = 0;
+  double dsa_dynamic = 0;
+  double dsa_static = 0;
+
+  [[nodiscard]] double total() const {
+    return core_dynamic + core_static + neon_dynamic + neon_static +
+           cache_dram + dsa_dynamic + dsa_static;
+  }
+};
+
+// Computes the energy of one run. `dsa` may be nullptr (no DSA attached);
+// `neon_present` charges NEON leakage for systems with the engine wired in.
+[[nodiscard]] EnergyBreakdown ComputeEnergy(const EnergyParams& p,
+                                            const cpu::CpuStats& cpu,
+                                            const mem::Hierarchy& mem,
+                                            std::uint64_t cycles,
+                                            const engine::DsaStats* dsa,
+                                            bool neon_present);
+
+// ---------------------------------------------------------------------------
+// Area model (Article 1 Table 3). Logic areas come from the paper's RTL
+// synthesis; SRAM area is derived from bit counts so cache sweeps in the
+// ablation benches rescale the overhead.
+struct AreaParams {
+  double arm_core_um2 = 610173.0;     // Cadence RTL Compiler result
+  double dsa_logic_um2 = 13274.0;     // DSA detection logic
+  double arm_cache_um2 = 182540.0;    // L1 subsystem of the synthesized core
+  double um2_per_sram_bit = 0.935;    // calibrated to the paper's DSA caches
+};
+
+struct AreaReport {
+  double arm_core = 0;
+  double dsa_logic = 0;
+  double arm_with_caches = 0;
+  double dsa_with_caches = 0;
+  double logic_overhead_pct = 0;
+  double total_overhead_pct = 0;
+};
+
+[[nodiscard]] AreaReport ComputeArea(const AreaParams& p,
+                                     std::uint32_t dsa_cache_bytes,
+                                     std::uint32_t vc_bytes,
+                                     std::uint32_t array_maps);
+
+}  // namespace dsa::energy

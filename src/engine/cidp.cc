@@ -1,0 +1,73 @@
+#include "engine/cidp.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace dsa::engine {
+
+CidpResult PredictPair(std::uint32_t read_addr_iter2, std::int64_t read_stride,
+                       std::uint32_t write_addr_iter2,
+                       std::int64_t last_iteration) {
+  CidpResult res;
+  if (last_iteration < 3) return res;
+
+  const std::int64_t r2 = read_addr_iter2;
+  const std::int64_t w2 = write_addr_iter2;
+  const std::int64_t r3 = r2 + read_stride;
+  const std::int64_t r_last = r2 + read_stride * (last_iteration - 2);
+  const std::int64_t lo = std::min(r3, r_last);
+  const std::int64_t hi = std::max(r3, r_last);
+
+  if (w2 < lo || w2 > hi) return res;  // Equation 4.3: NCID
+
+  // Equation 4.2: the write of iteration 2 falls inside the predicted
+  // read window. Locate the colliding iteration for partial vectorization.
+  if (read_stride == 0) {
+    res.has_dependency = true;
+    res.dependent_iteration = 3;
+    res.distance = 1;
+    return res;
+  }
+  const std::int64_t delta = w2 - r2;
+  std::int64_t k = delta / read_stride;  // iterations past iteration 2
+  if (delta % read_stride != 0) {
+    // Byte-partial overlap within a stride step: conservative CID at the
+    // enclosing step.
+    k = delta >= 0 ? k : k - 1;
+    if (k < 1) k = 1;
+  }
+  res.has_dependency = true;
+  res.dependent_iteration = 2 + k;
+  res.distance = k;
+  return res;
+}
+
+CidpResult PredictBody(const BodySummary& body, std::int64_t last_iteration) {
+  CidpResult worst;
+  for (const MemStream& w : body.stores) {
+    for (const MemStream& r : body.loads) {
+      const CidpResult p =
+          PredictPair(r.base_addr, r.stride, w.base_addr, last_iteration);
+      if (p.has_dependency &&
+          (!worst.has_dependency ||
+           p.dependent_iteration < worst.dependent_iteration)) {
+        worst = p;
+      }
+    }
+    // Write-after-write onto another store stream's future location also
+    // forbids reordering the lanes of a speculative vector store.
+    for (const MemStream& w2 : body.stores) {
+      if (&w2 == &w) continue;
+      const CidpResult p =
+          PredictPair(w2.base_addr, w2.stride, w.base_addr, last_iteration);
+      if (p.has_dependency &&
+          (!worst.has_dependency ||
+           p.dependent_iteration < worst.dependent_iteration)) {
+        worst = p;
+      }
+    }
+  }
+  return worst;
+}
+
+}  // namespace dsa::engine

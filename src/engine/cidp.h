@@ -1,0 +1,45 @@
+// Cross-Iteration Dependency Prediction (Section 4.4, equations 4.1-4.5).
+//
+// With affine streams, the address a load reads at iteration k is
+//   MRead[k] = MRead[2] + MGap * (k - 2),   MGap = |MRead[3] - MRead[2]|
+// (the paper folds direction into the interval test; we keep the signed
+// stride and normalize the interval). A store performed at iteration 2 at
+// MWrite[2] collides with a future read iff MWrite[2] lies inside
+// [MRead[3], MRead[last]] — then the loop has a cross-iteration dependency
+// (CID); otherwise it does not (NCID).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "engine/loop_info.h"
+
+namespace dsa::engine {
+
+struct CidpResult {
+  bool has_dependency = false;
+  // Earliest future iteration (1-based loop iteration index, >= 3) whose
+  // predicted read address equals a second-iteration write address. Only
+  // meaningful when has_dependency. Drives partial vectorization (Fig. 14).
+  std::int64_t dependent_iteration = 0;
+  // Dependency distance in iterations between the writing and the reading
+  // iteration; the safe partial-vectorization window size.
+  std::int64_t distance = 0;
+};
+
+// Tests one (read stream, write address from iteration 2) pair over a loop
+// expected to run `last_iteration` iterations in total (iterations are
+// 1-based as in the dissertation's figures).
+[[nodiscard]] CidpResult PredictPair(std::uint32_t read_addr_iter2,
+                                     std::int64_t read_stride,
+                                     std::uint32_t write_addr_iter2,
+                                     std::int64_t last_iteration);
+
+// Applies the prediction across all load/store stream pairs of a body.
+// Also catches write-write conflicts onto a later-read location via the
+// same interval logic on store streams against load streams.
+[[nodiscard]] CidpResult PredictBody(const BodySummary& body,
+                                     std::int64_t last_iteration);
+
+}  // namespace dsa::engine

@@ -1,0 +1,65 @@
+// Configuration of the Dynamic SIMD Assembler, mirroring Table 4 of the
+// dissertation (DSA Cache 8 kB, Verification Cache 1 kB, 4 Array Maps of
+// 128 bit) plus the latency knobs enumerated in the methodology chapter
+// (DSA cache access, VC access, array-map access, partial-vectorization
+// re-analysis, pipeline flush, vector load/store and leftover latencies).
+#pragma once
+
+#include <cstdint>
+
+namespace dsa::engine {
+
+struct DsaConfig {
+  // --- structures ----------------------------------------------------------
+  std::uint32_t dsa_cache_bytes = 8 * 1024;
+  std::uint32_t dsa_cache_entry_bytes = 32;  // per stored loop record
+  std::uint32_t verification_cache_bytes = 1024;
+  std::uint32_t verification_entry_bytes = 4;  // one data address
+  std::uint32_t array_maps = 4;        // 128-bit registers for cond. loops
+  std::uint32_t neon_regs = 16;        // Q0..Q15 available to speculation
+  std::uint32_t trace_capacity = 4096; // dynamic body instructions per iter
+
+  // --- feature set ---------------------------------------------------------
+  // Original DSA (Article 1): count/function/inner-outer loops only.
+  // Extended DSA (Articles 2-3): adds the dynamic-behaviour loops.
+  bool enable_conditional_loops = true;
+  bool enable_sentinel_loops = true;
+  bool enable_dynamic_range_loops = true;
+  bool enable_partial_vectorization = true;
+  // Inner/outer loop fusion (Fig. 17); ablation knob.
+  bool enable_loop_fusion = true;
+  // Cross-iteration dependency prediction; disabling it falls back to
+  // comparing only observed addresses (ablation).
+  bool enable_cidp = true;
+
+  // --- latencies (cycles) ---------------------------------------------------
+  std::uint32_t pipeline_flush_latency = 12;  // drain O3 pipe on takeover
+  std::uint32_t dsa_cache_access_latency = 2;
+  std::uint32_t verification_cache_access_latency = 1;
+  std::uint32_t array_map_access_latency = 1;
+  std::uint32_t partial_window_resync_latency = 6;
+  std::uint32_t speculative_select_latency = 2;  // vector-map result select
+
+  [[nodiscard]] std::uint32_t dsa_cache_entries() const {
+    return dsa_cache_bytes / dsa_cache_entry_bytes;
+  }
+  [[nodiscard]] std::uint32_t verification_cache_entries() const {
+    return verification_cache_bytes / verification_entry_bytes;
+  }
+
+  // Article 1 configuration: the original DSA without dynamic-behaviour
+  // loop support.
+  [[nodiscard]] static DsaConfig Original() {
+    DsaConfig c;
+    c.enable_conditional_loops = false;
+    c.enable_sentinel_loops = false;
+    c.enable_dynamic_range_loops = false;
+    c.enable_partial_vectorization = false;
+    return c;
+  }
+
+  // Articles 2/3 configuration: all loop classes enabled.
+  [[nodiscard]] static DsaConfig Extended() { return DsaConfig{}; }
+};
+
+}  // namespace dsa::engine

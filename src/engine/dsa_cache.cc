@@ -1,0 +1,36 @@
+#include "engine/dsa_cache.h"
+
+namespace dsa::engine {
+
+const LoopRecord* DsaCache::Lookup(std::uint32_t loop_id) {
+  return LookupMutable(loop_id);
+}
+
+LoopRecord* DsaCache::LookupMutable(std::uint32_t loop_id) {
+  const auto it = map_.find(loop_id);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &*it->second;
+}
+
+void DsaCache::Insert(const LoopRecord& rec) {
+  const auto it = map_.find(rec.loop_id);
+  if (it != map_.end()) {
+    *it->second = rec;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (map_.size() >= max_entries_ && !lru_.empty()) {
+    map_.erase(lru_.back().loop_id);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(rec);
+  map_[rec.loop_id] = lru_.begin();
+}
+
+}  // namespace dsa::engine

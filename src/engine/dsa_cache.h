@@ -1,0 +1,80 @@
+// The DSA's two private memories (Fig. 9):
+//  - DSA Cache: loop ID -> LoopRecord for previously analyzed loops
+//    (vectorizable or known non-vectorizable), LRU-replaced, 8 kB.
+//  - Verification Cache: the data addresses observed during the Data
+//    Collection stage, 1 kB; overflowing it aborts the analysis.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/config.h"
+#include "engine/loop_info.h"
+
+namespace dsa::engine {
+
+class DsaCache {
+ public:
+  explicit DsaCache(std::uint32_t max_entries) : max_entries_(max_entries) {}
+
+  // Returns nullptr on miss. A hit refreshes LRU position.
+  [[nodiscard]] const LoopRecord* Lookup(std::uint32_t loop_id);
+  [[nodiscard]] LoopRecord* LookupMutable(std::uint32_t loop_id);
+
+  // Inserts or replaces; evicts the LRU record when full.
+  void Insert(const LoopRecord& rec);
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t accesses() const { return hits_ + misses_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  std::uint32_t max_entries_;
+  std::list<LoopRecord> lru_;  // front = most recent
+  std::unordered_map<std::uint32_t, std::list<LoopRecord>::iterator> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+class VerificationCache {
+ public:
+  explicit VerificationCache(std::uint32_t max_entries)
+      : max_entries_(max_entries) {}
+
+  void Clear() { entries_.clear(); overflowed_ = false; }
+
+  // Stores one data address; returns false (and flags overflow) when full.
+  bool Store(std::uint32_t addr) {
+    ++accesses_;
+    if (entries_.size() >= max_entries_) {
+      overflowed_ = true;
+      return false;
+    }
+    entries_.push_back(addr);
+    return true;
+  }
+
+  [[nodiscard]] bool Contains(std::uint32_t addr) const {
+    for (const std::uint32_t a : entries_) {
+      if (a == addr) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool overflowed() const { return overflowed_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::uint64_t accesses() const { return accesses_; }
+
+ private:
+  std::uint32_t max_entries_;
+  std::vector<std::uint32_t> entries_;
+  bool overflowed_ = false;
+  std::uint64_t accesses_ = 0;
+};
+
+}  // namespace dsa::engine

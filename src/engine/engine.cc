@@ -1,0 +1,388 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "engine/cidp.h"
+
+namespace dsa::engine {
+
+using isa::Opcode;
+
+namespace {
+
+std::uint64_t RoundUpLanes(std::uint64_t n, std::uint64_t lanes) {
+  if (n < lanes) return lanes;
+  return ((n + lanes - 1) / lanes) * lanes;
+}
+
+// Fills the default coverage region of a plain (non-fused) takeover.
+TakeoverPlan SelfCoverage(TakeoverPlan plan) {
+  plan.coverage_start = plan.record.body.start_pc;
+  plan.coverage_latch = plan.record.body.latch_pc;
+  plan.count_latch = plan.record.body.latch_pc;
+  return plan;
+}
+
+}  // namespace
+
+std::string_view ToString(LoopClass c) {
+  switch (c) {
+    case LoopClass::kCount: return "count";
+    case LoopClass::kFunction: return "function";
+    case LoopClass::kOuter: return "outer";
+    case LoopClass::kConditional: return "conditional";
+    case LoopClass::kSentinel: return "sentinel";
+    case LoopClass::kDynamicRange: return "dynamic-range";
+    case LoopClass::kPartial: return "partial";
+    case LoopClass::kNonVectorizable: return "non-vectorizable";
+  }
+  return "?";
+}
+
+std::string_view ToString(RejectReason r) {
+  switch (r) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kCrossIterationDep: return "cross-iteration-dependency";
+    case RejectReason::kCarryAroundScalar: return "carry-around-scalar";
+    case RejectReason::kNonUnitStride: return "non-unit-stride";
+    case RejectReason::kMixedElementSizes: return "mixed-element-sizes";
+    case RejectReason::kNoVectorOps: return "no-vector-ops";
+    case RejectReason::kUnsupportedOp: return "unsupported-op";
+    case RejectReason::kTraceOverflow: return "trace-overflow";
+    case RejectReason::kVerificationCacheFull: return "verification-cache-full";
+    case RejectReason::kContainsInnerLoop: return "contains-inner-loop";
+    case RejectReason::kTooFewIterations: return "too-few-iterations";
+    case RejectReason::kNoArrayMapsLeft: return "no-array-maps";
+    case RejectReason::kFeatureDisabled: return "feature-disabled";
+    case RejectReason::kRangeUnknown: return "range-unknown";
+  }
+  return "?";
+}
+
+DsaEngine::DsaEngine(const DsaConfig& cfg, const cpu::TimingConfig& timing)
+    : cfg_(cfg), timing_(timing), dsa_cache_(cfg.dsa_cache_entries()),
+      vc_(cfg.verification_cache_entries()) {}
+
+void DsaEngine::StoreRecord(const LoopRecord& rec, bool count_class) {
+  dsa_cache_.Insert(rec);
+  ++stats_.dsa_cache_accesses;
+  if (count_class) ++stats_.loops_by_class[rec.cls];
+}
+
+std::optional<TakeoverPlan> DsaEngine::Observe(const cpu::Retired& r,
+                                               const cpu::CpuState& state) {
+  if (r.instr == nullptr) return std::nullopt;
+  ++stats_.observed_instructions;
+  if (!trackers_.empty()) ++stats_.analysis_cycles;
+
+  // --- cooldown maintenance -----------------------------------------------
+  for (auto it = cooldowns_.begin(); it != cooldowns_.end();) {
+    Cooldown& cd = it->second;
+    const std::uint32_t latch = it->first;
+    if (r.pc == latch && r.instr->op == Opcode::kB) {
+      if (r.branch_taken && cd.sentinel_watch) {
+        ++cd.extra_iterations;
+        // The sentinel loop outlived its speculated range: speculate again
+        // with a doubled window (Section 4.6.5's continued execution case).
+        if (LoopRecord* rec = dsa_cache_.LookupMutable(latch)) {
+          if (rec->cls == LoopClass::kSentinel) {
+            TakeoverPlan plan;
+            plan.record = *rec;
+            plan.from_cache = true;
+            plan.max_iterations = std::max<std::uint64_t>(
+                cd.next_range, rec->body.lanes());
+            stats_.CountStage(Stage::kSpeculativeExecution);
+            return SelfCoverage(plan);
+          }
+        }
+      }
+      ++it;
+      continue;
+    }
+    if (r.pc < cd.start_pc || r.pc > latch) {
+      // The loop exited; a sentinel record learns the real range for the
+      // next execution (Section 4.6.5's three predicting possibilities).
+      if (cd.sentinel_watch) {
+        if (LoopRecord* rec = dsa_cache_.LookupMutable(latch)) {
+          const std::uint64_t lanes = rec->body.lanes();
+          rec->speculative_range = static_cast<std::uint32_t>(
+              RoundUpLanes(cd.covered + cd.extra_iterations, lanes));
+        }
+      }
+      it = cooldowns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // --- feed active trackers -------------------------------------------------
+  {
+    std::vector<std::uint32_t> done;
+    std::optional<TakeoverPlan> plan;
+    for (auto& [latch, tracker] : trackers_) {
+      const LoopTracker::Event ev = tracker->Observe(r, state);
+      switch (ev) {
+        case LoopTracker::Event::kReadyToVectorize: {
+          LoopRecord rec = tracker->record();
+          StoreRecord(rec, /*count_class=*/true);
+          TakeoverPlan p;
+          p.record = rec;
+          p.from_cache = false;
+          if (rec.cls == LoopClass::kSentinel) {
+            p.max_iterations = rec.speculative_range;
+          }
+          plan = SelfCoverage(p);
+          done.push_back(latch);
+          break;
+        }
+        case LoopTracker::Event::kRejected: {
+          const LoopRecord rec = tracker->record();
+          StoreRecord(rec, /*count_class=*/true);
+          cooldowns_[latch] = Cooldown{rec.body.start_pc, false, 0, 0};
+          done.push_back(latch);
+          break;
+        }
+        case LoopTracker::Event::kAborted:
+          done.push_back(latch);
+          break;
+        case LoopTracker::Event::kNone:
+          break;
+      }
+    }
+    for (const std::uint32_t l : done) trackers_.erase(l);
+    if (plan.has_value()) return plan;
+  }
+
+  // --- loop detection --------------------------------------------------------
+  return HandleLatch(r, state);
+}
+
+std::optional<TakeoverPlan> DsaEngine::HandleLatch(const cpu::Retired& r,
+                                                   const cpu::CpuState& state) {
+  (void)state;
+  const isa::Instruction& ins = *r.instr;
+  if (ins.op != Opcode::kB || !r.branch_taken) return std::nullopt;
+  const std::uint32_t target = static_cast<std::uint32_t>(ins.imm);
+  if (target > r.pc) return std::nullopt;  // not a backward branch
+  const std::uint32_t latch = r.pc;
+  if (trackers_.count(latch) != 0 || cooldowns_.count(latch) != 0) {
+    return std::nullopt;
+  }
+
+  stats_.CountStage(Stage::kLoopDetection);
+  ++stats_.dsa_cache_accesses;
+  const LoopRecord* rec = dsa_cache_.Lookup(latch);
+  if (rec != nullptr) {
+    if (rec->cls == LoopClass::kOuter && rec->fused_outer) {
+      // Fused nest (Fig. 17): take over the whole outer body, vectorizing
+      // through the cached inner loop and counting its iterations.
+      const std::uint32_t outer_start = rec->body.start_pc;
+      const std::uint32_t outer_latch = rec->body.latch_pc;
+      const LoopRecord* inner = dsa_cache_.Lookup(rec->inner_latch_pc);
+      ++stats_.dsa_cache_accesses;
+      if (inner != nullptr && inner->reject == RejectReason::kNone &&
+          (inner->cls == LoopClass::kCount ||
+           inner->cls == LoopClass::kFunction)) {
+        stats_.CountStage(Stage::kStoreIdExecution);
+        TakeoverPlan plan;
+        plan.record = *inner;
+        plan.from_cache = true;
+        plan.coverage_start = outer_start;
+        plan.coverage_latch = outer_latch;
+        plan.count_latch = inner->body.latch_pc;
+        return plan;
+      }
+      cooldowns_[latch] = Cooldown{outer_start, false, 0, 0};
+      return std::nullopt;
+    }
+    if (rec->cls == LoopClass::kNonVectorizable ||
+        rec->cls == LoopClass::kOuter ||
+        rec->reject != RejectReason::kNone) {
+      cooldowns_[latch] = Cooldown{rec->body.start_pc, false, 0, 0};
+      return std::nullopt;
+    }
+    // Known-vectorizable loop: activate NEON right away (Article 1
+    // Fig. 5). Fresh stream bases and the live trip count are read from
+    // the register file; dependency prediction re-runs with the fresh
+    // range (Fig. 24's dynamic-range semantics).
+    return PlanFromRecord(*rec, state);
+  }
+
+  // DSA cache miss: begin the analysis state machine at iteration 2.
+  trackers_.emplace(latch, std::make_unique<LoopTracker>(target, latch, cfg_,
+                                                         vc_, stats_));
+  return std::nullopt;
+}
+
+std::optional<TakeoverPlan> DsaEngine::PlanFromRecord(
+    const LoopRecord& stored, const cpu::CpuState& state) {
+  LoopRecord rec = stored;
+
+  // Refresh stream base addresses from the live register file. The base
+  // registers have advanced past iteration 1, so they already point at the
+  // iteration-2 element — exactly where coverage starts.
+  auto refresh = [&](std::vector<MemStream>& streams) {
+    for (MemStream& s : streams) {
+      if (s.addr_reg >= 0) {
+        s.base_addr = state.regs[s.addr_reg] + s.addr_offset;
+      }
+    }
+  };
+  refresh(rec.body.loads);
+  refresh(rec.body.stores);
+
+  std::uint64_t max_iterations = 0;
+  std::int64_t total_iterations = 0;
+  if (rec.cls == LoopClass::kSentinel) {
+    max_iterations = std::max<std::uint64_t>(rec.speculative_range,
+                                             rec.body.lanes());
+    total_iterations = 1 + static_cast<std::int64_t>(max_iterations);
+  } else {
+    if (rec.latch_cmp_rn < 0) return std::nullopt;
+    const std::int64_t latch_diff =
+        static_cast<std::int64_t>(
+            static_cast<std::int32_t>(state.regs[rec.latch_cmp_rn])) -
+        (rec.latch_cmp_is_imm
+             ? rec.latch_cmp_imm
+             : static_cast<std::int32_t>(state.regs[rec.latch_cmp_rm]));
+    const std::optional<std::int64_t> remaining = EstimateRemainingIterations(
+        latch_diff, rec.latch_diff_delta, rec.latch_cond);
+    if (!remaining.has_value()) return std::nullopt;
+    total_iterations = 2 + *remaining;  // iteration 1 done + this latch
+  }
+
+  // Dynamic-range semantics (Fig. 24): dependency prediction must re-run on
+  // every execution because a different range can create a dependency.
+  if (cfg_.enable_cidp && rec.cls != LoopClass::kPartial) {
+    const CidpResult dep = PredictBody(rec.body, total_iterations);
+    if (dep.has_dependency) {
+      if (cfg_.enable_partial_vectorization && dep.distance >= 2 &&
+          rec.cls != LoopClass::kConditional &&
+          rec.cls != LoopClass::kSentinel) {
+        rec.cls = LoopClass::kPartial;
+        rec.dep_distance = dep.distance;
+      } else {
+        return std::nullopt;  // execute scalar this time
+      }
+    }
+  }
+
+  stats_.CountStage(Stage::kStoreIdExecution);
+  TakeoverPlan plan;
+  plan.record = rec;
+  plan.from_cache = true;
+  plan.max_iterations = max_iterations;
+  return SelfCoverage(plan);
+}
+
+void DsaEngine::DemoteFusion(std::uint32_t outer_latch_pc) {
+  if (LoopRecord* rec = dsa_cache_.LookupMutable(outer_latch_pc)) {
+    if (rec->fused_outer) {
+      rec->fused_outer = false;
+      rec->reject = RejectReason::kContainsInnerLoop;
+      cooldowns_[outer_latch_pc] =
+          Cooldown{rec->body.start_pc, false, 0, 0, 0};
+    }
+  }
+}
+
+void DsaEngine::FinishTakeover(const TakeoverPlan& plan,
+                               std::uint64_t covered_iterations,
+                               std::uint64_t covered_scalar_instrs,
+                               cpu::Cpu& cpu, std::uint64_t glue_instrs) {
+  const LoopRecord& rec = plan.record;
+  const BodySummary& body = rec.body;
+  const std::uint32_t width = cpu.timing().superscalar_width;
+  const neon::NeonTiming& nt = cpu.timing().neon;
+
+  RegionCost cost;
+  switch (rec.cls) {
+    case LoopClass::kConditional:
+      cost = CostConditionalLoop(body, covered_iterations, cfg_, nt, width);
+      break;
+    case LoopClass::kSentinel:
+      cost = CostSentinelLoop(body, covered_iterations,
+                              plan.max_iterations, cfg_, nt, width);
+      break;
+    case LoopClass::kPartial:
+      cost = CostPartialLoop(body, covered_iterations,
+                             static_cast<std::uint64_t>(rec.dep_distance),
+                             cfg_, nt, width);
+      break;
+    default:
+      cost = CostCountLoop(body, covered_iterations, cfg_, nt, width);
+      break;
+  }
+  cost.overhead_cycles += cfg_.dsa_cache_access_latency;
+
+  // Glue instructions of a fused nest stay scalar: charge their issue
+  // bandwidth back.
+  const std::uint32_t w = cpu.timing().superscalar_width;
+  cost.scalar_addback_cycles += (glue_instrs + w - 1) / w;
+  cost.scalar_instrs += glue_instrs;
+
+  cpu.AddNeonBusy(cost.neon_busy_cycles);
+  cpu.AddDsaOverhead(cost.overhead_cycles);
+  cpu.AddStall(cost.scalar_addback_cycles);
+  cpu.CountVectorRetired(cost.vector_instrs);
+  cpu.stats().retired_scalar += cost.scalar_instrs;
+  cpu.stats().retired_total += cost.scalar_instrs;
+
+  ++stats_.takeovers;
+  if (plan.from_cache) ++stats_.cache_hit_takeovers;
+  stats_.vectorized_iterations += covered_iterations;
+  stats_.scalar_covered_instrs += covered_scalar_instrs;
+  stats_.vector_instrs_issued += cost.vector_instrs;
+  stats_.array_map_accesses += cost.array_map_accesses;
+  ++stats_.entries_by_class[rec.cls];
+
+  // Any loop whose analysis was interrupted by this takeover contains the
+  // covered loop: classify as outer. If its glue code around the covered
+  // region carries no stores, fuse the nest (Fig. 17) so the next entry
+  // vectorizes the whole nest in one takeover; otherwise skip future
+  // analysis of it.
+  for (auto& [latch, tracker] : trackers_) {
+    if (plan.coverage_start >= tracker->start_pc() &&
+        plan.coverage_latch <= latch) {
+      LoopRecord outer;
+      outer.loop_id = latch;
+      outer.cls = LoopClass::kOuter;
+      outer.body.start_pc = tracker->start_pc();
+      outer.body.latch_pc = latch;
+      const bool fusable =
+          cfg_.enable_loop_fusion &&
+          (rec.cls == LoopClass::kCount || rec.cls == LoopClass::kFunction) &&
+          tracker->FusableAround(plan.coverage_start, plan.coverage_latch);
+      if (fusable) {
+        outer.fused_outer = true;
+        outer.inner_latch_pc = plan.count_latch;
+      } else {
+        outer.reject = RejectReason::kContainsInnerLoop;
+        cooldowns_[latch] = Cooldown{tracker->start_pc(), false, 0, 0};
+      }
+      StoreRecord(outer, /*count_class=*/true);
+    }
+  }
+  trackers_.clear();
+
+  // Sentinel loops may keep running past the speculated range; the
+  // cooldown re-speculates with a doubled window while the loop lives and
+  // updates the stored range when it exits.
+  if (rec.cls == LoopClass::kSentinel) {
+    Cooldown cd;
+    const auto it = cooldowns_.find(body.latch_pc);
+    if (it != cooldowns_.end()) {
+      cd = it->second;
+    } else {
+      cd.start_pc = body.start_pc;
+    }
+    cd.sentinel_watch = true;
+    cd.covered += covered_iterations;
+    cd.next_range = std::min<std::uint64_t>(
+        std::max<std::uint64_t>(2 * plan.max_iterations, body.lanes()), 8192);
+    cooldowns_[body.latch_pc] = cd;
+  }
+}
+
+}  // namespace dsa::engine

@@ -1,0 +1,95 @@
+// DsaEngine: the Dynamic SIMD Assembler attached to the CPU's retired
+// instruction stream (Fig. 9 / Fig. 10). While the ARM core executes, the
+// engine probes for vectorizable loops in parallel (Scenario 1); when a
+// loop is verified, it returns a TakeoverPlan and the system switches to
+// NEON execution of the remaining iterations (Scenario 2).
+//
+// Functional execution of covered iterations stays on the scalar
+// interpreter — exactly the paper's trace-level methodology, where "the
+// timing model replaces the scalar vectorizable instructions by vector
+// instructions". FinishTakeover() performs that replacement.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "cpu/cpu.h"
+#include "engine/config.h"
+#include "engine/dsa_cache.h"
+#include "engine/stats.h"
+#include "engine/tracker.h"
+#include "engine/vector_cost.h"
+
+namespace dsa::engine {
+
+struct TakeoverPlan {
+  LoopRecord record;  // the vectorized loop (the inner loop when fused)
+  // Upper bound on covered iterations; 0 = run until the loop exits.
+  // Sentinel loops bound coverage by the speculative range.
+  std::uint64_t max_iterations = 0;
+  bool from_cache = false;
+  // Coverage region: [coverage_start, coverage_latch] is where the scalar
+  // core is suspended; `count_latch` is the branch whose taken retires
+  // count vectorized iterations. For plain loops all three equal the
+  // record body's range; a fused outer loop covers the whole nest.
+  std::uint32_t coverage_start = 0;
+  std::uint32_t coverage_latch = 0;
+  std::uint32_t count_latch = 0;
+};
+
+class DsaEngine {
+ public:
+  DsaEngine(const DsaConfig& cfg, const cpu::TimingConfig& timing);
+
+  // Feeds one retired instruction (DSA probing mode). Returns a takeover
+  // plan when a loop just became ready for NEON execution; the caller must
+  // then run the covered region and call FinishTakeover().
+  std::optional<TakeoverPlan> Observe(const cpu::Retired& r,
+                                      const cpu::CpuState& state);
+
+  // Applies the timing-model replacement for a covered region:
+  // `covered_iterations` loop iterations whose `covered_scalar_instrs`
+  // scalar instructions were removed from the timing by the caller.
+  void FinishTakeover(const TakeoverPlan& plan,
+                      std::uint64_t covered_iterations,
+                      std::uint64_t covered_scalar_instrs, cpu::Cpu& cpu,
+                      std::uint64_t glue_instrs = 0);
+
+  // Called when a fused covered run met a store in the glue: the outer
+  // record loses its fusion and is cooled down, so future entries fall
+  // back to per-inner-loop takeovers.
+  void DemoteFusion(std::uint32_t outer_latch_pc);
+
+  [[nodiscard]] const DsaStats& stats() const { return stats_; }
+  [[nodiscard]] const DsaCache& cache() const { return dsa_cache_; }
+  [[nodiscard]] const DsaConfig& config() const { return cfg_; }
+
+ private:
+  struct Cooldown {
+    std::uint32_t start_pc = 0;
+    bool sentinel_watch = false;
+    std::uint64_t covered = 0;          // iterations vector-covered so far
+    std::uint64_t extra_iterations = 0; // iterations run scalar afterwards
+    std::uint64_t next_range = 0;       // re-speculation window (doubles)
+  };
+
+  std::optional<TakeoverPlan> HandleLatch(const cpu::Retired& r,
+                                          const cpu::CpuState& state);
+  std::optional<TakeoverPlan> PlanFromRecord(const LoopRecord& stored,
+                                             const cpu::CpuState& state);
+  void StoreRecord(const LoopRecord& rec, bool count_class);
+
+  DsaConfig cfg_;
+  cpu::TimingConfig timing_;
+  DsaCache dsa_cache_;
+  VerificationCache vc_;
+  DsaStats stats_;
+
+  std::unordered_map<std::uint32_t, std::unique_ptr<LoopTracker>> trackers_;
+  std::unordered_map<std::uint32_t, Cooldown> cooldowns_;  // by latch pc
+};
+
+}  // namespace dsa::engine

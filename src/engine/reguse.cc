@@ -1,0 +1,73 @@
+#include "engine/reguse.h"
+
+namespace dsa::engine {
+
+using isa::InstrClass;
+using isa::Opcode;
+
+namespace {
+
+void AddSrc(RegUse& u, int r) {
+  if (u.n_srcs < static_cast<int>(u.srcs.size())) u.srcs[u.n_srcs++] = r;
+}
+
+}  // namespace
+
+RegUse UsesOf(const isa::Instruction& ins) {
+  RegUse u;
+  switch (ins.cls()) {
+    case InstrClass::kMemRead:
+      AddSrc(u, ins.rn);
+      u.dst = ins.rd;
+      if (ins.post_inc != 0) u.post_inc_reg = ins.rn;
+      break;
+    case InstrClass::kMemWrite:
+      AddSrc(u, ins.rd);
+      AddSrc(u, ins.rn);
+      if (ins.post_inc != 0) u.post_inc_reg = ins.rn;
+      break;
+    case InstrClass::kCompare:
+      AddSrc(u, ins.rn);
+      if (ins.op == Opcode::kCmp) AddSrc(u, ins.rm);
+      break;
+    case InstrClass::kBranch:
+      break;
+    case InstrClass::kCall:
+      u.dst = isa::kLr;
+      break;
+    case InstrClass::kRet:
+      AddSrc(u, isa::kLr);
+      break;
+    case InstrClass::kIntAlu:
+    case InstrClass::kFpAlu:
+      switch (ins.op) {
+        case Opcode::kMov:
+          AddSrc(u, ins.rm);
+          break;
+        case Opcode::kMovi:
+          break;
+        case Opcode::kAddi:
+        case Opcode::kSubi:
+        case Opcode::kAndi:
+        case Opcode::kRsb:
+          AddSrc(u, ins.rn);
+          break;
+        case Opcode::kMla:
+          AddSrc(u, ins.rn);
+          AddSrc(u, ins.rm);
+          AddSrc(u, ins.ra);
+          break;
+        default:
+          AddSrc(u, ins.rn);
+          AddSrc(u, ins.rm);
+          break;
+      }
+      u.dst = ins.rd;
+      break;
+    default:
+      break;
+  }
+  return u;
+}
+
+}  // namespace dsa::engine

@@ -1,0 +1,22 @@
+// Register use/def extraction for scalar instructions, used by the DSA
+// analysis to detect carry-around scalars (Table 1, line 5) and to compute
+// the stop-condition backward slice of sentinel loops.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "isa/instruction.h"
+
+namespace dsa::engine {
+
+struct RegUse {
+  std::array<int, 3> srcs{-1, -1, -1};
+  int n_srcs = 0;
+  int dst = -1;        // main destination register, -1 if none
+  int post_inc_reg = -1;  // base register updated by post-increment
+};
+
+[[nodiscard]] RegUse UsesOf(const isa::Instruction& ins);
+
+}  // namespace dsa::engine

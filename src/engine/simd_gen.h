@@ -1,0 +1,54 @@
+// SIMD instruction generation (Section 4.7, Fig. 25): turns an analyzed
+// straight loop body into the NEON instruction sequence the DSA issues to
+// the engine — vld1 per load stream, vdup for loop-invariant operands
+// (values baked in from the live register file, since the DSA generates at
+// runtime), the lane-op DAG, and vst1 per store stream.
+//
+// The timing model (vector_cost) and this generator are two views of the
+// same Section 4.7 process; the generator makes the emitted code concrete
+// and is validated by executing it against the scalar loop's semantics.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/loop_info.h"
+#include "isa/instruction.h"
+#include "prog/program.h"
+
+namespace dsa::engine {
+
+struct SimdProgram {
+  // Executed once when the engine is activated: constant materialization
+  // and vdup broadcasts, plus base-pointer adjustments for offset streams.
+  std::vector<isa::Instruction> setup;
+  // One 128-bit chunk: processes `lanes` iterations.
+  std::vector<isa::Instruction> chunk;
+  isa::VecType type = isa::VecType::kI32;
+
+  [[nodiscard]] int lanes() const { return isa::LaneCount(type); }
+
+  // Wraps setup+chunk into a runnable count-down loop over `count_reg`
+  // elements (assumed to hold a lane multiple), ending in halt. Used by
+  // the validation harness and by dsa_inspect's Fig. 25 listing.
+  [[nodiscard]] prog::Program AsLoop(int count_reg) const;
+};
+
+struct SimdGenError {
+  std::string reason;
+};
+
+// Generates the SIMD program for a straight (non-conditional) body.
+// `regs` is the live scalar register file at takeover, used to bake in
+// runtime-constant operands (shift amounts, invariant scalars).
+// `scratch_regs` are scalar registers the generated code may clobber for
+// offset-stream bases and constant materialization.
+[[nodiscard]] std::optional<SimdProgram> GenerateSimd(
+    const BodySummary& body,
+    const std::array<std::uint32_t, isa::kNumScalarRegs>& regs,
+    std::vector<int> scratch_regs, SimdGenError* error = nullptr);
+
+}  // namespace dsa::engine

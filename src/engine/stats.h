@@ -1,0 +1,65 @@
+// DSA activity counters: per-stage activations (used for the energy model
+// of Fig. 32), loop classification census (Fig. 7), detection-latency
+// accounting (Article 2/3 Table "DSA Latency") and vectorization coverage.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+
+#include "engine/loop_info.h"
+
+namespace dsa::engine {
+
+// The six state-machine stages (Fig. 12).
+enum class Stage : std::uint8_t {
+  kLoopDetection,
+  kDataCollection,
+  kDependencyAnalysis,
+  kStoreIdExecution,
+  kMapping,
+  kSpeculativeExecution,
+};
+inline constexpr int kNumStages = 6;
+
+[[nodiscard]] constexpr std::string_view ToString(Stage s) {
+  switch (s) {
+    case Stage::kLoopDetection: return "loop-detection";
+    case Stage::kDataCollection: return "data-collection";
+    case Stage::kDependencyAnalysis: return "dependency-analysis";
+    case Stage::kStoreIdExecution: return "store-id/execution";
+    case Stage::kMapping: return "mapping";
+    case Stage::kSpeculativeExecution: return "speculative-execution";
+  }
+  return "?";
+}
+
+struct DsaStats {
+  // Loop census: distinct loops by final classification, and dynamic
+  // loop-entry counts by classification.
+  std::map<LoopClass, std::uint64_t> loops_by_class;
+  std::map<LoopClass, std::uint64_t> entries_by_class;
+  std::map<RejectReason, std::uint64_t> rejects_by_reason;
+
+  std::array<std::uint64_t, kNumStages> stage_activations{};
+
+  // Instructions the DSA logic observed while at least one tracker was in
+  // an analysis stage (its "busy" time; the DSA clock matches the core's).
+  std::uint64_t analysis_cycles = 0;
+  std::uint64_t observed_instructions = 0;
+
+  std::uint64_t takeovers = 0;
+  std::uint64_t cache_hit_takeovers = 0;
+  std::uint64_t vectorized_iterations = 0;
+  std::uint64_t scalar_covered_instrs = 0;  // scalar instrs replaced by SIMD
+  std::uint64_t vector_instrs_issued = 0;
+  std::uint64_t array_map_accesses = 0;
+  std::uint64_t vc_accesses = 0;
+  std::uint64_t dsa_cache_accesses = 0;
+
+  void CountStage(Stage s) {
+    ++stage_activations[static_cast<int>(s)];
+  }
+};
+
+}  // namespace dsa::engine

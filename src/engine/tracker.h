@@ -1,0 +1,134 @@
+// Per-loop analysis state machine (Fig. 12 / Fig. 18). One LoopTracker is
+// created when the DSA's Loop Detection stage observes a taken backward
+// branch whose loop ID misses in the DSA Cache. The tracker then walks the
+// Data Collection (iteration 2), Dependency Analysis (iteration 3) and
+// Store ID/Execution (iteration 4) stages; conditional loops divert into
+// the Mapping stage until every condition has been observed and verified.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "cpu/cpu.h"
+#include "engine/config.h"
+#include "engine/dsa_cache.h"
+#include "engine/loop_info.h"
+#include "engine/stats.h"
+
+namespace dsa::engine {
+
+// Number of additional taken latch evaluations for an affine latch whose
+// cmp currently evaluates to `diff_now` (rn - rm) and whose diff advances
+// by `diff_delta` per iteration; branch continues while `cond` holds.
+// nullopt = not computable / non-terminating under the affine model.
+[[nodiscard]] std::optional<std::int64_t> EstimateRemainingIterations(
+    std::int64_t diff_now, std::int64_t diff_delta, isa::Cond cond);
+
+class LoopTracker {
+ public:
+  enum class Event {
+    kNone,
+    kReadyToVectorize,  // record() holds a vectorizable LoopRecord
+    kRejected,          // record() holds the reject classification
+    kAborted,           // loop exited before analysis completed; discard
+  };
+
+  LoopTracker(std::uint32_t start_pc, std::uint32_t latch_pc,
+              const DsaConfig& cfg, VerificationCache& vc, DsaStats& stats);
+
+  // Feeds one retired instruction. `state` is the architectural state
+  // after the retire (the DSA taps the O3CPU pipeline, Fig. 31).
+  Event Observe(const cpu::Retired& r, const cpu::CpuState& state);
+
+  [[nodiscard]] const LoopRecord& record() const { return record_; }
+  [[nodiscard]] std::uint32_t start_pc() const { return start_pc_; }
+  [[nodiscard]] std::uint32_t latch_pc() const { return latch_pc_; }
+  [[nodiscard]] bool in_analysis() const { return !finished_; }
+
+  // True when every instruction observed so far *outside* the given inner
+  // range is fusion-friendly glue (no stores): the Fig. 17 criterion for
+  // treating inner and outer loop as one.
+  [[nodiscard]] bool FusableAround(std::uint32_t inner_start,
+                                   std::uint32_t inner_latch) const;
+
+ private:
+  struct Obs {
+    std::uint32_t pc = 0;
+    const isa::Instruction* ins = nullptr;
+    bool has_mem = false;
+    std::uint32_t mem_addr = 0;
+    std::uint32_t mem_bytes = 0;
+    bool mem_is_write = false;
+  };
+
+  struct LatchSample {
+    std::int64_t diff = 0;       // cmp rn - rm at the latch
+    std::uint32_t rn_val = 0;
+    std::uint32_t rm_val = 0;
+  };
+
+  // One control-flow path through a conditional body, keyed by its
+  // executed-pc signature (the paper indexes conditions by their first
+  // instruction address; the signature generalizes to if/else chains).
+  struct PathState {
+    std::vector<Obs> first_trace;
+    std::int64_t first_seen_iter = 0;
+    int seen = 0;
+    bool verified = false;
+  };
+
+  Event EndOfIteration(const cpu::Retired& latch, const cpu::CpuState& state);
+  Event AnalyzeStraightBody(const cpu::CpuState& state);
+  Event AnalyzeConditionalStep(const cpu::CpuState& state);
+  Event FinalizeConditional();
+  Event Reject(LoopClass cls, RejectReason why);
+
+  // Builds streams/op counts from a single-iteration trace restricted to
+  // `pcs` (nullptr = whole trace). Returns false on an inhibiting factor.
+  bool SummarizeTrace(const std::vector<Obs>& t2, const std::vector<Obs>& t3,
+                      BodySummary& out, RejectReason& why,
+                      bool require_store = true) const;
+  bool CheckCarryAround(const std::vector<Obs>& trace,
+                        const std::set<int>& induction_regs) const;
+  [[nodiscard]] std::set<int> InductionRegs(const std::vector<Obs>& trace) const;
+  [[nodiscard]] std::vector<std::uint32_t> StopConditionSlice(
+      const std::vector<Obs>& trace) const;
+
+  // Latch range estimation from the recorded latch samples.
+  [[nodiscard]] std::optional<std::int64_t> RemainingIterations() const;
+
+  std::uint32_t start_pc_;
+  std::uint32_t latch_pc_;
+  const DsaConfig& cfg_;
+  VerificationCache& vc_;
+  DsaStats& stats_;
+
+  std::int64_t iteration_ = 1;  // iteration currently executing (1-based)
+  int call_depth_ = 0;
+  bool saw_inner_loop_ = false;
+  bool trace_overflow_ = false;
+  bool has_call_ = false;
+  bool finished_ = false;
+
+  std::vector<Obs> cur_trace_;
+  std::vector<Obs> trace2_;
+  std::vector<Obs> trace3_;
+  std::set<std::uint32_t> pcs2_;
+  std::set<std::uint32_t> pcs3_;
+  std::set<std::uint32_t> cur_pcs_;
+
+  std::optional<Obs> last_cmp_;        // last compare retired this iteration
+  std::vector<LatchSample> latch_samples_;
+
+  bool conditional_mode_ = false;
+  std::map<std::vector<std::uint32_t>, PathState> paths_;
+  std::set<std::uint32_t> pcs_seen_union_;
+  std::int64_t mapping_iterations_ = 0;
+
+  LoopRecord record_;
+};
+
+}  // namespace dsa::engine

@@ -1,0 +1,216 @@
+#include "engine/vector_cost.h"
+
+#include <algorithm>
+
+namespace dsa::engine {
+
+std::string_view ToString(LeftoverKind k) {
+  switch (k) {
+    case LeftoverKind::kNone: return "none";
+    case LeftoverKind::kSingleElements: return "single-elements";
+    case LeftoverKind::kOverlapping: return "overlapping";
+    case LeftoverKind::kLargerArrays: return "larger-arrays";
+  }
+  return "?";
+}
+
+LeftoverKind ChooseLeftover(const BodySummary& body, std::uint64_t iterations,
+                            bool padded_buffers) {
+  const std::uint64_t lanes = body.lanes();
+  if (iterations % lanes == 0) return LeftoverKind::kNone;
+  if (padded_buffers) return LeftoverKind::kLargerArrays;
+  if (iterations < lanes) return LeftoverKind::kSingleElements;
+  // Overlapping re-executes a full vector over already-computed elements;
+  // safe only when no store stream aliases a load stream (Section 4.8.2).
+  for (const MemStream& s : body.stores) {
+    for (const MemStream& l : body.loads) {
+      if (s.base_addr == l.base_addr && s.stride == l.stride) {
+        return LeftoverKind::kSingleElements;
+      }
+    }
+  }
+  return LeftoverKind::kOverlapping;
+}
+
+std::uint64_t ChunkCycles(const BodySummary& body, const neon::NeonTiming& t) {
+  std::uint64_t c = 0;
+  for (const MemStream& l : body.loads) {
+    if (!l.loop_invariant) c += t.mem_latency;
+  }
+  c += static_cast<std::uint64_t>(body.alu_ops) * t.alu_latency;
+  c += static_cast<std::uint64_t>(body.mul_ops) * t.mul_latency;
+  c += static_cast<std::uint64_t>(body.stores.size()) * t.mem_latency;
+  return c;
+}
+
+std::uint64_t ChunkInstrs(const BodySummary& body) {
+  std::uint64_t n = 0;
+  for (const MemStream& l : body.loads) {
+    if (!l.loop_invariant) ++n;
+  }
+  return n + body.alu_ops + body.mul_ops + body.stores.size();
+}
+
+namespace {
+
+// Residual scalar work per covered iteration (induction + latch for count
+// loops; plus condition/stop slices handled by the per-class costers).
+RegionCost ScalarAddback(std::uint64_t iterations, std::uint32_t per_iter,
+                         std::uint32_t width) {
+  RegionCost c;
+  c.scalar_instrs = iterations * per_iter;
+  c.scalar_addback_cycles = (c.scalar_instrs + width - 1) / width;
+  return c;
+}
+
+RegionCost LeftoverCost(const BodySummary& body, std::uint64_t leftover,
+                        LeftoverKind kind, const neon::NeonTiming& t) {
+  RegionCost c;
+  if (leftover == 0 || kind == LeftoverKind::kNone ||
+      kind == LeftoverKind::kLargerArrays) {
+    // Larger Arrays: the tail became one more full chunk, priced by caller.
+    return c;
+  }
+  if (kind == LeftoverKind::kOverlapping) {
+    c.neon_busy_cycles = ChunkCycles(body, t);
+    c.vector_instrs = ChunkInstrs(body);
+    return c;
+  }
+  // Single elements: per-lane load/op/store on the NEON element datapath.
+  const std::uint64_t per_elem_instrs =
+      body.loads.size() + body.alu_ops + body.mul_ops + body.stores.size();
+  c.vector_instrs = leftover * per_elem_instrs;
+  c.neon_busy_cycles =
+      leftover * (body.loads.size() * t.lane_move +
+                  body.alu_ops * t.alu_latency + body.mul_ops * t.mul_latency +
+                  body.stores.size() * t.lane_move);
+  return c;
+}
+
+// Broadcast of loop-invariant operands into vector registers, once per
+// vectorized region.
+RegionCost InvariantSetup(const BodySummary& body, const neon::NeonTiming& t) {
+  RegionCost c;
+  for (const MemStream& l : body.loads) {
+    if (l.loop_invariant) {
+      ++c.vector_instrs;  // vdup
+      c.neon_busy_cycles += t.alu_latency;
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+RegionCost CostCountLoop(const BodySummary& body, std::uint64_t iterations,
+                         const DsaConfig& cfg, const neon::NeonTiming& t,
+                         std::uint32_t width) {
+  RegionCost c;
+  const std::uint64_t lanes = body.lanes();
+  const LeftoverKind lk = ChooseLeftover(body, iterations);
+  std::uint64_t chunks = iterations / lanes;
+  const std::uint64_t leftover = iterations % lanes;
+  if (lk == LeftoverKind::kOverlapping && leftover != 0) {
+    // The overlapping chunk replaces the tail; priced in LeftoverCost.
+  } else if (lk == LeftoverKind::kLargerArrays && leftover != 0) {
+    ++chunks;
+  }
+
+  c.overhead_cycles = cfg.pipeline_flush_latency + t.pipeline_fill;
+  c.neon_busy_cycles = chunks * ChunkCycles(body, t);
+  c.vector_instrs = chunks * ChunkInstrs(body);
+  c += InvariantSetup(body, t);
+  c += LeftoverCost(body, leftover, lk, t);
+  // The vectorized loop still executes one chunk-advance + compare +
+  // branch per chunk on the scalar side.
+  c += ScalarAddback(chunks, 2, width);
+  return c;
+}
+
+RegionCost CostConditionalLoop(const BodySummary& body,
+                               std::uint64_t iterations, const DsaConfig& cfg,
+                               const neon::NeonTiming& t, std::uint32_t width) {
+  RegionCost c;
+  const std::uint64_t lanes = body.lanes();
+  const std::uint64_t chunks = (iterations + lanes - 1) / lanes;
+
+  c.overhead_cycles = cfg.pipeline_flush_latency + t.pipeline_fill;
+
+  // Every discovered condition is vectorized once over the remaining range
+  // on its first dynamic occurrence (Fig. 21): its loads and ops run for
+  // all chunks; results land in Array Maps.
+  for (const CondRegion& cond : body.conditions) {
+    const std::uint64_t per_chunk =
+        cond.mem_streams * t.mem_latency + cond.vector_ops * t.alu_latency;
+    c.neon_busy_cycles += chunks * per_chunk;
+    c.vector_instrs += chunks * (cond.mem_streams + cond.vector_ops);
+    c.array_map_accesses += chunks;
+  }
+  // The always-executed portion of the body is vectorized normally.
+  c.neon_busy_cycles += chunks * ChunkCycles(body, t);
+  c.vector_instrs += chunks * ChunkInstrs(body);
+  c += InvariantSetup(body, t);
+
+  // Per iteration, the condition-evaluation chain runs scalar and its taken
+  // branch is mapped into the Vector Map (Mapping stage).
+  c += ScalarAddback(iterations, body.scalar_per_iter, width);
+  c.array_map_accesses += iterations;
+
+  // Speculative select of the mapped results at every chunk boundary.
+  c.overhead_cycles += chunks * cfg.speculative_select_latency;
+  c.neon_busy_cycles +=
+      chunks * body.conditions.size() * t.alu_latency;  // vbsl merges
+  c.vector_instrs += chunks * body.conditions.size();
+  return c;
+}
+
+RegionCost CostSentinelLoop(const BodySummary& body,
+                            std::uint64_t covered_iterations,
+                            std::uint64_t speculative_range,
+                            const DsaConfig& cfg, const neon::NeonTiming& t,
+                            std::uint32_t width) {
+  RegionCost c;
+  const std::uint64_t lanes = body.lanes();
+  // The DSA allocates vector work for the full speculative range even when
+  // the loop stops earlier; overshoot lanes are computed and discarded.
+  const std::uint64_t worked =
+      std::max<std::uint64_t>(covered_iterations, speculative_range);
+  const std::uint64_t chunks = (worked + lanes - 1) / lanes;
+
+  c.overhead_cycles = cfg.pipeline_flush_latency + t.pipeline_fill +
+                      cfg.speculative_select_latency;
+  c.neon_busy_cycles = chunks * ChunkCycles(body, t);
+  c.vector_instrs = chunks * ChunkInstrs(body);
+  c += InvariantSetup(body, t);
+
+  // The stop-condition slice executes scalar on every real iteration.
+  c += ScalarAddback(covered_iterations, body.scalar_per_iter, width);
+  return c;
+}
+
+RegionCost CostPartialLoop(const BodySummary& body, std::uint64_t iterations,
+                           std::uint64_t window, const DsaConfig& cfg,
+                           const neon::NeonTiming& t, std::uint32_t width) {
+  RegionCost c;
+  if (window == 0) return c;
+  const std::uint64_t windows = (iterations + window - 1) / window;
+  c.overhead_cycles = cfg.pipeline_flush_latency + t.pipeline_fill +
+                      windows * cfg.partial_window_resync_latency;
+  for (std::uint64_t w = 0; w < windows; ++w) {
+    const std::uint64_t n =
+        std::min<std::uint64_t>(window, iterations - w * window);
+    const std::uint64_t lanes = body.lanes();
+    const std::uint64_t chunks = n / lanes;
+    const std::uint64_t leftover = n % lanes;
+    c.neon_busy_cycles += chunks * ChunkCycles(body, t);
+    c.vector_instrs += chunks * ChunkInstrs(body);
+    // Windows rarely land on lane boundaries; leftovers go single-element
+    // (overlapping would cross the dependency fence).
+    c += LeftoverCost(body, leftover, LeftoverKind::kSingleElements, t);
+    c += ScalarAddback(chunks + (leftover != 0 ? 1 : 0), 2, width);
+  }
+  c += InvariantSetup(body, t);
+  return c;
+}
+
+}  // namespace dsa::engine

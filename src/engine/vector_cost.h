@@ -1,0 +1,103 @@
+// Analytic timing and instruction-count model of a DSA-vectorized region.
+// This is the paper's methodology verbatim: the trace-level simulator
+// replaces the scalar vectorizable instructions of the covered iterations
+// by the vector instructions the DSA would emit (Section 4.7) and charges
+// the NEON-pipeline latencies, the pipeline flush, the speculative-select
+// overhead and the chosen leftover technique (Section 4.8).
+#pragma once
+
+#include <cstdint>
+
+#include "engine/config.h"
+#include "engine/loop_info.h"
+#include "neon/vector_unit.h"
+
+namespace dsa::engine {
+
+// Leftover strategies of Section 4.8.
+enum class LeftoverKind : std::uint8_t {
+  kNone,           // iteration count was an exact lane multiple
+  kSingleElements, // per-element lane load/op/store
+  kOverlapping,    // re-run one full vector over the tail (idempotent only)
+  kLargerArrays,   // padded allocation; full vectors throughout
+};
+
+[[nodiscard]] std::string_view ToString(LeftoverKind k);
+
+// Selects the leftover technique for a body: Overlapping when no store
+// stream aliases a load stream (recomputing lanes is then idempotent) and
+// the region fills at least one full vector; Single Elements otherwise.
+// Larger Arrays requires allocation cooperation and is only used when the
+// workload declares padded buffers (ablation benches exercise it).
+[[nodiscard]] LeftoverKind ChooseLeftover(const BodySummary& body,
+                                          std::uint64_t iterations,
+                                          bool padded_buffers = false);
+
+struct RegionCost {
+  std::uint64_t neon_busy_cycles = 0;   // NEON pipeline occupancy
+  std::uint64_t scalar_addback_cycles = 0;  // per-iteration scalar residue
+  std::uint64_t overhead_cycles = 0;    // flush, cache hits, selects
+  std::uint64_t vector_instrs = 0;      // NEON instructions issued
+  std::uint64_t scalar_instrs = 0;      // residual scalar instructions
+  std::uint64_t array_map_accesses = 0;
+
+  [[nodiscard]] std::uint64_t total_cycles() const {
+    return neon_busy_cycles + scalar_addback_cycles + overhead_cycles;
+  }
+
+  RegionCost& operator+=(const RegionCost& o) {
+    neon_busy_cycles += o.neon_busy_cycles;
+    scalar_addback_cycles += o.scalar_addback_cycles;
+    overhead_cycles += o.overhead_cycles;
+    vector_instrs += o.vector_instrs;
+    scalar_instrs += o.scalar_instrs;
+    array_map_accesses += o.array_map_accesses;
+    return *this;
+  }
+};
+
+// Cycles one 128-bit-wide pass over the body costs on the NEON pipeline
+// (loads + ops + stores for one chunk of `lanes` iterations).
+[[nodiscard]] std::uint64_t ChunkCycles(const BodySummary& body,
+                                        const neon::NeonTiming& t);
+
+// NEON instructions issued per chunk.
+[[nodiscard]] std::uint64_t ChunkInstrs(const BodySummary& body);
+
+// Count / function / dynamic-range loop region covering `iterations`.
+[[nodiscard]] RegionCost CostCountLoop(const BodySummary& body,
+                                       std::uint64_t iterations,
+                                       const DsaConfig& cfg,
+                                       const neon::NeonTiming& t,
+                                       std::uint32_t superscalar_width);
+
+// Conditional loop (Section 4.6.4): one full-range vector pass per
+// condition on its first dynamic occurrence, per-iteration scalar mapping
+// of the taken condition, and a speculative select at chunk boundaries.
+[[nodiscard]] RegionCost CostConditionalLoop(const BodySummary& body,
+                                             std::uint64_t iterations,
+                                             const DsaConfig& cfg,
+                                             const neon::NeonTiming& t,
+                                             std::uint32_t superscalar_width);
+
+// Sentinel loop (Section 4.6.5): vector passes sized by the speculative
+// range (overshoot lanes are charged and discarded); the stop-condition
+// slice executes scalar every iteration; iterations beyond the speculated
+// range run scalar on the ARM core (charged by the caller, not here).
+[[nodiscard]] RegionCost CostSentinelLoop(const BodySummary& body,
+                                          std::uint64_t covered_iterations,
+                                          std::uint64_t speculative_range,
+                                          const DsaConfig& cfg,
+                                          const neon::NeonTiming& t,
+                                          std::uint32_t superscalar_width);
+
+// Partial vectorization (Section 4.5): windows of `window` iterations,
+// re-synchronized between windows.
+[[nodiscard]] RegionCost CostPartialLoop(const BodySummary& body,
+                                         std::uint64_t iterations,
+                                         std::uint64_t window,
+                                         const DsaConfig& cfg,
+                                         const neon::NeonTiming& t,
+                                         std::uint32_t superscalar_width);
+
+}  // namespace dsa::engine

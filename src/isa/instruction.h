@@ -1,0 +1,52 @@
+// Instruction word of the mini ISA. Instructions are stored unencoded (one
+// struct per slot) because the DSA observes architectural fields directly,
+// exactly as the paper's trace-level gem5 model does.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "isa/opcode.h"
+
+namespace dsa::isa {
+
+// Scalar register indices. 16 general-purpose registers, ARM-style roles.
+inline constexpr int kNumScalarRegs = 16;
+inline constexpr int kSp = 13;  // stack pointer
+inline constexpr int kLr = 14;  // link register
+inline constexpr int kNumVecRegs = 16;  // Q0..Q15, 128-bit each
+
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  Cond cond = Cond::kAl;   // branch condition
+  VecType vt = VecType::kI32;
+
+  int rd = 0;   // destination scalar reg (or vector qd for vector ops)
+  int rn = 0;   // first source / base address reg (qn for vector)
+  int rm = 0;   // second source (qm for vector)
+  int ra = 0;   // accumulator source for kMla
+  std::int32_t imm = 0;  // immediate / branch target pc / lane index
+
+  // Post-increment writeback amount applied to rn after a memory access
+  // (models ARM "ldr r3, [r5], #4"). 0 means no writeback.
+  std::int32_t post_inc = 0;
+
+  [[nodiscard]] InstrClass cls() const { return ClassOf(op); }
+  [[nodiscard]] std::string ToAsm() const;
+};
+
+// --- helpers used by the assembler and workload builders -------------------
+
+Instruction MakeLoad(Opcode op, int rd, int rn, std::int32_t post_inc = 0,
+                     std::int32_t offset = 0);
+Instruction MakeStore(Opcode op, int rd, int rn, std::int32_t post_inc = 0,
+                      std::int32_t offset = 0);
+Instruction MakeAlu(Opcode op, int rd, int rn, int rm);
+Instruction MakeAluImm(Opcode op, int rd, int rn, std::int32_t imm);
+Instruction MakeMovi(int rd, std::int32_t imm);
+Instruction MakeCmp(int rn, int rm);
+Instruction MakeCmpi(int rn, std::int32_t imm);
+Instruction MakeBranch(Cond c, std::int32_t target_pc);
+Instruction MakeHalt();
+
+}  // namespace dsa::isa

@@ -1,0 +1,100 @@
+#include "mem/cache.h"
+
+#include <stdexcept>
+
+namespace dsa::mem {
+
+namespace {
+bool IsPow2(std::uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+  if (!IsPow2(cfg.line_bytes) || cfg.ways == 0 || cfg.size_bytes == 0) {
+    throw std::invalid_argument("bad cache config");
+  }
+  if (cfg.size_bytes % (cfg.line_bytes * cfg.ways) != 0) {
+    throw std::invalid_argument("cache size not divisible by way size");
+  }
+  num_sets_ = cfg.size_bytes / (cfg.line_bytes * cfg.ways);
+  if (!IsPow2(num_sets_)) {
+    throw std::invalid_argument("number of sets must be a power of two");
+  }
+  ways_.resize(static_cast<std::size_t>(num_sets_) * cfg.ways);
+}
+
+std::uint32_t Cache::SetIndex(std::uint32_t addr) const {
+  return (addr / cfg_.line_bytes) & (num_sets_ - 1);
+}
+
+std::uint32_t Cache::Tag(std::uint32_t addr) const {
+  return (addr / cfg_.line_bytes) / num_sets_;
+}
+
+bool Cache::Access(std::uint32_t addr) {
+  ++tick_;
+  const std::uint32_t set = SetIndex(addr);
+  const std::uint32_t tag = Tag(addr);
+  Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.ways];
+  Way* lru = base;
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.last_use = tick_;
+      ++stats_.hits;
+      return true;
+    }
+    if (!way.valid) {
+      lru = &way;  // prefer invalid ways for fill
+    } else if (lru->valid && way.last_use < lru->last_use) {
+      lru = &way;
+    }
+  }
+  lru->valid = true;
+  lru->tag = tag;
+  lru->last_use = tick_;
+  ++stats_.misses;
+  return false;
+}
+
+bool Cache::Probe(std::uint32_t addr) const {
+  const std::uint32_t set = SetIndex(addr);
+  const std::uint32_t tag = Tag(addr);
+  const Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.ways];
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) return true;
+  }
+  return false;
+}
+
+void Cache::Flush() {
+  for (Way& w : ways_) w = Way{};
+  tick_ = 0;
+}
+
+std::uint32_t Hierarchy::Access(std::uint32_t addr) {
+  std::uint32_t latency = cfg_.l1.hit_latency;
+  if (l1_.Access(addr)) return latency;
+  if (cfg_.next_line_prefetch) {
+    // Pull the next line toward the core in the shadow of this miss; the
+    // prefetch itself is off the critical path (stats still count it).
+    const std::uint32_t next = addr + cfg_.l1.line_bytes;
+    if (!l1_.Access(next) && !l2_.Access(next)) ++dram_accesses_;
+  }
+  latency += cfg_.l2.hit_latency;
+  if (l2_.Access(addr)) return latency;
+  ++dram_accesses_;
+  return latency + cfg_.dram_latency;
+}
+
+std::uint32_t Hierarchy::AccessRange(std::uint32_t addr, std::uint32_t bytes) {
+  const std::uint32_t line = cfg_.l1.line_bytes;
+  const std::uint32_t first = addr / line;
+  const std::uint32_t last = (addr + bytes - 1) / line;
+  std::uint32_t latency = 0;
+  for (std::uint32_t l = first; l <= last; ++l) {
+    latency += Access(l * line);
+  }
+  return latency;
+}
+
+}  // namespace dsa::mem

@@ -1,0 +1,100 @@
+// Set-associative cache timing model with true-LRU replacement, matching the
+// paper's Table 4 setup (64 kB L1, 512 kB L2, LRU). The model is
+// timing-only: data always lives in the flat Memory; the cache tracks which
+// lines would be resident and charges hit/miss latencies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dsa::mem {
+
+struct CacheConfig {
+  std::uint32_t size_bytes = 64 * 1024;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t ways = 4;
+  std::uint32_t hit_latency = 1;  // cycles
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  [[nodiscard]] std::uint64_t accesses() const { return hits + misses; }
+  [[nodiscard]] double miss_rate() const {
+    return accesses() == 0 ? 0.0
+                           : static_cast<double>(misses) / accesses();
+  }
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& cfg);
+
+  // Touches the line containing addr. Returns true on hit. On miss the line
+  // is filled, evicting the LRU way of its set.
+  bool Access(std::uint32_t addr);
+
+  // True if the line containing addr is currently resident (no LRU update).
+  [[nodiscard]] bool Probe(std::uint32_t addr) const;
+
+  void Flush();
+
+  [[nodiscard]] const CacheConfig& config() const { return cfg_; }
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint32_t num_sets() const { return num_sets_; }
+
+ private:
+  struct Way {
+    std::uint32_t tag = 0;
+    bool valid = false;
+    std::uint64_t last_use = 0;  // for true LRU
+  };
+
+  [[nodiscard]] std::uint32_t SetIndex(std::uint32_t addr) const;
+  [[nodiscard]] std::uint32_t Tag(std::uint32_t addr) const;
+
+  CacheConfig cfg_;
+  std::uint32_t num_sets_;
+  std::vector<Way> ways_;  // num_sets_ * cfg_.ways, row-major by set
+  CacheStats stats_;
+  std::uint64_t tick_ = 0;
+};
+
+// Two-level hierarchy: L1 -> L2 -> DRAM. Access() returns the latency in
+// cycles for an access at addr and updates both levels.
+class Hierarchy {
+ public:
+  struct Config {
+    CacheConfig l1{64 * 1024, 64, 4, 1};
+    CacheConfig l2{512 * 1024, 64, 8, 8};
+    std::uint32_t dram_latency = 60;
+    // Next-line stream prefetch into L1 on a miss (embedded cores commonly
+    // ship one); keeps streaming kernels from being purely DRAM-bound.
+    bool next_line_prefetch = true;
+  };
+
+  explicit Hierarchy(const Config& cfg)
+      : cfg_(cfg), l1_(cfg.l1), l2_(cfg.l2) {}
+
+  std::uint32_t Access(std::uint32_t addr);
+
+  // A 16-byte vector access may straddle two lines; charge both.
+  std::uint32_t AccessRange(std::uint32_t addr, std::uint32_t bytes);
+
+  void Flush() {
+    l1_.Flush();
+    l2_.Flush();
+  }
+
+  [[nodiscard]] const Cache& l1() const { return l1_; }
+  [[nodiscard]] const Cache& l2() const { return l2_; }
+  [[nodiscard]] std::uint64_t dram_accesses() const { return dram_accesses_; }
+
+ private:
+  Config cfg_;
+  Cache l1_;
+  Cache l2_;
+  std::uint64_t dram_accesses_ = 0;
+};
+
+}  // namespace dsa::mem

@@ -1,0 +1,75 @@
+// Flat byte-addressable main memory used by the functional simulator.
+// Little-endian accessors for 8/16/32-bit integers and float32.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace dsa::mem {
+
+class Memory {
+ public:
+  explicit Memory(std::size_t size_bytes) : bytes_(size_bytes, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return bytes_.size(); }
+
+  [[nodiscard]] std::uint8_t Read8(std::uint32_t addr) const {
+    return bytes_.at(addr);
+  }
+  [[nodiscard]] std::uint16_t Read16(std::uint32_t addr) const {
+    CheckRange(addr, 2);
+    std::uint16_t v;
+    std::memcpy(&v, &bytes_[addr], 2);
+    return v;
+  }
+  [[nodiscard]] std::uint32_t Read32(std::uint32_t addr) const {
+    CheckRange(addr, 4);
+    std::uint32_t v;
+    std::memcpy(&v, &bytes_[addr], 4);
+    return v;
+  }
+  [[nodiscard]] float ReadF32(std::uint32_t addr) const {
+    const std::uint32_t raw = Read32(addr);
+    float f;
+    std::memcpy(&f, &raw, 4);
+    return f;
+  }
+
+  void Write8(std::uint32_t addr, std::uint8_t v) { bytes_.at(addr) = v; }
+  void Write16(std::uint32_t addr, std::uint16_t v) {
+    CheckRange(addr, 2);
+    std::memcpy(&bytes_[addr], &v, 2);
+  }
+  void Write32(std::uint32_t addr, std::uint32_t v) {
+    CheckRange(addr, 4);
+    std::memcpy(&bytes_[addr], &v, 4);
+  }
+  void WriteF32(std::uint32_t addr, float f) {
+    std::uint32_t raw;
+    std::memcpy(&raw, &f, 4);
+    Write32(addr, raw);
+  }
+
+  void ReadBlock(std::uint32_t addr, void* dst, std::size_t n) const {
+    CheckRange(addr, n);
+    std::memcpy(dst, &bytes_[addr], n);
+  }
+  void WriteBlock(std::uint32_t addr, const void* src, std::size_t n) {
+    CheckRange(addr, n);
+    std::memcpy(&bytes_[addr], src, n);
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& raw() const { return bytes_; }
+
+ private:
+  void CheckRange(std::uint32_t addr, std::size_t n) const {
+    if (static_cast<std::size_t>(addr) + n > bytes_.size()) {
+      bytes_.at(addr + n - 1);  // throws std::out_of_range
+    }
+  }
+
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace dsa::mem

@@ -1,0 +1,177 @@
+#include "neon/vector_unit.h"
+
+#include <algorithm>
+
+namespace dsa::neon {
+
+using isa::Opcode;
+using isa::VecType;
+
+std::uint32_t QReg::Lane(VecType t, int lane) const {
+  switch (t) {
+    case VecType::kI8: return Lane8(lane);
+    case VecType::kI16: return Lane16(lane);
+    default: return Lane32(lane);
+  }
+}
+
+void QReg::SetLane(VecType t, int lane, std::uint32_t v) {
+  switch (t) {
+    case VecType::kI8:
+      SetLane8(lane, static_cast<std::uint8_t>(v));
+      break;
+    case VecType::kI16:
+      SetLane16(lane, static_cast<std::uint16_t>(v));
+      break;
+    default:
+      SetLane32(lane, v);
+      break;
+  }
+}
+
+namespace {
+
+float AsFloat(std::uint32_t v) {
+  float f;
+  std::memcpy(&f, &v, 4);
+  return f;
+}
+
+std::uint32_t AsBits(float f) {
+  std::uint32_t v;
+  std::memcpy(&v, &f, 4);
+  return v;
+}
+
+// Sign-extends a lane value for signed comparisons / min / max.
+std::int32_t SignExtend(VecType t, std::uint32_t v) {
+  switch (t) {
+    case VecType::kI8: return static_cast<std::int8_t>(v);
+    case VecType::kI16: return static_cast<std::int16_t>(v);
+    default: return static_cast<std::int32_t>(v);
+  }
+}
+
+std::uint32_t LaneMask(VecType t) {
+  switch (t) {
+    case VecType::kI8: return 0xFFu;
+    case VecType::kI16: return 0xFFFFu;
+    default: return 0xFFFFFFFFu;
+  }
+}
+
+std::uint32_t IntLaneOp(Opcode op, VecType t, std::uint32_t a, std::uint32_t b,
+                        std::uint32_t acc) {
+  const std::uint32_t mask = LaneMask(t);
+  switch (op) {
+    case Opcode::kVadd: return (a + b) & mask;
+    case Opcode::kVsub: return (a - b) & mask;
+    case Opcode::kVmul: return (a * b) & mask;
+    case Opcode::kVmla: return (acc + a * b) & mask;
+    case Opcode::kVmin:
+      return static_cast<std::uint32_t>(
+                 std::min(SignExtend(t, a), SignExtend(t, b))) &
+             mask;
+    case Opcode::kVmax:
+      return static_cast<std::uint32_t>(
+                 std::max(SignExtend(t, a), SignExtend(t, b))) &
+             mask;
+    case Opcode::kVand: return a & b;
+    case Opcode::kVorr: return a | b;
+    case Opcode::kVeor: return a ^ b;
+    case Opcode::kVcge:
+      return SignExtend(t, a) >= SignExtend(t, b) ? mask : 0u;
+    case Opcode::kVcgt:
+      return SignExtend(t, a) > SignExtend(t, b) ? mask : 0u;
+    case Opcode::kVceq: return a == b ? mask : 0u;
+    default: return 0;
+  }
+}
+
+std::uint32_t FloatLaneOp(Opcode op, std::uint32_t a, std::uint32_t b,
+                          std::uint32_t acc) {
+  const float fa = AsFloat(a);
+  const float fb = AsFloat(b);
+  switch (op) {
+    case Opcode::kVadd: return AsBits(fa + fb);
+    case Opcode::kVsub: return AsBits(fa - fb);
+    case Opcode::kVmul: return AsBits(fa * fb);
+    case Opcode::kVmla: return AsBits(AsFloat(acc) + fa * fb);
+    case Opcode::kVmin: return AsBits(std::min(fa, fb));
+    case Opcode::kVmax: return AsBits(std::max(fa, fb));
+    case Opcode::kVcge: return fa >= fb ? 0xFFFFFFFFu : 0u;
+    case Opcode::kVcgt: return fa > fb ? 0xFFFFFFFFu : 0u;
+    case Opcode::kVceq: return fa == fb ? 0xFFFFFFFFu : 0u;
+    case Opcode::kVand: return a & b;
+    case Opcode::kVorr: return a | b;
+    case Opcode::kVeor: return a ^ b;
+    default: return 0;
+  }
+}
+
+}  // namespace
+
+QReg ExecuteLaneOp(Opcode op, VecType t, const QReg& a, const QReg& b,
+                   const QReg& acc) {
+  QReg out;
+  const int lanes = isa::LaneCount(t);
+  for (int l = 0; l < lanes; ++l) {
+    const std::uint32_t va = a.Lane(t, l);
+    const std::uint32_t vb = b.Lane(t, l);
+    const std::uint32_t vacc = acc.Lane(t, l);
+    const std::uint32_t r = (t == VecType::kF32)
+                                ? FloatLaneOp(op, va, vb, vacc)
+                                : IntLaneOp(op, t, va, vb, vacc);
+    out.SetLane(t, l, r);
+  }
+  return out;
+}
+
+QReg ExecuteShift(Opcode op, VecType t, const QReg& a, std::int32_t amount) {
+  QReg out;
+  const int lanes = isa::LaneCount(t);
+  const std::uint32_t mask = LaneMask(t);
+  for (int l = 0; l < lanes; ++l) {
+    const std::uint32_t v = a.Lane(t, l);
+    const std::uint32_t r =
+        op == Opcode::kVshl ? (v << amount) & mask : (v & mask) >> amount;
+    out.SetLane(t, l, r);
+  }
+  return out;
+}
+
+QReg ExecuteBsl(const QReg& mask, const QReg& a, const QReg& b) {
+  QReg out;
+  for (int i = 0; i < 16; ++i) {
+    out.bytes[i] = (mask.bytes[i] & a.bytes[i]) |
+                   (static_cast<std::uint8_t>(~mask.bytes[i]) & b.bytes[i]);
+  }
+  return out;
+}
+
+QReg Broadcast(VecType t, std::uint32_t v) {
+  QReg out;
+  const int lanes = isa::LaneCount(t);
+  for (int l = 0; l < lanes; ++l) out.SetLane(t, l, v);
+  return out;
+}
+
+std::uint32_t NeonTiming::LatencyOf(Opcode op) const {
+  switch (op) {
+    case Opcode::kVmul:
+    case Opcode::kVmla:
+      return mul_latency;
+    case Opcode::kVld1:
+    case Opcode::kVst1:
+    case Opcode::kVldLane:
+    case Opcode::kVstLane:
+      return mem_latency;
+    case Opcode::kVmovToScalar:
+    case Opcode::kVmovFromScalar:
+      return lane_move;
+    default:
+      return alu_latency;
+  }
+}
+
+}  // namespace dsa::neon

@@ -1,0 +1,86 @@
+// NEON-like 128-bit vector engine model: Q register file and typed lane
+// arithmetic. Functionally exact (bit-level); timing is provided by
+// NeonTiming and charged by the CPU timing model, mirroring the paper's
+// separate 10-stage NEON pipeline with its own instruction/data queues.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "isa/instruction.h"
+#include "isa/opcode.h"
+
+namespace dsa::neon {
+
+// One 128-bit vector register.
+struct QReg {
+  std::array<std::uint8_t, 16> bytes{};
+
+  [[nodiscard]] std::uint32_t Lane32(int lane) const {
+    std::uint32_t v;
+    std::memcpy(&v, &bytes[lane * 4], 4);
+    return v;
+  }
+  void SetLane32(int lane, std::uint32_t v) {
+    std::memcpy(&bytes[lane * 4], &v, 4);
+  }
+  [[nodiscard]] std::uint16_t Lane16(int lane) const {
+    std::uint16_t v;
+    std::memcpy(&v, &bytes[lane * 2], 2);
+    return v;
+  }
+  void SetLane16(int lane, std::uint16_t v) {
+    std::memcpy(&bytes[lane * 2], &v, 2);
+  }
+  [[nodiscard]] std::uint8_t Lane8(int lane) const { return bytes[lane]; }
+  void SetLane8(int lane, std::uint8_t v) { bytes[lane] = v; }
+
+  // Generic lane accessors dispatching on the lane type. Values are
+  // exchanged as uint32 (narrow lanes are zero-extended / truncated).
+  [[nodiscard]] std::uint32_t Lane(isa::VecType t, int lane) const;
+  void SetLane(isa::VecType t, int lane, std::uint32_t v);
+
+  bool operator==(const QReg&) const = default;
+};
+
+class VectorRegFile {
+ public:
+  [[nodiscard]] const QReg& q(int i) const { return regs_.at(i); }
+  [[nodiscard]] QReg& q(int i) { return regs_.at(i); }
+  void Reset() { regs_ = {}; }
+
+ private:
+  std::array<QReg, isa::kNumVecRegs> regs_{};
+};
+
+// Executes a register-to-register lane operation. `acc` is the accumulator
+// input for kVmla (normally the old value of the destination).
+[[nodiscard]] QReg ExecuteLaneOp(isa::Opcode op, isa::VecType t, const QReg& a,
+                                 const QReg& b, const QReg& acc);
+
+// Lane shift by immediate (kVshl / kVshr).
+[[nodiscard]] QReg ExecuteShift(isa::Opcode op, isa::VecType t, const QReg& a,
+                                std::int32_t amount);
+
+// Bitwise select: (mask & a) | (~mask & b). Matches ARM VBSL with the mask
+// pre-loaded in the destination register.
+[[nodiscard]] QReg ExecuteBsl(const QReg& mask, const QReg& a, const QReg& b);
+
+// Broadcast a scalar into all lanes.
+[[nodiscard]] QReg Broadcast(isa::VecType t, std::uint32_t v);
+
+// Per-operation issue latency of the NEON pipeline, in cycles. The paper's
+// Cortex-A8-style engine is fully pipelined, so these are occupancy values;
+// deep-pipeline fill is charged once per vectorized region by the CPU model.
+struct NeonTiming {
+  std::uint32_t alu_latency = 1;
+  std::uint32_t mul_latency = 2;
+  std::uint32_t mem_latency = 1;   // plus cache hierarchy latency
+  std::uint32_t lane_move = 1;     // vmov to/from scalar, per lane
+  std::uint32_t pipeline_fill = 10;  // charged when the engine is activated
+
+  [[nodiscard]] std::uint32_t LatencyOf(isa::Opcode op) const;
+};
+
+}  // namespace dsa::neon

@@ -1,0 +1,231 @@
+#include "prog/assembler.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace dsa::prog {
+
+using isa::Instruction;
+using isa::Opcode;
+
+std::string Program::Disassemble() const {
+  std::ostringstream os;
+  for (std::size_t pc = 0; pc < code_.size(); ++pc) {
+    os << pc << ":\t" << code_[pc].ToAsm() << '\n';
+  }
+  return os.str();
+}
+
+Assembler::Label Assembler::NewLabel() {
+  label_pc_.push_back(-1);
+  return static_cast<Label>(label_pc_.size() - 1);
+}
+
+void Assembler::Bind(Label l) {
+  if (l < 0 || static_cast<std::size_t>(l) >= label_pc_.size()) {
+    throw std::out_of_range("unknown label");
+  }
+  if (label_pc_[l] != -1) throw std::logic_error("label bound twice");
+  label_pc_[l] = static_cast<std::int64_t>(code_.size());
+}
+
+void Assembler::Emit(const Instruction& ins) { code_.push_back(ins); }
+
+void Assembler::Movi(int rd, std::int32_t imm) {
+  Emit(isa::MakeMovi(rd, imm));
+}
+
+void Assembler::Mov(int rd, int rm) {
+  Instruction i;
+  i.op = Opcode::kMov;
+  i.rd = rd;
+  i.rm = rm;
+  Emit(i);
+}
+
+void Assembler::Ldr(int rd, int rn, std::int32_t post_inc, std::int32_t off) {
+  Emit(isa::MakeLoad(Opcode::kLdr, rd, rn, post_inc, off));
+}
+void Assembler::Ldrb(int rd, int rn, std::int32_t post_inc, std::int32_t off) {
+  Emit(isa::MakeLoad(Opcode::kLdrb, rd, rn, post_inc, off));
+}
+void Assembler::Ldrh(int rd, int rn, std::int32_t post_inc, std::int32_t off) {
+  Emit(isa::MakeLoad(Opcode::kLdrh, rd, rn, post_inc, off));
+}
+void Assembler::Str(int rd, int rn, std::int32_t post_inc, std::int32_t off) {
+  Emit(isa::MakeStore(Opcode::kStr, rd, rn, post_inc, off));
+}
+void Assembler::Strb(int rd, int rn, std::int32_t post_inc, std::int32_t off) {
+  Emit(isa::MakeStore(Opcode::kStrb, rd, rn, post_inc, off));
+}
+void Assembler::Strh(int rd, int rn, std::int32_t post_inc, std::int32_t off) {
+  Emit(isa::MakeStore(Opcode::kStrh, rd, rn, post_inc, off));
+}
+
+void Assembler::Alu(Opcode op, int rd, int rn, int rm) {
+  Emit(isa::MakeAlu(op, rd, rn, rm));
+}
+
+void Assembler::AluImm(Opcode op, int rd, int rn, std::int32_t imm) {
+  Emit(isa::MakeAluImm(op, rd, rn, imm));
+}
+
+void Assembler::Mla(int rd, int rn, int rm, int ra) {
+  Instruction i;
+  i.op = Opcode::kMla;
+  i.rd = rd;
+  i.rn = rn;
+  i.rm = rm;
+  i.ra = ra;
+  Emit(i);
+}
+
+void Assembler::Cmp(int rn, int rm) { Emit(isa::MakeCmp(rn, rm)); }
+void Assembler::Cmpi(int rn, std::int32_t imm) { Emit(isa::MakeCmpi(rn, imm)); }
+
+void Assembler::B(isa::Cond c, Label target) {
+  fixups_.push_back({code_.size(), target});
+  Emit(isa::MakeBranch(c, 0));
+}
+
+void Assembler::Bl(Label target) {
+  fixups_.push_back({code_.size(), target});
+  Instruction i;
+  i.op = Opcode::kBl;
+  Emit(i);
+}
+
+void Assembler::Ret() {
+  Instruction i;
+  i.op = Opcode::kRet;
+  Emit(i);
+}
+
+void Assembler::Nop() { Emit(Instruction{}); }
+void Assembler::Halt() { Emit(isa::MakeHalt()); }
+
+void Assembler::Vld1(isa::VecType t, int qd, int rn, bool writeback) {
+  Instruction i;
+  i.op = Opcode::kVld1;
+  i.vt = t;
+  i.rd = qd;
+  i.rn = rn;
+  i.post_inc = writeback ? 16 : 0;
+  Emit(i);
+}
+
+void Assembler::Vst1(isa::VecType t, int qd, int rn, bool writeback) {
+  Instruction i;
+  i.op = Opcode::kVst1;
+  i.vt = t;
+  i.rd = qd;
+  i.rn = rn;
+  i.post_inc = writeback ? 16 : 0;
+  Emit(i);
+}
+
+void Assembler::VldLane(isa::VecType t, int qd, int lane, int rn,
+                        bool writeback) {
+  Instruction i;
+  i.op = Opcode::kVldLane;
+  i.vt = t;
+  i.rd = qd;
+  i.rn = rn;
+  i.imm = lane;
+  i.post_inc = writeback ? isa::LaneBytes(t) : 0;
+  Emit(i);
+}
+
+void Assembler::VstLane(isa::VecType t, int qd, int lane, int rn,
+                        bool writeback) {
+  Instruction i;
+  i.op = Opcode::kVstLane;
+  i.vt = t;
+  i.rd = qd;
+  i.rn = rn;
+  i.imm = lane;
+  i.post_inc = writeback ? isa::LaneBytes(t) : 0;
+  Emit(i);
+}
+
+void Assembler::Vdup(isa::VecType t, int qd, int rn) {
+  Instruction i;
+  i.op = Opcode::kVdup;
+  i.vt = t;
+  i.rd = qd;
+  i.rn = rn;
+  Emit(i);
+}
+
+void Assembler::Vop(Opcode op, isa::VecType t, int qd, int qn, int qm) {
+  Instruction i;
+  i.op = op;
+  i.vt = t;
+  i.rd = qd;
+  i.rn = qn;
+  i.rm = qm;
+  Emit(i);
+}
+
+void Assembler::Vmla(isa::VecType t, int qd, int qn, int qm) {
+  Instruction i;
+  i.op = Opcode::kVmla;
+  i.vt = t;
+  i.rd = qd;
+  i.rn = qn;
+  i.rm = qm;
+  i.ra = qd;
+  Emit(i);
+}
+
+void Assembler::VShift(Opcode op, isa::VecType t, int qd, int qn,
+                       std::int32_t imm) {
+  Instruction i;
+  i.op = op;
+  i.vt = t;
+  i.rd = qd;
+  i.rn = qn;
+  i.imm = imm;
+  Emit(i);
+}
+
+void Assembler::Vbsl(int qd, int qn, int qm) {
+  Instruction i;
+  i.op = Opcode::kVbsl;
+  i.rd = qd;
+  i.rn = qn;
+  i.rm = qm;
+  Emit(i);
+}
+
+void Assembler::VmovToScalar(isa::VecType t, int rd, int qn, int lane) {
+  Instruction i;
+  i.op = Opcode::kVmovToScalar;
+  i.vt = t;
+  i.rd = rd;
+  i.rn = qn;
+  i.imm = lane;
+  Emit(i);
+}
+
+void Assembler::VmovFromScalar(isa::VecType t, int qd, int lane, int rn) {
+  Instruction i;
+  i.op = Opcode::kVmovFromScalar;
+  i.vt = t;
+  i.rd = qd;
+  i.rn = rn;
+  i.imm = lane;
+  Emit(i);
+}
+
+Program Assembler::Finish() {
+  for (const Fixup& f : fixups_) {
+    const std::int64_t target = label_pc_.at(f.label);
+    if (target < 0) throw std::logic_error("unbound label used in branch");
+    code_.at(f.pc).imm = static_cast<std::int32_t>(target);
+  }
+  fixups_.clear();
+  return Program(std::move(code_));
+}
+
+}  // namespace dsa::prog

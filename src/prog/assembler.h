@@ -1,0 +1,79 @@
+// Label-based macro assembler for the mini ISA. Workloads are written
+// against this builder, which resolves forward branch targets via fixups.
+// The helpers mirror common ARM idioms (post-increment streaming loads,
+// compare-and-branch loop latches) so that emitted code has the shape the
+// DSA's loop detector expects from real compiled binaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "prog/program.h"
+
+namespace dsa::prog {
+
+class Assembler {
+ public:
+  using Label = int;
+
+  // Creates a fresh, not-yet-bound label.
+  Label NewLabel();
+  // Binds a label to the current pc.
+  void Bind(Label l);
+
+  // --- raw emission -------------------------------------------------------
+  void Emit(const isa::Instruction& ins);
+
+  // --- scalar convenience -------------------------------------------------
+  void Movi(int rd, std::int32_t imm);
+  void Mov(int rd, int rm);
+  void Ldr(int rd, int rn, std::int32_t post_inc = 0, std::int32_t off = 0);
+  void Ldrb(int rd, int rn, std::int32_t post_inc = 0, std::int32_t off = 0);
+  void Ldrh(int rd, int rn, std::int32_t post_inc = 0, std::int32_t off = 0);
+  void Str(int rd, int rn, std::int32_t post_inc = 0, std::int32_t off = 0);
+  void Strb(int rd, int rn, std::int32_t post_inc = 0, std::int32_t off = 0);
+  void Strh(int rd, int rn, std::int32_t post_inc = 0, std::int32_t off = 0);
+  void Alu(isa::Opcode op, int rd, int rn, int rm);
+  void AluImm(isa::Opcode op, int rd, int rn, std::int32_t imm);
+  void Mla(int rd, int rn, int rm, int ra);
+  void Cmp(int rn, int rm);
+  void Cmpi(int rn, std::int32_t imm);
+  void B(isa::Cond c, Label target);
+  void Bl(Label target);
+  void Ret();
+  void Nop();
+  void Halt();
+
+  // --- vector convenience -------------------------------------------------
+  void Vld1(isa::VecType t, int qd, int rn, bool writeback = true);
+  void Vst1(isa::VecType t, int qd, int rn, bool writeback = true);
+  void VldLane(isa::VecType t, int qd, int lane, int rn, bool writeback = true);
+  void VstLane(isa::VecType t, int qd, int lane, int rn, bool writeback = true);
+  void Vdup(isa::VecType t, int qd, int rn);
+  void Vop(isa::Opcode op, isa::VecType t, int qd, int qn, int qm);
+  void Vmla(isa::VecType t, int qd, int qn, int qm);
+  void VShift(isa::Opcode op, isa::VecType t, int qd, int qn, std::int32_t imm);
+  void Vbsl(int qd, int qn, int qm);
+  void VmovToScalar(isa::VecType t, int rd, int qn, int lane);
+  void VmovFromScalar(isa::VecType t, int qd, int lane, int rn);
+
+  [[nodiscard]] std::size_t pc() const { return code_.size(); }
+
+  // Resolves all fixups and returns the finished program. Throws if a used
+  // label was never bound.
+  [[nodiscard]] Program Finish();
+
+ private:
+  struct Fixup {
+    std::size_t pc;
+    Label label;
+  };
+
+  std::vector<isa::Instruction> code_;
+  std::vector<std::int64_t> label_pc_;  // -1 = unbound
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace dsa::prog

@@ -1,0 +1,40 @@
+// Program container: a flat instruction sequence with symbolic metadata.
+// Program addresses (PCs) are instruction indices, as in the paper's
+// trace-level model where the DSA compares instruction memory addresses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.h"
+
+namespace dsa::prog {
+
+class Program {
+ public:
+  Program() = default;
+  explicit Program(std::vector<isa::Instruction> code)
+      : code_(std::move(code)) {}
+
+  [[nodiscard]] std::size_t size() const { return code_.size(); }
+  [[nodiscard]] bool empty() const { return code_.empty(); }
+  [[nodiscard]] const isa::Instruction& at(std::size_t pc) const {
+    return code_.at(pc);
+  }
+  [[nodiscard]] isa::Instruction& at(std::size_t pc) { return code_.at(pc); }
+  [[nodiscard]] const std::vector<isa::Instruction>& code() const {
+    return code_;
+  }
+  [[nodiscard]] std::vector<isa::Instruction>& code() { return code_; }
+
+  void Append(const isa::Instruction& ins) { code_.push_back(ins); }
+
+  // Full disassembly listing, one instruction per line with its pc.
+  [[nodiscard]] std::string Disassemble() const;
+
+ private:
+  std::vector<isa::Instruction> code_;
+};
+
+}  // namespace dsa::prog

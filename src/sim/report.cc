@@ -1,0 +1,67 @@
+#include "sim/report.h"
+
+#include <sstream>
+
+namespace dsa::sim {
+
+std::string FormatReport(const RunResult& r) {
+  std::ostringstream os;
+  auto put = [&os](const char* name, auto value) {
+    os << name << " " << value << "\n";
+  };
+  os << "---------- " << r.workload << " @ " << std::string(ToString(r.mode))
+     << " ----------\n";
+  put("sim.cycles", r.cycles);
+  put("sim.output_ok", r.output_ok ? 1 : 0);
+  put("cpu.retired_total", r.cpu.retired_total);
+  put("cpu.retired_scalar", r.cpu.retired_scalar);
+  put("cpu.retired_vector", r.cpu.retired_vector);
+  put("cpu.mem_reads", r.cpu.mem_reads);
+  put("cpu.mem_writes", r.cpu.mem_writes);
+  put("cpu.branches", r.cpu.branches);
+  put("cpu.mispredicts", r.cpu.mispredicts);
+  put("cpu.issue_slots", r.cpu.issue_slots);
+  put("cpu.mem_stall_cycles", r.cpu.mem_stall_cycles);
+  put("cpu.other_stall_cycles", r.cpu.other_stall_cycles);
+  put("cpu.neon_busy_cycles", r.cpu.neon_busy_cycles);
+  put("cpu.dsa_overhead_cycles", r.cpu.dsa_overhead_cycles);
+  put("l1.hits", r.l1.hits);
+  put("l1.misses", r.l1.misses);
+  put("l2.hits", r.l2.hits);
+  put("l2.misses", r.l2.misses);
+  put("dram.accesses", r.dram_accesses);
+  if (r.dsa.has_value()) {
+    const engine::DsaStats& d = *r.dsa;
+    put("dsa.takeovers", d.takeovers);
+    put("dsa.cache_hit_takeovers", d.cache_hit_takeovers);
+    put("dsa.vectorized_iterations", d.vectorized_iterations);
+    put("dsa.scalar_covered_instrs", d.scalar_covered_instrs);
+    put("dsa.vector_instrs_issued", d.vector_instrs_issued);
+    put("dsa.analysis_cycles", d.analysis_cycles);
+    put("dsa.observed_instructions", d.observed_instructions);
+    put("dsa.vc_accesses", d.vc_accesses);
+    put("dsa.dsa_cache_accesses", d.dsa_cache_accesses);
+    put("dsa.array_map_accesses", d.array_map_accesses);
+    for (int s = 0; s < engine::kNumStages; ++s) {
+      os << "dsa.stage." << ToString(static_cast<engine::Stage>(s)) << " "
+         << d.stage_activations[s] << "\n";
+    }
+    for (const auto& [cls, n] : d.loops_by_class) {
+      os << "dsa.loops." << ToString(cls) << " " << n << "\n";
+    }
+    for (const auto& [why, n] : d.rejects_by_reason) {
+      os << "dsa.rejects." << ToString(why) << " " << n << "\n";
+    }
+  }
+  put("energy.core_dynamic", r.energy.core_dynamic);
+  put("energy.core_static", r.energy.core_static);
+  put("energy.neon_dynamic", r.energy.neon_dynamic);
+  put("energy.neon_static", r.energy.neon_static);
+  put("energy.cache_dram", r.energy.cache_dram);
+  put("energy.dsa_dynamic", r.energy.dsa_dynamic);
+  put("energy.dsa_static", r.energy.dsa_static);
+  put("energy.total", r.energy.total());
+  return os.str();
+}
+
+}  // namespace dsa::sim

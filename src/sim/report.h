@@ -1,0 +1,16 @@
+// gem5-style plain-text statistics dump for one run: cycles, instruction
+// mix, cache behaviour, DSA activity and the energy breakdown. Used by the
+// examples and by downstream scripts that diff runs.
+#pragma once
+
+#include <string>
+
+#include "sim/system.h"
+
+namespace dsa::sim {
+
+// Formats every counter of a RunResult, one `name value` pair per line,
+// stable order, prefixed by the workload/system identity.
+[[nodiscard]] std::string FormatReport(const RunResult& r);
+
+}  // namespace dsa::sim

@@ -1,0 +1,170 @@
+#include "sim/system.h"
+
+#include <stdexcept>
+
+namespace dsa::sim {
+
+using engine::TakeoverPlan;
+
+std::string_view ToString(RunMode m) {
+  switch (m) {
+    case RunMode::kScalar: return "arm-original";
+    case RunMode::kAutoVec: return "neon-autovec";
+    case RunMode::kHandVec: return "neon-handvec";
+    case RunMode::kDsa: return "neon-dsa";
+  }
+  return "?";
+}
+
+double RunResult::detection_latency_pct() const {
+  if (!dsa.has_value() || cycles == 0) return 0.0;
+  return 100.0 * static_cast<double>(dsa->analysis_cycles) /
+         static_cast<double>(cycles);
+}
+
+namespace {
+
+// Executes the covered region of a takeover: the remaining loop iterations
+// run functionally on the scalar interpreter while their issue bandwidth
+// and non-memory stalls are retro-charged as vector execution by
+// DsaEngine::FinishTakeover (the paper's timing-model replacement).
+struct CoveredDelta {
+  std::uint64_t iterations = 0;
+  std::uint64_t retired = 0;
+  std::uint64_t glue_instrs = 0;  // fused nests: scalar glue around the
+                                  // vectorized inner loop
+  bool fused_glue_store = false;  // fusion assumption violated mid-run
+};
+
+CoveredDelta RunCovered(cpu::Cpu& cpu, const TakeoverPlan& plan) {
+  const std::uint32_t start = plan.coverage_start;
+  const std::uint32_t latch = plan.coverage_latch;
+  const std::uint32_t inner_start = plan.record.body.start_pc;
+  const std::uint32_t inner_latch = plan.record.body.latch_pc;
+
+  const bool fused = start != inner_start || latch != inner_latch;
+  const cpu::CpuStats before = cpu.stats();
+  CoveredDelta d;
+  int depth = 0;
+  while (!cpu.halted()) {
+    // Peek: stop when control has left the covered region (function calls
+    // inside the body keep the coverage alive through `depth`).
+    const std::uint32_t pc = cpu.state().pc;
+    if (depth == 0 && (pc < start || pc > latch)) break;
+
+    const cpu::Retired r = cpu.Step();
+    if (r.instr == nullptr) break;
+    if (r.instr->op == isa::Opcode::kBl) ++depth;
+    if (r.instr->op == isa::Opcode::kRet) --depth;
+
+    if (fused && (r.pc < inner_start || r.pc > inner_latch)) {
+      ++d.glue_instrs;
+      if (r.mem_is_write) {
+        // A store between the loops: the Fig. 17 "nothing but glue"
+        // assumption does not hold after all. End the fused coverage and
+        // let the engine demote the fusion record.
+        d.fused_glue_store = true;
+        break;
+      }
+    }
+
+    if (r.pc == plan.count_latch && r.instr->op == isa::Opcode::kB) {
+      ++d.iterations;
+      if (r.pc == latch && !r.branch_taken) break;
+      if (plan.max_iterations != 0 && d.iterations >= plan.max_iterations) {
+        break;  // sentinel: speculated range exhausted, back to scalar
+      }
+    }
+  }
+
+  cpu::CpuStats& s = cpu.stats();
+  const std::uint64_t d_issue = s.issue_slots - before.issue_slots;
+  const std::uint64_t d_other =
+      s.other_stall_cycles - before.other_stall_cycles;
+  const std::uint64_t d_retired = s.retired_total - before.retired_total;
+  const std::uint64_t d_branches = s.branches - before.branches;
+  const std::uint64_t d_mispred = s.mispredicts - before.mispredicts;
+
+  // Remove the scalar cost of the covered instructions; keep memory stalls
+  // (the same lines move under vector execution).
+  s.issue_slots -= d_issue;
+  s.other_stall_cycles -= d_other;
+  s.retired_total -= d_retired;
+  s.retired_scalar -= d_retired;
+  s.branches -= d_branches;
+  s.mispredicts -= d_mispred;
+
+  d.retired = d_retired;
+  return d;
+}
+
+}  // namespace
+
+RunResult Run(const Workload& wl, RunMode mode, const SystemConfig& cfg) {
+  const prog::Program* program = nullptr;
+  switch (mode) {
+    case RunMode::kScalar:
+    case RunMode::kDsa:
+      program = &wl.scalar;
+      break;
+    case RunMode::kAutoVec:
+      program = &wl.autovec;
+      break;
+    case RunMode::kHandVec:
+      program = &wl.handvec;
+      break;
+  }
+  if (program == nullptr || program->empty()) {
+    throw std::invalid_argument("workload variant not provided: " + wl.name);
+  }
+
+  mem::Memory memory(wl.mem_bytes);
+  if (wl.init) wl.init(memory);
+  mem::Hierarchy hierarchy(cfg.memory);
+  cpu::Cpu cpu(*program, memory, hierarchy, cfg.timing);
+
+  std::optional<engine::DsaEngine> engine;
+  if (mode == RunMode::kDsa) engine.emplace(cfg.dsa, cfg.timing);
+
+  std::uint64_t steps = 0;
+  while (!cpu.halted()) {
+    if (++steps > cfg.max_steps) {
+      throw std::runtime_error("step limit exceeded on " + wl.name);
+    }
+    const cpu::Retired r = cpu.Step();
+    if (r.instr == nullptr) break;
+    if (engine.has_value()) {
+      std::optional<TakeoverPlan> plan = engine->Observe(r, cpu.state());
+      if (plan.has_value()) {
+        const CoveredDelta d = RunCovered(cpu, *plan);
+        engine->FinishTakeover(*plan, d.iterations, d.retired, cpu,
+                               d.glue_instrs);
+        if (d.fused_glue_store) engine->DemoteFusion(plan->coverage_latch);
+      }
+    }
+  }
+
+  RunResult res;
+  res.workload = wl.name;
+  res.mode = mode;
+  res.cycles = cpu.Cycles();
+  res.cpu = cpu.stats();
+  res.l1 = hierarchy.l1().stats();
+  res.l2 = hierarchy.l2().stats();
+  res.dram_accesses = hierarchy.dram_accesses();
+  if (engine.has_value()) res.dsa = engine->stats();
+  res.output_ok = wl.check ? wl.check(memory) : true;
+
+  const bool neon_present = mode != RunMode::kScalar;
+  res.energy = energy::ComputeEnergy(
+      cfg.energy, res.cpu, hierarchy, res.cycles,
+      res.dsa.has_value() ? &*res.dsa : nullptr, neon_present);
+  return res;
+}
+
+double SpeedupOver(const RunResult& base, const RunResult& x) {
+  if (x.cycles == 0) return 0.0;
+  return static_cast<double>(base.cycles) / static_cast<double>(x.cycles);
+}
+
+}  // namespace dsa::sim

@@ -1,0 +1,62 @@
+// System harness: wires memory, cache hierarchy, the scalar CPU, the NEON
+// engine and (in DSA mode) the Dynamic SIMD Assembler; runs one workload
+// variant to completion and reports cycles, instruction mix, cache stats,
+// DSA stats, and energy (Table 4 system setups).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "cpu/cpu.h"
+#include "energy/energy_model.h"
+#include "engine/config.h"
+#include "engine/engine.h"
+#include "mem/cache.h"
+#include "sim/workload.h"
+
+namespace dsa::sim {
+
+// The four systems of the evaluation (Table 4).
+enum class RunMode {
+  kScalar,   // ARM Original Execution (no DLP)
+  kAutoVec,  // ARM NEON compiler auto-vectorization
+  kHandVec,  // ARM NEON hand-vectorized library code
+  kDsa,      // ARM + NEON + Dynamic SIMD Assembler (scalar binary)
+};
+
+[[nodiscard]] std::string_view ToString(RunMode m);
+
+struct RunResult {
+  std::string workload;
+  RunMode mode = RunMode::kScalar;
+  bool output_ok = false;
+  std::uint64_t cycles = 0;
+  cpu::CpuStats cpu;
+  mem::CacheStats l1;
+  mem::CacheStats l2;
+  std::uint64_t dram_accesses = 0;
+  std::optional<engine::DsaStats> dsa;
+  energy::EnergyBreakdown energy;
+
+  // Fraction of total cycles the DSA spent analyzing (detection latency,
+  // Article 2/3 latency tables). Zero for non-DSA modes.
+  [[nodiscard]] double detection_latency_pct() const;
+};
+
+struct SystemConfig {
+  cpu::TimingConfig timing;
+  mem::Hierarchy::Config memory;
+  engine::DsaConfig dsa;  // used in kDsa mode
+  energy::EnergyParams energy;
+  std::uint64_t max_steps = 400'000'000;
+};
+
+// Runs one workload variant end to end.
+[[nodiscard]] RunResult Run(const Workload& wl, RunMode mode,
+                            const SystemConfig& cfg = {});
+
+// Convenience: speedup of `x` over baseline `base` (cycles ratio).
+[[nodiscard]] double SpeedupOver(const RunResult& base, const RunResult& x);
+
+}  // namespace dsa::sim

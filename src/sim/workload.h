@@ -1,0 +1,36 @@
+// A benchmark in the three binary variants the paper compares (plus golden
+// reference): the scalar ARM binary (run by "ARM Original" and by the DSA
+// system), the compiler auto-vectorized binary, and the hand-vectorized
+// ARM-library binary.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "mem/memory.h"
+#include "prog/program.h"
+
+namespace dsa::sim {
+
+struct Workload {
+  std::string name;
+  std::size_t mem_bytes = 1 << 20;
+
+  prog::Program scalar;
+  prog::Program autovec;
+  prog::Program handvec;
+
+  // Writes the input data set into memory (all variants share it).
+  std::function<void(mem::Memory&)> init;
+  // Verifies the outputs against the golden C++ reference.
+  std::function<bool(const mem::Memory&)> check;
+
+  // Static loop-type census of the benchmark (Fig. 7 of Article 3):
+  // fraction of loop *executions* by type, annotated by the author of the
+  // workload, e.g. {"count", 0.8}, {"conditional", 0.2}.
+  std::map<std::string, double> loop_type_fractions;
+};
+
+}  // namespace dsa::sim

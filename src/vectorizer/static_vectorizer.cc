@@ -1,0 +1,84 @@
+#include "vectorizer/static_vectorizer.h"
+
+#include <stdexcept>
+
+namespace dsa::vectorizer {
+
+using isa::Cond;
+using isa::Opcode;
+using prog::Assembler;
+
+void EmitElementwiseLoop(Assembler& as, const ElementwiseLoopSpec& spec) {
+  if (spec.load_regs.size() > 7) {
+    throw std::invalid_argument("too many load streams for q1..q7");
+  }
+  const int lanes = isa::LaneCount(spec.type);
+  const int cnt = spec.count_reg;
+
+  // --- vector chunk loop ----------------------------------------------------
+  const Assembler::Label chunk_top = as.NewLabel();
+  const Assembler::Label chunk_done = as.NewLabel();
+  const Assembler::Label tail_top = as.NewLabel();
+  const Assembler::Label tail_done = as.NewLabel();
+
+  as.Bind(chunk_top);
+  as.Cmpi(cnt, spec.padded_tail ? 1 : lanes);
+  as.B(Cond::kLt, chunk_done);
+  for (std::size_t i = 0; i < spec.load_regs.size(); ++i) {
+    as.Vld1(spec.type, static_cast<int>(1 + i), spec.load_regs[i]);
+  }
+  if (spec.vector_ops) spec.vector_ops(as);
+  for (std::size_t i = 0; i < spec.store_regs.size(); ++i) {
+    as.Vst1(spec.type, static_cast<int>(8 + i), spec.store_regs[i]);
+  }
+  // Library-wrapper overhead of hand-coded intrinsics, if any.
+  for (int i = 0; i < spec.per_chunk_overhead_instrs; ++i) as.Nop();
+  as.AluImm(Opcode::kSubi, cnt, cnt, lanes);
+  as.Cmpi(cnt, spec.padded_tail ? 1 : lanes);
+  as.B(Cond::kGe, chunk_top);
+  as.Bind(chunk_done);
+
+  if (spec.padded_tail) return;  // larger-arrays: buffers absorbed the tail
+
+  // --- scalar tail (single elements) ----------------------------------------
+  const Opcode ld = spec.type == isa::VecType::kI8
+                        ? Opcode::kLdrb
+                        : (spec.type == isa::VecType::kI16 ? Opcode::kLdrh
+                                                           : Opcode::kLdr);
+  const Opcode st = spec.type == isa::VecType::kI8
+                        ? Opcode::kStrb
+                        : (spec.type == isa::VecType::kI16 ? Opcode::kStrh
+                                                           : Opcode::kStr);
+  const int elem = isa::LaneBytes(spec.type);
+
+  as.Bind(tail_top);
+  as.Cmpi(cnt, 0);
+  as.B(Cond::kLe, tail_done);
+  for (std::size_t i = 0; i < spec.load_regs.size(); ++i) {
+    as.Emit(isa::MakeLoad(ld, static_cast<int>(4 + i), spec.load_regs[i],
+                          elem));
+  }
+  if (spec.scalar_ops) spec.scalar_ops(as);
+  for (std::size_t i = 0; i < spec.store_regs.size(); ++i) {
+    as.Emit(isa::MakeStore(st, static_cast<int>(8 + i), spec.store_regs[i],
+                           elem));
+  }
+  as.AluImm(Opcode::kSubi, cnt, cnt, 1);
+  as.B(Cond::kAl, tail_top);
+  as.Bind(tail_done);
+}
+
+void EmitAutoVecGuard(Assembler& as, int reg_a, int reg_b, int scratch_reg) {
+  // Overlap check: |a - b| compared against a vector-width window, the
+  // kind of versioning test compilers add ahead of possibly-aliasing loops.
+  const Assembler::Label merge = as.NewLabel();
+  as.Alu(Opcode::kSub, scratch_reg, reg_a, reg_b);
+  as.Cmpi(scratch_reg, 16);
+  as.B(Cond::kGe, merge);
+  as.Emit(isa::MakeAluImm(Opcode::kRsb, scratch_reg, scratch_reg, 0));
+  as.Cmpi(scratch_reg, 16);
+  as.Bind(merge);
+  as.Nop();  // fall through to the scalar version either way
+}
+
+}  // namespace dsa::vectorizer

@@ -1,0 +1,56 @@
+// Static vectorization support: the code-generation helpers a compiler
+// auto-vectorizer ("ARM NEON AutoVec") or a library hand-coder ("ARM NEON
+// hand-vectorized") would produce at compile time. Both baselines emit a
+// chunked vector loop plus a scalar tail; their *capability envelope*
+// (which loops they may vectorize at all) is decided by the workload
+// builders following the paper's Table 1 inhibiting factors:
+//   - AutoVec vectorizes only count loops with an iteration count fixed at
+//     loop start, no conditionals, no calls, no aliasing risk; it also
+//     emits runtime guard checks on loops it attempted but rejected.
+//   - Hand-coded vectorizes count loops and conditional loops (via masked
+//     blending that computes every arm for every element), but cannot
+//     exploit runtime ranges of sentinel loops, and pays a library-wrapper
+//     overhead per chunk (scalar<->vector moves, alignment checks).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "prog/assembler.h"
+
+namespace dsa::vectorizer {
+
+// Emits a vectorized elementwise loop over `count` elements:
+//   while (count >= lanes) { q1..qN <- vld1(load_regs); ops; vst1(store_regs) }
+//   while (count > 0)      { scalar_ops on single elements }
+// Base address registers advance with post-increment. `count` may be a
+// compile-time constant (static_count >= 0) or live in count_reg.
+struct ElementwiseLoopSpec {
+  isa::VecType type = isa::VecType::kI32;
+  std::vector<int> load_regs;   // base addr registers; data lands in q1..qN
+  std::vector<int> store_regs;  // results taken from q8, q9, ... in order
+  // Emits the vector computation: inputs in q1..qN, results into q8...
+  std::function<void(prog::Assembler&)> vector_ops;
+  // Emits the scalar computation for one element: inputs loaded into
+  // r4..r(4+N-1) by the helper, result expected in r8 (stored by helper).
+  std::function<void(prog::Assembler&)> scalar_ops;
+  int count_reg = 0;            // elements left; clobbered
+  int scratch_reg = 9;          // scratch for counters
+  // Extra per-chunk overhead instructions, modeling the ARM-library
+  // wrapper cost of hand-coded intrinsics (0 for compiler output).
+  int per_chunk_overhead_instrs = 0;
+  // Use the Larger Arrays leftover technique instead of a scalar tail
+  // (requires the workload to have padded its buffers).
+  bool padded_tail = false;
+};
+
+void EmitElementwiseLoop(prog::Assembler& as, const ElementwiseLoopSpec& spec);
+
+// Emits the runtime alias/iteration-count guard sequence the
+// auto-vectorizer inserts before loops it attempted but could not prove
+// vectorizable (the source of its small slowdowns on Dijkstra/QSort).
+void EmitAutoVecGuard(prog::Assembler& as, int reg_a, int reg_b,
+                      int scratch_reg);
+
+}  // namespace dsa::vectorizer

@@ -1,0 +1,164 @@
+// SWAR population count over an int32 array whose length is only known at
+// runtime (loaded from memory before the loop): a Dynamic Range Loop type A
+// (Section 4.6.6). The ARM auto-vectorizer cannot vectorize a loop whose
+// iteration count is not fixed at loop start (Table 1 line 4); the DSA and
+// a hand coder reading the runtime length can.
+#include "prog/assembler.h"
+#include "vectorizer/static_vectorizer.h"
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace dsa::workloads {
+
+using isa::Cond;
+using isa::Opcode;
+using isa::VecType;
+using prog::Assembler;
+
+namespace {
+
+constexpr std::uint32_t kN = 0x0F000;  // runtime element count lives here
+constexpr std::uint32_t kIn = 0x10000;
+constexpr std::uint32_t kOut = 0x40000;
+
+void EmitConstants(Assembler& as) {
+  as.Movi(7, 0x55555555);
+  as.Movi(9, 0x33333333);
+  as.Movi(10, 0x0F0F0F0F);
+  as.Movi(11, 0x01010101);
+  as.Movi(2, 1);
+  as.Movi(13, 2);
+  as.Movi(12, 4);
+  as.Movi(14, 24);
+}
+
+// popcount(x) via the SWAR sequence; input in r4, result in r4, r5/r6 tmp.
+void EmitSwar(Assembler& as) {
+  as.Alu(Opcode::kLsr, 5, 4, 2);    // x >> 1
+  as.Alu(Opcode::kAnd, 5, 5, 7);    // & 0x5555...
+  as.Alu(Opcode::kSub, 4, 4, 5);
+  as.Alu(Opcode::kLsr, 5, 4, 13);   // x >> 2
+  as.Alu(Opcode::kAnd, 5, 5, 9);
+  as.Alu(Opcode::kAnd, 4, 4, 9);
+  as.Alu(Opcode::kAdd, 4, 4, 5);
+  as.Alu(Opcode::kLsr, 5, 4, 12);   // x >> 4
+  as.Alu(Opcode::kAdd, 4, 4, 5);
+  as.Alu(Opcode::kAnd, 4, 4, 10);
+  as.Alu(Opcode::kMul, 4, 4, 11);
+  as.Alu(Opcode::kLsr, 4, 4, 14);   // >> 24
+}
+
+void EmitVSwar(Assembler& as) {
+  // Same sequence on q registers; constants broadcast in q7/q9/q10/q11.
+  as.VShift(Opcode::kVshr, VecType::kI32, 5, 1, 1);
+  as.Vop(Opcode::kVand, VecType::kI32, 5, 5, 7);
+  as.Vop(Opcode::kVsub, VecType::kI32, 8, 1, 5);
+  as.VShift(Opcode::kVshr, VecType::kI32, 5, 8, 2);
+  as.Vop(Opcode::kVand, VecType::kI32, 5, 5, 9);
+  as.Vop(Opcode::kVand, VecType::kI32, 8, 8, 9);
+  as.Vop(Opcode::kVadd, VecType::kI32, 8, 8, 5);
+  as.VShift(Opcode::kVshr, VecType::kI32, 5, 8, 4);
+  as.Vop(Opcode::kVadd, VecType::kI32, 8, 8, 5);
+  as.Vop(Opcode::kVand, VecType::kI32, 8, 8, 10);
+  as.Vop(Opcode::kVmul, VecType::kI32, 8, 8, 11);
+  as.VShift(Opcode::kVshr, VecType::kI32, 8, 8, 24);
+}
+
+prog::Program BuildScalar() {
+  Assembler as;
+  EmitConstants(as);
+  as.Movi(0, kIn);
+  as.Movi(1, kOut);
+  as.Movi(3, kN);
+  as.Ldr(3, 3);  // runtime length: the loop limit lives in a register
+  as.Movi(6, 0);
+  const auto loop = as.NewLabel();
+  as.Bind(loop);
+  as.Ldr(4, 0, 4);
+  EmitSwar(as);
+  as.Str(4, 1, 4);
+  as.AluImm(Opcode::kAddi, 6, 6, 1);
+  as.Cmp(6, 3);
+  as.B(Cond::kLt, loop);
+  as.Halt();
+  return as.Finish();
+}
+
+// Auto-vectorizer output: it cannot vectorize the runtime-ranged loop, so
+// it emits its guard sequence and keeps the scalar loop.
+prog::Program BuildAutoVec() {
+  Assembler as;
+  EmitConstants(as);
+  as.Movi(0, kIn);
+  as.Movi(1, kOut);
+  as.Movi(3, kN);
+  as.Ldr(3, 3);
+  vectorizer::EmitAutoVecGuard(as, 0, 1, 5);
+  as.Movi(6, 0);
+  const auto loop = as.NewLabel();
+  as.Bind(loop);
+  as.Ldr(4, 0, 4);
+  EmitSwar(as);
+  as.Str(4, 1, 4);
+  as.AluImm(Opcode::kAddi, 6, 6, 1);
+  as.Cmp(6, 3);
+  as.B(Cond::kLt, loop);
+  as.Halt();
+  return as.Finish();
+}
+
+// Hand-vectorized: the programmer reads the runtime length and chunks it.
+prog::Program BuildHandVec() {
+  Assembler as;
+  EmitConstants(as);
+  as.Movi(0, kIn);
+  as.Movi(1, kOut);
+  as.Movi(3, kN);
+  as.Ldr(3, 3);
+  as.Vdup(VecType::kI32, 7, 7);
+  as.Vdup(VecType::kI32, 9, 9);
+  as.Vdup(VecType::kI32, 10, 10);
+  as.Vdup(VecType::kI32, 11, 11);
+  vectorizer::ElementwiseLoopSpec spec;
+  spec.type = VecType::kI32;
+  spec.load_regs = {0};
+  spec.store_regs = {1};
+  spec.count_reg = 3;
+  spec.per_chunk_overhead_instrs = 8;
+  spec.vector_ops = EmitVSwar;
+  spec.scalar_ops = [](Assembler& a) {
+    EmitSwar(a);      // input in r4 (helper's load register)
+    a.Mov(8, 4);      // helper stores from r8
+  };
+  vectorizer::EmitElementwiseLoop(as, spec);
+  as.Halt();
+  return as.Finish();
+}
+
+}  // namespace
+
+sim::Workload MakeBitCount(int n) {
+  sim::Workload wl;
+  wl.name = "BitCount";
+  wl.mem_bytes = 1 << 20;
+  wl.scalar = BuildScalar();
+  wl.autovec = BuildAutoVec();
+  wl.handvec = BuildHandVec();
+  wl.loop_type_fractions = {{"dynamic-range", 1.0}};
+
+  std::vector<std::uint32_t> in(n);
+  std::vector<std::uint32_t> out(n);
+  std::uint32_t seed = 0xB17C0417u;
+  for (int i = 0; i < n; ++i) {
+    in[i] = XorShift(seed);
+    out[i] = static_cast<std::uint32_t>(__builtin_popcount(in[i]));
+  }
+  wl.init = [in, n](mem::Memory& m) {
+    m.Write32(kN, static_cast<std::uint32_t>(n));
+    WriteVec(m, kIn, in);
+  };
+  wl.check = MakeCheck(kOut, out);
+  return wl;
+}
+
+}  // namespace dsa::workloads

@@ -1,0 +1,45 @@
+// Shared helpers for the benchmark builders: deterministic data generation,
+// memory-region initialization and golden-output comparison.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mem/memory.h"
+#include "sim/workload.h"
+
+namespace dsa::workloads {
+
+// Deterministic xorshift32 so every variant sees identical inputs.
+inline std::uint32_t XorShift(std::uint32_t& s) {
+  s ^= s << 13;
+  s ^= s >> 17;
+  s ^= s << 5;
+  return s;
+}
+
+template <typename T>
+void WriteVec(mem::Memory& m, std::uint32_t addr, const std::vector<T>& v) {
+  m.WriteBlock(addr, v.data(), v.size() * sizeof(T));
+}
+
+template <typename T>
+bool RegionEquals(const mem::Memory& m, std::uint32_t addr,
+                  const std::vector<T>& expect) {
+  std::vector<T> got(expect.size());
+  m.ReadBlock(addr, got.data(), got.size() * sizeof(T));
+  return got == expect;
+}
+
+// Builds a `check` lambda comparing one region against a golden vector.
+template <typename T>
+std::function<bool(const mem::Memory&)> MakeCheck(std::uint32_t addr,
+                                                  std::vector<T> expect) {
+  auto golden = std::make_shared<std::vector<T>>(std::move(expect));
+  return [addr, golden](const mem::Memory& m) {
+    return RegionEquals(m, addr, *golden);
+  };
+}
+
+}  // namespace dsa::workloads

@@ -1,0 +1,180 @@
+// Dijkstra over a dense graph (MiBench): the min-scan loop carries the
+// running minimum around iterations (never vectorizable); the relaxation
+// loop is a conditional loop that only the Extended DSA vectorizes at
+// runtime — hand-coded NEON can blend it with masks, the auto-vectorizer
+// gives up (Table 1 line 12).
+#include "prog/assembler.h"
+#include "vectorizer/static_vectorizer.h"
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace dsa::workloads {
+
+using isa::Cond;
+using isa::Opcode;
+using isa::VecType;
+using prog::Assembler;
+
+namespace {
+
+constexpr std::uint32_t kW = 0x10000;     // V*V u32 weights
+constexpr std::uint32_t kDist = 0x40000;  // V u32
+constexpr std::uint32_t kVis = 0x42000;   // V u32
+constexpr std::uint32_t kInf = 0x0FFFFFFF;
+
+// Emits the min-scan (shared by all variants; inherently scalar) leaving
+// r5 = &dist[u], r4 = dist[u], r6 = 4*u.
+void EmitMinScan(Assembler& as, int v) {
+  const auto lmin = as.NewLabel();
+  const auto lskip = as.NewLabel();
+  as.Movi(1, kDist);
+  as.Movi(2, kVis);
+  as.Movi(4, kInf + 1);
+  as.Movi(5, kDist);
+  as.Movi(6, 0);
+  as.Bind(lmin);
+  as.Ldr(7, 2, 4);  // visited[j]
+  as.Ldr(8, 1, 4);  // dist[j]
+  as.Cmpi(7, 0);
+  as.B(Cond::kNe, lskip);
+  as.Cmp(8, 4);
+  as.B(Cond::kGe, lskip);
+  as.Mov(4, 8);                      // min = dist[j]
+  as.AluImm(Opcode::kSubi, 5, 1, 4); // best = &dist[j]
+  as.Bind(lskip);
+  as.AluImm(Opcode::kAddi, 6, 6, 1);
+  as.Cmpi(6, v);
+  as.B(Cond::kLt, lmin);
+  // u as byte offset, mark visited, du
+  as.AluImm(Opcode::kSubi, 6, 5, kDist);
+  as.Movi(7, 1);
+  as.AluImm(Opcode::kAddi, 8, 6, kVis);
+  as.Str(7, 8);
+  as.Ldr(4, 5);
+}
+
+void EmitOuterHeader(Assembler& as, prog::Assembler::Label& louter) {
+  as.Movi(10, 0);
+  louter = as.NewLabel();
+  as.Bind(louter);
+}
+
+void EmitOuterLatch(Assembler& as, prog::Assembler::Label louter, int v) {
+  as.AluImm(Opcode::kAddi, 10, 10, 1);
+  as.Cmpi(10, v);
+  as.B(Cond::kLt, louter);
+  as.Halt();
+}
+
+// r0 = &W[u][0], r1 = &dist[0], r3 = V before the relax loop.
+void EmitRelaxSetup(Assembler& as, int v) {
+  as.Movi(8, v);
+  as.Alu(Opcode::kMul, 7, 6, 8);
+  as.AluImm(Opcode::kAddi, 0, 7, kW);
+  as.Movi(1, kDist);
+  as.Movi(3, v);
+}
+
+prog::Program BuildScalar(int v, bool with_guard) {
+  Assembler as;
+  prog::Assembler::Label louter;
+  EmitOuterHeader(as, louter);
+  EmitMinScan(as, v);
+  EmitRelaxSetup(as, v);
+  if (with_guard) vectorizer::EmitAutoVecGuard(as, 0, 1, 9);
+  const auto lrelax = as.NewLabel();
+  const auto lrskip = as.NewLabel();
+  as.Bind(lrelax);
+  as.Ldr(7, 0, 4);   // w[u][j]
+  as.Ldr(8, 1);      // dist[j]
+  as.Alu(Opcode::kAdd, 9, 4, 7);
+  as.Cmp(9, 8);
+  as.B(Cond::kGe, lrskip);
+  as.Str(9, 1);
+  as.Bind(lrskip);
+  as.AluImm(Opcode::kAddi, 1, 1, 4);
+  as.AluImm(Opcode::kSubi, 3, 3, 1);
+  as.Cmpi(3, 0);
+  as.B(Cond::kGt, lrelax);
+  EmitOuterLatch(as, louter, v);
+  return as.Finish();
+}
+
+// Hand-vectorized relaxation: nd = du + w; dist = min(dist, nd) per lane.
+prog::Program BuildHandVec(int v) {
+  Assembler as;
+  prog::Assembler::Label louter;
+  EmitOuterHeader(as, louter);
+  EmitMinScan(as, v);
+  EmitRelaxSetup(as, v);
+  as.Vdup(VecType::kI32, 7, 4);  // q7 = du
+  const auto top = as.NewLabel();
+  const auto done = as.NewLabel();
+  as.Bind(top);
+  as.Cmpi(3, 4);
+  as.B(Cond::kLt, done);  // V is a multiple of 4: no tail needed
+  as.Vld1(VecType::kI32, 1, 0);                    // weights
+  as.Vld1(VecType::kI32, 2, 1, /*writeback=*/false);  // dist
+  as.Vop(Opcode::kVadd, VecType::kI32, 8, 1, 7);   // nd
+  as.Vop(Opcode::kVmin, VecType::kI32, 8, 8, 2);
+  as.Vst1(VecType::kI32, 8, 1);
+  for (int i = 0; i < 8; ++i) as.Nop();  // library wrapper overhead
+  as.AluImm(Opcode::kSubi, 3, 3, 4);
+  as.B(Cond::kAl, top);
+  as.Bind(done);
+  EmitOuterLatch(as, louter, v);
+  return as.Finish();
+}
+
+}  // namespace
+
+sim::Workload MakeDijkstra(int nodes) {
+  sim::Workload wl;
+  wl.name = "Dijkstra";
+  wl.mem_bytes = 1 << 20;
+  wl.scalar = BuildScalar(nodes, /*with_guard=*/false);
+  wl.autovec = BuildScalar(nodes, /*with_guard=*/true);
+  wl.handvec = BuildHandVec(nodes);
+  wl.loop_type_fractions = {{"conditional", 0.5}, {"non-vectorizable", 0.3},
+                            {"outer", 0.2}};
+
+  const int v = nodes;
+  std::vector<std::uint32_t> w(v * v);
+  std::uint32_t seed = 0xD1125712u;
+  for (int i = 0; i < v; ++i) {
+    for (int j = 0; j < v; ++j) {
+      w[i * v + j] = (i == j) ? 0 : 1 + XorShift(seed) % 99;
+    }
+  }
+  // Golden: same algorithm in C++.
+  std::vector<std::uint32_t> dist(v, kInf);
+  std::vector<std::uint32_t> vis(v, 0);
+  dist[0] = 0;
+  for (int it = 0; it < v; ++it) {
+    std::uint32_t best = kInf + 1;
+    int u = 0;
+    for (int j = 0; j < v; ++j) {
+      if (vis[j] == 0 && dist[j] < best) {
+        best = dist[j];
+        u = j;
+      }
+    }
+    vis[u] = 1;
+    const std::uint32_t du = dist[u];
+    for (int j = 0; j < v; ++j) {
+      const std::uint32_t nd = du + w[u * v + j];
+      if (nd < dist[j]) dist[j] = nd;
+    }
+  }
+  wl.init = [w, v](mem::Memory& m) {
+    WriteVec(m, kW, w);
+    std::vector<std::uint32_t> d(v, kInf);
+    d[0] = 0;
+    WriteVec(m, kDist, d);
+    WriteVec(m, kVis, std::vector<std::uint32_t>(v, 0));
+  };
+  wl.check = MakeCheck(kDist, dist);
+  return wl;
+}
+
+}  // namespace dsa::workloads

@@ -1,0 +1,315 @@
+// Extended kernel suite beyond the paper's benchmark list: a 4-tap FIR
+// filter (multi-stream offsets), a byte memcpy (maximum lane count), an
+// alpha blend with runtime coefficients, and a histogram whose indirect
+// addressing must be rejected (Table 1 line 7). Used by the extended-suite
+// bench and the test matrix.
+#include "prog/assembler.h"
+#include "vectorizer/static_vectorizer.h"
+#include "workloads/common.h"
+#include "workloads/extended.h"
+
+namespace dsa::workloads {
+
+using isa::Cond;
+using isa::Opcode;
+using isa::VecType;
+using prog::Assembler;
+
+namespace {
+constexpr std::uint32_t kIn = 0x10000;
+constexpr std::uint32_t kIn2 = 0x40000;
+constexpr std::uint32_t kOut = 0x70000;
+constexpr std::uint32_t kParams = 0x0F00;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FIR: y[i] = sum_{t<4} x[i+t] * h[t], int32; taps live in registers.
+sim::Workload MakeFir(int n) {
+  constexpr int kTaps[4] = {3, -1, 4, 2};
+  auto emit_taps = [&](Assembler& as) {
+    as.Movi(8, kTaps[0]);
+    as.Movi(10, kTaps[1]);
+    as.Movi(11, kTaps[2]);
+    as.Movi(12, kTaps[3]);
+  };
+
+  sim::Workload wl;
+  wl.name = "FIR";
+  wl.mem_bytes = 1 << 20;
+  {
+    Assembler as;
+    emit_taps(as);
+    as.Movi(0, kIn);
+    as.Movi(1, kOut);
+    as.Movi(3, n);
+    const auto loop = as.NewLabel();
+    as.Bind(loop);
+    as.Ldr(4, 0, 0, 0);
+    as.Ldr(5, 0, 0, 4);
+    as.Ldr(6, 0, 0, 8);
+    as.Ldr(7, 0, 0, 12);
+    as.Alu(Opcode::kMul, 4, 4, 8);
+    as.Mla(4, 5, 10, 4);
+    as.Mla(4, 6, 11, 4);
+    as.Mla(4, 7, 12, 4);
+    as.Str(4, 1, 4);
+    as.AluImm(Opcode::kAddi, 0, 0, 4);
+    as.AluImm(Opcode::kSubi, 3, 3, 1);
+    as.Cmpi(3, 0);
+    as.B(Cond::kGt, loop);
+    as.Halt();
+    wl.scalar = as.Finish();
+  }
+  auto build_vec = [&](int overhead) {
+    Assembler as;
+    emit_taps(as);
+    as.Movi(0, kIn);
+    as.Movi(1, kOut);
+    as.Movi(3, n);
+    as.Vdup(VecType::kI32, 10, 8);
+    as.Vdup(VecType::kI32, 11, 10);
+    as.Vdup(VecType::kI32, 12, 11);
+    as.Vdup(VecType::kI32, 13, 12);
+    // Shifted stream pointers for the taps.
+    as.AluImm(Opcode::kAddi, 5, 0, 4);
+    as.AluImm(Opcode::kAddi, 6, 0, 8);
+    as.AluImm(Opcode::kAddi, 7, 0, 12);
+    const auto top = as.NewLabel();
+    const auto tail = as.NewLabel();
+    const auto done = as.NewLabel();
+    as.Bind(top);
+    as.Cmpi(3, 4);
+    as.B(Cond::kLt, tail);
+    as.Vld1(VecType::kI32, 1, 0);
+    as.Vld1(VecType::kI32, 2, 5);
+    as.Vld1(VecType::kI32, 3, 6);
+    as.Vld1(VecType::kI32, 4, 7);
+    as.Vop(Opcode::kVmul, VecType::kI32, 8, 1, 10);
+    as.Vmla(VecType::kI32, 8, 2, 11);
+    as.Vmla(VecType::kI32, 8, 3, 12);
+    as.Vmla(VecType::kI32, 8, 4, 13);
+    as.Vst1(VecType::kI32, 8, 1 /*r1*/);
+    for (int i = 0; i < overhead; ++i) as.Nop();
+    as.AluImm(Opcode::kSubi, 3, 3, 4);
+    as.B(Cond::kAl, top);
+    as.Bind(tail);
+    as.Cmpi(3, 0);
+    as.B(Cond::kLe, done);
+    as.Ldr(4, 0, 0, 0);
+    as.Ldr(9, 0, 0, 4);
+    as.Alu(Opcode::kMul, 4, 4, 8);
+    as.Mla(4, 9, 10, 4);
+    as.Ldr(9, 0, 0, 8);
+    as.Mla(4, 9, 11, 4);
+    as.Ldr(9, 0, 0, 12);
+    as.Mla(4, 9, 12, 4);
+    as.Str(4, 1, 4);
+    as.AluImm(Opcode::kAddi, 0, 0, 4);
+    as.AluImm(Opcode::kSubi, 3, 3, 1);
+    as.B(Cond::kAl, tail);
+    as.Bind(done);
+    as.Halt();
+    return as.Finish();
+  };
+  wl.autovec = build_vec(0);
+  wl.handvec = build_vec(8);
+  wl.loop_type_fractions = {{"count", 1.0}};
+
+  std::vector<std::int32_t> x(n + 4);
+  std::vector<std::int32_t> y(n);
+  std::uint32_t seed = 0xF112BEA7u;
+  for (int i = 0; i < n + 4; ++i) {
+    x[i] = static_cast<std::int32_t>(XorShift(seed) % 500) - 250;
+  }
+  for (int i = 0; i < n; ++i) {
+    y[i] = x[i] * kTaps[0] + x[i + 1] * kTaps[1] + x[i + 2] * kTaps[2] +
+           x[i + 3] * kTaps[3];
+  }
+  wl.init = [x](mem::Memory& m) { WriteVec(m, kIn, x); };
+  wl.check = MakeCheck(kOut, y);
+  return wl;
+}
+
+// ---------------------------------------------------------------------------
+// MemCopy: byte copy, the maximum-lane (16x) kernel.
+sim::Workload MakeMemCopy(int n) {
+  sim::Workload wl;
+  wl.name = "MemCopy";
+  wl.mem_bytes = 1 << 20;
+  {
+    Assembler as;
+    as.Movi(0, kIn);
+    as.Movi(1, kOut);
+    as.Movi(3, n);
+    const auto loop = as.NewLabel();
+    as.Bind(loop);
+    as.Ldrb(4, 0, 1);
+    as.Strb(4, 1, 1);
+    as.AluImm(Opcode::kSubi, 3, 3, 1);
+    as.Cmpi(3, 0);
+    as.B(Cond::kGt, loop);
+    as.Halt();
+    wl.scalar = as.Finish();
+  }
+  auto build_vec = [&](int overhead) {
+    Assembler as;
+    as.Movi(0, kIn);
+    as.Movi(1, kOut);
+    as.Movi(3, n);
+    vectorizer::ElementwiseLoopSpec spec;
+    spec.type = VecType::kI8;
+    spec.load_regs = {0};
+    spec.store_regs = {1};
+    spec.count_reg = 3;
+    spec.per_chunk_overhead_instrs = overhead;
+    spec.vector_ops = [](Assembler& a) {
+      a.Vop(Opcode::kVorr, VecType::kI8, 8, 1, 1);  // q8 = q1
+    };
+    spec.scalar_ops = [](Assembler& a) { a.Mov(8, 4); };
+    vectorizer::EmitElementwiseLoop(as, spec);
+    as.Halt();
+    return as.Finish();
+  };
+  wl.autovec = build_vec(0);
+  wl.handvec = build_vec(8);
+  wl.loop_type_fractions = {{"count", 1.0}};
+
+  std::vector<std::uint8_t> src(n);
+  std::uint32_t seed = 0x3E3C09EEu;
+  for (int i = 0; i < n; ++i) src[i] = static_cast<std::uint8_t>(XorShift(seed));
+  wl.init = [src](mem::Memory& m) { WriteVec(m, kIn, src); };
+  wl.check = MakeCheck(kOut, src);
+  return wl;
+}
+
+// ---------------------------------------------------------------------------
+// AlphaBlend: out = (a*alpha + b*(256-alpha)) >> 8 over u16, alpha read
+// from memory at runtime (a runtime-invariant operand, not a DRL).
+sim::Workload MakeAlphaBlend(int n, int alpha) {
+  sim::Workload wl;
+  wl.name = "AlphaBlend";
+  wl.mem_bytes = 1 << 20;
+  auto build = [&](bool vector, int overhead) {
+    Assembler as;
+    as.Movi(0, kIn);
+    as.Movi(1, kIn2);
+    as.Movi(2, kOut);
+    as.Movi(10, kParams);
+    as.Ldr(10, 10);                       // alpha (runtime)
+    as.Emit(isa::MakeAluImm(Opcode::kRsb, 11, 10, 256));  // 256 - alpha
+    as.Movi(12, 8);                       // shift
+    as.Movi(3, n);
+    if (!vector) {
+      const auto loop = as.NewLabel();
+      as.Bind(loop);
+      as.Ldrh(4, 0, 2);
+      as.Ldrh(5, 1, 2);
+      as.Alu(Opcode::kMul, 4, 4, 10);
+      as.Mla(4, 5, 11, 4);
+      as.Alu(Opcode::kLsr, 4, 4, 12);
+      as.Strh(4, 2, 2);
+      as.AluImm(Opcode::kSubi, 3, 3, 1);
+      as.Cmpi(3, 0);
+      as.B(Cond::kGt, loop);
+    } else {
+      as.Vdup(VecType::kI16, 10, 10);
+      as.Vdup(VecType::kI16, 11, 11);
+      vectorizer::ElementwiseLoopSpec spec;
+      spec.type = VecType::kI16;
+      spec.load_regs = {0, 1};
+      spec.store_regs = {2};
+      spec.count_reg = 3;
+      spec.per_chunk_overhead_instrs = overhead;
+      spec.vector_ops = [](Assembler& a) {
+        a.Vop(Opcode::kVmul, VecType::kI16, 8, 1, 10);
+        a.Vmla(VecType::kI16, 8, 2, 11);
+        a.VShift(Opcode::kVshr, VecType::kI16, 8, 8, 8);
+      };
+      spec.scalar_ops = [](Assembler& a) {
+        a.Alu(Opcode::kMul, 8, 4, 10);
+        a.Mla(8, 5, 11, 8);
+        a.Alu(Opcode::kLsr, 8, 8, 12);
+      };
+      vectorizer::EmitElementwiseLoop(as, spec);
+    }
+    as.Halt();
+    return as.Finish();
+  };
+  wl.scalar = build(false, 0);
+  wl.autovec = build(true, 0);
+  wl.handvec = build(true, 8);
+  wl.loop_type_fractions = {{"count", 1.0}};
+
+  std::vector<std::uint16_t> a(n);
+  std::vector<std::uint16_t> b(n);
+  std::vector<std::uint16_t> out(n);
+  std::uint32_t seed = 0xA1FAB1EDu;
+  for (int i = 0; i < n; ++i) {
+    a[i] = static_cast<std::uint16_t>(XorShift(seed) % 256);
+    b[i] = static_cast<std::uint16_t>(XorShift(seed) % 256);
+    out[i] = static_cast<std::uint16_t>(
+        static_cast<std::uint16_t>(a[i] * alpha + b[i] * (256 - alpha)) >> 8);
+  }
+  wl.init = [a, b, alpha](mem::Memory& m) {
+    m.Write32(kParams, static_cast<std::uint32_t>(alpha));
+    WriteVec(m, kIn, a);
+    WriteVec(m, kIn2, b);
+  };
+  wl.check = MakeCheck(kOut, out);
+  return wl;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram: hist[v[i]]++ — indirect addressing, unvectorizable everywhere
+// (NEON has no scatter; Table 1 lines 6/7).
+sim::Workload MakeHistogram(int n, int buckets) {
+  sim::Workload wl;
+  wl.name = "Histogram";
+  wl.mem_bytes = 1 << 20;
+  auto build = [&](bool guard) {
+    Assembler as;
+    as.Movi(0, kIn);
+    as.Movi(3, n);
+    as.Movi(12, 2);  // shift for *4
+    if (guard) vectorizer::EmitAutoVecGuard(as, 0, 3, 9);
+    const auto loop = as.NewLabel();
+    as.Bind(loop);
+    as.Ldrb(4, 0, 1);              // bucket index
+    as.Alu(Opcode::kLsl, 5, 4, 12);
+    as.AluImm(Opcode::kAddi, 5, 5, kOut);
+    as.Ldr(6, 5);
+    as.AluImm(Opcode::kAddi, 6, 6, 1);
+    as.Str(6, 5);
+    as.AluImm(Opcode::kSubi, 3, 3, 1);
+    as.Cmpi(3, 0);
+    as.B(Cond::kGt, loop);
+    as.Halt();
+    return as.Finish();
+  };
+  wl.scalar = build(false);
+  wl.autovec = build(true);
+  wl.handvec = build(false);
+  wl.loop_type_fractions = {{"non-vectorizable", 1.0}};
+
+  std::vector<std::uint8_t> v(n);
+  std::vector<std::uint32_t> hist(buckets, 0);
+  std::uint32_t seed = 0x81570612u;
+  for (int i = 0; i < n; ++i) {
+    v[i] = static_cast<std::uint8_t>(XorShift(seed) % buckets);
+    ++hist[v[i]];
+  }
+  wl.init = [v](mem::Memory& m) { WriteVec(m, kIn, v); };
+  wl.check = MakeCheck(kOut, hist);
+  return wl;
+}
+
+std::vector<sim::Workload> ExtendedSet() {
+  std::vector<sim::Workload> v;
+  v.push_back(MakeFir());
+  v.push_back(MakeMemCopy());
+  v.push_back(MakeAlphaBlend());
+  v.push_back(MakeHistogram());
+  return v;
+}
+
+}  // namespace dsa::workloads

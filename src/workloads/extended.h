@@ -1,0 +1,27 @@
+// Extended kernel suite beyond the paper's benchmark list (see
+// extended.cc). These deepen the coverage of the DSA's capability
+// envelope: multi-stream offset loads, 16-lane byte kernels,
+// runtime-invariant coefficients, and indirect addressing (rejected).
+#pragma once
+
+#include <vector>
+
+#include "sim/workload.h"
+
+namespace dsa::workloads {
+
+// 4-tap int32 FIR filter: y[i] = sum x[i+t]*h[t].
+[[nodiscard]] sim::Workload MakeFir(int n = 8192);
+
+// Byte memcpy: the maximum-parallelism (16 lanes) kernel.
+[[nodiscard]] sim::Workload MakeMemCopy(int n = 32768);
+
+// out = (a*alpha + b*(256-alpha)) >> 8 over u16, alpha read at runtime.
+[[nodiscard]] sim::Workload MakeAlphaBlend(int n = 16384, int alpha = 96);
+
+// hist[v[i]]++ — indirect addressing, unvectorizable by design.
+[[nodiscard]] sim::Workload MakeHistogram(int n = 16384, int buckets = 64);
+
+[[nodiscard]] std::vector<sim::Workload> ExtendedSet();
+
+}  // namespace dsa::workloads

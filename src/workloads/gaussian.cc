@@ -1,0 +1,133 @@
+// Row-wise [1 2 1]/4 smoothing over a 16-bit image: the horizontal pass of
+// a separable Gaussian (OpenCV's blur reduced to one dimension per row).
+// The inner loop is a vectorizable count loop; the row loop is an outer
+// loop, exercising the nest handling of every system.
+#include <functional>
+
+#include "prog/assembler.h"
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace dsa::workloads {
+
+using isa::Cond;
+using isa::Opcode;
+using isa::VecType;
+using prog::Assembler;
+
+namespace {
+
+constexpr std::uint32_t kIn = 0x10000;
+constexpr std::uint32_t kOut = 0x60000;
+
+// Shared row-loop scaffold: `inner` gets r0 = &in[y][0], r1 = &out[y][0],
+// r3 = width-2 and must consume them.
+prog::Program Build(int width, int height,
+                    const std::function<void(Assembler&)>& inner) {
+  Assembler as;
+  as.Movi(10, 0);       // y
+  as.Movi(8, 2);        // shift amount for >>2 and *4
+  const auto ly = as.NewLabel();
+  as.Bind(ly);
+  as.Movi(12, width * 2);
+  as.Alu(Opcode::kMul, 0, 10, 12);
+  as.AluImm(Opcode::kAddi, 1, 0, kOut);
+  as.AluImm(Opcode::kAddi, 0, 0, kIn);
+  as.Movi(3, width - 2);
+  inner(as);
+  as.AluImm(Opcode::kAddi, 10, 10, 1);
+  as.Cmpi(10, height);
+  as.B(Cond::kLt, ly);
+  as.Halt();
+  return as.Finish();
+}
+
+prog::Program BuildScalar(int width, int height) {
+  return Build(width, height, [](Assembler& as) {
+    const auto lx = as.NewLabel();
+    as.Bind(lx);
+    as.Ldrh(4, 0, 0, 0);  // in[x]
+    as.Ldrh(5, 0, 0, 2);  // in[x+1]
+    as.Ldrh(6, 0, 0, 4);  // in[x+2]
+    as.Alu(Opcode::kAdd, 4, 4, 5);
+    as.Alu(Opcode::kAdd, 4, 4, 5);  // + in[x+1] twice = 2*center
+    as.Alu(Opcode::kAdd, 4, 4, 6);
+    as.Alu(Opcode::kLsr, 4, 4, 8);
+    as.Strh(4, 1, 2);
+    as.AluImm(Opcode::kAddi, 0, 0, 2);
+    as.AluImm(Opcode::kSubi, 3, 3, 1);
+    as.Cmpi(3, 0);
+    as.B(Cond::kGt, lx);
+  });
+}
+
+prog::Program BuildVectorized(int width, int height, int per_chunk_overhead) {
+  return Build(width, height, [per_chunk_overhead](Assembler& as) {
+    // Three shifted stream pointers for the taps.
+    as.AluImm(Opcode::kAddi, 5, 0, 2);
+    as.AluImm(Opcode::kAddi, 6, 0, 4);
+    const auto top = as.NewLabel();
+    const auto tail = as.NewLabel();
+    const auto done = as.NewLabel();
+    as.Bind(top);
+    as.Cmpi(3, 8);
+    as.B(Cond::kLt, tail);
+    as.Vld1(VecType::kI16, 1, 0);
+    as.Vld1(VecType::kI16, 2, 5);
+    as.Vld1(VecType::kI16, 3, 6);
+    as.Vop(Opcode::kVadd, VecType::kI16, 8, 1, 2);
+    as.Vop(Opcode::kVadd, VecType::kI16, 8, 8, 2);
+    as.Vop(Opcode::kVadd, VecType::kI16, 8, 8, 3);
+    as.VShift(Opcode::kVshr, VecType::kI16, 8, 8, 2);
+    as.Vst1(VecType::kI16, 8, 1);
+    for (int i = 0; i < per_chunk_overhead; ++i) as.Nop();
+    as.AluImm(Opcode::kSubi, 3, 3, 8);
+    as.B(Cond::kAl, top);
+    as.Bind(tail);
+    as.Cmpi(3, 0);
+    as.B(Cond::kLe, done);
+    as.Ldrh(4, 0, 2, 0);
+    as.Ldrh(9, 5, 2, 0);
+    as.Ldrh(11, 6, 2, 0);
+    as.Alu(Opcode::kAdd, 4, 4, 9);
+    as.Alu(Opcode::kAdd, 4, 4, 9);
+    as.Alu(Opcode::kAdd, 4, 4, 11);
+    as.Alu(Opcode::kLsr, 4, 4, 8);
+    as.Strh(4, 1, 2);
+    as.AluImm(Opcode::kSubi, 3, 3, 1);
+    as.B(Cond::kAl, tail);
+    as.Bind(done);
+  });
+}
+
+}  // namespace
+
+sim::Workload MakeGaussian(int width, int height) {
+  sim::Workload wl;
+  wl.name = "Gaussian";
+  wl.mem_bytes = 1 << 20;
+  wl.scalar = BuildScalar(width, height);
+  wl.autovec = BuildVectorized(width, height, 0);
+  wl.handvec = BuildVectorized(width, height, 8);
+  wl.loop_type_fractions = {{"count", 0.5}, {"outer", 0.5}};
+
+  const int n = width * height;
+  std::vector<std::uint16_t> in(n);
+  std::vector<std::uint16_t> out(n, 0);
+  std::uint32_t seed = 0xBADCAFE5u;
+  for (int i = 0; i < n; ++i) {
+    in[i] = static_cast<std::uint16_t>(XorShift(seed) % 256);
+  }
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width - 2; ++x) {
+      const int i = y * width + x;
+      out[i] = static_cast<std::uint16_t>(
+          (in[i] + 2 * in[i + 1] + in[i + 2]) >> 2);
+    }
+  }
+  wl.init = [in](mem::Memory& m) { WriteVec(m, kIn, in); };
+  wl.check = MakeCheck(kOut, out);
+  return wl;
+}
+
+}  // namespace dsa::workloads

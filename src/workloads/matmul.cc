@@ -1,0 +1,147 @@
+// dim x dim int32 matrix multiply, i-k-j loop order: the innermost j-loop
+// streams one row of B into one row of C with a broadcast multiplier, the
+// classic SIMD-friendly formulation (MiBench MM). The i/k loops are outer
+// loops; the DSA handles the nest through repeated inner-loop cache hits.
+#include <functional>
+
+#include "prog/assembler.h"
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace dsa::workloads {
+
+using isa::Cond;
+using isa::Opcode;
+using isa::VecType;
+using prog::Assembler;
+
+namespace {
+
+constexpr std::uint32_t kA = 0x10000;  // dim*dim*4 bytes each
+constexpr std::uint32_t kB = 0x50000;
+constexpr std::uint32_t kC = 0x90000;
+
+// Emits the i/k control structure shared by all variants; `inner` emits the
+// j-loop given: r6 = &B[k][0], r7 = &C[i][0], r4 = A[i][k], r3 = dim.
+prog::Program Build(int dim, const std::function<void(Assembler&)>& inner) {
+  Assembler as;
+  as.Movi(10, 0);  // i
+  const auto li = as.NewLabel();
+  as.Bind(li);
+  as.Movi(11, 0);  // k
+  const auto lk = as.NewLabel();
+  as.Bind(lk);
+  // r4 = A[i*dim + k]
+  as.Movi(12, dim);
+  as.Alu(Opcode::kMul, 5, 10, 12);
+  as.Alu(Opcode::kAdd, 5, 5, 11);
+  as.Movi(12, 2);
+  as.Alu(Opcode::kLsl, 5, 5, 12);  // *4
+  as.AluImm(Opcode::kAddi, 5, 5, kA);
+  as.Ldr(4, 5);
+  // r6 = &B[k*dim], r7 = &C[i*dim]
+  as.Movi(12, dim);
+  as.Alu(Opcode::kMul, 6, 11, 12);
+  as.Movi(12, 2);
+  as.Alu(Opcode::kLsl, 6, 6, 12);
+  as.AluImm(Opcode::kAddi, 6, 6, kB);
+  as.Movi(12, dim);
+  as.Alu(Opcode::kMul, 7, 10, 12);
+  as.Movi(12, 2);
+  as.Alu(Opcode::kLsl, 7, 7, 12);
+  as.AluImm(Opcode::kAddi, 7, 7, kC);
+  as.Movi(3, dim);  // j count
+  inner(as);
+  // k++
+  as.AluImm(Opcode::kAddi, 11, 11, 1);
+  as.Cmpi(11, dim);
+  as.B(Cond::kLt, lk);
+  // i++
+  as.AluImm(Opcode::kAddi, 10, 10, 1);
+  as.Cmpi(10, dim);
+  as.B(Cond::kLt, li);
+  as.Halt();
+  return as.Finish();
+}
+
+prog::Program BuildScalar(int dim) {
+  return Build(dim, [](Assembler& as) {
+    const auto lj = as.NewLabel();
+    as.Bind(lj);
+    as.Ldr(8, 6, 4);     // b = B[k][j]
+    as.Ldr(9, 7);        // c = C[i][j] (no writeback; the store advances r7)
+    as.Mla(9, 8, 4, 9);  // c += b * a_ik
+    as.Str(9, 7, 4);
+    as.AluImm(Opcode::kSubi, 3, 3, 1);
+    as.Cmpi(3, 0);
+    as.B(Cond::kGt, lj);
+  });
+}
+
+prog::Program BuildVectorized(int dim, int per_chunk_overhead) {
+  return Build(dim, [per_chunk_overhead](Assembler& as) {
+    as.Vdup(VecType::kI32, 7, 4);  // q7 = a_ik
+    const auto top = as.NewLabel();
+    const auto tail = as.NewLabel();
+    const auto done = as.NewLabel();
+    as.Bind(top);
+    as.Cmpi(3, 4);
+    as.B(Cond::kLt, tail);
+    as.Vld1(VecType::kI32, 1, 6);                   // B row, advance
+    as.Vld1(VecType::kI32, 2, 7, /*writeback=*/false);  // C row
+    as.Vop(Opcode::kVmul, VecType::kI32, 8, 1, 7);
+    as.Vop(Opcode::kVadd, VecType::kI32, 8, 8, 2);
+    as.Vst1(VecType::kI32, 8, 7);                   // C row, advance
+    for (int i = 0; i < per_chunk_overhead; ++i) as.Nop();
+    as.AluImm(Opcode::kSubi, 3, 3, 4);
+    as.B(Cond::kAl, top);
+    as.Bind(tail);
+    as.Cmpi(3, 0);
+    as.B(Cond::kLe, done);
+    as.Ldr(8, 6, 4);
+    as.Ldr(9, 7);
+    as.Mla(9, 8, 4, 9);
+    as.Str(9, 7, 4);
+    as.AluImm(Opcode::kSubi, 3, 3, 1);
+    as.B(Cond::kAl, tail);
+    as.Bind(done);
+  });
+}
+
+}  // namespace
+
+sim::Workload MakeMatMul(int dim) {
+  sim::Workload wl;
+  wl.name = "MM " + std::to_string(dim) + "x" + std::to_string(dim);
+  wl.mem_bytes = 1 << 20;
+  wl.scalar = BuildScalar(dim);
+  wl.autovec = BuildVectorized(dim, 0);
+  wl.handvec = BuildVectorized(dim, 8);
+  wl.loop_type_fractions = {{"count", 0.6}, {"outer", 0.4}};
+
+  const int n = dim * dim;
+  std::vector<std::int32_t> a(n);
+  std::vector<std::int32_t> b(n);
+  std::vector<std::int32_t> c(n, 0);
+  std::uint32_t seed = 0xABCD1234u;
+  for (int i = 0; i < n; ++i) {
+    a[i] = static_cast<std::int32_t>(XorShift(seed) % 64);
+    b[i] = static_cast<std::int32_t>(XorShift(seed) % 64);
+  }
+  for (int i = 0; i < dim; ++i) {
+    for (int k = 0; k < dim; ++k) {
+      const std::int32_t aik = a[i * dim + k];
+      for (int j = 0; j < dim; ++j) {
+        c[i * dim + j] += aik * b[k * dim + j];
+      }
+    }
+  }
+  wl.init = [a, b](mem::Memory& m) {
+    WriteVec(m, kA, a);
+    WriteVec(m, kB, b);
+  };
+  wl.check = MakeCheck(kC, c);
+  return wl;
+}
+
+}  // namespace dsa::workloads

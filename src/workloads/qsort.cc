@@ -1,0 +1,107 @@
+// Iterative quicksort (MiBench QSort): an explicit-stack driver loop around
+// a Lomuto partition. Every loop either contains an inner loop, carries
+// scalars around iterations, or advances its stores data-dependently — no
+// system can vectorize it, so it measures the *cost of trying* (analysis
+// latency for the DSA, guard overhead for the auto-vectorizer).
+#include <algorithm>
+
+#include "prog/assembler.h"
+#include "vectorizer/static_vectorizer.h"
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace dsa::workloads {
+
+using isa::Cond;
+using isa::Opcode;
+using prog::Assembler;
+
+namespace {
+
+constexpr std::uint32_t kArr = 0x10000;
+constexpr std::uint32_t kStack = 0x80000;
+
+prog::Program Build(int n, bool with_guard) {
+  Assembler as;
+  as.Movi(0, kArr);
+  as.Movi(13, kStack);
+  if (with_guard) vectorizer::EmitAutoVecGuard(as, 0, 13, 6);
+  // push (lo = &a[0], hi = &a[n-1])
+  as.Movi(1, kArr);
+  as.Movi(2, kArr + (n - 1) * 4);
+  as.Str(1, 13, 4);
+  as.Str(2, 13, 4);
+
+  const auto lwhile = as.NewLabel();
+  const auto ldone = as.NewLabel();
+  const auto lpart = as.NewLabel();
+  const auto lpdone = as.NewLabel();
+  const auto lnoswap = as.NewLabel();
+
+  as.Bind(lwhile);
+  as.Cmpi(13, kStack);
+  as.B(Cond::kLe, ldone);
+  // pop hi, lo
+  as.AluImm(Opcode::kSubi, 13, 13, 4);
+  as.Ldr(2, 13);
+  as.AluImm(Opcode::kSubi, 13, 13, 4);
+  as.Ldr(1, 13);
+  as.Cmp(1, 2);
+  as.B(Cond::kGe, lwhile);
+  // partition: pivot = *hi
+  as.Ldr(4, 2);
+  as.Mov(5, 1);  // store slot
+  as.Mov(6, 1);  // scan pointer
+  as.Bind(lpart);
+  as.Cmp(6, 2);
+  as.B(Cond::kGe, lpdone);
+  as.Ldr(7, 6);
+  as.Cmp(7, 4);
+  as.B(Cond::kGt, lnoswap);
+  as.Ldr(8, 5);
+  as.Str(7, 5);
+  as.Str(8, 6);
+  as.AluImm(Opcode::kAddi, 5, 5, 4);
+  as.Bind(lnoswap);
+  as.AluImm(Opcode::kAddi, 6, 6, 4);
+  as.B(Cond::kAl, lpart);
+  as.Bind(lpdone);
+  // place pivot: swap *slot, *hi
+  as.Ldr(8, 5);
+  as.Str(4, 5);
+  as.Str(8, 2);
+  // push (lo, slot-4) and (slot+4, hi)
+  as.AluImm(Opcode::kSubi, 9, 5, 4);
+  as.Str(1, 13, 4);
+  as.Str(9, 13, 4);
+  as.AluImm(Opcode::kAddi, 9, 5, 4);
+  as.Str(9, 13, 4);
+  as.Str(2, 13, 4);
+  as.B(Cond::kAl, lwhile);
+  as.Bind(ldone);
+  as.Halt();
+  return as.Finish();
+}
+
+}  // namespace
+
+sim::Workload MakeQSort(int n) {
+  sim::Workload wl;
+  wl.name = "Q Sort";
+  wl.mem_bytes = 1 << 20;
+  wl.scalar = Build(n, /*with_guard=*/false);
+  wl.autovec = Build(n, /*with_guard=*/true);
+  wl.handvec = Build(n, /*with_guard=*/false);
+  wl.loop_type_fractions = {{"non-vectorizable", 1.0}};
+
+  std::vector<std::uint32_t> a(n);
+  std::uint32_t seed = 0x9507BEEFu;
+  for (int i = 0; i < n; ++i) a[i] = XorShift(seed) % 100000;
+  std::vector<std::uint32_t> sorted = a;
+  std::sort(sorted.begin(), sorted.end());
+  wl.init = [a](mem::Memory& m) { WriteVec(m, kArr, a); };
+  wl.check = MakeCheck(kArr, sorted);
+  return wl;
+}
+
+}  // namespace dsa::workloads

@@ -1,0 +1,121 @@
+// Planar RGB -> grayscale: gray = (77*r + 151*g + 28*b) >> 8 over 16-bit
+// channels (the OpenCV conversion the dissertation benchmarks). Eight
+// lanes per NEON vector: the highest-DLP kernel of the set.
+#include "prog/assembler.h"
+#include "vectorizer/static_vectorizer.h"
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace dsa::workloads {
+
+using isa::Cond;
+using isa::Opcode;
+using isa::VecType;
+using prog::Assembler;
+
+namespace {
+
+constexpr std::uint32_t kR = 0x10000;
+constexpr std::uint32_t kG = 0x30000;
+constexpr std::uint32_t kB = 0x50000;
+constexpr std::uint32_t kGray = 0x70000;
+
+prog::Program BuildScalar(int n) {
+  Assembler as;
+  as.Movi(0, kR);
+  as.Movi(1, kG);
+  as.Movi(2, kB);
+  as.Movi(9, kGray);
+  as.Movi(10, 77);
+  as.Movi(11, 151);
+  as.Movi(12, 28);
+  as.Movi(8, 8);  // shift amount
+  as.Movi(3, n);
+  const auto loop = as.NewLabel();
+  as.Bind(loop);
+  as.Ldrh(4, 0, 2);
+  as.Ldrh(5, 1, 2);
+  as.Ldrh(6, 2, 2);
+  as.Alu(Opcode::kMul, 4, 4, 10);
+  as.Mla(4, 5, 11, 4);
+  as.Mla(4, 6, 12, 4);
+  as.Alu(Opcode::kLsr, 4, 4, 8);
+  as.Strh(4, 9, 2);
+  as.AluImm(Opcode::kSubi, 3, 3, 1);
+  as.Cmpi(3, 0);
+  as.B(Cond::kGt, loop);
+  as.Halt();
+  return as.Finish();
+}
+
+prog::Program BuildVectorized(int n, int per_chunk_overhead) {
+  Assembler as;
+  as.Movi(0, kR);
+  as.Movi(1, kG);
+  as.Movi(2, kB);
+  as.Movi(9, kGray);
+  as.Movi(10, 77);
+  as.Movi(11, 151);
+  as.Movi(12, 28);
+  as.Movi(8, 8);
+  as.Movi(3, n);
+  as.Vdup(VecType::kI16, 10, 10);  // q10 = 77
+  as.Vdup(VecType::kI16, 11, 11);  // q11 = 151
+  as.Vdup(VecType::kI16, 12, 12);  // q12 = 28
+  vectorizer::ElementwiseLoopSpec spec;
+  spec.type = VecType::kI16;
+  spec.load_regs = {0, 1, 2};  // q1=r, q2=g, q3=b
+  spec.store_regs = {9};
+  spec.count_reg = 3;
+  spec.per_chunk_overhead_instrs = per_chunk_overhead;
+  spec.vector_ops = [](Assembler& a) {
+    a.Vop(Opcode::kVmul, VecType::kI16, 8, 1, 10);
+    a.Vmla(VecType::kI16, 8, 2, 11);
+    a.Vmla(VecType::kI16, 8, 3, 12);
+    a.VShift(Opcode::kVshr, VecType::kI16, 8, 8, 8);
+  };
+  spec.scalar_ops = [](Assembler& a) {
+    a.Alu(Opcode::kMul, 8, 4, 10);
+    a.Mla(8, 5, 11, 8);
+    a.Mla(8, 6, 12, 8);
+    const int shift_reg = 7;
+    a.Movi(shift_reg, 8);
+    a.Alu(Opcode::kLsr, 8, 8, shift_reg);
+  };
+  vectorizer::EmitElementwiseLoop(as, spec);
+  as.Halt();
+  return as.Finish();
+}
+
+}  // namespace
+
+sim::Workload MakeRgbGray(int n) {
+  sim::Workload wl;
+  wl.name = "RGB-Gray";
+  wl.mem_bytes = 1 << 20;
+  wl.scalar = BuildScalar(n);
+  wl.autovec = BuildVectorized(n, 0);
+  wl.handvec = BuildVectorized(n, 8);
+  wl.loop_type_fractions = {{"count", 1.0}};
+
+  std::vector<std::uint16_t> r(n);
+  std::vector<std::uint16_t> g(n);
+  std::vector<std::uint16_t> b(n);
+  std::vector<std::uint16_t> gray(n);
+  std::uint32_t seed = 0xFEED5EEDu;
+  for (int i = 0; i < n; ++i) {
+    r[i] = static_cast<std::uint16_t>(XorShift(seed) % 256);
+    g[i] = static_cast<std::uint16_t>(XorShift(seed) % 256);
+    b[i] = static_cast<std::uint16_t>(XorShift(seed) % 256);
+    gray[i] = static_cast<std::uint16_t>((77 * r[i] + 151 * g[i] + 28 * b[i]) >> 8);
+  }
+  wl.init = [r, g, b](mem::Memory& m) {
+    WriteVec(m, kR, r);
+    WriteVec(m, kG, g);
+    WriteVec(m, kB, b);
+  };
+  wl.check = MakeCheck(kGray, gray);
+  return wl;
+}
+
+}  // namespace dsa::workloads

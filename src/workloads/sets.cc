@@ -1,0 +1,33 @@
+// Benchmark sets matching each article's evaluation section.
+#include "workloads/workloads.h"
+
+namespace dsa::workloads {
+
+std::vector<sim::Workload> Article1Set() {
+  // Fig. 12: MM 64x64, RGB-Gray, Gaussian Filter, Susan E, Q Sort, Dijkstra.
+  std::vector<sim::Workload> v;
+  v.push_back(MakeMatMul(64));
+  v.push_back(MakeRgbGray());
+  v.push_back(MakeGaussian());
+  v.push_back(MakeSusanE());
+  v.push_back(MakeQSort());
+  v.push_back(MakeDijkstra());
+  return v;
+}
+
+std::vector<sim::Workload> Article2Set() {
+  // Fig. 16 adds BitCounts to the Article 1 set.
+  std::vector<sim::Workload> v = Article1Set();
+  v.push_back(MakeBitCount());
+  return v;
+}
+
+std::vector<sim::Workload> Article3Set() {
+  // Figs. 7-9 (DATE): the full set plus the DSA-specific kernels.
+  std::vector<sim::Workload> v = Article2Set();
+  v.push_back(MakeStrCopy());
+  v.push_back(MakeShiftAdd());
+  return v;
+}
+
+}  // namespace dsa::workloads

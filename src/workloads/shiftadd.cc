@@ -1,0 +1,74 @@
+// Partial vectorization kernel (Fig. 14): a[i+dist] = a[i] + b[i] carries a
+// true cross-iteration dependency with distance `dist`. A static
+// vectorizer must reject it outright (Table 1 line 2); the DSA's CIDP
+// measures the distance and vectorizes windows of `dist` iterations.
+#include "prog/assembler.h"
+#include "vectorizer/static_vectorizer.h"
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace dsa::workloads {
+
+using isa::Cond;
+using isa::Opcode;
+using prog::Assembler;
+
+namespace {
+
+constexpr std::uint32_t kA = 0x10000;
+constexpr std::uint32_t kB = 0x50000;
+
+prog::Program BuildScalar(int n, int dist, bool with_guard) {
+  Assembler as;
+  as.Movi(0, kA);
+  as.Movi(1, kB);
+  as.Movi(2, kA + dist * 4);
+  as.Movi(3, n);
+  if (with_guard) vectorizer::EmitAutoVecGuard(as, 0, 2, 6);
+  const auto loop = as.NewLabel();
+  as.Bind(loop);
+  as.Ldr(4, 0, 4);
+  as.Ldr(5, 1, 4);
+  as.Alu(Opcode::kAdd, 6, 4, 5);
+  as.Str(6, 2, 4);
+  as.AluImm(Opcode::kSubi, 3, 3, 1);
+  as.Cmpi(3, 0);
+  as.B(Cond::kGt, loop);
+  as.Halt();
+  return as.Finish();
+}
+
+}  // namespace
+
+sim::Workload MakeShiftAdd(int n, int dist) {
+  sim::Workload wl;
+  wl.name = "ShiftAdd";
+  wl.mem_bytes = 1 << 20;
+  wl.scalar = BuildScalar(n, dist, /*with_guard=*/false);
+  wl.autovec = BuildScalar(n, dist, /*with_guard=*/true);
+  wl.handvec = BuildScalar(n, dist, /*with_guard=*/false);
+  wl.loop_type_fractions = {{"partial", 1.0}};
+
+  std::vector<std::int32_t> a(n + dist);
+  std::vector<std::int32_t> b(n);
+  std::uint32_t seed = 0x5111F7ADu;
+  for (int i = 0; i < n + dist; ++i) {
+    a[i] = static_cast<std::int32_t>(XorShift(seed) % 1000);
+  }
+  for (int i = 0; i < n; ++i) {
+    b[i] = static_cast<std::int32_t>(XorShift(seed) % 1000);
+  }
+  std::vector<std::int32_t> expect = a;
+  for (int i = 0; i < n; ++i) {
+    expect[i + dist] = expect[i] + b[i];  // sequential semantics
+  }
+  auto a0 = a;
+  wl.init = [a0, b](mem::Memory& m) {
+    WriteVec(m, kA, a0);
+    WriteVec(m, kB, b);
+  };
+  wl.check = MakeCheck(kA, expect);
+  return wl;
+}
+
+}  // namespace dsa::workloads

@@ -1,0 +1,81 @@
+// Sentinel loop (Section 4.6.5): copy a NUL-terminated byte string while
+// doubling each byte's value, stopping on the terminator. The trip count is
+// computed *by the loop itself*, so neither the compiler nor a library
+// hand-coder can size the vectors; the DSA speculates a range, executes it
+// on NEON, and lets the ARM core finish the tail.
+#include "prog/assembler.h"
+#include "vectorizer/static_vectorizer.h"
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace dsa::workloads {
+
+using isa::Cond;
+using isa::Opcode;
+using prog::Assembler;
+
+namespace {
+
+constexpr std::uint32_t kSrc = 0x10000;
+constexpr std::uint32_t kDst = 0x40000;
+
+prog::Program BuildScalar() {
+  Assembler as;
+  as.Movi(0, kSrc);
+  as.Movi(1, kDst);
+  as.Movi(10, 1);  // shift amount for *2
+  const auto loop = as.NewLabel();
+  as.Bind(loop);
+  as.Ldrb(4, 0, 1);
+  as.Alu(Opcode::kLsl, 5, 4, 10);
+  as.Strb(5, 1, 1);
+  as.Cmpi(4, 0);
+  as.B(Cond::kNe, loop);
+  as.Halt();
+  return as.Finish();
+}
+
+}  // namespace
+
+sim::Workload MakeStrCopy(int length) {
+  sim::Workload wl;
+  wl.name = "StrCopy";
+  wl.mem_bytes = 1 << 20;
+  wl.scalar = BuildScalar();
+  // Neither static technique can vectorize a sentinel loop: both ship the
+  // scalar loop; the auto-vectorizer additionally pays its guard check.
+  {
+    Assembler as;
+    as.Movi(0, kSrc);
+    as.Movi(1, kDst);
+    as.Movi(10, 1);
+    vectorizer::EmitAutoVecGuard(as, 0, 1, 6);
+    const auto loop = as.NewLabel();
+    as.Bind(loop);
+    as.Ldrb(4, 0, 1);
+    as.Alu(Opcode::kLsl, 5, 4, 10);
+    as.Strb(5, 1, 1);
+    as.Cmpi(4, 0);
+    as.B(Cond::kNe, loop);
+    as.Halt();
+    wl.autovec = as.Finish();
+  }
+  wl.handvec = BuildScalar();
+  wl.loop_type_fractions = {{"sentinel", 1.0}};
+
+  std::vector<std::uint8_t> src(length + 1);
+  std::vector<std::uint8_t> dst(length + 1);
+  std::uint32_t seed = 0x57C0F9EEu;
+  for (int i = 0; i < length; ++i) {
+    src[i] = static_cast<std::uint8_t>(1 + XorShift(seed) % 100);
+  }
+  src[length] = 0;
+  for (int i = 0; i <= length; ++i) {
+    dst[i] = static_cast<std::uint8_t>(src[i] << 1);
+  }
+  wl.init = [src](mem::Memory& m) { WriteVec(m, kSrc, src); };
+  wl.check = MakeCheck(kDst, dst);
+  return wl;
+}
+
+}  // namespace dsa::workloads

@@ -1,0 +1,191 @@
+// Susan edges, reduced to its two characteristic passes over 16-bit data:
+//   pass 1 (count loop):        diff[i] = |img[i] - blur[i]|
+//   pass 2 (conditional loop):  out[i] = diff[i] > t ? 255 : 0
+// Pass 2 is the if/else loop static vectorizers struggle with (Table 1
+// line 12); the DSA maps and speculates it (Section 4.6.4), and the
+// hand-coded variant blends both arms with a mask.
+#include "prog/assembler.h"
+#include "vectorizer/static_vectorizer.h"
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace dsa::workloads {
+
+using isa::Cond;
+using isa::Opcode;
+using isa::VecType;
+using prog::Assembler;
+
+namespace {
+
+constexpr std::uint32_t kImg = 0x10000;
+constexpr std::uint32_t kBlur = 0x30000;
+constexpr std::uint32_t kDiff = 0x50000;
+constexpr std::uint32_t kOut = 0x70000;
+
+void EmitScalarPass1(Assembler& as, int n) {
+  as.Movi(0, kImg);
+  as.Movi(1, kBlur);
+  as.Movi(2, kDiff);
+  as.Movi(3, n);
+  const auto loop = as.NewLabel();
+  as.Bind(loop);
+  as.Ldrh(4, 0, 2);
+  as.Ldrh(5, 1, 2);
+  as.Alu(Opcode::kMax, 6, 4, 5);
+  as.Alu(Opcode::kMin, 7, 4, 5);
+  as.Alu(Opcode::kSub, 6, 6, 7);
+  as.Strh(6, 2, 2);
+  as.AluImm(Opcode::kSubi, 3, 3, 1);
+  as.Cmpi(3, 0);
+  as.B(Cond::kGt, loop);
+}
+
+void EmitScalarPass2(Assembler& as, int n, int threshold) {
+  as.Movi(0, kDiff);
+  as.Movi(1, kOut);
+  as.Movi(10, threshold);
+  as.Movi(11, 255);
+  as.Movi(12, 0);
+  as.Movi(3, n);
+  const auto loop = as.NewLabel();
+  const auto not_edge = as.NewLabel();
+  const auto next = as.NewLabel();
+  as.Bind(loop);
+  as.Ldrh(4, 0, 2);
+  as.Cmp(4, 10);
+  as.B(Cond::kLe, not_edge);
+  as.Strh(11, 1, 2);  // edge
+  as.B(Cond::kAl, next);
+  as.Bind(not_edge);
+  as.Strh(12, 1, 2);  // background
+  as.Bind(next);
+  as.AluImm(Opcode::kSubi, 3, 3, 1);
+  as.Cmpi(3, 0);
+  as.B(Cond::kGt, loop);
+}
+
+prog::Program BuildScalar(int n, int threshold) {
+  Assembler as;
+  EmitScalarPass1(as, n);
+  EmitScalarPass2(as, n, threshold);
+  as.Halt();
+  return as.Finish();
+}
+
+void EmitVectorPass1(Assembler& as, int n, int overhead) {
+  as.Movi(0, kImg);
+  as.Movi(1, kBlur);
+  as.Movi(2, kDiff);
+  as.Movi(3, n);
+  vectorizer::ElementwiseLoopSpec spec;
+  spec.type = VecType::kI16;
+  spec.load_regs = {0, 1};
+  spec.store_regs = {2};
+  spec.count_reg = 3;
+  spec.per_chunk_overhead_instrs = overhead;
+  spec.vector_ops = [](Assembler& a) {
+    a.Vop(Opcode::kVmax, VecType::kI16, 8, 1, 2);
+    a.Vop(Opcode::kVmin, VecType::kI16, 9, 1, 2);
+    a.Vop(Opcode::kVsub, VecType::kI16, 8, 8, 9);
+  };
+  spec.scalar_ops = [](Assembler& a) {
+    a.Alu(Opcode::kMax, 8, 4, 5);
+    a.Alu(Opcode::kMin, 7, 4, 5);
+    a.Alu(Opcode::kSub, 8, 8, 7);
+  };
+  vectorizer::EmitElementwiseLoop(as, spec);
+}
+
+// Hand-coded masked thresholding: computes the mask with vcgt and blends
+// 255/0 with vbsl — what an ARM-library expert writes for pass 2.
+void EmitHandVectorPass2(Assembler& as, int n, int threshold, int overhead) {
+  as.Movi(0, kDiff);
+  as.Movi(1, kOut);
+  as.Movi(10, threshold);
+  as.Movi(11, 255);
+  as.Movi(12, 0);
+  as.Movi(3, n);
+  as.Vdup(VecType::kI16, 10, 10);
+  as.Vdup(VecType::kI16, 11, 11);
+  as.Vdup(VecType::kI16, 12, 12);
+  vectorizer::ElementwiseLoopSpec spec;
+  spec.type = VecType::kI16;
+  spec.load_regs = {0};
+  spec.store_regs = {1};
+  spec.count_reg = 3;
+  spec.per_chunk_overhead_instrs = overhead;
+  spec.vector_ops = [](Assembler& a) {
+    a.Vop(Opcode::kVcgt, VecType::kI16, 8, 1, 10);  // mask = diff > t
+    a.Vbsl(8, 11, 12);                              // 255 where mask else 0
+  };
+  spec.scalar_ops = [](Assembler& a) {
+    // branchless scalar tail: (diff > t) ? 255 : 0 via min/max trickery
+    const auto then_l = a.NewLabel();
+    const auto done_l = a.NewLabel();
+    a.Cmp(4, 10);
+    a.B(Cond::kGt, then_l);
+    a.Mov(8, 12);
+    a.B(Cond::kAl, done_l);
+    a.Bind(then_l);
+    a.Mov(8, 11);
+    a.Bind(done_l);
+  };
+  vectorizer::EmitElementwiseLoop(as, spec);
+}
+
+prog::Program BuildAutoVec(int n, int threshold) {
+  // The compiler vectorizes pass 1 but leaves the if/else of pass 2 scalar,
+  // after emitting its failed-vectorization guard sequence.
+  Assembler as;
+  EmitVectorPass1(as, n, /*overhead=*/0);
+  vectorizer::EmitAutoVecGuard(as, 0, 1, 6);
+  EmitScalarPass2(as, n, threshold);
+  as.Halt();
+  return as.Finish();
+}
+
+prog::Program BuildHandVec(int n, int threshold) {
+  Assembler as;
+  EmitVectorPass1(as, n, /*overhead=*/8);
+  EmitHandVectorPass2(as, n, threshold, /*overhead=*/8);
+  as.Halt();
+  return as.Finish();
+}
+
+}  // namespace
+
+sim::Workload MakeSusanE(int n, int threshold) {
+  sim::Workload wl;
+  wl.name = "Susan E";
+  wl.mem_bytes = 1 << 20;
+  wl.scalar = BuildScalar(n, threshold);
+  wl.autovec = BuildAutoVec(n, threshold);
+  wl.handvec = BuildHandVec(n, threshold);
+  wl.loop_type_fractions = {{"count", 0.5}, {"conditional", 0.5}};
+
+  std::vector<std::uint16_t> img(n);
+  std::vector<std::uint16_t> blur(n);
+  std::vector<std::uint16_t> diff(n);
+  std::vector<std::uint16_t> out(n);
+  std::uint32_t seed = 0x5A5A1234u;
+  for (int i = 0; i < n; ++i) {
+    img[i] = static_cast<std::uint16_t>(XorShift(seed) % 256);
+    blur[i] = static_cast<std::uint16_t>(XorShift(seed) % 256);
+    diff[i] = static_cast<std::uint16_t>(
+        img[i] > blur[i] ? img[i] - blur[i] : blur[i] - img[i]);
+    out[i] = diff[i] > threshold ? 255 : 0;
+  }
+  wl.init = [img, blur](mem::Memory& m) {
+    WriteVec(m, kImg, img);
+    WriteVec(m, kBlur, blur);
+  };
+  auto check_diff = MakeCheck(kDiff, diff);
+  auto check_out = MakeCheck(kOut, out);
+  wl.check = [check_diff, check_out](const mem::Memory& m) {
+    return check_diff(m) && check_out(m);
+  };
+  return wl;
+}
+
+}  // namespace dsa::workloads

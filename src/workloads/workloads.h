@@ -1,0 +1,54 @@
+// Benchmark factory functions. The set mirrors the dissertation's MiBench /
+// OpenCV selection (Table 2 of Article 1, Fig. 16 of Article 2, Figs. 7-9
+// of Article 3) plus two kernels that exercise DSA-specific machinery:
+// a sentinel-loop string copy and a partial-vectorization shift-add.
+#pragma once
+
+#include <vector>
+
+#include "sim/workload.h"
+
+namespace dsa::workloads {
+
+// Simple float vector sum: the paper's running example (Fig. 15).
+[[nodiscard]] sim::Workload MakeVecAdd(int n = 4096);
+
+// 64x64 integer matrix multiply (MiBench-style MM), i-k-j order so the
+// innermost loop streams over rows of B and C.
+[[nodiscard]] sim::Workload MakeMatMul(int dim = 64);
+
+// Planar RGB to grayscale over 16-bit channels (OpenCV RGB-Gray).
+[[nodiscard]] sim::Workload MakeRgbGray(int n = 32768);
+
+// 2-D image smoothing: per row, a 3-tap [1 2 1]/4 kernel (OpenCV Gaussian
+// reduced to its separable horizontal pass); rows form an outer loop.
+[[nodiscard]] sim::Workload MakeGaussian(int width = 128, int height = 96);
+
+// Susan edges, reduced to its two characteristic passes: absolute
+// difference (count loop) + thresholding (conditional loop).
+[[nodiscard]] sim::Workload MakeSusanE(int n = 16384, int threshold = 48);
+
+// Iterative quicksort (MiBench QSort): data-dependent control, no DLP.
+[[nodiscard]] sim::Workload MakeQSort(int n = 2048);
+
+// Dijkstra on a dense graph (MiBench): min-scan (carry-around, scalar) +
+// relaxation (conditional loop, vectorizable only at runtime).
+[[nodiscard]] sim::Workload MakeDijkstra(int nodes = 64);
+
+// SWAR population count over an array whose length is read from memory at
+// runtime (MiBench BitCount as a dynamic-range loop).
+[[nodiscard]] sim::Workload MakeBitCount(int n = 8192);
+
+// Sentinel loop: copy-and-scale a NUL-terminated byte string.
+[[nodiscard]] sim::Workload MakeStrCopy(int length = 6000);
+
+// Partial vectorization: a[i+dist] = a[i] + b[i], a true cross-iteration
+// dependency with distance `dist` (Fig. 14).
+[[nodiscard]] sim::Workload MakeShiftAdd(int n = 4096, int dist = 8);
+
+// The benchmark sets used by each article's evaluation.
+[[nodiscard]] std::vector<sim::Workload> Article1Set();  // Fig. 12
+[[nodiscard]] std::vector<sim::Workload> Article2Set();  // Fig. 16
+[[nodiscard]] std::vector<sim::Workload> Article3Set();  // Figs. 7-9
+
+}  // namespace dsa::workloads

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "prog/assembler.h"
+
+namespace dsa::prog {
+namespace {
+
+using isa::Cond;
+using isa::Opcode;
+
+TEST(Assembler, BackwardBranchResolves) {
+  Assembler as;
+  const auto top = as.NewLabel();
+  as.Bind(top);
+  as.Nop();
+  as.B(Cond::kAl, top);
+  const Program p = as.Finish();
+  EXPECT_EQ(p.at(1).op, Opcode::kB);
+  EXPECT_EQ(p.at(1).imm, 0);
+}
+
+TEST(Assembler, ForwardBranchFixup) {
+  Assembler as;
+  const auto skip = as.NewLabel();
+  as.B(Cond::kAl, skip);
+  as.Nop();
+  as.Nop();
+  as.Bind(skip);
+  as.Halt();
+  const Program p = as.Finish();
+  EXPECT_EQ(p.at(0).imm, 3);
+}
+
+TEST(Assembler, MultipleBranchesToSameLabel) {
+  Assembler as;
+  const auto l = as.NewLabel();
+  as.B(Cond::kEq, l);
+  as.B(Cond::kNe, l);
+  as.Bind(l);
+  as.Halt();
+  const Program p = as.Finish();
+  EXPECT_EQ(p.at(0).imm, 2);
+  EXPECT_EQ(p.at(1).imm, 2);
+}
+
+TEST(Assembler, UnboundLabelThrows) {
+  Assembler as;
+  const auto l = as.NewLabel();
+  as.B(Cond::kAl, l);
+  EXPECT_THROW(as.Finish(), std::logic_error);
+}
+
+TEST(Assembler, DoubleBindThrows) {
+  Assembler as;
+  const auto l = as.NewLabel();
+  as.Bind(l);
+  EXPECT_THROW(as.Bind(l), std::logic_error);
+}
+
+TEST(Assembler, UnknownLabelThrows) {
+  Assembler as;
+  EXPECT_THROW(as.Bind(42), std::out_of_range);
+}
+
+TEST(Assembler, BlUsesFixups) {
+  Assembler as;
+  as.Movi(0, 1);
+  const auto fn = as.NewLabel();
+  as.Bl(fn);
+  as.Halt();
+  as.Bind(fn);
+  as.Ret();
+  const Program p = as.Finish();
+  EXPECT_EQ(p.at(1).op, Opcode::kBl);
+  EXPECT_EQ(p.at(1).imm, 3);
+}
+
+TEST(Assembler, VectorHelpersSetWriteback) {
+  Assembler as;
+  as.Vld1(isa::VecType::kI16, 1, 0);
+  as.Vld1(isa::VecType::kI16, 2, 0, /*writeback=*/false);
+  as.VldLane(isa::VecType::kI8, 3, 5, 0);
+  const Program p = as.Finish();
+  EXPECT_EQ(p.at(0).post_inc, 16);
+  EXPECT_EQ(p.at(1).post_inc, 0);
+  EXPECT_EQ(p.at(2).post_inc, 1);  // one i8 lane
+  EXPECT_EQ(p.at(2).imm, 5);      // lane index
+}
+
+TEST(Assembler, MlaCarriesAccumulator) {
+  Assembler as;
+  as.Mla(3, 4, 5, 6);
+  const Program p = as.Finish();
+  EXPECT_EQ(p.at(0).ra, 6);
+}
+
+TEST(Assembler, VmlaAccumulatesIntoDestination) {
+  Assembler as;
+  as.Vmla(isa::VecType::kI32, 8, 1, 2);
+  const Program p = as.Finish();
+  EXPECT_EQ(p.at(0).ra, 8);
+}
+
+TEST(Program, DisassembleListsEveryPc) {
+  Assembler as;
+  as.Movi(0, 7);
+  as.Halt();
+  const Program p = as.Finish();
+  const std::string d = p.Disassemble();
+  EXPECT_NE(d.find("0:\tmovi r0, #7"), std::string::npos);
+  EXPECT_NE(d.find("1:\thalt"), std::string::npos);
+}
+
+TEST(Program, AtThrowsPastEnd) {
+  Program p;
+  EXPECT_THROW(static_cast<void>(p.at(0)), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace dsa::prog

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "mem/cache.h"
+
+namespace dsa::mem {
+namespace {
+
+CacheConfig TinyCache() {
+  // 4 sets x 2 ways x 16-byte lines = 128 bytes.
+  return CacheConfig{128, 16, 2, 1};
+}
+
+TEST(Cache, ColdMissThenHit) {
+  Cache c(TinyCache());
+  EXPECT_FALSE(c.Access(0x40));
+  EXPECT_TRUE(c.Access(0x40));
+  EXPECT_TRUE(c.Access(0x4F));  // same line
+  EXPECT_EQ(c.stats().hits, 2u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, SetIndexingSeparatesLines) {
+  Cache c(TinyCache());
+  // Lines 0x00 and 0x10 map to different sets: both fit simultaneously.
+  c.Access(0x00);
+  c.Access(0x10);
+  EXPECT_TRUE(c.Probe(0x00));
+  EXPECT_TRUE(c.Probe(0x10));
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed) {
+  Cache c(TinyCache());
+  // Set 0 lines: stride = 4 sets * 16B = 64.
+  c.Access(0x000);  // A
+  c.Access(0x040);  // B  (set 0 now full)
+  c.Access(0x000);  // touch A -> B is LRU
+  c.Access(0x080);  // C evicts B
+  EXPECT_TRUE(c.Probe(0x000));
+  EXPECT_FALSE(c.Probe(0x040));
+  EXPECT_TRUE(c.Probe(0x080));
+}
+
+TEST(Cache, LruStackProperty) {
+  // With W ways, accessing W distinct lines in a set keeps them all; the
+  // (W+1)-th unique line evicts exactly the least recently used.
+  for (std::uint32_t ways : {2u, 4u, 8u}) {
+    Cache c(CacheConfig{ways * 16, 16, ways, 1});  // one set
+    for (std::uint32_t i = 0; i < ways; ++i) c.Access(i * 16);
+    for (std::uint32_t i = 0; i < ways; ++i) {
+      EXPECT_TRUE(c.Probe(i * 16)) << "ways=" << ways << " line " << i;
+    }
+    c.Access(ways * 16);  // one beyond capacity
+    EXPECT_FALSE(c.Probe(0));
+    for (std::uint32_t i = 1; i <= ways; ++i) EXPECT_TRUE(c.Probe(i * 16));
+  }
+}
+
+TEST(Cache, FlushInvalidatesEverything) {
+  Cache c(TinyCache());
+  c.Access(0x00);
+  c.Flush();
+  EXPECT_FALSE(c.Probe(0x00));
+}
+
+TEST(Cache, BadConfigThrows) {
+  EXPECT_THROW(Cache(CacheConfig{100, 24, 2, 1}), std::invalid_argument);
+  EXPECT_THROW(Cache(CacheConfig{128, 16, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(Cache(CacheConfig{0, 16, 2, 1}), std::invalid_argument);
+}
+
+TEST(Cache, DefaultTable4Geometry) {
+  Cache l1(CacheConfig{64 * 1024, 64, 4, 1});
+  EXPECT_EQ(l1.num_sets(), 256u);
+  Cache l2(CacheConfig{512 * 1024, 64, 8, 8});
+  EXPECT_EQ(l2.num_sets(), 1024u);
+}
+
+class HierarchyTest : public ::testing::Test {
+ protected:
+  Hierarchy::Config NoPrefetch() {
+    Hierarchy::Config c;
+    c.next_line_prefetch = false;
+    return c;
+  }
+};
+
+TEST_F(HierarchyTest, LatencyTiers) {
+  Hierarchy h(NoPrefetch());
+  const auto cfg = NoPrefetch();
+  // Cold: L1 miss + L2 miss -> DRAM.
+  EXPECT_EQ(h.Access(0x1000),
+            cfg.l1.hit_latency + cfg.l2.hit_latency + cfg.dram_latency);
+  // Warm: L1 hit.
+  EXPECT_EQ(h.Access(0x1000), cfg.l1.hit_latency);
+  EXPECT_EQ(h.dram_accesses(), 1u);
+}
+
+TEST_F(HierarchyTest, L2HitAfterL1Eviction) {
+  Hierarchy::Config cfg = NoPrefetch();
+  cfg.l1 = CacheConfig{128, 64, 1, 1};  // 2 sets, direct-mapped: tiny L1
+  Hierarchy h(cfg);
+  h.Access(0x0000);
+  h.Access(0x0080);  // evicts 0x0000 from L1 (same set), stays in L2
+  EXPECT_EQ(h.Access(0x0000), cfg.l1.hit_latency + cfg.l2.hit_latency);
+}
+
+TEST_F(HierarchyTest, RangeStraddlingTwoLines) {
+  Hierarchy h(NoPrefetch());
+  const std::uint32_t lat = h.AccessRange(60, 8);  // crosses 64B boundary
+  // Two cold accesses.
+  const auto cfg = NoPrefetch();
+  EXPECT_EQ(lat, 2 * (cfg.l1.hit_latency + cfg.l2.hit_latency +
+                      cfg.dram_latency));
+}
+
+TEST_F(HierarchyTest, PrefetchMakesNextLineHit) {
+  Hierarchy::Config cfg;
+  cfg.next_line_prefetch = true;
+  Hierarchy h(cfg);
+  h.Access(0x0000);                                // miss, prefetches 0x40
+  EXPECT_EQ(h.Access(0x0040), cfg.l1.hit_latency);  // prefetched
+}
+
+TEST_F(HierarchyTest, SequentialStreamMostlyHitsWithPrefetch) {
+  Hierarchy::Config cfg;
+  cfg.next_line_prefetch = true;
+  Hierarchy h(cfg);
+  std::uint64_t total = 0;
+  for (std::uint32_t a = 0; a < 64 * 64; a += 4) total += h.Access(a);
+  // 64 lines; at most half should miss all the way to DRAM.
+  EXPECT_LT(h.l1().stats().miss_rate(), 0.1);
+}
+
+}  // namespace
+}  // namespace dsa::mem

@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include "cpu/cpu.h"
+#include "prog/assembler.h"
+
+namespace dsa::cpu {
+namespace {
+
+using isa::Cond;
+using isa::Opcode;
+using prog::Assembler;
+
+struct Rig {
+  explicit Rig(prog::Program p, std::size_t mem = 1 << 16)
+      : program(std::move(p)),
+        memory(mem),
+        hierarchy(mem::Hierarchy::Config{}),
+        cpu(program, memory, hierarchy) {}
+
+  void RunToHalt(int max_steps = 100000) {
+    int n = 0;
+    while (!cpu.halted() && ++n < max_steps) cpu.Step();
+    ASSERT_TRUE(cpu.halted()) << "program did not halt";
+  }
+
+  prog::Program program;
+  mem::Memory memory;
+  mem::Hierarchy hierarchy;
+  Cpu cpu;
+};
+
+TEST(CpuAlu, BasicArithmetic) {
+  Assembler as;
+  as.Movi(1, 20);
+  as.Movi(2, 22);
+  as.Alu(Opcode::kAdd, 0, 1, 2);
+  as.Alu(Opcode::kSub, 3, 1, 2);
+  as.Alu(Opcode::kMul, 4, 1, 2);
+  as.AluImm(Opcode::kRsb, 5, 1, 100);
+  as.Halt();
+  Rig rig(as.Finish());
+  rig.RunToHalt();
+  EXPECT_EQ(rig.cpu.state().regs[0], 42u);
+  EXPECT_EQ(rig.cpu.state().regs[3], static_cast<std::uint32_t>(-2));
+  EXPECT_EQ(rig.cpu.state().regs[4], 440u);
+  EXPECT_EQ(rig.cpu.state().regs[5], 80u);
+}
+
+TEST(CpuAlu, DivisionByZeroYieldsZero) {
+  Assembler as;
+  as.Movi(1, 7);
+  as.Movi(2, 0);
+  as.Alu(Opcode::kSdiv, 0, 1, 2);
+  as.Halt();
+  Rig rig(as.Finish());
+  rig.RunToHalt();
+  EXPECT_EQ(rig.cpu.state().regs[0], 0u);
+}
+
+TEST(CpuAlu, SignedDivisionAndShifts) {
+  Assembler as;
+  as.Movi(1, -20);
+  as.Movi(2, 4);
+  as.Alu(Opcode::kSdiv, 0, 1, 2);
+  as.Alu(Opcode::kAsr, 3, 1, 2);
+  as.Alu(Opcode::kLsr, 4, 1, 2);
+  as.Halt();
+  Rig rig(as.Finish());
+  rig.RunToHalt();
+  EXPECT_EQ(static_cast<std::int32_t>(rig.cpu.state().regs[0]), -5);
+  EXPECT_EQ(static_cast<std::int32_t>(rig.cpu.state().regs[3]), -2);
+  EXPECT_EQ(rig.cpu.state().regs[4], 0x0FFFFFFEu);
+}
+
+TEST(CpuAlu, MinMaxAreSigned) {
+  Assembler as;
+  as.Movi(1, -5);
+  as.Movi(2, 3);
+  as.Alu(Opcode::kMin, 0, 1, 2);
+  as.Alu(Opcode::kMax, 3, 1, 2);
+  as.Halt();
+  Rig rig(as.Finish());
+  rig.RunToHalt();
+  EXPECT_EQ(static_cast<std::int32_t>(rig.cpu.state().regs[0]), -5);
+  EXPECT_EQ(rig.cpu.state().regs[3], 3u);
+}
+
+TEST(CpuFloat, ArithmeticOnScalarRegs) {
+  Assembler as;
+  as.Movi(1, 0x40490FDB);  // ~pi
+  as.Movi(2, 0x40000000);  // 2.0
+  as.Alu(Opcode::kFmul, 0, 1, 2);
+  as.Alu(Opcode::kFdiv, 3, 1, 2);
+  as.Halt();
+  Rig rig(as.Finish());
+  rig.RunToHalt();
+  float f;
+  std::uint32_t bits = rig.cpu.state().regs[0];
+  std::memcpy(&f, &bits, 4);
+  EXPECT_NEAR(f, 6.2831f, 1e-3);
+  bits = rig.cpu.state().regs[3];
+  std::memcpy(&f, &bits, 4);
+  EXPECT_NEAR(f, 1.5708f, 1e-3);
+}
+
+TEST(CpuMemory, LoadStoreAllWidthsWithPostIncrement) {
+  Assembler as;
+  as.Movi(0, 0x100);
+  as.Movi(1, 0xAB);
+  as.Strb(1, 0, 1);
+  as.Movi(1, 0x1234);
+  as.Strh(1, 0, 2);
+  as.Movi(1, 0xDEADBEEF);
+  as.Str(1, 0, 4);
+  as.Movi(0, 0x100);
+  as.Ldrb(2, 0, 1);
+  as.Ldrh(3, 0, 2);
+  as.Ldr(4, 0, 4);
+  as.Halt();
+  Rig rig(as.Finish());
+  rig.RunToHalt();
+  EXPECT_EQ(rig.cpu.state().regs[2], 0xABu);
+  EXPECT_EQ(rig.cpu.state().regs[3], 0x1234u);
+  EXPECT_EQ(rig.cpu.state().regs[4], 0xDEADBEEFu);
+  EXPECT_EQ(rig.cpu.state().regs[0], 0x107u);
+}
+
+TEST(CpuMemory, LoadWithOffsetDoesNotMoveBase) {
+  Assembler as;
+  as.Movi(0, 0x100);
+  as.Movi(1, 77);
+  as.Str(1, 0, 0, 8);  // mem[0x108] = 77
+  as.Ldr(2, 0, 0, 8);
+  as.Halt();
+  Rig rig(as.Finish());
+  rig.RunToHalt();
+  EXPECT_EQ(rig.cpu.state().regs[2], 77u);
+  EXPECT_EQ(rig.cpu.state().regs[0], 0x100u);
+}
+
+class CondBranch : public ::testing::TestWithParam<
+                       std::tuple<Cond, int, int, bool>> {};
+
+TEST_P(CondBranch, TakenMatchesComparison) {
+  const auto [cond, lhs, rhs, expect_taken] = GetParam();
+  Assembler as;
+  as.Movi(1, lhs);
+  as.Movi(2, rhs);
+  as.Cmp(1, 2);
+  const auto taken = as.NewLabel();
+  as.B(cond, taken);
+  as.Movi(0, 1);  // fall-through marker
+  as.Halt();
+  as.Bind(taken);
+  as.Movi(0, 2);  // taken marker
+  as.Halt();
+  Rig rig(as.Finish());
+  rig.RunToHalt();
+  EXPECT_EQ(rig.cpu.state().regs[0], expect_taken ? 2u : 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CondBranch,
+    ::testing::Values(
+        std::make_tuple(Cond::kEq, 5, 5, true),
+        std::make_tuple(Cond::kEq, 5, 6, false),
+        std::make_tuple(Cond::kNe, 5, 6, true),
+        std::make_tuple(Cond::kNe, 5, 5, false),
+        std::make_tuple(Cond::kLt, -1, 0, true),
+        std::make_tuple(Cond::kLt, 0, 0, false),
+        std::make_tuple(Cond::kGe, 0, 0, true),
+        std::make_tuple(Cond::kGe, -2, -1, false),
+        std::make_tuple(Cond::kGt, 7, 3, true),
+        std::make_tuple(Cond::kGt, 3, 3, false),
+        std::make_tuple(Cond::kLe, 3, 3, true),
+        std::make_tuple(Cond::kLe, 4, 3, false),
+        std::make_tuple(Cond::kAl, 0, 9, true)));
+
+TEST(CpuControl, CallAndReturn) {
+  Assembler as;
+  const auto fn = as.NewLabel();
+  as.Movi(0, 1);
+  as.Bl(fn);
+  as.Movi(2, 3);  // after return
+  as.Halt();
+  as.Bind(fn);
+  as.Movi(1, 2);
+  as.Ret();
+  Rig rig(as.Finish());
+  rig.RunToHalt();
+  EXPECT_EQ(rig.cpu.state().regs[0], 1u);
+  EXPECT_EQ(rig.cpu.state().regs[1], 2u);
+  EXPECT_EQ(rig.cpu.state().regs[2], 3u);
+}
+
+TEST(CpuControl, LoopRunsExactCount) {
+  Assembler as;
+  as.Movi(0, 0);
+  as.Movi(3, 10);
+  const auto top = as.NewLabel();
+  as.Bind(top);
+  as.AluImm(Opcode::kAddi, 0, 0, 1);
+  as.AluImm(Opcode::kSubi, 3, 3, 1);
+  as.Cmpi(3, 0);
+  as.B(Cond::kGt, top);
+  as.Halt();
+  Rig rig(as.Finish());
+  rig.RunToHalt();
+  EXPECT_EQ(rig.cpu.state().regs[0], 10u);
+}
+
+TEST(CpuVector, InlineVectorAddRoundTrip) {
+  Assembler as;
+  as.Movi(0, 0x100);
+  as.Movi(1, 0x200);
+  as.Movi(2, 0x300);
+  as.Vld1(isa::VecType::kI32, 1, 0);
+  as.Vld1(isa::VecType::kI32, 2, 1);
+  as.Vop(Opcode::kVadd, isa::VecType::kI32, 8, 1, 2);
+  as.Vst1(isa::VecType::kI32, 8, 2);
+  as.Halt();
+  Rig rig(as.Finish());
+  for (int i = 0; i < 4; ++i) {
+    rig.memory.Write32(0x100 + 4 * i, 10 + i);
+    rig.memory.Write32(0x200 + 4 * i, 100 * i);
+  }
+  rig.RunToHalt();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(rig.memory.Read32(0x300 + 4 * i),
+              static_cast<std::uint32_t>(10 + i + 100 * i));
+  }
+  EXPECT_EQ(rig.cpu.state().regs[0], 0x110u);  // post-incremented
+}
+
+TEST(CpuVector, LaneMovesBetweenFiles) {
+  Assembler as;
+  as.Movi(1, 0xCAFE);
+  as.VmovFromScalar(isa::VecType::kI32, 5, 2, 1);
+  as.VmovToScalar(isa::VecType::kI32, 3, 5, 2);
+  as.Halt();
+  Rig rig(as.Finish());
+  rig.RunToHalt();
+  EXPECT_EQ(rig.cpu.state().regs[3], 0xCAFEu);
+}
+
+TEST(CpuTiming, CyclesGrowWithWork) {
+  Assembler as;
+  for (int i = 0; i < 100; ++i) as.Nop();
+  as.Halt();
+  Rig rig(as.Finish());
+  rig.RunToHalt();
+  // 2-wide: 101 instructions need at least 51 issue cycles.
+  EXPECT_GE(rig.cpu.Cycles(), 50u);
+  EXPECT_EQ(rig.cpu.stats().retired_total, 101u);
+}
+
+TEST(CpuTiming, MispredictsAreCounted) {
+  // Alternating taken/not-taken data-dependent branch.
+  Assembler as;
+  as.Movi(0, 0);
+  as.Movi(3, 64);
+  const auto top = as.NewLabel();
+  const auto skip = as.NewLabel();
+  as.Bind(top);
+  as.AluImm(Opcode::kAndi, 1, 0, 1);
+  as.Cmpi(1, 0);
+  as.B(Cond::kEq, skip);
+  as.Nop();
+  as.Bind(skip);
+  as.AluImm(Opcode::kAddi, 0, 0, 1);
+  as.AluImm(Opcode::kSubi, 3, 3, 1);
+  as.Cmpi(3, 0);
+  as.B(Cond::kGt, top);
+  as.Halt();
+  Rig rig(as.Finish());
+  rig.RunToHalt();
+  EXPECT_GT(rig.cpu.stats().mispredicts, 10u);
+  EXPECT_GT(rig.cpu.stats().branches, 64u);
+}
+
+TEST(CpuTiming, MemStallsSeparateFromOtherStalls) {
+  Assembler as;
+  as.Movi(0, 0x4000);
+  as.Ldr(1, 0);  // cold miss
+  as.Halt();
+  Rig rig(as.Finish());
+  rig.RunToHalt();
+  EXPECT_GT(rig.cpu.stats().mem_stall_cycles, 0u);
+}
+
+TEST(CpuLifecycle, HaltsAtProgramEnd) {
+  Assembler as;
+  as.Nop();
+  Rig rig(as.Finish());
+  rig.cpu.Step();
+  EXPECT_TRUE(rig.cpu.halted());
+  // Further steps are no-ops.
+  const auto r = rig.cpu.Step();
+  EXPECT_EQ(r.instr, nullptr);
+}
+
+}  // namespace
+}  // namespace dsa::cpu

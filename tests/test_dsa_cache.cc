@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "engine/dsa_cache.h"
+
+namespace dsa::engine {
+namespace {
+
+LoopRecord Rec(std::uint32_t id) {
+  LoopRecord r;
+  r.loop_id = id;
+  r.cls = LoopClass::kCount;
+  return r;
+}
+
+TEST(DsaCache, MissThenHit) {
+  DsaCache c(4);
+  EXPECT_EQ(c.Lookup(10), nullptr);
+  c.Insert(Rec(10));
+  const LoopRecord* r = c.Lookup(10);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->loop_id, 10u);
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(DsaCache, InsertReplacesExisting) {
+  DsaCache c(4);
+  c.Insert(Rec(10));
+  LoopRecord r2 = Rec(10);
+  r2.cls = LoopClass::kSentinel;
+  c.Insert(r2);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.Lookup(10)->cls, LoopClass::kSentinel);
+}
+
+TEST(DsaCache, LruEviction) {
+  DsaCache c(2);
+  c.Insert(Rec(1));
+  c.Insert(Rec(2));
+  (void)c.Lookup(1);  // 2 becomes LRU
+  c.Insert(Rec(3));  // evicts 2
+  EXPECT_NE(c.Lookup(1), nullptr);
+  EXPECT_EQ(c.Lookup(2), nullptr);
+  EXPECT_NE(c.Lookup(3), nullptr);
+  EXPECT_EQ(c.evictions(), 1u);
+}
+
+TEST(DsaCache, CapacityFromConfig) {
+  DsaConfig cfg;
+  EXPECT_EQ(cfg.dsa_cache_entries(), 8u * 1024 / 32);
+  EXPECT_EQ(cfg.verification_cache_entries(), 256u);
+}
+
+TEST(DsaCache, MutableLookupAllowsInPlaceUpdate) {
+  DsaCache c(4);
+  c.Insert(Rec(5));
+  LoopRecord* r = c.LookupMutable(5);
+  ASSERT_NE(r, nullptr);
+  r->speculative_range = 64;
+  EXPECT_EQ(c.Lookup(5)->speculative_range, 64u);
+}
+
+TEST(VerificationCache, StoresUntilFull) {
+  VerificationCache vc(3);
+  EXPECT_TRUE(vc.Store(0x100));
+  EXPECT_TRUE(vc.Store(0x104));
+  EXPECT_TRUE(vc.Store(0x108));
+  EXPECT_FALSE(vc.Store(0x10C));
+  EXPECT_TRUE(vc.overflowed());
+  EXPECT_EQ(vc.size(), 3u);
+}
+
+TEST(VerificationCache, ContainsFindsStoredAddresses) {
+  VerificationCache vc(8);
+  vc.Store(0x100);
+  vc.Store(0x200);
+  EXPECT_TRUE(vc.Contains(0x100));
+  EXPECT_TRUE(vc.Contains(0x200));
+  EXPECT_FALSE(vc.Contains(0x300));
+}
+
+TEST(VerificationCache, ClearResetsOverflow) {
+  VerificationCache vc(1);
+  vc.Store(1);
+  vc.Store(2);
+  EXPECT_TRUE(vc.overflowed());
+  vc.Clear();
+  EXPECT_FALSE(vc.overflowed());
+  EXPECT_EQ(vc.size(), 0u);
+  EXPECT_TRUE(vc.Store(3));
+}
+
+}  // namespace
+}  // namespace dsa::engine

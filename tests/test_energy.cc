@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.h"
+#include "engine/config.h"
+
+namespace dsa::energy {
+namespace {
+
+cpu::CpuStats SomeCpuStats() {
+  cpu::CpuStats s;
+  s.retired_scalar = 1000;
+  s.retired_vector = 50;
+  s.retired_total = 1050;
+  s.mem_reads = 300;
+  s.mem_writes = 100;
+  s.branches = 120;
+  s.mispredicts = 10;
+  return s;
+}
+
+TEST(Energy, BreakdownSumsToTotal) {
+  EnergyBreakdown e;
+  e.core_dynamic = 1;
+  e.core_static = 2;
+  e.neon_dynamic = 3;
+  e.neon_static = 4;
+  e.cache_dram = 5;
+  e.dsa_dynamic = 6;
+  e.dsa_static = 7;
+  EXPECT_DOUBLE_EQ(e.total(), 28.0);
+}
+
+TEST(Energy, ScalesWithInstructionCount) {
+  EnergyParams p;
+  mem::Hierarchy h{mem::Hierarchy::Config{}};
+  cpu::CpuStats a = SomeCpuStats();
+  cpu::CpuStats b = a;
+  b.retired_scalar *= 2;
+  const EnergyBreakdown ea = ComputeEnergy(p, a, h, 1000, nullptr, false);
+  const EnergyBreakdown eb = ComputeEnergy(p, b, h, 1000, nullptr, false);
+  EXPECT_GT(eb.core_dynamic, ea.core_dynamic);
+  EXPECT_DOUBLE_EQ(eb.core_static, ea.core_static);
+}
+
+TEST(Energy, StaticScalesWithCycles) {
+  EnergyParams p;
+  mem::Hierarchy h{mem::Hierarchy::Config{}};
+  const cpu::CpuStats s = SomeCpuStats();
+  const EnergyBreakdown e1 = ComputeEnergy(p, s, h, 1000, nullptr, true);
+  const EnergyBreakdown e2 = ComputeEnergy(p, s, h, 2000, nullptr, true);
+  EXPECT_DOUBLE_EQ(e2.core_static, 2 * e1.core_static);
+  EXPECT_DOUBLE_EQ(e2.neon_static, 2 * e1.neon_static);
+}
+
+TEST(Energy, NeonLeakageOnlyWhenPresent) {
+  EnergyParams p;
+  mem::Hierarchy h{mem::Hierarchy::Config{}};
+  const cpu::CpuStats s = SomeCpuStats();
+  EXPECT_EQ(ComputeEnergy(p, s, h, 1000, nullptr, false).neon_static, 0.0);
+  EXPECT_GT(ComputeEnergy(p, s, h, 1000, nullptr, true).neon_static, 0.0);
+}
+
+TEST(Energy, DsaEventsCharged) {
+  EnergyParams p;
+  mem::Hierarchy h{mem::Hierarchy::Config{}};
+  const cpu::CpuStats s = SomeCpuStats();
+  engine::DsaStats d;
+  d.analysis_cycles = 500;
+  d.dsa_cache_accesses = 20;
+  d.vc_accesses = 40;
+  d.array_map_accesses = 10;
+  const EnergyBreakdown with = ComputeEnergy(p, s, h, 1000, &d, true);
+  const EnergyBreakdown without = ComputeEnergy(p, s, h, 1000, nullptr, true);
+  EXPECT_GT(with.dsa_dynamic, 0.0);
+  EXPECT_GT(with.dsa_static, 0.0);
+  EXPECT_EQ(without.dsa_dynamic, 0.0);
+}
+
+TEST(Energy, VectorInstrCheaperThanLanesScalars) {
+  // The energy argument of the paper: one 128-bit op replaces `lanes`
+  // scalar ops and must cost less than them together.
+  EnergyParams p;
+  EXPECT_LT(p.vector_instr, 4 * p.scalar_instr);
+  EXPECT_GT(p.vector_instr, p.scalar_instr);
+}
+
+TEST(Area, MatchesPaperTable3) {
+  // Article 1 Table 3: DSA logic 2.18% of the core; 10.37% with caches.
+  AreaParams p;
+  engine::DsaConfig cfg;
+  const AreaReport r = ComputeArea(p, cfg.dsa_cache_bytes,
+                                   cfg.verification_cache_bytes,
+                                   cfg.array_maps);
+  EXPECT_NEAR(r.logic_overhead_pct, 2.18, 0.05);
+  EXPECT_NEAR(r.total_overhead_pct, 10.37, 0.5);
+}
+
+TEST(Area, BiggerDsaCacheRaisesOverhead) {
+  AreaParams p;
+  const AreaReport small = ComputeArea(p, 8 * 1024, 1024, 4);
+  const AreaReport big = ComputeArea(p, 32 * 1024, 1024, 4);
+  EXPECT_GT(big.total_overhead_pct, small.total_overhead_pct);
+  EXPECT_DOUBLE_EQ(big.logic_overhead_pct, small.logic_overhead_pct);
+}
+
+}  // namespace
+}  // namespace dsa::energy

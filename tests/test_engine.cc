@@ -1,0 +1,564 @@
+// Engine behavior tests: mini-programs exercising each loop class of
+// Chapter 4 through the full System harness, asserting the DSA's runtime
+// classification, takeover behavior and functional transparency.
+#include <gtest/gtest.h>
+
+#include "prog/assembler.h"
+#include "sim/system.h"
+
+namespace dsa::engine {
+namespace {
+
+using isa::Cond;
+using isa::Opcode;
+using prog::Assembler;
+using sim::RunMode;
+using sim::RunResult;
+
+sim::Workload Mini(prog::Program p,
+                   std::function<void(mem::Memory&)> init = nullptr,
+                   std::function<bool(const mem::Memory&)> check = nullptr) {
+  sim::Workload wl;
+  wl.name = "mini";
+  wl.mem_bytes = 1 << 18;
+  wl.scalar = std::move(p);
+  wl.init = std::move(init);
+  wl.check = std::move(check);
+  return wl;
+}
+
+RunResult RunDsa(const sim::Workload& wl, DsaConfig cfg = {}) {
+  sim::SystemConfig sc;
+  sc.dsa = cfg;
+  return sim::Run(wl, RunMode::kDsa, sc);
+}
+
+// v[i] = a[i] + b[i], the canonical count loop (Fig. 15).
+prog::Program CountLoopProgram(int n) {
+  Assembler as;
+  as.Movi(0, 0x1000);
+  as.Movi(1, 0x8000);
+  as.Movi(2, 0x10000);
+  as.Movi(3, n);
+  const auto loop = as.NewLabel();
+  as.Bind(loop);
+  as.Ldr(4, 0, 4);
+  as.Ldr(5, 1, 4);
+  as.Alu(Opcode::kAdd, 6, 4, 5);
+  as.Str(6, 2, 4);
+  as.AluImm(Opcode::kSubi, 3, 3, 1);
+  as.Cmpi(3, 0);
+  as.B(Cond::kGt, loop);
+  as.Halt();
+  return as.Finish();
+}
+
+TEST(EngineCountLoop, VectorizedAfterThreeAnalysisIterations) {
+  const RunResult r = RunDsa(Mini(CountLoopProgram(100)));
+  ASSERT_TRUE(r.dsa.has_value());
+  EXPECT_EQ(r.dsa->takeovers, 1u);
+  EXPECT_EQ(r.dsa->loops_by_class.at(LoopClass::kCount), 1u);
+  // Iterations 1-3 analyze; 4..100 execute on NEON.
+  EXPECT_EQ(r.dsa->vectorized_iterations, 97u);
+  EXPECT_GT(r.dsa->vector_instrs_issued, 0u);
+}
+
+TEST(EngineCountLoop, FunctionallyTransparent) {
+  auto init = [](mem::Memory& m) {
+    for (int i = 0; i < 100; ++i) {
+      m.Write32(0x1000 + 4 * i, i);
+      m.Write32(0x8000 + 4 * i, 1000 + i);
+    }
+  };
+  auto check = [](const mem::Memory& m) {
+    for (int i = 0; i < 100; ++i) {
+      if (m.Read32(0x10000 + 4 * i) != static_cast<std::uint32_t>(1000 + 2 * i))
+        return false;
+    }
+    return true;
+  };
+  const RunResult r = RunDsa(Mini(CountLoopProgram(100), init, check));
+  EXPECT_TRUE(r.output_ok);
+}
+
+TEST(EngineCountLoop, FasterThanScalar) {
+  const sim::Workload wl = Mini(CountLoopProgram(4000));
+  const RunResult scalar = sim::Run(wl, RunMode::kScalar, {});
+  const RunResult dsa = RunDsa(wl);
+  EXPECT_LT(dsa.cycles, scalar.cycles);
+}
+
+TEST(EngineCountLoop, TooFewIterationsNeverVectorized) {
+  const RunResult r = RunDsa(Mini(CountLoopProgram(3)));
+  EXPECT_EQ(r.dsa->takeovers, 0u);
+}
+
+TEST(EngineCountLoop, FourIterationsIsTheMinimum) {
+  const RunResult r = RunDsa(Mini(CountLoopProgram(4)));
+  EXPECT_EQ(r.dsa->takeovers, 1u);
+  EXPECT_EQ(r.dsa->vectorized_iterations, 1u);
+}
+
+TEST(EngineCache, SecondEntryHitsAndCoversMore) {
+  // The same loop executed twice (outer wrapper with 2 iterations around
+  // a fresh pointer setup).
+  Assembler as;
+  as.Movi(10, 2);  // outer count
+  const auto outer = as.NewLabel();
+  as.Bind(outer);
+  as.Movi(0, 0x1000);
+  as.Movi(1, 0x8000);
+  as.Movi(2, 0x10000);
+  as.Movi(3, 64);
+  const auto loop = as.NewLabel();
+  as.Bind(loop);
+  as.Ldr(4, 0, 4);
+  as.Str(4, 2, 4);
+  as.AluImm(Opcode::kSubi, 3, 3, 1);
+  as.Cmpi(3, 0);
+  as.B(Cond::kGt, loop);
+  as.AluImm(Opcode::kSubi, 10, 10, 1);
+  as.Cmpi(10, 0);
+  as.B(Cond::kGt, outer);
+  as.Halt();
+  const RunResult r = RunDsa(Mini(as.Finish()));
+  ASSERT_TRUE(r.dsa.has_value());
+  // Entry 1: full analysis, 61 covered. Entry 2: cache hit at the first
+  // latch, 63 covered.
+  EXPECT_EQ(r.dsa->takeovers, 2u);
+  EXPECT_EQ(r.dsa->cache_hit_takeovers, 1u);
+  EXPECT_EQ(r.dsa->vectorized_iterations, 61u + 63u);
+}
+
+// Carry-around scalar (Table 1 line 5): sum += a[i].
+TEST(EngineReject, CarryAroundScalar) {
+  // Prefix sum: out[i] = out[i-1] + a[i] through a carried register.
+  Assembler as;
+  as.Movi(0, 0x1000);
+  as.Movi(1, 0x10000);
+  as.Movi(3, 50);
+  as.Movi(6, 0);
+  const auto loop = as.NewLabel();
+  as.Bind(loop);
+  as.Ldr(4, 0, 4);
+  as.Alu(Opcode::kAdd, 6, 6, 4);  // accumulator carried across iterations
+  as.Str(6, 1, 4);
+  as.AluImm(Opcode::kSubi, 3, 3, 1);
+  as.Cmpi(3, 0);
+  as.B(Cond::kGt, loop);
+  as.Halt();
+  const RunResult r = RunDsa(Mini(as.Finish()));
+  EXPECT_EQ(r.dsa->takeovers, 0u);
+  EXPECT_EQ(r.dsa->rejects_by_reason.count(RejectReason::kCarryAroundScalar),
+            1u);
+}
+
+// Non-unit stride (Table 1 line 7): a[2*i].
+TEST(EngineReject, NonUnitStride) {
+  Assembler as;
+  as.Movi(0, 0x1000);
+  as.Movi(2, 0x10000);
+  as.Movi(3, 50);
+  const auto loop = as.NewLabel();
+  as.Bind(loop);
+  as.Ldr(4, 0, 8);  // stride 8 on word loads
+  as.Str(4, 2, 4);
+  as.AluImm(Opcode::kSubi, 3, 3, 1);
+  as.Cmpi(3, 0);
+  as.B(Cond::kGt, loop);
+  as.Halt();
+  const RunResult r = RunDsa(Mini(as.Finish()));
+  EXPECT_EQ(r.dsa->takeovers, 0u);
+  EXPECT_EQ(r.dsa->rejects_by_reason.count(RejectReason::kNonUnitStride), 1u);
+}
+
+// Mixed element sizes (Table 1 line 9).
+TEST(EngineReject, MixedElementSizes) {
+  Assembler as;
+  as.Movi(0, 0x1000);
+  as.Movi(1, 0x8000);
+  as.Movi(2, 0x10000);
+  as.Movi(3, 50);
+  const auto loop = as.NewLabel();
+  as.Bind(loop);
+  as.Ldr(4, 0, 4);
+  as.Ldrh(5, 1, 2);
+  as.Alu(Opcode::kAdd, 6, 4, 5);
+  as.Str(6, 2, 4);
+  as.AluImm(Opcode::kSubi, 3, 3, 1);
+  as.Cmpi(3, 0);
+  as.B(Cond::kGt, loop);
+  as.Halt();
+  const RunResult r = RunDsa(Mini(as.Finish()));
+  EXPECT_EQ(r.dsa->takeovers, 0u);
+  EXPECT_EQ(r.dsa->rejects_by_reason.count(RejectReason::kMixedElementSizes),
+            1u);
+}
+
+// Unsupported operation: integer division has no NEON equivalent.
+TEST(EngineReject, UnsupportedDivision) {
+  Assembler as;
+  as.Movi(0, 0x1000);
+  as.Movi(2, 0x10000);
+  as.Movi(3, 50);
+  as.Movi(7, 3);
+  const auto loop = as.NewLabel();
+  as.Bind(loop);
+  as.Ldr(4, 0, 4);
+  as.Alu(Opcode::kSdiv, 6, 4, 7);
+  as.Str(6, 2, 4);
+  as.AluImm(Opcode::kSubi, 3, 3, 1);
+  as.Cmpi(3, 0);
+  as.B(Cond::kGt, loop);
+  as.Halt();
+  const RunResult r = RunDsa(Mini(as.Finish()));
+  EXPECT_EQ(r.dsa->takeovers, 0u);
+  EXPECT_EQ(r.dsa->rejects_by_reason.count(RejectReason::kUnsupportedOp), 1u);
+}
+
+// True cross-iteration dependency at distance 1: a[i+1] = a[i] + 1.
+TEST(EngineReject, AdjacentDependencyNotVectorized) {
+  Assembler as;
+  as.Movi(0, 0x1000);
+  as.Movi(2, 0x1004);
+  as.Movi(3, 50);
+  as.Movi(7, 1);
+  const auto loop = as.NewLabel();
+  as.Bind(loop);
+  as.Ldr(4, 0, 4);
+  as.Alu(Opcode::kAdd, 6, 4, 7);
+  as.Str(6, 2, 4);
+  as.AluImm(Opcode::kSubi, 3, 3, 1);
+  as.Cmpi(3, 0);
+  as.B(Cond::kGt, loop);
+  as.Halt();
+  auto check = [](const mem::Memory& m) {
+    // Sequential semantics: a[i] = i (a[0]=0 seeds the chain).
+    for (int i = 1; i <= 50; ++i) {
+      if (m.Read32(0x1000 + 4 * i) != static_cast<std::uint32_t>(i)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  const RunResult r = RunDsa(Mini(as.Finish(), nullptr, check));
+  EXPECT_EQ(r.dsa->takeovers, 0u);
+  EXPECT_TRUE(r.output_ok);
+  EXPECT_EQ(r.dsa->rejects_by_reason.count(RejectReason::kCrossIterationDep),
+            1u);
+}
+
+// Partial vectorization (Fig. 14): dependency distance 8.
+TEST(EnginePartial, WindowedVectorization) {
+  Assembler as;
+  as.Movi(0, 0x1000);
+  as.Movi(2, 0x1000 + 8 * 4);
+  as.Movi(3, 200);
+  as.Movi(7, 1);
+  const auto loop = as.NewLabel();
+  as.Bind(loop);
+  as.Ldr(4, 0, 4);
+  as.Alu(Opcode::kAdd, 6, 4, 7);
+  as.Str(6, 2, 4);
+  as.AluImm(Opcode::kSubi, 3, 3, 1);
+  as.Cmpi(3, 0);
+  as.B(Cond::kGt, loop);
+  as.Halt();
+  const RunResult r = RunDsa(Mini(as.Finish()));
+  ASSERT_TRUE(r.dsa.has_value());
+  EXPECT_EQ(r.dsa->loops_by_class.count(LoopClass::kPartial), 1u);
+  EXPECT_EQ(r.dsa->takeovers, 1u);
+}
+
+TEST(EnginePartial, DisabledFallsBackToScalar) {
+  Assembler as;
+  as.Movi(0, 0x1000);
+  as.Movi(2, 0x1000 + 8 * 4);
+  as.Movi(3, 200);
+  as.Movi(7, 1);
+  const auto loop = as.NewLabel();
+  as.Bind(loop);
+  as.Ldr(4, 0, 4);
+  as.Alu(Opcode::kAdd, 6, 4, 7);
+  as.Str(6, 2, 4);
+  as.AluImm(Opcode::kSubi, 3, 3, 1);
+  as.Cmpi(3, 0);
+  as.B(Cond::kGt, loop);
+  as.Halt();
+  DsaConfig cfg;
+  cfg.enable_partial_vectorization = false;
+  const RunResult r = RunDsa(Mini(as.Finish()), cfg);
+  EXPECT_EQ(r.dsa->takeovers, 0u);
+}
+
+// Conditional loop (Fig. 19): if/else storing different values.
+prog::Program ConditionalProgram(int n) {
+  Assembler as;
+  as.Movi(0, 0x1000);
+  as.Movi(1, 0x10000);
+  as.Movi(10, 100);
+  as.Movi(11, 255);
+  as.Movi(12, 7);
+  as.Movi(3, n);
+  const auto loop = as.NewLabel();
+  const auto els = as.NewLabel();
+  const auto nxt = as.NewLabel();
+  as.Bind(loop);
+  as.Ldr(4, 0, 4);
+  as.Cmp(4, 10);
+  as.B(Cond::kLe, els);
+  as.Str(11, 1, 4);
+  as.B(Cond::kAl, nxt);
+  as.Bind(els);
+  as.Str(12, 1, 4);
+  as.Bind(nxt);
+  as.AluImm(Opcode::kSubi, 3, 3, 1);
+  as.Cmpi(3, 0);
+  as.B(Cond::kGt, loop);
+  as.Halt();
+  return as.Finish();
+}
+
+void InitAlternating(mem::Memory& m) {
+  for (int i = 0; i < 512; ++i) {
+    m.Write32(0x1000 + 4 * i, (i % 3 == 0) ? 200 : 50);
+  }
+}
+
+TEST(EngineConditional, MappedVerifiedAndVectorized) {
+  auto check = [](const mem::Memory& m) {
+    for (int i = 0; i < 512; ++i) {
+      const std::uint32_t want = (i % 3 == 0) ? 255 : 7;
+      if (m.Read32(0x10000 + 4 * i) != want) return false;
+    }
+    return true;
+  };
+  const RunResult r = RunDsa(Mini(ConditionalProgram(512), InitAlternating,
+                                  check));
+  ASSERT_TRUE(r.dsa.has_value());
+  EXPECT_TRUE(r.output_ok);
+  EXPECT_EQ(r.dsa->loops_by_class.at(LoopClass::kConditional), 1u);
+  EXPECT_EQ(r.dsa->takeovers, 1u);
+  EXPECT_GT(r.dsa->array_map_accesses, 0u);
+  EXPECT_GT(r.dsa->stage_activations[static_cast<int>(Stage::kMapping)], 0u);
+}
+
+TEST(EngineConditional, FeatureFlagDisablesIt) {
+  DsaConfig cfg = DsaConfig::Original();
+  const RunResult r =
+      RunDsa(Mini(ConditionalProgram(512), InitAlternating), cfg);
+  EXPECT_EQ(r.dsa->takeovers, 0u);
+  EXPECT_EQ(r.dsa->rejects_by_reason.count(RejectReason::kFeatureDisabled),
+            1u);
+}
+
+TEST(EngineConditional, SinglePathLoopNeverCompletesMapping) {
+  // Condition never fires: the else region's pcs stay pending, so the DSA
+  // must not vectorize (no takeover) but execution stays correct.
+  auto init = [](mem::Memory& m) {
+    for (int i = 0; i < 512; ++i) m.Write32(0x1000 + 4 * i, 200);
+  };
+  const RunResult r = RunDsa(Mini(ConditionalProgram(512), init));
+  EXPECT_EQ(r.dsa->takeovers, 0u);
+}
+
+// Sentinel loop: copy until zero byte.
+prog::Program SentinelProgram() {
+  Assembler as;
+  as.Movi(0, 0x1000);
+  as.Movi(1, 0x10000);
+  const auto loop = as.NewLabel();
+  as.Bind(loop);
+  as.Ldrb(4, 0, 1);
+  as.Strb(4, 1, 1);
+  as.Cmpi(4, 0);
+  as.B(Cond::kNe, loop);
+  as.Halt();
+  return as.Finish();
+}
+
+TEST(EngineSentinel, SpeculativeRangeVectorization) {
+  auto init = [](mem::Memory& m) {
+    for (int i = 0; i < 300; ++i) m.Write8(0x1000 + i, 0x41);
+    m.Write8(0x1000 + 300, 0);
+  };
+  auto check = [](const mem::Memory& m) {
+    for (int i = 0; i < 300; ++i) {
+      if (m.Read8(0x10000 + i) != 0x41) return false;
+    }
+    return m.Read8(0x10000 + 300) == 0;
+  };
+  const RunResult r = RunDsa(Mini(SentinelProgram(), init, check));
+  ASSERT_TRUE(r.dsa.has_value());
+  EXPECT_TRUE(r.output_ok);
+  EXPECT_EQ(r.dsa->loops_by_class.at(LoopClass::kSentinel), 1u);
+  EXPECT_GE(r.dsa->takeovers, 1u);
+  EXPECT_GT(r.dsa->stage_activations[static_cast<int>(
+                Stage::kSpeculativeExecution)],
+            0u);
+}
+
+TEST(EngineSentinel, DisabledByOriginalConfig) {
+  auto init = [](mem::Memory& m) {
+    for (int i = 0; i < 300; ++i) m.Write8(0x1000 + i, 0x41);
+  };
+  const RunResult r =
+      RunDsa(Mini(SentinelProgram(), init), DsaConfig::Original());
+  EXPECT_EQ(r.dsa->takeovers, 0u);
+}
+
+// Dynamic Range Loop type A: limit register loaded at runtime.
+prog::Program DrlProgram() {
+  Assembler as;
+  as.Movi(0, 0x1000);
+  as.Movi(2, 0x10000);
+  as.Movi(3, 0xF00);
+  as.Ldr(3, 3);  // runtime limit
+  as.Movi(6, 0);
+  const auto loop = as.NewLabel();
+  as.Bind(loop);
+  as.Ldr(4, 0, 4);
+  as.Str(4, 2, 4);
+  as.AluImm(Opcode::kAddi, 6, 6, 1);
+  as.Cmp(6, 3);
+  as.B(Cond::kLt, loop);
+  as.Halt();
+  return as.Finish();
+}
+
+TEST(EngineDrl, VectorizedByExtendedDsa) {
+  auto init = [](mem::Memory& m) { m.Write32(0xF00, 120); };
+  const RunResult r = RunDsa(Mini(DrlProgram(), init));
+  ASSERT_TRUE(r.dsa.has_value());
+  EXPECT_EQ(r.dsa->loops_by_class.at(LoopClass::kDynamicRange), 1u);
+  EXPECT_EQ(r.dsa->takeovers, 1u);
+  EXPECT_EQ(r.dsa->vectorized_iterations, 117u);
+}
+
+TEST(EngineDrl, RejectedByOriginalDsa) {
+  auto init = [](mem::Memory& m) { m.Write32(0xF00, 120); };
+  const RunResult r = RunDsa(Mini(DrlProgram(), init), DsaConfig::Original());
+  EXPECT_EQ(r.dsa->takeovers, 0u);
+  EXPECT_EQ(r.dsa->rejects_by_reason.count(RejectReason::kFeatureDisabled),
+            1u);
+}
+
+// Nested loops: the inner loop vectorizes; the outer is fused (Fig. 17).
+TEST(EngineNest, InnerVectorizedOuterFused) {
+  Assembler as;
+  as.Movi(10, 8);  // outer
+  const auto outer = as.NewLabel();
+  as.Bind(outer);
+  as.Movi(0, 0x1000);
+  as.Movi(2, 0x10000);
+  as.Movi(3, 64);
+  const auto inner = as.NewLabel();
+  as.Bind(inner);
+  as.Ldr(4, 0, 4);
+  as.Str(4, 2, 4);
+  as.AluImm(Opcode::kSubi, 3, 3, 1);
+  as.Cmpi(3, 0);
+  as.B(Cond::kGt, inner);
+  as.AluImm(Opcode::kSubi, 10, 10, 1);
+  as.Cmpi(10, 0);
+  as.B(Cond::kGt, outer);
+  as.Halt();
+  const RunResult r = RunDsa(Mini(as.Finish()));
+  ASSERT_TRUE(r.dsa.has_value());
+  EXPECT_EQ(r.dsa->loops_by_class.at(LoopClass::kCount), 1u);
+  EXPECT_EQ(r.dsa->loops_by_class.at(LoopClass::kOuter), 1u);
+  // After fusion, far fewer takeovers than outer iterations.
+  EXPECT_LT(r.dsa->takeovers, 8u);
+  // All inner iterations after warmup are covered.
+  EXPECT_GT(r.dsa->vectorized_iterations, 6u * 64u);
+}
+
+TEST(EngineNest, OuterWithStoresInGlueNotFused) {
+  Assembler as;
+  as.Movi(10, 8);
+  as.Movi(11, 0x20000);
+  const auto outer = as.NewLabel();
+  as.Bind(outer);
+  as.Movi(0, 0x1000);
+  as.Movi(2, 0x10000);
+  as.Movi(3, 64);
+  const auto inner = as.NewLabel();
+  as.Bind(inner);
+  as.Ldr(4, 0, 4);
+  as.Str(4, 2, 4);
+  as.AluImm(Opcode::kSubi, 3, 3, 1);
+  as.Cmpi(3, 0);
+  as.B(Cond::kGt, inner);
+  as.Str(10, 11, 4);  // store in the glue: fusion forbidden
+  as.AluImm(Opcode::kSubi, 10, 10, 1);
+  as.Cmpi(10, 0);
+  as.B(Cond::kGt, outer);
+  as.Halt();
+  const RunResult r = RunDsa(Mini(as.Finish()));
+  ASSERT_TRUE(r.dsa.has_value());
+  // One takeover per outer entry (cache-hit path), not one fused takeover.
+  EXPECT_EQ(r.dsa->takeovers, 8u);
+  EXPECT_TRUE(r.output_ok);
+}
+
+// Function loop (Fig. 16): call inside the body.
+TEST(EngineFunction, LoopWithCallVectorized) {
+  Assembler as;
+  as.Movi(0, 0x1000);
+  as.Movi(2, 0x10000);
+  as.Movi(3, 100);
+  const auto loop = as.NewLabel();
+  const auto fn = as.NewLabel();
+  as.Bind(loop);
+  as.Ldr(4, 0, 4);
+  as.Bl(fn);
+  as.Str(6, 2, 4);
+  as.AluImm(Opcode::kSubi, 3, 3, 1);
+  as.Cmpi(3, 0);
+  as.B(Cond::kGt, loop);
+  as.Halt();
+  as.Bind(fn);
+  as.AluImm(Opcode::kAddi, 6, 4, 5);  // r6 = r4 + 5
+  as.Ret();
+  const RunResult r = RunDsa(Mini(as.Finish()));
+  ASSERT_TRUE(r.dsa.has_value());
+  EXPECT_EQ(r.dsa->loops_by_class.count(LoopClass::kFunction), 1u);
+  EXPECT_EQ(r.dsa->takeovers, 1u);
+}
+
+TEST(EngineSafety, DsaNeverChangesResults) {
+  // Same program with and without the DSA must leave identical memory.
+  const sim::Workload wl = Mini(ConditionalProgram(512), InitAlternating);
+  sim::SystemConfig sc;
+  // Re-run both modes and compare through a capturing check.
+  std::vector<std::uint32_t> scalar_out(512);
+  std::vector<std::uint32_t> dsa_out(512);
+  auto capture = [](std::vector<std::uint32_t>* out) {
+    return [out](const mem::Memory& m) {
+      for (int i = 0; i < 512; ++i) (*out)[i] = m.Read32(0x10000 + 4 * i);
+      return true;
+    };
+  };
+  sim::Workload a = wl;
+  a.check = capture(&scalar_out);
+  (void)sim::Run(a, RunMode::kScalar, sc);
+  sim::Workload b = wl;
+  b.check = capture(&dsa_out);
+  (void)sim::Run(b, RunMode::kDsa, sc);
+  EXPECT_EQ(scalar_out, dsa_out);
+}
+
+TEST(EngineLatency, AnalysisRunsInParallelWithCore) {
+  // A loop-free program: the DSA observes but never activates; cycle count
+  // must match the plain scalar run exactly (no monitor-task penalty).
+  Assembler as;
+  for (int i = 0; i < 200; ++i) as.AluImm(Opcode::kAddi, 1, 1, 1);
+  as.Halt();
+  const sim::Workload wl = Mini(as.Finish());
+  const RunResult scalar = sim::Run(wl, RunMode::kScalar, {});
+  const RunResult dsa = RunDsa(wl);
+  EXPECT_EQ(scalar.cycles, dsa.cycles);
+}
+
+}  // namespace
+}  // namespace dsa::engine

@@ -1,0 +1,91 @@
+// Latch trip-count estimation: closed form vs. brute-force evaluation of
+// the affine latch condition across every condition code.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <tuple>
+
+#include "engine/tracker.h"
+
+namespace dsa::engine {
+namespace {
+
+bool CondHolds(isa::Cond c, std::int64_t diff) {
+  switch (c) {
+    case isa::Cond::kAl: return true;
+    case isa::Cond::kEq: return diff == 0;
+    case isa::Cond::kNe: return diff != 0;
+    case isa::Cond::kLt: return diff < 0;
+    case isa::Cond::kGe: return diff >= 0;
+    case isa::Cond::kGt: return diff > 0;
+    case isa::Cond::kLe: return diff <= 0;
+  }
+  return false;
+}
+
+std::optional<std::int64_t> BruteForce(std::int64_t a, std::int64_t b,
+                                       isa::Cond cond, int cap = 100000) {
+  for (int k = 1; k <= cap; ++k) {
+    if (!CondHolds(cond, a + k * b)) return k - 1;
+  }
+  return std::nullopt;  // did not terminate within cap
+}
+
+class EstimateSweep
+    : public ::testing::TestWithParam<
+          std::tuple<isa::Cond, std::int64_t, std::int64_t>> {};
+
+TEST_P(EstimateSweep, MatchesBruteForce) {
+  const auto [cond, a, b] = GetParam();
+  const auto expect = BruteForce(a, b, cond);
+  const auto got = EstimateRemainingIterations(a, b, cond);
+  if (expect.has_value()) {
+    ASSERT_TRUE(got.has_value())
+        << "cond=" << static_cast<int>(cond) << " a=" << a << " b=" << b;
+    EXPECT_EQ(*got, *expect);
+  } else {
+    // Non-terminating (or kNe-divergent): the estimator must refuse.
+    EXPECT_FALSE(got.has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EstimateSweep,
+    ::testing::Combine(
+        ::testing::Values(isa::Cond::kLt, isa::Cond::kLe, isa::Cond::kGt,
+                          isa::Cond::kGe, isa::Cond::kNe),
+        ::testing::Values<std::int64_t>(-400, -63, -17, -4, -1, 0, 1, 5, 64,
+                                        399),
+        ::testing::Values<std::int64_t>(-16, -4, -3, -1, 1, 2, 4, 16)));
+
+TEST(Estimate, ZeroDeltaNeverTerminatesUnlessAlreadyFalse) {
+  EXPECT_FALSE(EstimateRemainingIterations(-5, 0, isa::Cond::kLt).has_value());
+  EXPECT_EQ(EstimateRemainingIterations(5, 0, isa::Cond::kLt), 0);
+  EXPECT_FALSE(EstimateRemainingIterations(3, 0, isa::Cond::kNe).has_value());
+}
+
+TEST(Estimate, UnconditionalBackwardBranchIsUnbounded) {
+  EXPECT_FALSE(EstimateRemainingIterations(0, 1, isa::Cond::kAl).has_value());
+}
+
+TEST(Estimate, NeRequiresExactHit) {
+  // diff -10 advancing by 3 never equals zero: unknown.
+  EXPECT_FALSE(EstimateRemainingIterations(-10, 3, isa::Cond::kNe).has_value());
+  // diff -9 advancing by 3 hits zero after 3 evaluations -> 2 more takens.
+  EXPECT_EQ(EstimateRemainingIterations(-9, 3, isa::Cond::kNe), 2);
+}
+
+TEST(Estimate, CountdownLoopShape) {
+  // subi r3,#1; cmpi r3,0; bgt -> diff = r3, delta -1. With r3 = 61 at the
+  // latch, 60 more taken latches remain (the evaluation at r3 == 0 falls
+  // through).
+  EXPECT_EQ(EstimateRemainingIterations(61, -1, isa::Cond::kGt), 60);
+}
+
+TEST(Estimate, CountupLoopShape) {
+  // addi r6,#1; cmp r6,r3(=N); blt -> diff = i - N.
+  EXPECT_EQ(EstimateRemainingIterations(-100, 1, isa::Cond::kLt), 99);
+}
+
+}  // namespace
+}  // namespace dsa::engine

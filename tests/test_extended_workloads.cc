@@ -1,0 +1,92 @@
+// Extended-suite tests: functional matrix, DSA classification expectations
+// and size sweeps for the kernels beyond the paper's benchmark list.
+#include <gtest/gtest.h>
+
+#include "sim/system.h"
+#include "workloads/extended.h"
+
+namespace dsa::workloads {
+namespace {
+
+using sim::RunMode;
+using sim::RunResult;
+using sim::Workload;
+
+void ExpectAllModesCorrect(const Workload& wl) {
+  for (const RunMode m : {RunMode::kScalar, RunMode::kAutoVec,
+                          RunMode::kHandVec, RunMode::kDsa}) {
+    const RunResult r = sim::Run(wl, m, {});
+    EXPECT_TRUE(r.output_ok)
+        << wl.name << " in " << std::string(ToString(m));
+  }
+}
+
+TEST(ExtendedSuite, EveryKernelEveryModeCorrect) {
+  for (const Workload& wl : ExtendedSet()) {
+    ExpectAllModesCorrect(wl);
+  }
+}
+
+class FirSizes : public ::testing::TestWithParam<int> {};
+TEST_P(FirSizes, AllModesCorrect) {
+  ExpectAllModesCorrect(MakeFir(GetParam()));
+}
+INSTANTIATE_TEST_SUITE_P(Sweep, FirSizes,
+                         ::testing::Values(4, 5, 7, 64, 129, 1000));
+
+class MemCopySizes : public ::testing::TestWithParam<int> {};
+TEST_P(MemCopySizes, AllModesCorrect) {
+  ExpectAllModesCorrect(MakeMemCopy(GetParam()));
+}
+INSTANTIATE_TEST_SUITE_P(Sweep, MemCopySizes,
+                         ::testing::Values(15, 16, 17, 31, 256, 1000));
+
+class AlphaValues : public ::testing::TestWithParam<int> {};
+TEST_P(AlphaValues, AllModesCorrect) {
+  ExpectAllModesCorrect(MakeAlphaBlend(2048, GetParam()));
+}
+INSTANTIATE_TEST_SUITE_P(Sweep, AlphaValues,
+                         ::testing::Values(0, 1, 96, 128, 255, 256));
+
+TEST(Fir, VectorizedByDsaWithFourLoadStreams) {
+  const RunResult r = sim::Run(MakeFir(1024), RunMode::kDsa, {});
+  ASSERT_TRUE(r.dsa.has_value());
+  EXPECT_EQ(r.dsa->takeovers, 1u);
+  EXPECT_EQ(r.dsa->loops_by_class.count(engine::LoopClass::kCount), 1u);
+  EXPECT_TRUE(r.output_ok);
+}
+
+TEST(MemCopy, SixteenLanesGiveTheBiggestSpeedup) {
+  const Workload wl = MakeMemCopy(32768);
+  const RunResult scalar = sim::Run(wl, RunMode::kScalar, {});
+  const RunResult ds = sim::Run(wl, RunMode::kDsa, {});
+  EXPECT_GT(SpeedupOver(scalar, ds), 2.0);
+}
+
+TEST(AlphaBlend, RuntimeAlphaIsInvariantNotDynamicRange) {
+  // The runtime-loaded alpha must not stop vectorization: it is a
+  // loop-invariant operand, not a trip-count property.
+  const RunResult r = sim::Run(MakeAlphaBlend(), RunMode::kDsa, {});
+  EXPECT_GE(r.dsa->takeovers, 1u);
+}
+
+TEST(Histogram, IndirectAddressingRejectedEverywhere) {
+  const Workload wl = MakeHistogram();
+  const RunResult r = sim::Run(wl, RunMode::kDsa, {});
+  EXPECT_EQ(r.dsa->takeovers, 0u);
+  EXPECT_EQ(r.dsa->rejects_by_reason.count(
+                engine::RejectReason::kNonUnitStride),
+            1u);
+  EXPECT_TRUE(r.output_ok);
+  // And the DSA must not slow it down.
+  const RunResult scalar = sim::Run(wl, RunMode::kScalar, {});
+  EXPECT_LE(r.cycles, scalar.cycles + scalar.cycles / 100);
+}
+
+TEST(Histogram, SkewedDataStillCorrect) {
+  ExpectAllModesCorrect(MakeHistogram(4096, 2));
+  ExpectAllModesCorrect(MakeHistogram(512, 256));
+}
+
+}  // namespace
+}  // namespace dsa::workloads

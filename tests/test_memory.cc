@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "mem/memory.h"
+
+namespace dsa::mem {
+namespace {
+
+TEST(Memory, StartsZeroed) {
+  Memory m(64);
+  for (std::uint32_t a = 0; a < 64; ++a) EXPECT_EQ(m.Read8(a), 0u);
+}
+
+TEST(Memory, ByteRoundTrip) {
+  Memory m(16);
+  m.Write8(3, 0xAB);
+  EXPECT_EQ(m.Read8(3), 0xAB);
+}
+
+TEST(Memory, HalfwordLittleEndian) {
+  Memory m(16);
+  m.Write16(4, 0x1234);
+  EXPECT_EQ(m.Read8(4), 0x34);
+  EXPECT_EQ(m.Read8(5), 0x12);
+  EXPECT_EQ(m.Read16(4), 0x1234);
+}
+
+TEST(Memory, WordLittleEndian) {
+  Memory m(16);
+  m.Write32(8, 0xDEADBEEF);
+  EXPECT_EQ(m.Read8(8), 0xEF);
+  EXPECT_EQ(m.Read8(11), 0xDE);
+  EXPECT_EQ(m.Read32(8), 0xDEADBEEFu);
+}
+
+TEST(Memory, FloatRoundTrip) {
+  Memory m(16);
+  m.WriteF32(0, 3.25f);
+  EXPECT_FLOAT_EQ(m.ReadF32(0), 3.25f);
+}
+
+TEST(Memory, UnalignedAccessAllowed) {
+  Memory m(16);
+  m.Write32(1, 0x01020304);
+  EXPECT_EQ(m.Read32(1), 0x01020304u);
+  EXPECT_EQ(m.Read16(2), 0x0203u);
+}
+
+TEST(Memory, BlockRoundTrip) {
+  Memory m(64);
+  const std::uint8_t src[5] = {1, 2, 3, 4, 5};
+  m.WriteBlock(10, src, 5);
+  std::uint8_t dst[5] = {};
+  m.ReadBlock(10, dst, 5);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(dst[i], src[i]);
+}
+
+TEST(Memory, OutOfRangeByteThrows) {
+  Memory m(8);
+  EXPECT_THROW(static_cast<void>(m.Read8(8)), std::out_of_range);
+  EXPECT_THROW(m.Write8(100, 1), std::out_of_range);
+}
+
+TEST(Memory, OutOfRangeWordStraddleThrows) {
+  Memory m(8);
+  EXPECT_THROW(static_cast<void>(m.Read32(6)), std::out_of_range);  // 6..9
+  EXPECT_THROW(m.Write32(5, 1), std::out_of_range);
+  EXPECT_NO_THROW(static_cast<void>(m.Read32(4)));
+}
+
+TEST(Memory, OverlappingWritesLastWins) {
+  Memory m(16);
+  m.Write32(0, 0x11111111);
+  m.Write16(2, 0xFFFF);
+  EXPECT_EQ(m.Read32(0), 0xFFFF1111u);
+}
+
+}  // namespace
+}  // namespace dsa::mem

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <tuple>
+
+#include "neon/vector_unit.h"
+
+namespace dsa::neon {
+namespace {
+
+using isa::Opcode;
+using isa::VecType;
+
+std::uint32_t Rng(std::uint32_t& s) {
+  s ^= s << 13;
+  s ^= s >> 17;
+  s ^= s << 5;
+  return s;
+}
+
+QReg RandomReg(std::uint32_t& seed) {
+  QReg r;
+  for (auto& b : r.bytes) b = static_cast<std::uint8_t>(Rng(seed));
+  return r;
+}
+
+std::uint32_t Mask(VecType t) {
+  switch (t) {
+    case VecType::kI8: return 0xFFu;
+    case VecType::kI16: return 0xFFFFu;
+    default: return 0xFFFFFFFFu;
+  }
+}
+
+std::int32_t Sext(VecType t, std::uint32_t v) {
+  switch (t) {
+    case VecType::kI8: return static_cast<std::int8_t>(v);
+    case VecType::kI16: return static_cast<std::int16_t>(v);
+    default: return static_cast<std::int32_t>(v);
+  }
+}
+
+// Scalar reference for one integer lane.
+std::uint32_t RefLane(Opcode op, VecType t, std::uint32_t a, std::uint32_t b,
+                      std::uint32_t acc) {
+  const std::uint32_t m = Mask(t);
+  switch (op) {
+    case Opcode::kVadd: return (a + b) & m;
+    case Opcode::kVsub: return (a - b) & m;
+    case Opcode::kVmul: return (a * b) & m;
+    case Opcode::kVmla: return (acc + a * b) & m;
+    case Opcode::kVmin:
+      return static_cast<std::uint32_t>(std::min(Sext(t, a), Sext(t, b))) & m;
+    case Opcode::kVmax:
+      return static_cast<std::uint32_t>(std::max(Sext(t, a), Sext(t, b))) & m;
+    case Opcode::kVand: return a & b;
+    case Opcode::kVorr: return a | b;
+    case Opcode::kVeor: return a ^ b;
+    case Opcode::kVcge: return Sext(t, a) >= Sext(t, b) ? m : 0;
+    case Opcode::kVcgt: return Sext(t, a) > Sext(t, b) ? m : 0;
+    case Opcode::kVceq: return a == b ? m : 0;
+    default: return 0;
+  }
+}
+
+using LaneCase = std::tuple<Opcode, VecType>;
+
+class IntLaneOps : public ::testing::TestWithParam<LaneCase> {};
+
+TEST_P(IntLaneOps, MatchesScalarReferencePerLane) {
+  const auto [op, t] = GetParam();
+  std::uint32_t seed = 0x12345u + static_cast<int>(op) * 977 +
+                       static_cast<int>(t);
+  for (int trial = 0; trial < 32; ++trial) {
+    const QReg a = RandomReg(seed);
+    const QReg b = RandomReg(seed);
+    const QReg acc = RandomReg(seed);
+    const QReg out = ExecuteLaneOp(op, t, a, b, acc);
+    for (int l = 0; l < isa::LaneCount(t); ++l) {
+      EXPECT_EQ(out.Lane(t, l),
+                RefLane(op, t, a.Lane(t, l), b.Lane(t, l), acc.Lane(t, l)))
+          << ToString(op) << std::string(ToString(t)) << " lane " << l;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IntLaneOps,
+    ::testing::Combine(
+        ::testing::Values(Opcode::kVadd, Opcode::kVsub, Opcode::kVmul,
+                          Opcode::kVmla, Opcode::kVmin, Opcode::kVmax,
+                          Opcode::kVand, Opcode::kVorr, Opcode::kVeor,
+                          Opcode::kVcge, Opcode::kVcgt, Opcode::kVceq),
+        ::testing::Values(VecType::kI8, VecType::kI16, VecType::kI32)));
+
+TEST(FloatLanes, AddMulMatchScalar) {
+  QReg a;
+  QReg b;
+  const float av[4] = {1.5f, -2.0f, 3.25f, 100.0f};
+  const float bv[4] = {0.5f, 4.0f, -1.25f, 0.125f};
+  for (int l = 0; l < 4; ++l) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &av[l], 4);
+    a.SetLane32(l, bits);
+    std::memcpy(&bits, &bv[l], 4);
+    b.SetLane32(l, bits);
+  }
+  const QReg sum = ExecuteLaneOp(Opcode::kVadd, VecType::kF32, a, b, QReg{});
+  const QReg prod = ExecuteLaneOp(Opcode::kVmul, VecType::kF32, a, b, QReg{});
+  for (int l = 0; l < 4; ++l) {
+    float fs;
+    std::uint32_t bits = sum.Lane32(l);
+    std::memcpy(&fs, &bits, 4);
+    EXPECT_FLOAT_EQ(fs, av[l] + bv[l]);
+    bits = prod.Lane32(l);
+    std::memcpy(&fs, &bits, 4);
+    EXPECT_FLOAT_EQ(fs, av[l] * bv[l]);
+  }
+}
+
+TEST(Shift, LogicalPerLane) {
+  std::uint32_t seed = 99;
+  const QReg a = RandomReg(seed);
+  for (const VecType t : {VecType::kI8, VecType::kI16, VecType::kI32}) {
+    const QReg l1 = ExecuteShift(Opcode::kVshl, t, a, 1);
+    const QReg r2 = ExecuteShift(Opcode::kVshr, t, a, 2);
+    for (int l = 0; l < isa::LaneCount(t); ++l) {
+      EXPECT_EQ(l1.Lane(t, l), (a.Lane(t, l) << 1) & Mask(t));
+      EXPECT_EQ(r2.Lane(t, l), (a.Lane(t, l) & Mask(t)) >> 2);
+    }
+  }
+}
+
+TEST(Bsl, SelectsPerBit) {
+  QReg mask;
+  QReg a;
+  QReg b;
+  for (int i = 0; i < 16; ++i) {
+    mask.bytes[i] = (i % 2) ? 0xFF : 0x0F;
+    a.bytes[i] = 0xAA;
+    b.bytes[i] = 0x55;
+  }
+  const QReg out = ExecuteBsl(mask, a, b);
+  for (int i = 0; i < 16; ++i) {
+    const std::uint8_t expect =
+        (mask.bytes[i] & 0xAA) | (~mask.bytes[i] & 0x55);
+    EXPECT_EQ(out.bytes[i], expect);
+  }
+}
+
+TEST(Broadcast, FillsAllLanes) {
+  const QReg r8 = Broadcast(VecType::kI8, 0x7F);
+  const QReg r16 = Broadcast(VecType::kI16, 0xBEEF);
+  const QReg r32 = Broadcast(VecType::kI32, 0x12345678);
+  for (int l = 0; l < 16; ++l) EXPECT_EQ(r8.Lane8(l), 0x7F);
+  for (int l = 0; l < 8; ++l) EXPECT_EQ(r16.Lane16(l), 0xBEEF);
+  for (int l = 0; l < 4; ++l) EXPECT_EQ(r32.Lane32(l), 0x12345678u);
+}
+
+TEST(LaneAccessors, NarrowWritesTruncate) {
+  QReg r;
+  r.SetLane(VecType::kI8, 0, 0x1FF);
+  EXPECT_EQ(r.Lane8(0), 0xFF);
+  r.SetLane(VecType::kI16, 1, 0x12345);
+  EXPECT_EQ(r.Lane16(1), 0x2345);
+}
+
+TEST(Timing, MultiplySlowerThanAlu) {
+  NeonTiming t;
+  EXPECT_GT(t.LatencyOf(Opcode::kVmul), t.LatencyOf(Opcode::kVadd));
+  EXPECT_EQ(t.LatencyOf(Opcode::kVmla), t.mul_latency);
+  EXPECT_EQ(t.LatencyOf(Opcode::kVld1), t.mem_latency);
+  EXPECT_EQ(t.LatencyOf(Opcode::kVmovToScalar), t.lane_move);
+}
+
+TEST(RegFile, ResetClears) {
+  VectorRegFile rf;
+  rf.q(3).SetLane32(0, 42);
+  rf.Reset();
+  EXPECT_EQ(rf.q(3).Lane32(0), 0u);
+}
+
+}  // namespace
+}  // namespace dsa::neon

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "engine/reguse.h"
+
+namespace dsa::engine {
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+
+bool HasSrc(const RegUse& u, int r) {
+  return std::find(u.srcs.begin(), u.srcs.begin() + u.n_srcs, r) !=
+         u.srcs.begin() + u.n_srcs;
+}
+
+TEST(RegUse, LoadReadsBaseWritesDest) {
+  const RegUse u = UsesOf(isa::MakeLoad(Opcode::kLdr, 3, 5, 4));
+  EXPECT_TRUE(HasSrc(u, 5));
+  EXPECT_EQ(u.dst, 3);
+  EXPECT_EQ(u.post_inc_reg, 5);
+}
+
+TEST(RegUse, LoadWithoutWritebackHasNoPostInc) {
+  const RegUse u = UsesOf(isa::MakeLoad(Opcode::kLdr, 3, 5, 0));
+  EXPECT_EQ(u.post_inc_reg, -1);
+}
+
+TEST(RegUse, StoreReadsValueAndBase) {
+  const RegUse u = UsesOf(isa::MakeStore(Opcode::kStr, 3, 5, 4));
+  EXPECT_TRUE(HasSrc(u, 3));
+  EXPECT_TRUE(HasSrc(u, 5));
+  EXPECT_EQ(u.dst, -1);
+  EXPECT_EQ(u.post_inc_reg, 5);
+}
+
+TEST(RegUse, AluThreeOperand) {
+  const RegUse u = UsesOf(isa::MakeAlu(Opcode::kAdd, 1, 2, 3));
+  EXPECT_TRUE(HasSrc(u, 2));
+  EXPECT_TRUE(HasSrc(u, 3));
+  EXPECT_EQ(u.dst, 1);
+}
+
+TEST(RegUse, AluImmediateSingleSource) {
+  const RegUse u = UsesOf(isa::MakeAluImm(Opcode::kAddi, 1, 2, 5));
+  EXPECT_TRUE(HasSrc(u, 2));
+  EXPECT_FALSE(HasSrc(u, 1));
+  EXPECT_EQ(u.n_srcs, 1);
+}
+
+TEST(RegUse, MlaReadsThree) {
+  Instruction i;
+  i.op = Opcode::kMla;
+  i.rd = 0;
+  i.rn = 1;
+  i.rm = 2;
+  i.ra = 3;
+  const RegUse u = UsesOf(i);
+  EXPECT_EQ(u.n_srcs, 3);
+  EXPECT_TRUE(HasSrc(u, 1));
+  EXPECT_TRUE(HasSrc(u, 2));
+  EXPECT_TRUE(HasSrc(u, 3));
+}
+
+TEST(RegUse, MovReadsOnlyRm) {
+  Instruction i;
+  i.op = Opcode::kMov;
+  i.rd = 4;
+  i.rm = 9;
+  const RegUse u = UsesOf(i);
+  EXPECT_EQ(u.n_srcs, 1);
+  EXPECT_TRUE(HasSrc(u, 9));
+}
+
+TEST(RegUse, MoviReadsNothing) {
+  const RegUse u = UsesOf(isa::MakeMovi(4, 7));
+  EXPECT_EQ(u.n_srcs, 0);
+  EXPECT_EQ(u.dst, 4);
+}
+
+TEST(RegUse, CompareVariants) {
+  const RegUse c1 = UsesOf(isa::MakeCmp(1, 2));
+  EXPECT_EQ(c1.n_srcs, 2);
+  const RegUse c2 = UsesOf(isa::MakeCmpi(1, 42));
+  EXPECT_EQ(c2.n_srcs, 1);
+  EXPECT_EQ(c2.dst, -1);
+}
+
+TEST(RegUse, CallWritesLinkRegister) {
+  Instruction i;
+  i.op = Opcode::kBl;
+  EXPECT_EQ(UsesOf(i).dst, isa::kLr);
+}
+
+TEST(RegUse, RetReadsLinkRegister) {
+  Instruction i;
+  i.op = Opcode::kRet;
+  EXPECT_TRUE(HasSrc(UsesOf(i), isa::kLr));
+}
+
+TEST(RegUse, BranchTouchesNothing) {
+  const RegUse u = UsesOf(isa::MakeBranch(isa::Cond::kAl, 0));
+  EXPECT_EQ(u.n_srcs, 0);
+  EXPECT_EQ(u.dst, -1);
+}
+
+}  // namespace
+}  // namespace dsa::engine

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "sim/report.h"
+#include "workloads/workloads.h"
+
+namespace dsa::sim {
+namespace {
+
+TEST(Report, ContainsCoreCounters) {
+  const RunResult r = sim::Run(workloads::MakeVecAdd(256), RunMode::kScalar, {});
+  const std::string s = FormatReport(r);
+  EXPECT_NE(s.find("sim.cycles "), std::string::npos);
+  EXPECT_NE(s.find("cpu.retired_total "), std::string::npos);
+  EXPECT_NE(s.find("l1.hits "), std::string::npos);
+  EXPECT_NE(s.find("energy.total "), std::string::npos);
+  EXPECT_NE(s.find("VecAdd"), std::string::npos);
+  EXPECT_NE(s.find("arm-original"), std::string::npos);
+}
+
+TEST(Report, DsaSectionOnlyInDsaMode) {
+  const Workload wl = workloads::MakeVecAdd(256);
+  const std::string scalar = FormatReport(sim::Run(wl, RunMode::kScalar, {}));
+  const std::string dsa = FormatReport(sim::Run(wl, RunMode::kDsa, {}));
+  EXPECT_EQ(scalar.find("dsa.takeovers"), std::string::npos);
+  EXPECT_NE(dsa.find("dsa.takeovers 1"), std::string::npos);
+  EXPECT_NE(dsa.find("dsa.loops.count 1"), std::string::npos);
+}
+
+TEST(Report, OutputFlagReflected) {
+  const RunResult r = sim::Run(workloads::MakeVecAdd(64), RunMode::kDsa, {});
+  EXPECT_NE(FormatReport(r).find("sim.output_ok 1"), std::string::npos);
+}
+
+TEST(Report, StableAcrossIdenticalRuns) {
+  const Workload wl = workloads::MakeBitCount(512);
+  const std::string a = FormatReport(sim::Run(wl, RunMode::kDsa, {}));
+  const std::string b = FormatReport(sim::Run(wl, RunMode::kDsa, {}));
+  EXPECT_EQ(a, b);  // the whole pipeline is deterministic
+}
+
+TEST(SimUtils, SpeedupOverIsRatio) {
+  RunResult base;
+  base.cycles = 200;
+  RunResult x;
+  x.cycles = 100;
+  EXPECT_DOUBLE_EQ(SpeedupOver(base, x), 2.0);
+  RunResult zero;
+  EXPECT_DOUBLE_EQ(SpeedupOver(base, zero), 0.0);
+}
+
+TEST(SimUtils, ModeNames) {
+  EXPECT_EQ(ToString(RunMode::kScalar), "arm-original");
+  EXPECT_EQ(ToString(RunMode::kAutoVec), "neon-autovec");
+  EXPECT_EQ(ToString(RunMode::kHandVec), "neon-handvec");
+  EXPECT_EQ(ToString(RunMode::kDsa), "neon-dsa");
+}
+
+TEST(SimUtils, DetectionLatencyZeroWithoutDsa) {
+  const RunResult r = sim::Run(workloads::MakeVecAdd(64), RunMode::kScalar, {});
+  EXPECT_DOUBLE_EQ(r.detection_latency_pct(), 0.0);
+}
+
+}  // namespace
+}  // namespace dsa::sim

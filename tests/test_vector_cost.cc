@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "engine/vector_cost.h"
+
+namespace dsa::engine {
+namespace {
+
+BodySummary SimpleBody(isa::VecType t = isa::VecType::kI32) {
+  BodySummary b;
+  b.vec_type = t;
+  b.loads = {MemStream{1, false, 4, 0x100, 4, false, 0, 0},
+             MemStream{2, false, 4, 0x1000, 4, false, 1, 0}};
+  b.stores = {MemStream{3, true, 4, 0x2000, 4, false, 2, 0}};
+  b.alu_ops = 1;
+  b.body_instrs = 7;
+  return b;
+}
+
+TEST(Leftover, ExactMultipleNeedsNone) {
+  EXPECT_EQ(ChooseLeftover(SimpleBody(), 64), LeftoverKind::kNone);
+}
+
+TEST(Leftover, OverlappingWhenNoAlias) {
+  EXPECT_EQ(ChooseLeftover(SimpleBody(), 63), LeftoverKind::kOverlapping);
+}
+
+TEST(Leftover, SingleElementsWhenStoreAliasesLoad) {
+  BodySummary b = SimpleBody();
+  b.stores[0].base_addr = b.loads[0].base_addr;  // in-place update
+  EXPECT_EQ(ChooseLeftover(b, 63), LeftoverKind::kSingleElements);
+}
+
+TEST(Leftover, SingleElementsBelowOneVector) {
+  EXPECT_EQ(ChooseLeftover(SimpleBody(), 3), LeftoverKind::kSingleElements);
+}
+
+TEST(Leftover, LargerArraysWhenPadded) {
+  EXPECT_EQ(ChooseLeftover(SimpleBody(), 63, /*padded_buffers=*/true),
+            LeftoverKind::kLargerArrays);
+}
+
+TEST(ChunkModel, CountsStreamsAndOps) {
+  const BodySummary b = SimpleBody();
+  neon::NeonTiming t;
+  EXPECT_EQ(ChunkInstrs(b), 4u);  // 2 loads + 1 alu + 1 store
+  EXPECT_EQ(ChunkCycles(b, t), 2 * t.mem_latency + t.alu_latency +
+                                   t.mem_latency);
+}
+
+TEST(ChunkModel, InvariantLoadsBecomeFree) {
+  BodySummary b = SimpleBody();
+  b.loads[0].loop_invariant = true;
+  EXPECT_EQ(ChunkInstrs(b), 3u);
+}
+
+TEST(CountLoopCost, ScalesWithIterations) {
+  const BodySummary b = SimpleBody();
+  DsaConfig cfg;
+  neon::NeonTiming t;
+  const RegionCost small = CostCountLoop(b, 64, cfg, t, 2);
+  const RegionCost big = CostCountLoop(b, 640, cfg, t, 2);
+  EXPECT_GT(big.neon_busy_cycles, small.neon_busy_cycles);
+  EXPECT_GT(big.vector_instrs, small.vector_instrs);
+  // Fixed overhead identical.
+  EXPECT_EQ(big.overhead_cycles, small.overhead_cycles);
+}
+
+TEST(CountLoopCost, BeatsScalarForWideTypes) {
+  BodySummary b = SimpleBody(isa::VecType::kI8);
+  for (auto& s : b.loads) s.elem_bytes = 1;
+  for (auto& s : b.stores) s.elem_bytes = 1;
+  DsaConfig cfg;
+  neon::NeonTiming t;
+  const std::uint64_t n = 4096;
+  const RegionCost c = CostCountLoop(b, n, cfg, t, 2);
+  // Scalar issue alone would be ~ n*body_instrs/2.
+  EXPECT_LT(c.total_cycles(), n * b.body_instrs / 2);
+}
+
+TEST(CountLoopCost, OverheadIncludesFlushAndFill) {
+  const BodySummary b = SimpleBody();
+  DsaConfig cfg;
+  neon::NeonTiming t;
+  const RegionCost c = CostCountLoop(b, 16, cfg, t, 2);
+  EXPECT_GE(c.overhead_cycles, cfg.pipeline_flush_latency + t.pipeline_fill);
+}
+
+TEST(ConditionalCost, ChargesPerIterationMapping) {
+  BodySummary b = SimpleBody();
+  b.conditions = {CondRegion{10, 12, 1, 1, true},
+                  CondRegion{13, 14, 0, 1, true}};
+  b.scalar_per_iter = 4;
+  DsaConfig cfg;
+  neon::NeonTiming t;
+  const RegionCost c = CostConditionalLoop(b, 100, cfg, t, 2);
+  // 100 iterations * 4 residual instrs / width 2 = 200 cycles minimum.
+  EXPECT_GE(c.scalar_addback_cycles, 200u);
+  EXPECT_GT(c.array_map_accesses, 100u);
+}
+
+TEST(ConditionalCost, MoreConditionsCostMore) {
+  BodySummary one = SimpleBody();
+  one.conditions = {CondRegion{10, 12, 1, 1, true}};
+  BodySummary two = one;
+  two.conditions.push_back(CondRegion{13, 15, 2, 1, true});
+  DsaConfig cfg;
+  neon::NeonTiming t;
+  EXPECT_GT(CostConditionalLoop(two, 64, cfg, t, 2).neon_busy_cycles,
+            CostConditionalLoop(one, 64, cfg, t, 2).neon_busy_cycles);
+}
+
+TEST(SentinelCost, ChargesFullSpeculativeRangeOnEarlyExit) {
+  const BodySummary b = SimpleBody();
+  DsaConfig cfg;
+  neon::NeonTiming t;
+  // Loop stopped after 10 iterations but 64 were speculated.
+  const RegionCost early = CostSentinelLoop(b, 10, 64, cfg, t, 2);
+  const RegionCost exact = CostSentinelLoop(b, 64, 64, cfg, t, 2);
+  EXPECT_EQ(early.neon_busy_cycles, exact.neon_busy_cycles);
+  // But the per-iteration scalar stop-condition cost differs.
+  EXPECT_LT(early.scalar_addback_cycles, exact.scalar_addback_cycles);
+}
+
+TEST(PartialCost, MoreWindowsMoreResync) {
+  const BodySummary b = SimpleBody();
+  DsaConfig cfg;
+  neon::NeonTiming t;
+  const RegionCost narrow = CostPartialLoop(b, 256, 8, cfg, t, 2);
+  const RegionCost wide = CostPartialLoop(b, 256, 64, cfg, t, 2);
+  EXPECT_GT(narrow.overhead_cycles, wide.overhead_cycles);
+}
+
+TEST(PartialCost, ZeroWindowIsEmpty) {
+  const BodySummary b = SimpleBody();
+  DsaConfig cfg;
+  neon::NeonTiming t;
+  EXPECT_EQ(CostPartialLoop(b, 100, 0, cfg, t, 2).total_cycles(), 0u);
+}
+
+TEST(RegionCost, AccumulationOperator) {
+  RegionCost a;
+  a.neon_busy_cycles = 5;
+  a.vector_instrs = 2;
+  RegionCost b;
+  b.neon_busy_cycles = 7;
+  b.scalar_instrs = 3;
+  a += b;
+  EXPECT_EQ(a.neon_busy_cycles, 12u);
+  EXPECT_EQ(a.vector_instrs, 2u);
+  EXPECT_EQ(a.scalar_instrs, 3u);
+}
+
+}  // namespace
+}  // namespace dsa::engine
