@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_fig7_looptypes.dir/bench_a3_fig7_looptypes.cc.o"
+  "CMakeFiles/bench_a3_fig7_looptypes.dir/bench_a3_fig7_looptypes.cc.o.d"
+  "bench_a3_fig7_looptypes"
+  "bench_a3_fig7_looptypes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_fig7_looptypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_fig8_perf.dir/bench_a3_fig8_perf.cc.o"
+  "CMakeFiles/bench_a3_fig8_perf.dir/bench_a3_fig8_perf.cc.o.d"
+  "bench_a3_fig8_perf"
+  "bench_a3_fig8_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_fig8_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

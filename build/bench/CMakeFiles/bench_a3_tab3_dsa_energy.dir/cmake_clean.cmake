@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_tab3_dsa_energy.dir/bench_a3_tab3_dsa_energy.cc.o"
+  "CMakeFiles/bench_a3_tab3_dsa_energy.dir/bench_a3_tab3_dsa_energy.cc.o.d"
+  "bench_a3_tab3_dsa_energy"
+  "bench_a3_tab3_dsa_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_tab3_dsa_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

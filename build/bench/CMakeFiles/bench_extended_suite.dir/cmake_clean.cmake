@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extended_suite.dir/bench_extended_suite.cc.o"
+  "CMakeFiles/bench_extended_suite.dir/bench_extended_suite.cc.o.d"
+  "bench_extended_suite"
+  "bench_extended_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extended_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

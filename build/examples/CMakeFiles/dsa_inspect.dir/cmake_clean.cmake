@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsa_inspect.dir/dsa_inspect.cpp.o"
+  "CMakeFiles/dsa_inspect.dir/dsa_inspect.cpp.o.d"
+  "dsa_inspect"
+  "dsa_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsa_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsa_cpu.dir/cpu.cc.o"
+  "CMakeFiles/dsa_cpu.dir/cpu.cc.o.d"
+  "libdsa_cpu.a"
+  "libdsa_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsa_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsa_energy.dir/energy_model.cc.o"
+  "CMakeFiles/dsa_energy.dir/energy_model.cc.o.d"
+  "libdsa_energy.a"
+  "libdsa_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsa_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/cidp.cc" "src/engine/CMakeFiles/dsa_engine.dir/cidp.cc.o" "gcc" "src/engine/CMakeFiles/dsa_engine.dir/cidp.cc.o.d"
+  "/root/repo/src/engine/dsa_cache.cc" "src/engine/CMakeFiles/dsa_engine.dir/dsa_cache.cc.o" "gcc" "src/engine/CMakeFiles/dsa_engine.dir/dsa_cache.cc.o.d"
+  "/root/repo/src/engine/engine.cc" "src/engine/CMakeFiles/dsa_engine.dir/engine.cc.o" "gcc" "src/engine/CMakeFiles/dsa_engine.dir/engine.cc.o.d"
+  "/root/repo/src/engine/reguse.cc" "src/engine/CMakeFiles/dsa_engine.dir/reguse.cc.o" "gcc" "src/engine/CMakeFiles/dsa_engine.dir/reguse.cc.o.d"
+  "/root/repo/src/engine/simd_gen.cc" "src/engine/CMakeFiles/dsa_engine.dir/simd_gen.cc.o" "gcc" "src/engine/CMakeFiles/dsa_engine.dir/simd_gen.cc.o.d"
+  "/root/repo/src/engine/tracker.cc" "src/engine/CMakeFiles/dsa_engine.dir/tracker.cc.o" "gcc" "src/engine/CMakeFiles/dsa_engine.dir/tracker.cc.o.d"
+  "/root/repo/src/engine/vector_cost.cc" "src/engine/CMakeFiles/dsa_engine.dir/vector_cost.cc.o" "gcc" "src/engine/CMakeFiles/dsa_engine.dir/vector_cost.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/dsa_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/dsa_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/neon/CMakeFiles/dsa_neon.dir/DependInfo.cmake"
+  "/root/repo/build/src/prog/CMakeFiles/dsa_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dsa_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

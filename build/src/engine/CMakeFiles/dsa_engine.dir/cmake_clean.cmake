@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsa_engine.dir/cidp.cc.o"
+  "CMakeFiles/dsa_engine.dir/cidp.cc.o.d"
+  "CMakeFiles/dsa_engine.dir/dsa_cache.cc.o"
+  "CMakeFiles/dsa_engine.dir/dsa_cache.cc.o.d"
+  "CMakeFiles/dsa_engine.dir/engine.cc.o"
+  "CMakeFiles/dsa_engine.dir/engine.cc.o.d"
+  "CMakeFiles/dsa_engine.dir/reguse.cc.o"
+  "CMakeFiles/dsa_engine.dir/reguse.cc.o.d"
+  "CMakeFiles/dsa_engine.dir/simd_gen.cc.o"
+  "CMakeFiles/dsa_engine.dir/simd_gen.cc.o.d"
+  "CMakeFiles/dsa_engine.dir/tracker.cc.o"
+  "CMakeFiles/dsa_engine.dir/tracker.cc.o.d"
+  "CMakeFiles/dsa_engine.dir/vector_cost.cc.o"
+  "CMakeFiles/dsa_engine.dir/vector_cost.cc.o.d"
+  "libdsa_engine.a"
+  "libdsa_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsa_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

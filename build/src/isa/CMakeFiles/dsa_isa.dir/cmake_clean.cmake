@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsa_isa.dir/isa.cc.o"
+  "CMakeFiles/dsa_isa.dir/isa.cc.o.d"
+  "libdsa_isa.a"
+  "libdsa_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsa_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

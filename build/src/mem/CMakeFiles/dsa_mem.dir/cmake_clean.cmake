@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsa_mem.dir/cache.cc.o"
+  "CMakeFiles/dsa_mem.dir/cache.cc.o.d"
+  "libdsa_mem.a"
+  "libdsa_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsa_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsa_neon.dir/vector_unit.cc.o"
+  "CMakeFiles/dsa_neon.dir/vector_unit.cc.o.d"
+  "libdsa_neon.a"
+  "libdsa_neon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsa_neon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

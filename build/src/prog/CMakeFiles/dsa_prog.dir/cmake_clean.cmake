@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsa_prog.dir/assembler.cc.o"
+  "CMakeFiles/dsa_prog.dir/assembler.cc.o.d"
+  "libdsa_prog.a"
+  "libdsa_prog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsa_prog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

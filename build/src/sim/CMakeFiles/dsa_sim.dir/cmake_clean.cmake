@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsa_sim.dir/report.cc.o"
+  "CMakeFiles/dsa_sim.dir/report.cc.o.d"
+  "CMakeFiles/dsa_sim.dir/system.cc.o"
+  "CMakeFiles/dsa_sim.dir/system.cc.o.d"
+  "libdsa_sim.a"
+  "libdsa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsa_vectorizer.dir/static_vectorizer.cc.o"
+  "CMakeFiles/dsa_vectorizer.dir/static_vectorizer.cc.o.d"
+  "libdsa_vectorizer.a"
+  "libdsa_vectorizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsa_vectorizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dsa_vectorizer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bitcount.cc" "src/workloads/CMakeFiles/dsa_workloads.dir/bitcount.cc.o" "gcc" "src/workloads/CMakeFiles/dsa_workloads.dir/bitcount.cc.o.d"
+  "/root/repo/src/workloads/dijkstra.cc" "src/workloads/CMakeFiles/dsa_workloads.dir/dijkstra.cc.o" "gcc" "src/workloads/CMakeFiles/dsa_workloads.dir/dijkstra.cc.o.d"
+  "/root/repo/src/workloads/extended.cc" "src/workloads/CMakeFiles/dsa_workloads.dir/extended.cc.o" "gcc" "src/workloads/CMakeFiles/dsa_workloads.dir/extended.cc.o.d"
+  "/root/repo/src/workloads/gaussian.cc" "src/workloads/CMakeFiles/dsa_workloads.dir/gaussian.cc.o" "gcc" "src/workloads/CMakeFiles/dsa_workloads.dir/gaussian.cc.o.d"
+  "/root/repo/src/workloads/matmul.cc" "src/workloads/CMakeFiles/dsa_workloads.dir/matmul.cc.o" "gcc" "src/workloads/CMakeFiles/dsa_workloads.dir/matmul.cc.o.d"
+  "/root/repo/src/workloads/qsort.cc" "src/workloads/CMakeFiles/dsa_workloads.dir/qsort.cc.o" "gcc" "src/workloads/CMakeFiles/dsa_workloads.dir/qsort.cc.o.d"
+  "/root/repo/src/workloads/rgb_gray.cc" "src/workloads/CMakeFiles/dsa_workloads.dir/rgb_gray.cc.o" "gcc" "src/workloads/CMakeFiles/dsa_workloads.dir/rgb_gray.cc.o.d"
+  "/root/repo/src/workloads/sets.cc" "src/workloads/CMakeFiles/dsa_workloads.dir/sets.cc.o" "gcc" "src/workloads/CMakeFiles/dsa_workloads.dir/sets.cc.o.d"
+  "/root/repo/src/workloads/shiftadd.cc" "src/workloads/CMakeFiles/dsa_workloads.dir/shiftadd.cc.o" "gcc" "src/workloads/CMakeFiles/dsa_workloads.dir/shiftadd.cc.o.d"
+  "/root/repo/src/workloads/strcopy.cc" "src/workloads/CMakeFiles/dsa_workloads.dir/strcopy.cc.o" "gcc" "src/workloads/CMakeFiles/dsa_workloads.dir/strcopy.cc.o.d"
+  "/root/repo/src/workloads/susan.cc" "src/workloads/CMakeFiles/dsa_workloads.dir/susan.cc.o" "gcc" "src/workloads/CMakeFiles/dsa_workloads.dir/susan.cc.o.d"
+  "/root/repo/src/workloads/vec_add.cc" "src/workloads/CMakeFiles/dsa_workloads.dir/vec_add.cc.o" "gcc" "src/workloads/CMakeFiles/dsa_workloads.dir/vec_add.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dsa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vectorizer/CMakeFiles/dsa_vectorizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/dsa_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/dsa_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/dsa_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dsa_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/neon/CMakeFiles/dsa_neon.dir/DependInfo.cmake"
+  "/root/repo/build/src/prog/CMakeFiles/dsa_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dsa_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

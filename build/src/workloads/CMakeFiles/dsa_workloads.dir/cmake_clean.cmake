@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsa_workloads.dir/bitcount.cc.o"
+  "CMakeFiles/dsa_workloads.dir/bitcount.cc.o.d"
+  "CMakeFiles/dsa_workloads.dir/dijkstra.cc.o"
+  "CMakeFiles/dsa_workloads.dir/dijkstra.cc.o.d"
+  "CMakeFiles/dsa_workloads.dir/extended.cc.o"
+  "CMakeFiles/dsa_workloads.dir/extended.cc.o.d"
+  "CMakeFiles/dsa_workloads.dir/gaussian.cc.o"
+  "CMakeFiles/dsa_workloads.dir/gaussian.cc.o.d"
+  "CMakeFiles/dsa_workloads.dir/matmul.cc.o"
+  "CMakeFiles/dsa_workloads.dir/matmul.cc.o.d"
+  "CMakeFiles/dsa_workloads.dir/qsort.cc.o"
+  "CMakeFiles/dsa_workloads.dir/qsort.cc.o.d"
+  "CMakeFiles/dsa_workloads.dir/rgb_gray.cc.o"
+  "CMakeFiles/dsa_workloads.dir/rgb_gray.cc.o.d"
+  "CMakeFiles/dsa_workloads.dir/sets.cc.o"
+  "CMakeFiles/dsa_workloads.dir/sets.cc.o.d"
+  "CMakeFiles/dsa_workloads.dir/shiftadd.cc.o"
+  "CMakeFiles/dsa_workloads.dir/shiftadd.cc.o.d"
+  "CMakeFiles/dsa_workloads.dir/strcopy.cc.o"
+  "CMakeFiles/dsa_workloads.dir/strcopy.cc.o.d"
+  "CMakeFiles/dsa_workloads.dir/susan.cc.o"
+  "CMakeFiles/dsa_workloads.dir/susan.cc.o.d"
+  "CMakeFiles/dsa_workloads.dir/vec_add.cc.o"
+  "CMakeFiles/dsa_workloads.dir/vec_add.cc.o.d"
+  "libdsa_workloads.a"
+  "libdsa_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsa_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

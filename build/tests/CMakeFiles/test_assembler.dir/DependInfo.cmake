@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_assembler.cc" "tests/CMakeFiles/test_assembler.dir/test_assembler.cc.o" "gcc" "tests/CMakeFiles/test_assembler.dir/test_assembler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/dsa_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dsa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/dsa_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/vectorizer/CMakeFiles/dsa_vectorizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/dsa_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/dsa_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/neon/CMakeFiles/dsa_neon.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dsa_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/prog/CMakeFiles/dsa_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dsa_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cidp.dir/test_cidp.cc.o"
+  "CMakeFiles/test_cidp.dir/test_cidp.cc.o.d"
+  "test_cidp"
+  "test_cidp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cidp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

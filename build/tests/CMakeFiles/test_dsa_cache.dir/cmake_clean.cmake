@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsa_cache.dir/test_dsa_cache.cc.o"
+  "CMakeFiles/test_dsa_cache.dir/test_dsa_cache.cc.o.d"
+  "test_dsa_cache"
+  "test_dsa_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsa_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

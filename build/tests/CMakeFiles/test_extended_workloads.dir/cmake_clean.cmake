@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extended_workloads.dir/test_extended_workloads.cc.o"
+  "CMakeFiles/test_extended_workloads.dir/test_extended_workloads.cc.o.d"
+  "test_extended_workloads"
+  "test_extended_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extended_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_neon.dir/test_neon.cc.o"
+  "CMakeFiles/test_neon.dir/test_neon.cc.o.d"
+  "test_neon"
+  "test_neon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_neon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

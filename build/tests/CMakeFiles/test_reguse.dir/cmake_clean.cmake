@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reguse.dir/test_reguse.cc.o"
+  "CMakeFiles/test_reguse.dir/test_reguse.cc.o.d"
+  "test_reguse"
+  "test_reguse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reguse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

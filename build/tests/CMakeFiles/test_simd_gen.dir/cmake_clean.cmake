@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simd_gen.dir/test_simd_gen.cc.o"
+  "CMakeFiles/test_simd_gen.dir/test_simd_gen.cc.o.d"
+  "test_simd_gen"
+  "test_simd_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simd_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vector_cost.dir/test_vector_cost.cc.o"
+  "CMakeFiles/test_vector_cost.dir/test_vector_cost.cc.o.d"
+  "test_vector_cost"
+  "test_vector_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vector_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
