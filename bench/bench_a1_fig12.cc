@@ -7,38 +7,58 @@
 // (-3%) and Q Sort (-1%).
 #include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "workloads/workloads.h"
 
-int main() {
+int main(int argc, char** argv) {
   using dsa::sim::RunMode;
+  const dsa::bench::BenchOptions opts = dsa::bench::ParseBenchArgs(argc, argv);
   dsa::sim::SystemConfig cfg;
   cfg.dsa = dsa::engine::DsaConfig::Original();
   dsa::bench::PrintSetupHeader(cfg);
+
+  dsa::sim::BatchRunner runner(opts.runner);
+  struct Row {
+    std::string name;
+    std::string base, av, ds;
+  };
+  std::vector<Row> rows;
+  for (const dsa::sim::Workload& wl : dsa::workloads::Article1Set()) {
+    if (!dsa::bench::KeepWorkload(opts, wl.name)) continue;
+    Row row;
+    row.name = wl.name;
+    row.base = runner.Submit(wl, RunMode::kScalar, cfg, "orig");
+    row.av = runner.Submit(wl, RunMode::kAutoVec, cfg, "orig");
+    row.ds = runner.Submit(wl, RunMode::kDsa, cfg, "orig");
+    rows.push_back(row);
+  }
 
   std::printf("Article 1 Fig. 12 — improvement over ARM original (%%)\n");
   std::printf("%-12s %12s %14s\n", "benchmark", "NEON AutoVec",
               "DSA (original)");
   std::vector<double> av_speedups;
   std::vector<double> dsa_speedups;
-  for (const dsa::sim::Workload& wl : dsa::workloads::Article1Set()) {
-    const auto base = Run(wl, RunMode::kScalar, cfg);
-    const auto av = Run(wl, RunMode::kAutoVec, cfg);
-    const auto ds = Run(wl, RunMode::kDsa, cfg);
+  for (const Row& row : rows) {
+    const auto& base = runner.Result(row.base);
+    const auto& av = runner.Result(row.av);
+    const auto& ds = runner.Result(row.ds);
     av_speedups.push_back(SpeedupOver(base, av));
     dsa_speedups.push_back(SpeedupOver(base, ds));
-    std::printf("%-12s %+11.1f%% %+13.1f%%\n", wl.name.c_str(),
+    std::printf("%-12s %+11.1f%% %+13.1f%%\n", row.name.c_str(),
                 dsa::bench::ImprovementPct(base, av),
                 dsa::bench::ImprovementPct(base, ds));
   }
-  const double av_g = dsa::bench::GeoMeanSpeedup(av_speedups);
-  const double ds_g = dsa::bench::GeoMeanSpeedup(dsa_speedups);
-  std::printf("%-12s %+11.1f%% %+13.1f%%\n", "geomean", (av_g - 1) * 100,
-              (ds_g - 1) * 100);
-  std::printf("\nDSA vs AutoVec: %+.1f%%   (paper: DSA +31%% over original, "
-              "+6%% over AutoVec)\n",
-              (ds_g / av_g - 1) * 100);
-  return 0;
+  if (!rows.empty()) {
+    const double av_g = dsa::bench::GeoMeanSpeedup(av_speedups);
+    const double ds_g = dsa::bench::GeoMeanSpeedup(dsa_speedups);
+    std::printf("%-12s %+11.1f%% %+13.1f%%\n", "geomean", (av_g - 1) * 100,
+                (ds_g - 1) * 100);
+    std::printf("\nDSA vs AutoVec: %+.1f%%   (paper: DSA +31%% over original, "
+                "+6%% over AutoVec)\n",
+                (ds_g / av_g - 1) * 100);
+  }
+  return dsa::bench::FinishBench(runner, opts, "a1_fig12");
 }

@@ -5,11 +5,22 @@
 // Paper values: DSA logic = 2.18% of the core; DSA + caches = 10.37% of
 // core + caches.
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "energy/energy_model.h"
 #include "engine/config.h"
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
   const dsa::energy::AreaParams p;
   const dsa::engine::DsaConfig cfg;
   const dsa::energy::AreaReport r = dsa::energy::ComputeArea(
@@ -31,6 +42,26 @@ int main() {
     const auto s = dsa::energy::ComputeArea(
         p, kb * 1024, cfg.verification_cache_bytes, cfg.array_maps);
     std::printf("  %2u kB DSA cache -> %.2f%%\n", kb, s.total_overhead_pct);
+  }
+
+  // The area model is closed-form (no simulation runs), so this driver
+  // emits its own flat JSON rather than going through the BatchRunner.
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "could not write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\"schema\": \"dsa-bench-json/1\", \"bench\": "
+                 "\"a1_tab3_area\", \"area_um2\": {\"arm_core\": %.1f, "
+                 "\"dsa_logic\": %.1f, \"arm_with_caches\": %.1f, "
+                 "\"dsa_with_caches\": %.1f}, \"logic_overhead_pct\": %.4f, "
+                 "\"total_overhead_pct\": %.4f}\n",
+                 r.arm_core, r.dsa_logic, r.arm_with_caches, r.dsa_with_caches,
+                 r.logic_overhead_pct, r.total_overhead_pct);
+    std::fclose(f);
+    std::printf("\n[a1_tab3_area] wrote %s\n", json_path.c_str());
   }
   return 0;
 }

@@ -7,17 +7,38 @@
 // nothing on the purely static benchmarks; overall it beats AutoVec by
 // ~12%; AutoVec loses slightly on Q Sort (-1%) and Dijkstra (-3%).
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "workloads/workloads.h"
 
-int main() {
+int main(int argc, char** argv) {
   using dsa::sim::RunMode;
+  const dsa::bench::BenchOptions opts = dsa::bench::ParseBenchArgs(argc, argv);
   dsa::sim::SystemConfig ext_cfg;
   dsa::sim::SystemConfig orig_cfg;
   orig_cfg.dsa = dsa::engine::DsaConfig::Original();
   dsa::bench::PrintSetupHeader(ext_cfg);
+
+  // Two DSA configs in one batch: the config_tag keeps the original-DSA
+  // cells from being memo-merged with the extended-DSA cells.
+  dsa::sim::BatchRunner runner(opts.runner);
+  struct Row {
+    std::string name;
+    std::string base, av, orig, ext;
+  };
+  std::vector<Row> rows;
+  for (const dsa::sim::Workload& wl : dsa::workloads::Article2Set()) {
+    if (!dsa::bench::KeepWorkload(opts, wl.name)) continue;
+    Row row;
+    row.name = wl.name;
+    row.base = runner.Submit(wl, RunMode::kScalar, ext_cfg, "ext");
+    row.av = runner.Submit(wl, RunMode::kAutoVec, ext_cfg, "ext");
+    row.orig = runner.Submit(wl, RunMode::kDsa, orig_cfg, "orig");
+    row.ext = runner.Submit(wl, RunMode::kDsa, ext_cfg, "ext");
+    rows.push_back(row);
+  }
 
   std::printf(
       "Article 2 Fig. 16 — improvement over ARM original (%%)\n");
@@ -26,36 +47,42 @@ int main() {
   std::vector<double> av;
   std::vector<double> orig;
   std::vector<double> ext;
-  for (const dsa::sim::Workload& wl : dsa::workloads::Article2Set()) {
-    const auto base = Run(wl, RunMode::kScalar, ext_cfg);
-    const auto a = Run(wl, RunMode::kAutoVec, ext_cfg);
-    const auto o = Run(wl, RunMode::kDsa, orig_cfg);
-    const auto e = Run(wl, RunMode::kDsa, ext_cfg);
+  std::vector<double> dyn_ratio;
+  for (const Row& row : rows) {
+    const auto& base = runner.Result(row.base);
+    const auto& a = runner.Result(row.av);
+    const auto& o = runner.Result(row.orig);
+    const auto& e = runner.Result(row.ext);
     av.push_back(SpeedupOver(base, a));
     orig.push_back(SpeedupOver(base, o));
     ext.push_back(SpeedupOver(base, e));
-    std::printf("%-12s %+11.1f%% %+13.1f%% %+13.1f%%\n", wl.name.c_str(),
+    // The paper quotes the Extended-vs-Original gain over the benchmarks
+    // with conditional-code / dynamic-range loops.
+    if (row.name == "Susan E" || row.name == "Dijkstra" ||
+        row.name == "BitCounts") {
+      dyn_ratio.push_back(ext.back() / orig.back());
+    }
+    std::printf("%-12s %+11.1f%% %+13.1f%% %+13.1f%%\n", row.name.c_str(),
                 dsa::bench::ImprovementPct(base, a),
                 dsa::bench::ImprovementPct(base, o),
                 dsa::bench::ImprovementPct(base, e));
   }
-  const double ga = dsa::bench::GeoMeanSpeedup(av);
-  const double go = dsa::bench::GeoMeanSpeedup(orig);
-  const double ge = dsa::bench::GeoMeanSpeedup(ext);
-  std::printf("%-12s %+11.1f%% %+13.1f%% %+13.1f%%\n", "geomean",
-              (ga - 1) * 100, (go - 1) * 100, (ge - 1) * 100);
-  // The paper quotes the Extended-vs-Original gain over the benchmarks
-  // with conditional-code / dynamic-range loops (Susan E, Dijkstra,
-  // BitCounts) — indices 3, 5, 6 of the Article 2 set.
-  std::vector<double> dyn_ratio;
-  for (const int i : {3, 5, 6}) dyn_ratio.push_back(ext[i] / orig[i]);
-  std::printf("\nExtended vs Original DSA (all):          %+.1f%%\n",
-              (ge / go - 1) * 100);
-  std::printf("Extended vs Original DSA (dynamic-loop): %+.1f%%   "
-              "(paper: +38.5%%)\n",
-              (dsa::bench::GeoMeanSpeedup(dyn_ratio) - 1) * 100);
-  std::printf("Extended DSA vs AutoVec:                 %+.1f%%   "
-              "(paper: +12%%)\n",
-              (ge / ga - 1) * 100);
-  return 0;
+  if (!rows.empty()) {
+    const double ga = dsa::bench::GeoMeanSpeedup(av);
+    const double go = dsa::bench::GeoMeanSpeedup(orig);
+    const double ge = dsa::bench::GeoMeanSpeedup(ext);
+    std::printf("%-12s %+11.1f%% %+13.1f%% %+13.1f%%\n", "geomean",
+                (ga - 1) * 100, (go - 1) * 100, (ge - 1) * 100);
+    std::printf("\nExtended vs Original DSA (all):          %+.1f%%\n",
+                (ge / go - 1) * 100);
+    if (!dyn_ratio.empty()) {
+      std::printf("Extended vs Original DSA (dynamic-loop): %+.1f%%   "
+                  "(paper: +38.5%%)\n",
+                  (dsa::bench::GeoMeanSpeedup(dyn_ratio) - 1) * 100);
+    }
+    std::printf("Extended DSA vs AutoVec:                 %+.1f%%   "
+                "(paper: +12%%)\n",
+                (ge / ga - 1) * 100);
+  }
+  return dsa::bench::FinishBench(runner, opts, "a2_fig16");
 }

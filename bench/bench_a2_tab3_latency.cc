@@ -8,24 +8,37 @@
 // more for conditional/dynamic-range-heavy ones (Dijkstra, BitCounts),
 // Q Sort ~1.02% spent analyzing loops that are never vectorizable.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "workloads/workloads.h"
 
-int main() {
+int main(int argc, char** argv) {
   using dsa::sim::RunMode;
+  const dsa::bench::BenchOptions opts = dsa::bench::ParseBenchArgs(argc, argv);
   const dsa::sim::SystemConfig cfg;
   dsa::bench::PrintSetupHeader(cfg);
+
+  dsa::sim::BatchRunner runner(opts.runner);
+  std::vector<std::pair<std::string, std::string>> rows;  // name, key
+  for (const dsa::sim::Workload& wl : dsa::workloads::Article3Set()) {
+    if (!dsa::bench::KeepWorkload(opts, wl.name)) continue;
+    // The scalar baseline rides along so the oracle can cross-check the
+    // DSA run's outputs against the unaccelerated execution.
+    runner.Submit(wl, RunMode::kScalar, cfg);
+    rows.emplace_back(wl.name, runner.Submit(wl, RunMode::kDsa, cfg));
+  }
 
   std::printf("DSA detection latency (%% of total execution)\n");
   std::printf("%-12s %12s %16s %12s\n", "benchmark", "latency %",
               "analysis cycles", "takeovers");
-  for (const dsa::sim::Workload& wl : dsa::workloads::Article3Set()) {
-    const auto r = Run(wl, RunMode::kDsa, cfg);
-    std::printf("%-12s %11.2f%% %16llu %12llu\n", wl.name.c_str(),
+  for (const auto& [name, key] : rows) {
+    const auto& r = runner.Result(key);
+    std::printf("%-12s %11.2f%% %16llu %12llu\n", name.c_str(),
                 r.detection_latency_pct(),
                 static_cast<unsigned long long>(r.dsa->analysis_cycles),
                 static_cast<unsigned long long>(r.dsa->takeovers));
   }
-  return 0;
+  return dsa::bench::FinishBench(runner, opts, "a2_tab3_latency");
 }

@@ -7,22 +7,36 @@
 #include <cstdio>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "workloads/workloads.h"
 
-int main() {
+int main(int argc, char** argv) {
   using dsa::sim::RunMode;
+  const dsa::bench::BenchOptions opts = dsa::bench::ParseBenchArgs(argc, argv);
   const dsa::sim::SystemConfig cfg;
   dsa::bench::PrintSetupHeader(cfg);
 
-  std::printf("Article 3 Fig. 7 — loop types per application\n\n");
+  dsa::sim::BatchRunner runner(opts.runner);
+  struct Row {
+    dsa::sim::Workload wl;
+    std::string key;
+  };
+  std::vector<Row> rows;
   for (const dsa::sim::Workload& wl : dsa::workloads::Article3Set()) {
-    std::printf("%-12s static census:", wl.name.c_str());
-    for (const auto& [type, frac] : wl.loop_type_fractions) {
+    if (!dsa::bench::KeepWorkload(opts, wl.name)) continue;
+    runner.Submit(wl, RunMode::kScalar, cfg);
+    rows.push_back(Row{wl, runner.Submit(wl, RunMode::kDsa, cfg)});
+  }
+
+  std::printf("Article 3 Fig. 7 — loop types per application\n\n");
+  for (const Row& row : rows) {
+    std::printf("%-12s static census:", row.wl.name.c_str());
+    for (const auto& [type, frac] : row.wl.loop_type_fractions) {
       std::printf("  %s %.0f%%", type.c_str(), frac * 100);
     }
-    const auto r = Run(wl, RunMode::kDsa, cfg);
+    const auto& r = runner.Result(row.key);
     std::printf("\n%-12s DSA runtime classification:", "");
     for (const auto& [cls, n] : r.dsa->loops_by_class) {
       std::printf("  %s x%llu", std::string(ToString(cls)).c_str(),
@@ -30,5 +44,5 @@ int main() {
     }
     std::printf("\n\n");
   }
-  return 0;
+  return dsa::bench::FinishBench(runner, opts, "a3_fig7_looptypes");
 }

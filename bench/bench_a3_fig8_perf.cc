@@ -5,16 +5,29 @@
 // Paper shape: DSA outperforms the auto-vectorization compiler by ~32%
 // (partial vectorization + dynamic-behaviour loop coverage) and the
 // hand-vectorized code by ~26%; AutoVec wins only on MM.
+#include <array>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "workloads/workloads.h"
 
-int main() {
-  using dsa::sim::RunMode;
+int main(int argc, char** argv) {
+  const dsa::bench::BenchOptions opts = dsa::bench::ParseBenchArgs(argc, argv);
   const dsa::sim::SystemConfig cfg;
   dsa::bench::PrintSetupHeader(cfg);
+
+  dsa::sim::BatchRunner runner(opts.runner);
+  struct Row {
+    std::string name;
+    std::array<std::string, 4> keys;  // scalar, autovec, handvec, dsa
+  };
+  std::vector<Row> rows;
+  for (const dsa::sim::Workload& wl : dsa::workloads::Article3Set()) {
+    if (!dsa::bench::KeepWorkload(opts, wl.name)) continue;
+    rows.push_back(Row{wl.name, runner.SubmitMatrix(wl, cfg)});
+  }
 
   std::printf("Article 3 Fig. 8 — improvement over ARM original (%%)\n");
   std::printf("%-12s %12s %12s %12s\n", "benchmark", "AutoVec", "Hand-coded",
@@ -22,27 +35,29 @@ int main() {
   std::vector<double> av;
   std::vector<double> hv;
   std::vector<double> ds;
-  for (const dsa::sim::Workload& wl : dsa::workloads::Article3Set()) {
-    const auto base = Run(wl, RunMode::kScalar, cfg);
-    const auto a = Run(wl, RunMode::kAutoVec, cfg);
-    const auto h = Run(wl, RunMode::kHandVec, cfg);
-    const auto d = Run(wl, RunMode::kDsa, cfg);
+  for (const Row& row : rows) {
+    const auto& base = runner.Result(row.keys[0]);
+    const auto& a = runner.Result(row.keys[1]);
+    const auto& h = runner.Result(row.keys[2]);
+    const auto& d = runner.Result(row.keys[3]);
     av.push_back(SpeedupOver(base, a));
     hv.push_back(SpeedupOver(base, h));
     ds.push_back(SpeedupOver(base, d));
-    std::printf("%-12s %+11.1f%% %+11.1f%% %+11.1f%%\n", wl.name.c_str(),
+    std::printf("%-12s %+11.1f%% %+11.1f%% %+11.1f%%\n", row.name.c_str(),
                 dsa::bench::ImprovementPct(base, a),
                 dsa::bench::ImprovementPct(base, h),
                 dsa::bench::ImprovementPct(base, d));
   }
-  const double ga = dsa::bench::GeoMeanSpeedup(av);
-  const double gh = dsa::bench::GeoMeanSpeedup(hv);
-  const double gd = dsa::bench::GeoMeanSpeedup(ds);
-  std::printf("%-12s %+11.1f%% %+11.1f%% %+11.1f%%\n", "geomean",
-              (ga - 1) * 100, (gh - 1) * 100, (gd - 1) * 100);
-  std::printf("\nDSA vs AutoVec:    %+.1f%%   (paper: +32%%)\n",
-              (gd / ga - 1) * 100);
-  std::printf("DSA vs Hand-coded: %+.1f%%   (paper: +26%%)\n",
-              (gd / gh - 1) * 100);
-  return 0;
+  if (!rows.empty()) {
+    const double ga = dsa::bench::GeoMeanSpeedup(av);
+    const double gh = dsa::bench::GeoMeanSpeedup(hv);
+    const double gd = dsa::bench::GeoMeanSpeedup(ds);
+    std::printf("%-12s %+11.1f%% %+11.1f%% %+11.1f%%\n", "geomean",
+                (ga - 1) * 100, (gh - 1) * 100, (gd - 1) * 100);
+    std::printf("\nDSA vs AutoVec:    %+.1f%%   (paper: +32%%)\n",
+                (gd / ga - 1) * 100);
+    std::printf("DSA vs Hand-coded: %+.1f%%   (paper: +26%%)\n",
+                (gd / gh - 1) * 100);
+  }
+  return dsa::bench::FinishBench(runner, opts, "a3_fig8_perf");
 }

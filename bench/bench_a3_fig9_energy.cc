@@ -6,29 +6,48 @@
 // Paper shape: the DSA saves ~45% energy on average over the ARM original
 // execution on the DLP-rich benchmarks (shorter runtime cuts leakage; one
 // NEON op replaces `lanes` scalar fetch/decode/execute rounds).
+#include <array>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "workloads/workloads.h"
 
-int main() {
+int main(int argc, char** argv) {
   using dsa::sim::RunMode;
+  const dsa::bench::BenchOptions opts = dsa::bench::ParseBenchArgs(argc, argv);
   const dsa::sim::SystemConfig cfg;
   dsa::bench::PrintSetupHeader(cfg);
+
+  dsa::sim::BatchRunner runner(opts.runner);
+  struct Row {
+    std::string name;
+    std::array<std::string, 4> keys;  // scalar, autovec, handvec, dsa
+  };
+  std::vector<Row> rows;
+  for (const dsa::sim::Workload& wl : dsa::workloads::Article3Set()) {
+    if (!dsa::bench::KeepWorkload(opts, wl.name)) continue;
+    rows.push_back(Row{wl.name, runner.SubmitMatrix(wl, cfg)});
+  }
+  // The RGB-Gray breakdown cells below come from the same memo: RGB-Gray
+  // is part of the Article 3 set, so these submissions are deduplicated.
+  const dsa::sim::Workload rgb = dsa::workloads::MakeRgbGray();
+  const std::string rgb_base = runner.Submit(rgb, RunMode::kScalar, cfg);
+  const std::string rgb_dsa = runner.Submit(rgb, RunMode::kDsa, cfg);
 
   std::printf("Article 3 Fig. 9 — energy savings over ARM original (%%)\n");
   std::printf("%-12s %12s %12s %12s\n", "benchmark", "AutoVec", "Hand-coded",
               "DSA");
   double dsa_savings_sum = 0;
   int dlp_count = 0;
-  for (const dsa::sim::Workload& wl : dsa::workloads::Article3Set()) {
-    const auto base = Run(wl, RunMode::kScalar, cfg);
-    const auto a = Run(wl, RunMode::kAutoVec, cfg);
-    const auto h = Run(wl, RunMode::kHandVec, cfg);
-    const auto d = Run(wl, RunMode::kDsa, cfg);
+  for (const Row& row : rows) {
+    const auto& base = runner.Result(row.keys[0]);
+    const auto& a = runner.Result(row.keys[1]);
+    const auto& h = runner.Result(row.keys[2]);
+    const auto& d = runner.Result(row.keys[3]);
     const double ds = dsa::bench::EnergySavingsPct(base, d);
-    std::printf("%-12s %+11.1f%% %+11.1f%% %+11.1f%%\n", wl.name.c_str(),
+    std::printf("%-12s %+11.1f%% %+11.1f%% %+11.1f%%\n", row.name.c_str(),
                 dsa::bench::EnergySavingsPct(base, a),
                 dsa::bench::EnergySavingsPct(base, h), ds);
     if (d.dsa->takeovers > 0) {
@@ -41,9 +60,8 @@ int main() {
               dlp_count ? dsa_savings_sum / dlp_count : 0.0);
 
   // Energy breakdown for one representative benchmark.
-  const dsa::sim::Workload wl = dsa::workloads::MakeRgbGray();
-  const auto base = Run(wl, RunMode::kScalar, cfg);
-  const auto d = Run(wl, RunMode::kDsa, cfg);
+  const auto& base = runner.Result(rgb_base);
+  const auto& d = runner.Result(rgb_dsa);
   std::printf("\nRGB-Gray breakdown (nJ):  %-18s %12s %12s\n", "",
               "ARM original", "DSA");
   auto row = [](const char* name, double a, double b) {
@@ -57,5 +75,5 @@ int main() {
   row("DSA", base.energy.dsa_dynamic + base.energy.dsa_static,
       d.energy.dsa_dynamic + d.energy.dsa_static);
   row("total", base.energy.total(), d.energy.total());
-  return 0;
+  return dsa::bench::FinishBench(runner, opts, "a3_fig9_energy");
 }

@@ -5,24 +5,34 @@
 // state-machine paths, so stage activations are reported alongside.
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "workloads/workloads.h"
 
-int main() {
-  using dsa::engine::Stage;
+int main(int argc, char** argv) {
   using dsa::sim::RunMode;
+  const dsa::bench::BenchOptions opts = dsa::bench::ParseBenchArgs(argc, argv);
   const dsa::sim::SystemConfig cfg;
   dsa::bench::PrintSetupHeader(cfg);
+
+  dsa::sim::BatchRunner runner(opts.runner);
+  std::vector<std::pair<std::string, std::string>> rows;  // name, key
+  for (const dsa::sim::Workload& wl : dsa::workloads::Article3Set()) {
+    if (!dsa::bench::KeepWorkload(opts, wl.name)) continue;
+    runner.Submit(wl, RunMode::kScalar, cfg);
+    rows.emplace_back(wl.name, runner.Submit(wl, RunMode::kDsa, cfg));
+  }
 
   std::printf("Article 3 Table 3 — DSA energy consumption\n");
   std::printf("%-12s %12s %12s %10s | stage activations "
               "(det/col/dep/exec/map/spec)\n",
               "benchmark", "DSA nJ", "system nJ", "share");
-  for (const dsa::sim::Workload& wl : dsa::workloads::Article3Set()) {
-    const auto r = Run(wl, RunMode::kDsa, cfg);
+  for (const auto& [name, key] : rows) {
+    const auto& r = runner.Result(key);
     const double dsa_nj = r.energy.dsa_dynamic + r.energy.dsa_static;
-    std::printf("%-12s %12.1f %12.1f %9.2f%% |", wl.name.c_str(), dsa_nj,
+    std::printf("%-12s %12.1f %12.1f %9.2f%% |", name.c_str(), dsa_nj,
                 r.energy.total(), 100.0 * dsa_nj / r.energy.total());
     for (int s = 0; s < dsa::engine::kNumStages; ++s) {
       std::printf(" %llu",
@@ -34,5 +44,5 @@ int main() {
   std::printf("\n(The DSA's own energy stays a small share of system "
               "energy; its savings come from the cycles and instructions "
               "it removes — see bench_a3_fig9_energy.)\n");
-  return 0;
+  return dsa::bench::FinishBench(runner, opts, "a3_tab3_dsa_energy");
 }

@@ -4,106 +4,170 @@
 //   3. inner/outer loop fusion on/off (MM, Gaussian)
 //   4. DSA cache size sweep (capacity pressure with many distinct loops)
 //   5. stream prefetcher on/off (memory-bound ceiling)
+//
+// Every ablation varies the SystemConfig, so each cell carries a config
+// tag — the runner memoizes by {workload, mode, config_tag} and would
+// otherwise merge distinct configurations.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "workloads/workloads.h"
 
 namespace {
 
+using dsa::sim::BatchRunner;
 using dsa::sim::RunMode;
 using dsa::sim::RunResult;
 using dsa::sim::SystemConfig;
 using dsa::sim::Workload;
 
-void Compare(const char* title, const Workload& wl, const SystemConfig& a,
-             const char* name_a, const SystemConfig& b, const char* name_b) {
-  const RunResult ra = Run(wl, RunMode::kDsa, a);
-  const RunResult rb = Run(wl, RunMode::kDsa, b);
+struct ComparePair {
+  const char* title;
+  const char* name_a;
+  const char* name_b;
+  std::string key_a;
+  std::string key_b;
+};
+
+ComparePair SubmitCompare(BatchRunner& runner, const char* title,
+                          const Workload& wl, const SystemConfig& a,
+                          const char* name_a, const SystemConfig& b,
+                          const char* name_b) {
+  ComparePair p{title, name_a, name_b, {}, {}};
+  p.key_a = runner.Submit(wl, RunMode::kDsa, a, name_a);
+  p.key_b = runner.Submit(wl, RunMode::kDsa, b, name_b);
+  return p;
+}
+
+void PrintCompare(BatchRunner& runner, const ComparePair& p) {
+  const RunResult& ra = runner.Result(p.key_a);
+  const RunResult& rb = runner.Result(p.key_b);
   std::printf("%-38s %-10s: %10llu cycles | %-10s: %10llu cycles (%+.1f%%)\n",
-              title, name_a, static_cast<unsigned long long>(ra.cycles),
-              name_b, static_cast<unsigned long long>(rb.cycles),
+              p.title, p.name_a, static_cast<unsigned long long>(ra.cycles),
+              p.name_b, static_cast<unsigned long long>(rb.cycles),
               100.0 * (static_cast<double>(rb.cycles) / ra.cycles - 1.0));
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const dsa::bench::BenchOptions opts = dsa::bench::ParseBenchArgs(argc, argv);
   dsa::bench::PrintSetupHeader();
 
   SystemConfig base;
+  BatchRunner runner(opts.runner);
+  std::vector<ComparePair> pairs;
 
   {
     SystemConfig no_cidp = base;
     no_cidp.dsa.enable_cidp = false;
-    Compare("CIDP off (VecAdd, no dependency)", dsa::workloads::MakeVecAdd(),
-            base, "cidp", no_cidp, "no-cidp");
+    pairs.push_back(SubmitCompare(runner, "CIDP off (VecAdd, no dependency)",
+                                  dsa::workloads::MakeVecAdd(), base, "cidp",
+                                  no_cidp, "no-cidp"));
     // On ShiftAdd the prediction is what *finds* the distance-8 dependency:
     // without it the exact-match check sees no conflict in iterations 2-3
     // and would vectorize the whole loop — fast but unsafe on real
     // hardware. The simulator stays functionally correct (scalar covered
     // execution), so this row quantifies how much performance the unsafe
     // full vectorization would claim vs. the safe partial one.
-    Compare("CIDP off (ShiftAdd, hidden dependency)",
-            dsa::workloads::MakeShiftAdd(), base, "cidp(safe)", no_cidp,
-            "no-cidp(!)");
+    pairs.push_back(SubmitCompare(
+        runner, "CIDP off (ShiftAdd, hidden dependency)",
+        dsa::workloads::MakeShiftAdd(), base, "cidp(safe)", no_cidp,
+        "no-cidp(!)"));
   }
   {
     SystemConfig no_partial = base;
     no_partial.dsa.enable_partial_vectorization = false;
-    Compare("partial vectorization off (ShiftAdd)",
-            dsa::workloads::MakeShiftAdd(), base, "partial", no_partial,
-            "scalar");
+    pairs.push_back(SubmitCompare(runner,
+                                  "partial vectorization off (ShiftAdd)",
+                                  dsa::workloads::MakeShiftAdd(), base,
+                                  "partial", no_partial, "scalar"));
   }
   {
     SystemConfig no_fusion = base;
     no_fusion.dsa.enable_loop_fusion = false;
-    Compare("loop fusion off (MM 64x64)", dsa::workloads::MakeMatMul(), base,
-            "fused", no_fusion, "per-entry");
-    Compare("loop fusion off (Gaussian)", dsa::workloads::MakeGaussian(),
-            base, "fused", no_fusion, "per-entry");
+    pairs.push_back(SubmitCompare(runner, "loop fusion off (MM 64x64)",
+                                  dsa::workloads::MakeMatMul(), base, "fused",
+                                  no_fusion, "per-entry"));
+    pairs.push_back(SubmitCompare(runner, "loop fusion off (Gaussian)",
+                                  dsa::workloads::MakeGaussian(), base,
+                                  "fused", no_fusion, "per-entry"));
   }
+
+  struct SweepCell {
+    std::uint32_t bytes;
+    std::uint32_t entries;
+    std::string key;
+  };
+  std::vector<SweepCell> sweep;
+  for (const std::uint32_t bytes : {64u, 256u, 8192u}) {
+    SystemConfig cfg = base;
+    cfg.dsa.dsa_cache_bytes = bytes;
+    sweep.push_back(SweepCell{
+        bytes, cfg.dsa.dsa_cache_entries(),
+        runner.Submit(dsa::workloads::MakeMatMul(), RunMode::kDsa, cfg,
+                      "cache" + std::to_string(bytes))});
+  }
+
+  // 8191 elements: 1023 full i16 chunks + 7 leftovers per entry. The
+  // non-default size gets a workload tag so it cannot be memo-merged with
+  // the default RGB-Gray cells.
+  const Workload rgb_odd = dsa::workloads::MakeRgbGray(8191);
+  const std::string odd_scalar =
+      runner.Submit(rgb_odd, RunMode::kScalar, base, "", "n8191");
+  const std::string odd_dsa =
+      runner.Submit(rgb_odd, RunMode::kDsa, base, "", "n8191");
+
+  SystemConfig no_pf = base;
+  no_pf.memory.next_line_prefetch = false;
+  struct PfCell {
+    const char* name;
+    std::string scalar_key;
+    std::string dsa_key;
+  };
+  std::vector<PfCell> pf_cells;
   {
-    std::printf("\nDSA cache size sweep (MM 64x64):\n");
-    for (const std::uint32_t bytes : {64u, 256u, 8192u}) {
-      SystemConfig cfg = base;
-      cfg.dsa.dsa_cache_bytes = bytes;
-      const RunResult r = Run(dsa::workloads::MakeMatMul(), RunMode::kDsa,
-                              cfg);
-      std::printf("  %5u B (%3u entries): %10llu cycles, %llu cache-hit "
-                  "takeovers\n",
-                  bytes, cfg.dsa.dsa_cache_entries(),
-                  static_cast<unsigned long long>(r.cycles),
-                  static_cast<unsigned long long>(
-                      r.dsa->cache_hit_takeovers));
+    const Workload wl = dsa::workloads::MakeRgbGray();
+    for (const auto& [name, cfg] :
+         std::initializer_list<std::pair<const char*, SystemConfig>>{
+             {"prefetch", base}, {"no-prefetch", no_pf}}) {
+      pf_cells.push_back(PfCell{
+          name, runner.Submit(wl, RunMode::kScalar, cfg, name),
+          runner.Submit(wl, RunMode::kDsa, cfg, name)});
     }
   }
+
+  for (const ComparePair& p : pairs) PrintCompare(runner, p);
+
+  std::printf("\nDSA cache size sweep (MM 64x64):\n");
+  for (const SweepCell& cell : sweep) {
+    const RunResult& r = runner.Result(cell.key);
+    std::printf("  %5u B (%3u entries): %10llu cycles, %llu cache-hit "
+                "takeovers\n",
+                cell.bytes, cell.entries,
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.dsa->cache_hit_takeovers));
+  }
+
+  std::printf("\nleftover handling (RGB-Gray with a non-multiple size):\n");
   {
-    std::printf("\nleftover handling (RGB-Gray with a non-multiple size):\n");
-    // 8191 elements: 1023 full i16 chunks + 7 leftovers per entry.
-    const Workload wl = dsa::workloads::MakeRgbGray(8191);
-    const RunResult scalar = Run(wl, RunMode::kScalar, base);
-    const RunResult ds = Run(wl, RunMode::kDsa, base);
+    const RunResult& scalar = runner.Result(odd_scalar);
+    const RunResult& ds = runner.Result(odd_dsa);
     std::printf("  scalar %llu cycles, DSA %llu cycles (x%.2f), outputs %s\n",
                 static_cast<unsigned long long>(scalar.cycles),
                 static_cast<unsigned long long>(ds.cycles),
                 SpeedupOver(scalar, ds), ds.output_ok ? "OK" : "MISMATCH");
   }
-  {
-    SystemConfig no_pf = base;
-    no_pf.memory.next_line_prefetch = false;
-    std::printf("\nstream prefetch off (RGB-Gray):\n");
-    const Workload wl = dsa::workloads::MakeRgbGray();
-    for (const auto& [name, cfg] :
-         std::initializer_list<std::pair<const char*, SystemConfig>>{
-             {"prefetch", base}, {"no-prefetch", no_pf}}) {
-      const RunResult s = Run(wl, RunMode::kScalar, cfg);
-      const RunResult d = Run(wl, RunMode::kDsa, cfg);
-      std::printf("  %-12s scalar %10llu | DSA %10llu (x%.2f)\n", name,
-                  static_cast<unsigned long long>(s.cycles),
-                  static_cast<unsigned long long>(d.cycles),
-                  SpeedupOver(s, d));
-    }
+
+  std::printf("\nstream prefetch off (RGB-Gray):\n");
+  for (const PfCell& cell : pf_cells) {
+    const RunResult& s = runner.Result(cell.scalar_key);
+    const RunResult& d = runner.Result(cell.dsa_key);
+    std::printf("  %-12s scalar %10llu | DSA %10llu (x%.2f)\n", cell.name,
+                static_cast<unsigned long long>(s.cycles),
+                static_cast<unsigned long long>(d.cycles), SpeedupOver(s, d));
   }
-  return 0;
+  return dsa::bench::FinishBench(runner, opts, "ablations");
 }

@@ -2,29 +2,43 @@
 // four-system comparison over FIR, MemCopy, AlphaBlend and Histogram,
 // stressing multi-stream offsets, 16-lane kernels, runtime-invariant
 // coefficients and the indirect-addressing rejection.
+#include <array>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "workloads/extended.h"
 
-int main() {
-  using dsa::sim::RunMode;
+int main(int argc, char** argv) {
+  const dsa::bench::BenchOptions opts = dsa::bench::ParseBenchArgs(argc, argv);
   const dsa::sim::SystemConfig cfg;
   dsa::bench::PrintSetupHeader(cfg);
+
+  dsa::sim::BatchRunner runner(opts.runner);
+  struct Row {
+    std::string name;
+    std::array<std::string, 4> keys;  // scalar, autovec, handvec, dsa
+  };
+  std::vector<Row> rows;
+  for (const dsa::sim::Workload& wl : dsa::workloads::ExtendedSet()) {
+    if (!dsa::bench::KeepWorkload(opts, wl.name)) continue;
+    rows.push_back(Row{wl.name, runner.SubmitMatrix(wl, cfg)});
+  }
 
   std::printf("extended suite — improvement over ARM original (%%)\n");
   std::printf("%-12s %12s %12s %12s | %s\n", "benchmark", "AutoVec",
               "Hand-coded", "DSA", "DSA energy savings");
-  for (const dsa::sim::Workload& wl : dsa::workloads::ExtendedSet()) {
-    const auto base = Run(wl, RunMode::kScalar, cfg);
-    const auto a = Run(wl, RunMode::kAutoVec, cfg);
-    const auto h = Run(wl, RunMode::kHandVec, cfg);
-    const auto d = Run(wl, RunMode::kDsa, cfg);
+  for (const Row& row : rows) {
+    const auto& base = runner.Result(row.keys[0]);
+    const auto& a = runner.Result(row.keys[1]);
+    const auto& h = runner.Result(row.keys[2]);
+    const auto& d = runner.Result(row.keys[3]);
     std::printf("%-12s %+11.1f%% %+11.1f%% %+11.1f%% | %+11.1f%%\n",
-                wl.name.c_str(), dsa::bench::ImprovementPct(base, a),
+                row.name.c_str(), dsa::bench::ImprovementPct(base, a),
                 dsa::bench::ImprovementPct(base, h),
                 dsa::bench::ImprovementPct(base, d),
                 dsa::bench::EnergySavingsPct(base, d));
   }
-  return 0;
+  return dsa::bench::FinishBench(runner, opts, "extended_suite");
 }

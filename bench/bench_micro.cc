@@ -8,6 +8,7 @@
 #include "mem/cache.h"
 #include "neon/vector_unit.h"
 #include "prog/assembler.h"
+#include "sim/runner.h"
 #include "sim/system.h"
 #include "workloads/workloads.h"
 
@@ -93,6 +94,25 @@ void BM_NeonLaneOp(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_NeonLaneOp);
+
+// One full-matrix batch through the BatchRunner (4 modes, oracle on,
+// second SubmitMatrix answered from the memo): measures the harness
+// overhead the bench drivers pay on top of the raw Run() calls.
+void BM_BatchRunnerMatrix(benchmark::State& state) {
+  const dsa::sim::Workload wl = dsa::workloads::MakeVecAdd(1024);
+  for (auto _ : state) {
+    dsa::sim::RunnerOptions o;
+    o.jobs = 1;
+    o.repeats = 1;
+    dsa::sim::BatchRunner runner(o);
+    runner.SubmitMatrix(wl);
+    runner.SubmitMatrix(wl);  // fully memoized — no extra runs
+    const dsa::sim::BatchReport report = runner.Finish();
+    if (!report.ok()) state.SkipWithError("oracle violation");
+    benchmark::DoNotOptimize(report.distinct_jobs);
+  }
+}
+BENCHMARK(BM_BatchRunnerMatrix);
 
 void BM_FullWorkloadDsa(benchmark::State& state) {
   const dsa::sim::Workload wl = dsa::workloads::MakeSusanE(2048, 48);

@@ -1,16 +1,112 @@
 // Shared reporting helpers for the benchmark harness: each bench binary
 // regenerates one table or figure of the paper and prints the measured
-// series next to the paper's reported values where applicable.
+// series next to the paper's reported values where applicable. All
+// drivers run their workload×mode matrix through the parallel
+// BatchRunner (sim/runner.h) and are gated by the differential-
+// consistency oracle: a driver exits non-zero if any output-equivalence,
+// determinism or invariant check fails, instead of silently printing a
+// wrong table. Common CLI: --jobs N, --json PATH, --filter SUBSTR,
+// --repeats K, --no-oracle.
 #pragma once
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "sim/runner.h"
 #include "sim/system.h"
 
 namespace dsa::bench {
+
+struct BenchOptions {
+  sim::RunnerOptions runner;  // --jobs, --repeats, --no-oracle
+  std::string json_path;      // --json <path>; empty = no JSON emitted
+  std::string filter;         // --filter <substr> on workload names
+  bool serial = false;        // --serial: seed-style direct Run() loop
+  bool compare = false;       // --compare: time serial vs. runner paths
+};
+
+// Parses the shared harness flags; unknown flags abort with usage so a
+// typo cannot silently fall back to defaults.
+inline BenchOptions ParseBenchArgs(int argc, char** argv) {
+  BenchOptions o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--jobs") {
+      o.runner.jobs = std::atoi(value());
+    } else if (arg == "--repeats") {
+      o.runner.repeats = std::atoi(value());
+    } else if (arg == "--json") {
+      o.json_path = value();
+    } else if (arg == "--filter") {
+      o.filter = value();
+    } else if (arg == "--no-oracle") {
+      o.runner.oracle = false;
+    } else if (arg == "--serial") {
+      o.serial = true;
+    } else if (arg == "--compare") {
+      o.compare = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--jobs N] [--repeats K] [--json PATH] "
+                   "[--filter SUBSTR] [--no-oracle] [--serial] [--compare]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return o;
+}
+
+[[nodiscard]] inline bool KeepWorkload(const BenchOptions& o,
+                                       const std::string& name) {
+  return o.filter.empty() || name.find(o.filter) != std::string::npos;
+}
+
+// Oracle summary + JSON emission + exit code for a runner-based driver.
+// Call after rendering the tables; returns the process exit code.
+inline int FinishBench(sim::BatchRunner& runner, const BenchOptions& o,
+                       const char* bench_name) {
+  const sim::BatchReport report = runner.Finish();
+  std::printf(
+      "\n[%s] %llu distinct jobs (%llu runs, %llu memoized submissions) "
+      "in %.0f ms with %d worker(s)\n",
+      bench_name, static_cast<unsigned long long>(report.distinct_jobs),
+      static_cast<unsigned long long>(report.executed_runs),
+      static_cast<unsigned long long>(report.memo_hits), report.wall_ms,
+      runner.options().jobs);
+  if (runner.options().oracle) {
+    if (report.ok()) {
+      std::printf("[%s] oracle: all equivalence/determinism/invariant "
+                  "checks passed\n",
+                  bench_name);
+    } else {
+      std::fputs(sim::oracle::FormatViolations(report.violations).c_str(),
+                 stderr);
+      std::fprintf(stderr, "[%s] oracle: %zu violation(s)\n", bench_name,
+                   report.violations.size());
+    }
+  }
+  if (!o.json_path.empty()) {
+    if (sim::WriteBenchJson(o.json_path, bench_name, runner, report)) {
+      std::printf("[%s] wrote %s\n", bench_name, o.json_path.c_str());
+    } else {
+      std::fprintf(stderr, "[%s] could not write %s\n", bench_name,
+                   o.json_path.c_str());
+      return 1;
+    }
+  }
+  return report.ok() ? 0 : 1;
+}
 
 // Prints the Table 4 "Systems Setup" header so every bench is
 // self-describing.

@@ -1,37 +1,54 @@
 // Runs the full DATE benchmark set on all four systems (Table 4) and prints
 // the Fig. 8-style comparison plus functional verification — the "does the
-// whole reproduction hang together" tour.
+// whole reproduction hang together" tour. The matrix goes through the
+// parallel BatchRunner, so on top of the per-run golden checks the
+// differential oracle cross-checks every mode's output buffers against the
+// scalar execution and every run for determinism.
 //
-//   $ ./examples/compare_systems
+//   $ ./examples/compare_systems [--jobs N] [--json PATH] [--filter SUBSTR]
+#include <array>
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "sim/system.h"
+#include "bench/bench_util.h"
 #include "workloads/workloads.h"
 
-int main() {
-  using dsa::sim::RunMode;
+int main(int argc, char** argv) {
+  const dsa::bench::BenchOptions opts = dsa::bench::ParseBenchArgs(argc, argv);
   const dsa::sim::SystemConfig cfg;
-  bool all_ok = true;
 
+  dsa::sim::BatchRunner runner(opts.runner);
+  struct Row {
+    std::string name;
+    std::array<std::string, 4> keys;  // scalar, autovec, handvec, dsa
+  };
+  std::vector<Row> rows;
+  for (const dsa::sim::Workload& wl : dsa::workloads::Article3Set()) {
+    if (!dsa::bench::KeepWorkload(opts, wl.name)) continue;
+    rows.push_back(Row{wl.name, runner.SubmitMatrix(wl, cfg)});
+  }
+
+  bool all_ok = true;
   std::printf("%-12s | %12s | %8s %8s %8s | %s\n", "benchmark",
               "scalar cyc", "autovec", "handvec", "dsa", "outputs");
-  for (const dsa::sim::Workload& wl : dsa::workloads::Article3Set()) {
-    const auto base = dsa::sim::Run(wl, RunMode::kScalar, cfg);
-    const auto av = dsa::sim::Run(wl, RunMode::kAutoVec, cfg);
-    const auto hv = dsa::sim::Run(wl, RunMode::kHandVec, cfg);
-    const auto ds = dsa::sim::Run(wl, RunMode::kDsa, cfg);
+  for (const Row& row : rows) {
+    const auto& base = runner.Result(row.keys[0]);
+    const auto& av = runner.Result(row.keys[1]);
+    const auto& hv = runner.Result(row.keys[2]);
+    const auto& ds = runner.Result(row.keys[3]);
     const bool ok =
         base.output_ok && av.output_ok && hv.output_ok && ds.output_ok;
     all_ok = all_ok && ok;
     std::printf("%-12s | %12llu | %7.2fx %7.2fx %7.2fx | %s\n",
-                wl.name.c_str(), static_cast<unsigned long long>(base.cycles),
+                row.name.c_str(),
+                static_cast<unsigned long long>(base.cycles),
                 SpeedupOver(base, av), SpeedupOver(base, hv),
                 SpeedupOver(base, ds), ok ? "all OK" : "MISMATCH");
   }
   std::printf("\n%s\n", all_ok ? "All outputs verified against golden "
                                  "references."
                                : "FUNCTIONAL MISMATCH DETECTED");
-  return all_ok ? 0 : 1;
+  const int rc = dsa::bench::FinishBench(runner, opts, "compare_systems");
+  return all_ok ? rc : 1;
 }

@@ -1,12 +1,15 @@
 // Dumps the full gem5-style statistics report for one benchmark on one
-// system — every counter the simulator tracks, diffable across runs.
+// system — every counter the simulator tracks, diffable across runs. The
+// run goes through the BatchRunner with a scalar baseline riding along,
+// so the report is oracle-gated: a divergent or non-deterministic run
+// fails loudly instead of printing bogus numbers.
 //
 //   $ ./examples/full_report [benchmark-substring] [scalar|autovec|handvec|dsa]
 #include <cstdio>
 #include <string>
 
+#include "bench/bench_util.h"
 #include "sim/report.h"
-#include "sim/system.h"
 #include "workloads/workloads.h"
 
 int main(int argc, char** argv) {
@@ -19,8 +22,17 @@ int main(int argc, char** argv) {
 
   for (const dsa::sim::Workload& wl : dsa::workloads::Article3Set()) {
     if (wl.name.find(filter) == std::string::npos) continue;
-    const dsa::sim::RunResult r = Run(wl, mode, {});
-    std::fputs(dsa::sim::FormatReport(r).c_str(), stdout);
+    dsa::sim::BatchRunner runner;
+    runner.Submit(wl, dsa::sim::RunMode::kScalar);
+    const std::string key = runner.Submit(wl, mode);
+    std::fputs(dsa::sim::FormatReport(runner.Result(key)).c_str(), stdout);
+    const dsa::sim::BatchReport report = runner.Finish();
+    if (!report.ok()) {
+      std::fputs(
+          dsa::sim::oracle::FormatViolations(report.violations).c_str(),
+          stderr);
+      return 1;
+    }
     return 0;
   }
   std::printf("no benchmark matches '%s'\n", filter.c_str());

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Full pre-merge check: ASan+UBSan build of the whole tree, the complete
+# ctest suite under the sanitizers, and one oracle-gated mini benchmark
+# (the full-matrix driver on a filtered workload) so the parallel runner,
+# the memoization layer and the differential oracle are exercised
+# end-to-end with sanitizers watching.
+#
+#   $ scripts/check.sh [--keep]      # --keep: don't delete build-asan
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+KEEP=0
+[[ "${1:-}" == "--keep" ]] && KEEP=1
+
+BUILD=build-asan
+JOBS=$(nproc)
+
+echo "== configure (ASan+UBSan) =="
+cmake --preset asan > /dev/null
+
+echo "== build =="
+cmake --build "$BUILD" -j "$JOBS"
+
+echo "== ctest =="
+ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
+
+echo "== oracle-gated mini bench =="
+# One small slice of the full matrix: four modes of RGB-Gray with the
+# determinism repeat, equivalence + invariant checks on. Non-zero exit on
+# any oracle violation fails the whole check.
+"$BUILD"/bench/bench_a3_fig8_perf --filter RGB --jobs "$JOBS" \
+    --json "$BUILD"/BENCH_check.json
+grep -q '"ok": true' "$BUILD"/BENCH_check.json
+
+if [[ "$KEEP" -eq 0 ]]; then
+  rm -rf "$BUILD"
+fi
+echo "== all checks passed =="

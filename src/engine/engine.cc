@@ -93,6 +93,7 @@ std::optional<TakeoverPlan> DsaEngine::Observe(const cpu::Retired& r,
             plan.max_iterations = std::max<std::uint64_t>(
                 cd.next_range, rec->body.lanes());
             stats_.CountStage(Stage::kSpeculativeExecution);
+            ++stats_.sentinel_respeculations;
             return SelfCoverage(plan);
           }
         }
@@ -281,6 +282,7 @@ void DsaEngine::DemoteFusion(std::uint32_t outer_latch_pc) {
     if (rec->fused_outer) {
       rec->fused_outer = false;
       rec->reject = RejectReason::kContainsInnerLoop;
+      ++stats_.fusion_demotions;
       cooldowns_[outer_latch_pc] =
           Cooldown{rec->body.start_pc, false, 0, 0, 0};
     }
@@ -357,6 +359,7 @@ void DsaEngine::FinishTakeover(const TakeoverPlan& plan,
       if (fusable) {
         outer.fused_outer = true;
         outer.inner_latch_pc = plan.count_latch;
+        ++stats_.fusions_formed;
       } else {
         outer.reject = RejectReason::kContainsInnerLoop;
         cooldowns_[latch] = Cooldown{tracker->start_pc(), false, 0, 0};

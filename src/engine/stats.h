@@ -50,6 +50,11 @@ struct DsaStats {
 
   std::uint64_t takeovers = 0;
   std::uint64_t cache_hit_takeovers = 0;
+  // Fig. 17 / Section 4.6.5 transitions, counted so the nest-fusion and
+  // sentinel re-speculation paths are observable by tests and reports.
+  std::uint64_t fusions_formed = 0;
+  std::uint64_t fusion_demotions = 0;
+  std::uint64_t sentinel_respeculations = 0;
   std::uint64_t vectorized_iterations = 0;
   std::uint64_t scalar_covered_instrs = 0;  // scalar instrs replaced by SIMD
   std::uint64_t vector_instrs_issued = 0;

@@ -1,0 +1,156 @@
+#include "sim/oracle.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <numeric>
+#include <sstream>
+
+namespace dsa::sim::oracle {
+
+namespace {
+
+template <typename... Args>
+std::string Format(const char* fmt, Args... args) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  return buf;
+}
+
+template <typename Map>
+std::uint64_t SumValues(const Map& m) {
+  std::uint64_t total = 0;
+  for (const auto& [key, n] : m) total += n;
+  return total;
+}
+
+void Expect(std::vector<Violation>& out, const std::string& job, bool ok,
+            const char* check, std::string detail) {
+  if (!ok) out.push_back(Violation{job, check, std::move(detail)});
+}
+
+}  // namespace
+
+std::vector<Violation> CheckInvariants(const RunResult& r,
+                                       const std::string& job) {
+  std::vector<Violation> v;
+  Expect(v, job, r.output_ok, "invariant.output_ok",
+         "golden-reference check failed");
+  Expect(v, job, r.cycles > 0, "invariant.cycles", "cycle count is zero");
+  Expect(v, job, r.cpu.retired_total > 0, "invariant.retired",
+         "no instructions retired");
+  Expect(v, job, r.cpu.retired_scalar + r.cpu.retired_vector ==
+                     r.cpu.retired_total,
+         "invariant.retired_split",
+         Format("scalar %" PRIu64 " + vector %" PRIu64 " != total %" PRIu64,
+                r.cpu.retired_scalar, r.cpu.retired_vector,
+                r.cpu.retired_total));
+
+  const double latency = r.detection_latency_pct();
+  Expect(v, job, latency >= 0.0 && latency <= 100.0,
+         "invariant.detection_latency",
+         Format("detection_latency_pct = %.3f outside [0,100]", latency));
+
+  const double terms[] = {r.energy.core_dynamic, r.energy.core_static,
+                          r.energy.neon_dynamic, r.energy.neon_static,
+                          r.energy.cache_dram,   r.energy.dsa_dynamic,
+                          r.energy.dsa_static};
+  for (const double t : terms) {
+    Expect(v, job, t >= 0.0, "invariant.energy_term",
+           Format("negative energy component %.3f nJ", t));
+  }
+  Expect(v, job, r.energy.total() > 0.0, "invariant.energy_total",
+         "total energy is not positive");
+
+  const bool is_dsa = r.mode == RunMode::kDsa;
+  Expect(v, job, r.dsa.has_value() == is_dsa, "invariant.dsa_presence",
+         is_dsa ? "DSA run carries no DSA stats"
+                : "non-DSA run carries DSA stats");
+  if (!r.dsa.has_value()) return v;
+
+  const engine::DsaStats& d = *r.dsa;
+  Expect(v, job, d.cache_hit_takeovers <= d.takeovers,
+         "invariant.dsa_cache_hits",
+         Format("cache-hit takeovers %" PRIu64 " > takeovers %" PRIu64,
+                d.cache_hit_takeovers, d.takeovers));
+  Expect(v, job, SumValues(d.entries_by_class) == d.takeovers,
+         "invariant.dsa_entry_census",
+         Format("entries_by_class sums to %" PRIu64 ", takeovers %" PRIu64,
+                SumValues(d.entries_by_class), d.takeovers));
+  Expect(v, job, d.takeovers == 0 || SumValues(d.loops_by_class) > 0,
+         "invariant.dsa_loop_census",
+         "takeovers happened but no loop was ever classified");
+  Expect(v, job, d.takeovers == 0 || d.vectorized_iterations > 0,
+         "invariant.dsa_coverage",
+         "takeovers happened but zero iterations were vectorized");
+  // Every stored loop classification came from a Loop Detection activation
+  // (the tracker is only created after a detected backward branch).
+  const std::uint64_t detections =
+      d.stage_activations[static_cast<int>(engine::Stage::kLoopDetection)];
+  Expect(v, job, SumValues(d.loops_by_class) <= detections,
+         "invariant.dsa_stage_census",
+         Format("%" PRIu64 " classified loops but only %" PRIu64
+                " loop-detection activations",
+                SumValues(d.loops_by_class), detections));
+  Expect(v, job, d.analysis_cycles <= d.observed_instructions,
+         "invariant.dsa_analysis",
+         Format("analysis cycles %" PRIu64 " exceed observed instrs %" PRIu64,
+                d.analysis_cycles, d.observed_instructions));
+  return v;
+}
+
+std::vector<Violation> CheckDeterminism(const RunResult& a, const RunResult& b,
+                                        const std::string& job) {
+  std::vector<Violation> v;
+  auto same_u64 = [&](const char* check, std::uint64_t x, std::uint64_t y) {
+    Expect(v, job, x == y, check,
+           Format("run 1: %" PRIu64 ", run 2: %" PRIu64, x, y));
+  };
+  same_u64("determinism.cycles", a.cycles, b.cycles);
+  same_u64("determinism.output_digest", a.output_digest, b.output_digest);
+  same_u64("determinism.retired", a.cpu.retired_total, b.cpu.retired_total);
+  same_u64("determinism.mispredicts", a.cpu.mispredicts, b.cpu.mispredicts);
+  same_u64("determinism.l1_misses", a.l1.misses, b.l1.misses);
+  same_u64("determinism.dram", a.dram_accesses, b.dram_accesses);
+  Expect(v, job, a.energy.total() == b.energy.total(), "determinism.energy",
+         Format("run 1: %.6f nJ, run 2: %.6f nJ", a.energy.total(),
+                b.energy.total()));
+  Expect(v, job, a.dsa.has_value() == b.dsa.has_value(),
+         "determinism.dsa_presence", "DSA stats present in only one run");
+  if (a.dsa.has_value() && b.dsa.has_value()) {
+    same_u64("determinism.takeovers", a.dsa->takeovers, b.dsa->takeovers);
+    same_u64("determinism.vectorized_iterations",
+             a.dsa->vectorized_iterations, b.dsa->vectorized_iterations);
+    same_u64("determinism.analysis_cycles", a.dsa->analysis_cycles,
+             b.dsa->analysis_cycles);
+    for (int s = 0; s < engine::kNumStages; ++s) {
+      same_u64("determinism.stage_activations", a.dsa->stage_activations[s],
+               b.dsa->stage_activations[s]);
+    }
+  }
+  return v;
+}
+
+std::vector<Violation> CheckEquivalence(const RunResult& ref,
+                                        const RunResult& x,
+                                        const std::string& job) {
+  std::vector<Violation> v;
+  Expect(v, job, ref.workload == x.workload, "equivalence.workload",
+         "comparing results of different workloads");
+  Expect(v, job, ref.output_digest == x.output_digest,
+         "equivalence.output_digest",
+         Format("%s digest 0x%016" PRIx64 " != %s digest 0x%016" PRIx64,
+                std::string(ToString(x.mode)).c_str(), x.output_digest,
+                std::string(ToString(ref.mode)).c_str(), ref.output_digest));
+  return v;
+}
+
+std::string FormatViolations(const std::vector<Violation>& violations) {
+  std::ostringstream os;
+  for (const Violation& v : violations) {
+    os << "ORACLE VIOLATION [" << v.check << "] " << v.job << ": " << v.detail
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dsa::sim::oracle

@@ -1,0 +1,46 @@
+// Differential-consistency oracle for the experiment runner: every job of
+// a benchmark matrix is cross-checked instead of trusting `output_ok`
+// alone. Three layers of checks, each returning a list of violations:
+//   - per-run statistical invariants (non-zero cycles, latency percentage
+//     in range, non-negative energy terms, DSA counters consistent with
+//     the loop census),
+//   - cycle-determinism between repeated runs of the same job (the
+//     simulator must be a pure function of {workload, mode, config}),
+//   - output equivalence across modes: AutoVec/HandVec/DSA output buffers
+//     must be bit-identical to the scalar run (the paper's trace-level
+//     methodology replaces timing, never results).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/system.h"
+
+namespace dsa::sim::oracle {
+
+struct Violation {
+  std::string job;    // which job (workload@mode[/config]) misbehaved
+  std::string check;  // short check identifier, e.g. "determinism.cycles"
+  std::string detail; // human-readable explanation with the values seen
+};
+
+// Per-run statistical invariants. `job` labels the violations.
+[[nodiscard]] std::vector<Violation> CheckInvariants(const RunResult& r,
+                                                     const std::string& job);
+
+// Two executions of the same job must agree on every architectural and
+// timing counter the runner reports.
+[[nodiscard]] std::vector<Violation> CheckDeterminism(const RunResult& a,
+                                                      const RunResult& b,
+                                                      const std::string& job);
+
+// Output buffers of `x` must be bit-identical to the reference (scalar)
+// run of the same workload.
+[[nodiscard]] std::vector<Violation> CheckEquivalence(const RunResult& ref,
+                                                      const RunResult& x,
+                                                      const std::string& job);
+
+// One line per violation, for driver stderr output.
+[[nodiscard]] std::string FormatViolations(const std::vector<Violation>& v);
+
+}  // namespace dsa::sim::oracle

@@ -34,6 +34,9 @@ std::string FormatReport(const RunResult& r) {
     const engine::DsaStats& d = *r.dsa;
     put("dsa.takeovers", d.takeovers);
     put("dsa.cache_hit_takeovers", d.cache_hit_takeovers);
+    put("dsa.fusions_formed", d.fusions_formed);
+    put("dsa.fusion_demotions", d.fusion_demotions);
+    put("dsa.sentinel_respeculations", d.sentinel_respeculations);
     put("dsa.vectorized_iterations", d.vectorized_iterations);
     put("dsa.scalar_covered_instrs", d.scalar_covered_instrs);
     put("dsa.vector_instrs_issued", d.vector_instrs_issued);

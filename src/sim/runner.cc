@@ -1,0 +1,407 @@
+#include "sim/runner.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+namespace dsa::sim {
+
+namespace {
+
+std::string ModeSlug(RunMode m) { return std::string(ToString(m)); }
+
+double ElapsedMs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+std::string WorkloadKey(const BatchJob& job) {
+  std::string key = job.workload.name;
+  if (!job.workload_tag.empty()) key += "#" + job.workload_tag;
+  return key;
+}
+
+std::string JobKey(const BatchJob& job) {
+  std::string key = WorkloadKey(job) + "@" + ModeSlug(job.mode);
+  if (!job.config_tag.empty()) key += "/" + job.config_tag;
+  return key;
+}
+
+BatchRunner::BatchRunner(RunnerOptions opts)
+    : opts_(std::move(opts)), start_(std::chrono::steady_clock::now()) {
+  if (opts_.jobs <= 0) {
+    opts_.jobs = static_cast<int>(std::thread::hardware_concurrency());
+    if (opts_.jobs <= 0) opts_.jobs = 1;
+  }
+  if (opts_.repeats < 1) opts_.repeats = 1;
+  if (!opts_.run_fn) {
+    opts_.run_fn = [](const Workload& wl, RunMode mode,
+                      const SystemConfig& cfg) { return Run(wl, mode, cfg); };
+  }
+  workers_.reserve(static_cast<std::size_t>(opts_.jobs));
+  for (int i = 0; i < opts_.jobs; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+BatchRunner::~BatchRunner() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::string BatchRunner::Submit(BatchJob job) {
+  std::string key = JobKey(job);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(key);
+    if (it != jobs_.end()) {
+      ++memo_hits_;
+      return key;
+    }
+    auto pending = std::make_unique<Pending>();
+    pending->job = std::move(job);
+    pending->key = key;
+    queue_.push_back(pending.get());
+    ++in_flight_;
+    jobs_.emplace(key, std::move(pending));
+  }
+  queue_cv_.notify_one();
+  return key;
+}
+
+std::array<std::string, 4> BatchRunner::SubmitMatrix(
+    const Workload& wl, const SystemConfig& cfg, const std::string& config_tag,
+    const std::string& workload_tag) {
+  std::array<std::string, 4> keys;
+  const RunMode modes[] = {RunMode::kScalar, RunMode::kAutoVec,
+                           RunMode::kHandVec, RunMode::kDsa};
+  for (int i = 0; i < 4; ++i) {
+    keys[i] = Submit(BatchJob{wl, modes[i], cfg, config_tag, workload_tag});
+  }
+  return keys;
+}
+
+void BatchRunner::WorkerLoop() {
+  for (;;) {
+    Pending* p = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      p = queue_.front();
+      queue_.pop_front();
+    }
+    Execute(*p);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      p->done = true;
+      --in_flight_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void BatchRunner::Execute(Pending& p) {
+  JobOutcome& out = p.outcome;
+  out.key = p.key;
+  out.workload_key = WorkloadKey(p.job);
+  out.mode = p.job.mode;
+  out.config_tag = p.job.config_tag;
+  for (int rep = 0; rep < opts_.repeats; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      out.runs.push_back(
+          opts_.run_fn(p.job.workload, p.job.mode, p.job.config));
+    } catch (const std::exception& e) {
+      out.error = e.what();
+      return;
+    }
+    if (rep == 0) out.wall_ms = ElapsedMs(t0);
+  }
+}
+
+const JobOutcome& BatchRunner::Get(const std::string& key) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = jobs_.find(key);
+  if (it == jobs_.end()) {
+    throw std::invalid_argument("BatchRunner::Get: unknown job " + key);
+  }
+  Pending* p = it->second.get();
+  done_cv_.wait(lock, [p] { return p->done; });
+  if (!p->outcome.error.empty()) {
+    throw std::runtime_error("job " + key + " failed: " + p->outcome.error);
+  }
+  return p->outcome;
+}
+
+BatchReport BatchRunner::Finish() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+    outcomes_.clear();
+    for (const auto& [key, pending] : jobs_) {
+      outcomes_.emplace(key, pending->outcome);
+    }
+  }
+
+  BatchReport report;
+  report.distinct_jobs = outcomes_.size();
+  report.memo_hits = memo_hits_;
+  for (const auto& [key, out] : outcomes_) {
+    report.executed_runs += out.runs.size();
+    if (!out.error.empty()) {
+      report.violations.push_back(
+          oracle::Violation{key, "run.exception", out.error});
+    }
+  }
+
+  if (opts_.oracle) {
+    // Per-run invariants + determinism between repeated executions.
+    for (const auto& [key, out] : outcomes_) {
+      if (out.runs.empty()) continue;
+      auto v = oracle::CheckInvariants(out.result(), key);
+      report.violations.insert(report.violations.end(), v.begin(), v.end());
+      for (std::size_t i = 1; i < out.runs.size(); ++i) {
+        auto d = oracle::CheckDeterminism(out.runs[0], out.runs[i], key);
+        report.violations.insert(report.violations.end(), d.begin(), d.end());
+      }
+    }
+    // Output equivalence across modes of the same workload. The reference
+    // is a scalar run when the batch contains one (the paper's baseline);
+    // otherwise any member, which still enforces within-group agreement.
+    std::map<std::string, std::vector<const JobOutcome*>> groups;
+    for (const auto& [key, out] : outcomes_) {
+      if (!out.runs.empty()) groups[out.workload_key].push_back(&out);
+    }
+    for (const auto& [wkey, members] : groups) {
+      const JobOutcome* ref = members.front();
+      for (const JobOutcome* m : members) {
+        if (m->mode == RunMode::kScalar) {
+          ref = m;
+          break;
+        }
+      }
+      for (const JobOutcome* m : members) {
+        if (m == ref) continue;
+        auto v = oracle::CheckEquivalence(ref->result(), m->result(), m->key);
+        report.violations.insert(report.violations.end(), v.begin(), v.end());
+      }
+    }
+  }
+
+  report.wall_ms = ElapsedMs(start_);
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// JSON emission.
+
+namespace {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::FILE* f) : f_(f) {}
+
+  void Raw(const char* s) { std::fputs(s, f_); }
+  void Key(const char* name) {
+    Comma();
+    std::fprintf(f_, "\"%s\": ", name);
+    fresh_ = true;
+  }
+  void Str(const char* name, const std::string& value) {
+    Key(name);
+    std::fputc('"', f_);
+    for (const char c : value) {
+      if (c == '"' || c == '\\') std::fputc('\\', f_);
+      if (static_cast<unsigned char>(c) < 0x20) {
+        std::fprintf(f_, "\\u%04x", c);
+      } else {
+        std::fputc(c, f_);
+      }
+    }
+    std::fputc('"', f_);
+    fresh_ = false;
+  }
+  void U64(const char* name, std::uint64_t v) {
+    Key(name);
+    std::fprintf(f_, "%" PRIu64, v);
+    fresh_ = false;
+  }
+  void Dbl(const char* name, double v) {
+    Key(name);
+    std::fprintf(f_, "%.6g", v);
+    fresh_ = false;
+  }
+  void Bool(const char* name, bool v) {
+    Key(name);
+    std::fputs(v ? "true" : "false", f_);
+    fresh_ = false;
+  }
+  void Open(const char* name, char bracket) {
+    if (name != nullptr) {
+      Key(name);
+    } else {
+      Comma();
+    }
+    std::fputc(bracket, f_);
+    fresh_ = true;
+  }
+  void Close(char bracket) {
+    std::fputc(bracket, f_);
+    fresh_ = false;
+  }
+
+ private:
+  void Comma() {
+    if (!fresh_) std::fputs(", ", f_);
+    fresh_ = false;
+  }
+
+  std::FILE* f_;
+  bool fresh_ = true;
+};
+
+}  // namespace
+
+bool WriteBenchJson(const std::string& path, const std::string& bench_name,
+                    const BatchRunner& runner, const BatchReport& report) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  JsonWriter w(f);
+
+  // Scalar baseline cycles per workload group, for the speedup column.
+  std::map<std::string, std::uint64_t> baseline;
+  for (const auto& [key, out] : runner.outcomes()) {
+    if (out.mode == RunMode::kScalar && !out.runs.empty()) {
+      baseline.emplace(out.workload_key, out.result().cycles);
+    }
+  }
+
+  w.Open(nullptr, '{');
+  w.Str("schema", "dsa-bench-json/1");
+  w.Str("bench", bench_name);
+  w.U64("jobs", static_cast<std::uint64_t>(runner.options().jobs));
+  w.U64("repeats", static_cast<std::uint64_t>(runner.options().repeats));
+  w.Dbl("wall_ms", report.wall_ms);
+  w.U64("distinct_jobs", report.distinct_jobs);
+  w.U64("executed_runs", report.executed_runs);
+  w.U64("memo_hits", report.memo_hits);
+
+  w.Open("oracle", '{');
+  w.Bool("enabled", runner.options().oracle);
+  w.Bool("ok", report.ok());
+  w.Open("violations", '[');
+  for (const oracle::Violation& v : report.violations) {
+    w.Open(nullptr, '{');
+    w.Str("job", v.job);
+    w.Str("check", v.check);
+    w.Str("detail", v.detail);
+    w.Close('}');
+  }
+  w.Close(']');
+  w.Close('}');
+
+  w.Open("results", '[');
+  for (const auto& [key, out] : runner.outcomes()) {
+    if (out.runs.empty()) continue;
+    const RunResult& r = out.result();
+    w.Raw("\n  ");
+    w.Open(nullptr, '{');
+    w.Str("job", key);
+    w.Str("workload", r.workload);
+    w.Str("mode", ModeSlug(out.mode));
+    w.Str("config", out.config_tag);
+    w.U64("cycles", r.cycles);
+    const auto base = baseline.find(out.workload_key);
+    if (base != baseline.end() && r.cycles > 0) {
+      w.Dbl("speedup_vs_scalar",
+            static_cast<double>(base->second) / static_cast<double>(r.cycles));
+    }
+    w.Bool("output_ok", r.output_ok);
+    char digest[32];
+    std::snprintf(digest, sizeof(digest), "0x%016" PRIx64, r.output_digest);
+    w.Str("output_digest", digest);
+    w.Dbl("wall_ms", out.wall_ms);
+    w.U64("runs", static_cast<std::uint64_t>(out.runs.size()));
+
+    w.Open("cpu", '{');
+    w.U64("retired_total", r.cpu.retired_total);
+    w.U64("retired_scalar", r.cpu.retired_scalar);
+    w.U64("retired_vector", r.cpu.retired_vector);
+    w.U64("branches", r.cpu.branches);
+    w.U64("mispredicts", r.cpu.mispredicts);
+    w.U64("mem_stall_cycles", r.cpu.mem_stall_cycles);
+    w.U64("other_stall_cycles", r.cpu.other_stall_cycles);
+    w.U64("neon_busy_cycles", r.cpu.neon_busy_cycles);
+    w.U64("dsa_overhead_cycles", r.cpu.dsa_overhead_cycles);
+    w.Close('}');
+
+    w.Open("l1", '{');
+    w.U64("hits", r.l1.hits);
+    w.U64("misses", r.l1.misses);
+    w.Close('}');
+    w.Open("l2", '{');
+    w.U64("hits", r.l2.hits);
+    w.U64("misses", r.l2.misses);
+    w.Close('}');
+    w.U64("dram_accesses", r.dram_accesses);
+
+    w.Open("energy", '{');
+    w.Dbl("core_dynamic", r.energy.core_dynamic);
+    w.Dbl("core_static", r.energy.core_static);
+    w.Dbl("neon_dynamic", r.energy.neon_dynamic);
+    w.Dbl("neon_static", r.energy.neon_static);
+    w.Dbl("cache_dram", r.energy.cache_dram);
+    w.Dbl("dsa_dynamic", r.energy.dsa_dynamic);
+    w.Dbl("dsa_static", r.energy.dsa_static);
+    w.Dbl("total", r.energy.total());
+    w.Close('}');
+
+    if (r.dsa.has_value()) {
+      const engine::DsaStats& d = *r.dsa;
+      w.Dbl("detection_latency_pct", r.detection_latency_pct());
+      w.Open("dsa", '{');
+      w.U64("takeovers", d.takeovers);
+      w.U64("cache_hit_takeovers", d.cache_hit_takeovers);
+      w.U64("vectorized_iterations", d.vectorized_iterations);
+      w.U64("scalar_covered_instrs", d.scalar_covered_instrs);
+      w.U64("vector_instrs_issued", d.vector_instrs_issued);
+      w.U64("analysis_cycles", d.analysis_cycles);
+      w.U64("fusions_formed", d.fusions_formed);
+      w.U64("fusion_demotions", d.fusion_demotions);
+      w.U64("sentinel_respeculations", d.sentinel_respeculations);
+      w.Open("stage_activations", '{');
+      for (int s = 0; s < engine::kNumStages; ++s) {
+        w.U64(std::string(ToString(static_cast<engine::Stage>(s))).c_str(),
+              d.stage_activations[s]);
+      }
+      w.Close('}');
+      w.Open("loops_by_class", '{');
+      for (const auto& [cls, n] : d.loops_by_class) {
+        w.U64(std::string(engine::ToString(cls)).c_str(), n);
+      }
+      w.Close('}');
+      w.Close('}');
+    }
+    w.Close('}');
+  }
+  w.Raw("\n");
+  w.Close(']');
+  w.Close('}');
+  w.Raw("\n");
+  return std::fclose(f) == 0;
+}
+
+}  // namespace dsa::sim

@@ -1,0 +1,150 @@
+// Parallel experiment runner: executes a batch of {workload, RunMode,
+// SystemConfig} jobs on a thread pool (each sim::Run() is a pure function
+// of its inputs, so jobs are embarrassingly parallel), memoizes results so
+// a scalar baseline — or any cell shared between tables — is executed once
+// per batch, and cross-checks every job with the differential-consistency
+// oracle (sim/oracle.h). Emits the machine-readable BENCH_*.json next to
+// the human-readable tables the bench drivers print.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/oracle.h"
+#include "sim/system.h"
+
+namespace dsa::sim {
+
+struct BatchJob {
+  Workload workload;
+  RunMode mode = RunMode::kScalar;
+  SystemConfig config;
+  // Memoization trusts tags: two submissions with equal
+  // {workload.name, workload_tag, mode, config_tag} are treated as the
+  // same experiment and executed once. Drivers that vary the config or
+  // the workload parameters must tag them apart.
+  std::string config_tag;
+  std::string workload_tag;
+};
+
+// "name[#wtag]" — groups the modes of one workload for the equivalence
+// oracle (outputs must not depend on mode or config).
+[[nodiscard]] std::string WorkloadKey(const BatchJob& job);
+// "name[#wtag]@mode[/ctag]" — the memoization key.
+[[nodiscard]] std::string JobKey(const BatchJob& job);
+
+struct JobOutcome {
+  std::string key;
+  std::string workload_key;
+  RunMode mode = RunMode::kScalar;
+  std::string config_tag;
+  // `repeats` executions of the same job; runs[0] is the canonical result,
+  // the rest exist to feed the determinism oracle.
+  std::vector<RunResult> runs;
+  double wall_ms = 0;  // wall time of the first execution
+  std::string error;   // non-empty if the job threw
+
+  [[nodiscard]] const RunResult& result() const { return runs.at(0); }
+};
+
+struct RunnerOptions {
+  int jobs = 0;      // worker threads; <= 0 uses hardware_concurrency
+  int repeats = 2;   // executions per distinct job; >= 2 checks determinism
+  bool oracle = true;  // run invariant/determinism/equivalence checks
+  // Test seam: replaces sim::Run (instrumented or fault-injecting runs).
+  std::function<RunResult(const Workload&, RunMode, const SystemConfig&)>
+      run_fn;
+};
+
+struct BatchReport {
+  std::vector<oracle::Violation> violations;
+  std::uint64_t distinct_jobs = 0;
+  std::uint64_t executed_runs = 0;  // distinct_jobs * repeats
+  std::uint64_t memo_hits = 0;      // submissions answered from the memo
+  double wall_ms = 0;               // batch wall time (construction→Finish)
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+};
+
+class BatchRunner {
+ public:
+  explicit BatchRunner(RunnerOptions opts = {});
+  ~BatchRunner();
+
+  BatchRunner(const BatchRunner&) = delete;
+  BatchRunner& operator=(const BatchRunner&) = delete;
+
+  // Enqueues the job (deduplicated by JobKey) and returns its key.
+  std::string Submit(BatchJob job);
+  std::string Submit(const Workload& wl, RunMode mode,
+                     const SystemConfig& cfg = {},
+                     const std::string& config_tag = "",
+                     const std::string& workload_tag = "") {
+    return Submit(BatchJob{wl, mode, cfg, config_tag, workload_tag});
+  }
+
+  // Submits the full four-system matrix (Table 4) for one workload under
+  // one config; returns the keys in RunMode declaration order.
+  std::array<std::string, 4> SubmitMatrix(const Workload& wl,
+                                          const SystemConfig& cfg = {},
+                                          const std::string& config_tag = "",
+                                          const std::string& workload_tag = "");
+
+  // Blocks until the job has run. Throws if the job threw.
+  const JobOutcome& Get(const std::string& key);
+  const RunResult& Result(const std::string& key) { return Get(key).result(); }
+
+  // Barrier: waits for every submitted job, then runs the oracle sweep.
+  [[nodiscard]] BatchReport Finish();
+
+  // All outcomes, keyed by JobKey. Call after Finish().
+  [[nodiscard]] const std::map<std::string, JobOutcome>& outcomes() const {
+    return outcomes_;
+  }
+
+  [[nodiscard]] const RunnerOptions& options() const { return opts_; }
+
+ private:
+  struct Pending {
+    BatchJob job;
+    std::string key;
+    bool done = false;
+    JobOutcome outcome;
+  };
+
+  void WorkerLoop();
+  void Execute(Pending& p);
+
+  RunnerOptions opts_;
+  std::chrono::steady_clock::time_point start_;
+
+  std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::condition_variable done_cv_;
+  std::map<std::string, std::unique_ptr<Pending>> jobs_;
+  std::deque<Pending*> queue_;
+  std::uint64_t in_flight_ = 0;
+  std::uint64_t memo_hits_ = 0;
+  bool stop_ = false;
+
+  std::vector<std::thread> workers_;
+  std::map<std::string, JobOutcome> outcomes_;  // filled by Finish()
+};
+
+// Writes the batch as machine-readable JSON (schema "dsa-bench-json/1"):
+// per-job cycles, speedup over the workload's scalar baseline when one is
+// in the batch, DSA stats, energy breakdown, wall time, plus the oracle
+// verdict. Returns false if the file could not be written.
+bool WriteBenchJson(const std::string& path, const std::string& bench_name,
+                    const BatchRunner& runner, const BatchReport& report);
+
+}  // namespace dsa::sim

@@ -1,5 +1,6 @@
 #include "sim/system.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace dsa::sim {
@@ -23,6 +24,29 @@ double RunResult::detection_latency_pct() const {
 }
 
 namespace {
+
+std::uint64_t Fnv1a(const std::uint8_t* data, std::size_t n,
+                    std::uint64_t h = 14695981039346656037ull) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t DigestOutputs(const Workload& wl, const mem::Memory& memory) {
+  const std::vector<std::uint8_t>& bytes = memory.raw();
+  if (wl.outputs.empty()) return Fnv1a(bytes.data(), bytes.size());
+  std::uint64_t h = 14695981039346656037ull;
+  for (const OutputRegion& region : wl.outputs) {
+    const std::size_t end =
+        std::min<std::size_t>(bytes.size(),
+                              std::size_t{region.addr} + region.bytes);
+    if (region.addr >= end) continue;
+    h = Fnv1a(bytes.data() + region.addr, end - region.addr, h);
+  }
+  return h;
+}
 
 // Executes the covered region of a takeover: the remaining loop iterations
 // run functionally on the scalar interpreter while their issue bandwidth
@@ -154,6 +178,7 @@ RunResult Run(const Workload& wl, RunMode mode, const SystemConfig& cfg) {
   res.dram_accesses = hierarchy.dram_accesses();
   if (engine.has_value()) res.dsa = engine->stats();
   res.output_ok = wl.check ? wl.check(memory) : true;
+  res.output_digest = DigestOutputs(wl, memory);
 
   const bool neon_present = mode != RunMode::kScalar;
   res.energy = energy::ComputeEnergy(

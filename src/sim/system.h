@@ -39,6 +39,10 @@ struct RunResult {
   std::optional<engine::DsaStats> dsa;
   energy::EnergyBreakdown energy;
 
+  // FNV-1a digest of the workload's declared output regions (whole memory
+  // image if none declared) after the run; the oracle's equivalence unit.
+  std::uint64_t output_digest = 0;
+
   // Fraction of total cycles the DSA spent analyzing (detection latency,
   // Article 2/3 latency tables). Zero for non-DSA modes.
   [[nodiscard]] double detection_latency_pct() const;

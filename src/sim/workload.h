@@ -8,11 +8,21 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "mem/memory.h"
 #include "prog/program.h"
 
 namespace dsa::sim {
+
+// A declared output buffer of a workload. The differential-consistency
+// oracle digests exactly these regions, so binary variants are free to
+// differ in scratch memory (padded tails, spilled temporaries) while
+// their architecturally visible results must stay bit-identical.
+struct OutputRegion {
+  std::uint32_t addr = 0;
+  std::uint32_t bytes = 0;
+};
 
 struct Workload {
   std::string name;
@@ -26,6 +36,11 @@ struct Workload {
   std::function<void(mem::Memory&)> init;
   // Verifies the outputs against the golden C++ reference.
   std::function<bool(const mem::Memory&)> check;
+
+  // Output buffers for the cross-mode equivalence oracle. When empty, the
+  // digest covers the whole memory image (safe for scalar vs. DSA, which
+  // execute the same binary, but too strict across binary variants).
+  std::vector<OutputRegion> outputs;
 
   // Static loop-type census of the benchmark (Fig. 7 of Article 3):
   // fraction of loop *executions* by type, annotated by the author of the

@@ -157,7 +157,7 @@ sim::Workload MakeBitCount(int n) {
     m.Write32(kN, static_cast<std::uint32_t>(n));
     WriteVec(m, kIn, in);
   };
-  wl.check = MakeCheck(kOut, out);
+  AddGoldenOutput(wl, kOut, out);
   return wl;
 }
 

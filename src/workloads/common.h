@@ -42,4 +42,23 @@ std::function<bool(const mem::Memory&)> MakeCheck(std::uint32_t addr,
   };
 }
 
+// Registers `expect` at `addr` as a golden output buffer: extends the
+// workload's `check` with a MakeCheck over the region AND declares the
+// region for the oracle's cross-mode output digest (sim/oracle.h).
+template <typename T>
+void AddGoldenOutput(sim::Workload& wl, std::uint32_t addr,
+                     std::vector<T> expect) {
+  wl.outputs.push_back(sim::OutputRegion{
+      addr, static_cast<std::uint32_t>(expect.size() * sizeof(T))});
+  auto next = MakeCheck(addr, std::move(expect));
+  if (wl.check) {
+    auto prev = std::move(wl.check);
+    wl.check = [prev, next](const mem::Memory& m) {
+      return prev(m) && next(m);
+    };
+  } else {
+    wl.check = std::move(next);
+  }
+}
+
 }  // namespace dsa::workloads

@@ -173,7 +173,7 @@ sim::Workload MakeDijkstra(int nodes) {
     WriteVec(m, kDist, d);
     WriteVec(m, kVis, std::vector<std::uint32_t>(v, 0));
   };
-  wl.check = MakeCheck(kDist, dist);
+  AddGoldenOutput(wl, kDist, dist);
   return wl;
 }
 

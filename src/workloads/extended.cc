@@ -126,7 +126,7 @@ sim::Workload MakeFir(int n) {
            x[i + 3] * kTaps[3];
   }
   wl.init = [x](mem::Memory& m) { WriteVec(m, kIn, x); };
-  wl.check = MakeCheck(kOut, y);
+  AddGoldenOutput(wl, kOut, y);
   return wl;
 }
 
@@ -178,7 +178,7 @@ sim::Workload MakeMemCopy(int n) {
   std::uint32_t seed = 0x3E3C09EEu;
   for (int i = 0; i < n; ++i) src[i] = static_cast<std::uint8_t>(XorShift(seed));
   wl.init = [src](mem::Memory& m) { WriteVec(m, kIn, src); };
-  wl.check = MakeCheck(kOut, src);
+  AddGoldenOutput(wl, kOut, src);
   return wl;
 }
 
@@ -255,7 +255,7 @@ sim::Workload MakeAlphaBlend(int n, int alpha) {
     WriteVec(m, kIn, a);
     WriteVec(m, kIn2, b);
   };
-  wl.check = MakeCheck(kOut, out);
+  AddGoldenOutput(wl, kOut, out);
   return wl;
 }
 
@@ -299,7 +299,7 @@ sim::Workload MakeHistogram(int n, int buckets) {
     ++hist[v[i]];
   }
   wl.init = [v](mem::Memory& m) { WriteVec(m, kIn, v); };
-  wl.check = MakeCheck(kOut, hist);
+  AddGoldenOutput(wl, kOut, hist);
   return wl;
 }
 

@@ -126,7 +126,7 @@ sim::Workload MakeGaussian(int width, int height) {
     }
   }
   wl.init = [in](mem::Memory& m) { WriteVec(m, kIn, in); };
-  wl.check = MakeCheck(kOut, out);
+  AddGoldenOutput(wl, kOut, out);
   return wl;
 }
 

@@ -140,7 +140,7 @@ sim::Workload MakeMatMul(int dim) {
     WriteVec(m, kA, a);
     WriteVec(m, kB, b);
   };
-  wl.check = MakeCheck(kC, c);
+  AddGoldenOutput(wl, kC, c);
   return wl;
 }
 

@@ -100,7 +100,7 @@ sim::Workload MakeQSort(int n) {
   std::vector<std::uint32_t> sorted = a;
   std::sort(sorted.begin(), sorted.end());
   wl.init = [a](mem::Memory& m) { WriteVec(m, kArr, a); };
-  wl.check = MakeCheck(kArr, sorted);
+  AddGoldenOutput(wl, kArr, sorted);
   return wl;
 }
 

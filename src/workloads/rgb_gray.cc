@@ -114,7 +114,7 @@ sim::Workload MakeRgbGray(int n) {
     WriteVec(m, kG, g);
     WriteVec(m, kB, b);
   };
-  wl.check = MakeCheck(kGray, gray);
+  AddGoldenOutput(wl, kGray, gray);
   return wl;
 }
 

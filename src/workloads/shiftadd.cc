@@ -67,7 +67,7 @@ sim::Workload MakeShiftAdd(int n, int dist) {
     WriteVec(m, kA, a0);
     WriteVec(m, kB, b);
   };
-  wl.check = MakeCheck(kA, expect);
+  AddGoldenOutput(wl, kA, expect);
   return wl;
 }
 

@@ -74,7 +74,7 @@ sim::Workload MakeStrCopy(int length) {
     dst[i] = static_cast<std::uint8_t>(src[i] << 1);
   }
   wl.init = [src](mem::Memory& m) { WriteVec(m, kSrc, src); };
-  wl.check = MakeCheck(kDst, dst);
+  AddGoldenOutput(wl, kDst, dst);
   return wl;
 }
 

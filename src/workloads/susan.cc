@@ -180,11 +180,8 @@ sim::Workload MakeSusanE(int n, int threshold) {
     WriteVec(m, kImg, img);
     WriteVec(m, kBlur, blur);
   };
-  auto check_diff = MakeCheck(kDiff, diff);
-  auto check_out = MakeCheck(kOut, out);
-  wl.check = [check_diff, check_out](const mem::Memory& m) {
-    return check_diff(m) && check_out(m);
-  };
+  AddGoldenOutput(wl, kDiff, diff);
+  AddGoldenOutput(wl, kOut, out);
   return wl;
 }
 

@@ -86,7 +86,7 @@ sim::Workload MakeVecAdd(int n) {
     WriteVec(m, kA, a);
     WriteVec(m, kB, b);
   };
-  wl.check = MakeCheck(kV, v);
+  AddGoldenOutput(wl, kV, v);
   return wl;
 }
 

@@ -290,6 +290,92 @@ TEST(EngineEdge, RejectedLoopAnalyzedOnlyOnce) {
   EXPECT_EQ(r.dsa->rejects_by_reason.at(RejectReason::kCarryAroundScalar), 1u);
 }
 
+// Fig. 17's fusion assumption can be wrong: the fusability check looks at
+// the glue instructions *observed during analysis*, so a store that only
+// executes on a late outer iteration is invisible when the nest fuses.
+// The fused coverage must catch the store mid-run, end the takeover and
+// demote the fusion record; per-inner cache-hit takeovers resume after.
+TEST(EngineEdge, FusedNestDemotedAfterGlueStore) {
+  Assembler as;
+  as.Movi(10, 16);  // outer counter, counts down 16..1
+  as.Movi(11, 0x40000);
+  const auto outer = as.NewLabel();
+  as.Bind(outer);
+  as.Movi(0, 0x1000);
+  as.Movi(2, 0x10000);
+  as.Movi(3, 64);
+  const auto inner = as.NewLabel();
+  as.Bind(inner);
+  as.Ldr(4, 0, 4);
+  as.Str(4, 2, 4);
+  as.AluImm(Opcode::kSubi, 3, 3, 1);
+  as.Cmpi(3, 0);
+  as.B(Cond::kGt, inner);
+  // Glue: a progress marker stored only when the counter hits 4 — never
+  // during the analysis iterations, so the nest looks fusable.
+  const auto skip = as.NewLabel();
+  as.Cmpi(10, 4);
+  as.B(Cond::kNe, skip);
+  as.Str(10, 11);
+  as.Bind(skip);
+  as.AluImm(Opcode::kSubi, 10, 10, 1);
+  as.Cmpi(10, 0);
+  as.B(Cond::kGt, outer);
+  as.Halt();
+  auto init = [](mem::Memory& m) {
+    for (int i = 0; i < 64; ++i) m.Write32(0x1000 + 4 * i, 0x100 + i);
+  };
+  auto check = [](const mem::Memory& m) {
+    for (int i = 0; i < 64; ++i) {
+      if (m.Read32(0x10000 + 4 * i) != static_cast<std::uint32_t>(0x100 + i))
+        return false;
+    }
+    return m.Read32(0x40000) == 4u;  // the marker store really executed
+  };
+  const RunResult r = RunDsa(Mini(as.Finish(), init, check));
+  ASSERT_TRUE(r.dsa.has_value());
+  EXPECT_TRUE(r.output_ok);
+  EXPECT_GE(r.dsa->fusions_formed, 1u);
+  EXPECT_EQ(r.dsa->fusion_demotions, 1u);
+  // After demotion the inner loop keeps vectorizing from its cache record:
+  // one cache-hit takeover per remaining outer entry.
+  EXPECT_GE(r.dsa->cache_hit_takeovers, 3u);
+  EXPECT_GE(r.dsa->takeovers, 4u);
+}
+
+// Section 4.6.5's continued-execution case within ONE execution: a string
+// long enough to outlive the first speculated range forces the cooldown's
+// sentinel watch to re-speculate repeatedly with a doubled window.
+TEST(EngineEdge, SentinelRespeculatesWithDoublingWindowMidRun) {
+  Assembler as;
+  as.Movi(0, 0x1000);
+  as.Movi(1, 0x10000);
+  const auto loop = as.NewLabel();
+  as.Bind(loop);
+  as.Ldrb(4, 0, 1);
+  as.Strb(4, 1, 1);
+  as.Cmpi(4, 0);
+  as.B(Cond::kNe, loop);
+  as.Halt();
+  auto init = [](mem::Memory& m) {
+    for (int i = 0; i < 500; ++i) m.Write8(0x1000 + i, 0x33);
+    m.Write8(0x1000 + 500, 0);
+  };
+  auto check = [](const mem::Memory& m) {
+    for (int i = 0; i < 500; ++i) {
+      if (m.Read8(0x10000 + i) != 0x33) return false;
+    }
+    return m.Read8(0x10000 + 500) == 0;
+  };
+  const RunResult r = RunDsa(Mini(as.Finish(), init, check));
+  ASSERT_TRUE(r.dsa.has_value());
+  EXPECT_TRUE(r.output_ok);
+  EXPECT_EQ(r.dsa->loops_by_class.at(LoopClass::kSentinel), 1u);
+  // Initial speculation plus at least two doubled windows.
+  EXPECT_GE(r.dsa->sentinel_respeculations, 2u);
+  EXPECT_GE(r.dsa->takeovers, 3u);
+}
+
 TEST(EngineEdge, OriginalConfigFactoryDisablesDynamicFeatures) {
   const DsaConfig o = DsaConfig::Original();
   EXPECT_FALSE(o.enable_conditional_loops);

@@ -1,0 +1,209 @@
+// Oracle tests: the golden-stats regression suite. Positive direction —
+// scalar/AutoVec/HandVec/DSA agree bit-for-bit on every paper workload
+// and repeated runs are cycle-deterministic. Negative direction — a
+// deliberately corrupted RunResult is rejected by each invariant, so the
+// oracle is known to actually *look* at every field it claims to check.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "sim/oracle.h"
+#include "sim/system.h"
+#include "workloads/workloads.h"
+
+namespace dsa::sim {
+namespace {
+
+bool HasCheck(const std::vector<oracle::Violation>& v, const char* check) {
+  return std::any_of(v.begin(), v.end(), [check](const oracle::Violation& x) {
+    return x.check == check;
+  });
+}
+
+void ExpectMatrixConsistent(const std::vector<Workload>& set) {
+  const SystemConfig cfg;
+  for (const Workload& wl : set) {
+    const RunResult scalar = Run(wl, RunMode::kScalar, cfg);
+    for (const RunMode mode :
+         {RunMode::kAutoVec, RunMode::kHandVec, RunMode::kDsa}) {
+      const RunResult r = Run(wl, mode, cfg);
+      const std::string job = wl.name + "@" + std::string(ToString(mode));
+      EXPECT_TRUE(oracle::CheckInvariants(r, job).empty()) << job;
+      EXPECT_TRUE(oracle::CheckEquivalence(scalar, r, job).empty())
+          << job << ": outputs diverge from the scalar execution";
+      // The simulator is a pure function: a second run must be identical
+      // down to every reported counter.
+      const RunResult again = Run(wl, mode, cfg);
+      EXPECT_TRUE(oracle::CheckDeterminism(r, again, job).empty()) << job;
+    }
+  }
+}
+
+TEST(OracleGolden, Article1SetConsistentAcrossAllModes) {
+  ExpectMatrixConsistent(workloads::Article1Set());
+}
+
+TEST(OracleGolden, Article3SetConsistentAcrossAllModes) {
+  ExpectMatrixConsistent(workloads::Article3Set());
+}
+
+// ---- negative direction: every invariant must fire on corrupted data ----
+
+RunResult DsaResult() {
+  static const RunResult r =
+      Run(workloads::MakeVecAdd(512), RunMode::kDsa, SystemConfig{});
+  return r;
+}
+
+TEST(OracleInvariants, CleanRunPasses) {
+  EXPECT_TRUE(oracle::CheckInvariants(DsaResult(), "clean").empty());
+}
+
+TEST(OracleInvariants, RejectsFailedOutputCheck) {
+  RunResult r = DsaResult();
+  r.output_ok = false;
+  EXPECT_TRUE(HasCheck(oracle::CheckInvariants(r, "j"),
+                       "invariant.output_ok"));
+}
+
+TEST(OracleInvariants, RejectsZeroCycles) {
+  RunResult r = DsaResult();
+  r.cycles = 0;
+  EXPECT_TRUE(HasCheck(oracle::CheckInvariants(r, "j"), "invariant.cycles"));
+}
+
+TEST(OracleInvariants, RejectsInconsistentRetiredSplit) {
+  RunResult r = DsaResult();
+  r.cpu.retired_scalar += 7;
+  EXPECT_TRUE(HasCheck(oracle::CheckInvariants(r, "j"),
+                       "invariant.retired_split"));
+}
+
+TEST(OracleInvariants, RejectsOutOfRangeDetectionLatency) {
+  RunResult r = DsaResult();
+  // More analysis cycles than total cycles pushes the percentage over 100.
+  r.dsa->analysis_cycles = 2 * r.cycles;
+  r.dsa->observed_instructions = 4 * r.cycles;  // keep dsa_analysis quiet
+  EXPECT_TRUE(HasCheck(oracle::CheckInvariants(r, "j"),
+                       "invariant.detection_latency"));
+}
+
+TEST(OracleInvariants, RejectsNegativeEnergyTerm) {
+  RunResult r = DsaResult();
+  r.energy.cache_dram = -1.0;
+  EXPECT_TRUE(HasCheck(oracle::CheckInvariants(r, "j"),
+                       "invariant.energy_term"));
+}
+
+TEST(OracleInvariants, RejectsDsaStatsOnScalarRun) {
+  RunResult r = DsaResult();
+  r.mode = RunMode::kScalar;  // stats still attached
+  EXPECT_TRUE(HasCheck(oracle::CheckInvariants(r, "j"),
+                       "invariant.dsa_presence"));
+}
+
+TEST(OracleInvariants, RejectsMissingDsaStatsOnDsaRun) {
+  RunResult r = DsaResult();
+  r.dsa.reset();
+  EXPECT_TRUE(HasCheck(oracle::CheckInvariants(r, "j"),
+                       "invariant.dsa_presence"));
+}
+
+TEST(OracleInvariants, RejectsImpossibleCacheHitCount) {
+  RunResult r = DsaResult();
+  r.dsa->cache_hit_takeovers = r.dsa->takeovers + 1;
+  EXPECT_TRUE(HasCheck(oracle::CheckInvariants(r, "j"),
+                       "invariant.dsa_cache_hits"));
+}
+
+TEST(OracleInvariants, RejectsEntryCensusMismatch) {
+  RunResult r = DsaResult();
+  r.dsa->takeovers += 1;
+  r.dsa->cache_hit_takeovers = 0;
+  EXPECT_TRUE(HasCheck(oracle::CheckInvariants(r, "j"),
+                       "invariant.dsa_entry_census"));
+}
+
+TEST(OracleInvariants, RejectsTakeoversWithoutClassifiedLoops) {
+  RunResult r = DsaResult();
+  ASSERT_GT(r.dsa->takeovers, 0u);
+  r.dsa->loops_by_class.clear();
+  EXPECT_TRUE(HasCheck(oracle::CheckInvariants(r, "j"),
+                       "invariant.dsa_loop_census"));
+}
+
+TEST(OracleInvariants, RejectsTakeoversWithoutCoverage) {
+  RunResult r = DsaResult();
+  ASSERT_GT(r.dsa->takeovers, 0u);
+  r.dsa->vectorized_iterations = 0;
+  EXPECT_TRUE(HasCheck(oracle::CheckInvariants(r, "j"),
+                       "invariant.dsa_coverage"));
+}
+
+TEST(OracleInvariants, RejectsClassificationsWithoutDetections) {
+  RunResult r = DsaResult();
+  r.dsa->stage_activations[static_cast<int>(engine::Stage::kLoopDetection)] =
+      0;
+  EXPECT_TRUE(HasCheck(oracle::CheckInvariants(r, "j"),
+                       "invariant.dsa_stage_census"));
+}
+
+TEST(OracleInvariants, RejectsAnalysisLongerThanObservation) {
+  RunResult r = DsaResult();
+  r.dsa->analysis_cycles = r.dsa->observed_instructions + 1;
+  EXPECT_TRUE(HasCheck(oracle::CheckInvariants(r, "j"),
+                       "invariant.dsa_analysis"));
+}
+
+TEST(OracleDeterminism, FlagsEveryDivergingCounter) {
+  const RunResult a = DsaResult();
+  RunResult b = a;
+  b.cycles += 1;
+  b.output_digest ^= 0xDEAD;
+  b.cpu.retired_total += 1;
+  b.energy.core_dynamic += 0.5;
+  b.dsa->takeovers += 1;
+  const auto v = oracle::CheckDeterminism(a, b, "j");
+  EXPECT_TRUE(HasCheck(v, "determinism.cycles"));
+  EXPECT_TRUE(HasCheck(v, "determinism.output_digest"));
+  EXPECT_TRUE(HasCheck(v, "determinism.retired"));
+  EXPECT_TRUE(HasCheck(v, "determinism.energy"));
+  EXPECT_TRUE(HasCheck(v, "determinism.takeovers"));
+}
+
+TEST(OracleEquivalence, FlagsDivergentOutputBuffers) {
+  const RunResult scalar = dsa::sim::Run(workloads::MakeVecAdd(512),
+                                         RunMode::kScalar, SystemConfig{});
+  RunResult vec = DsaResult();
+  EXPECT_TRUE(oracle::CheckEquivalence(scalar, vec, "j").empty());
+  vec.output_digest ^= 1;
+  EXPECT_TRUE(HasCheck(oracle::CheckEquivalence(scalar, vec, "j"),
+                       "equivalence.output_digest"));
+}
+
+TEST(OracleEquivalence, FlagsCrossWorkloadComparison) {
+  const RunResult a = dsa::sim::Run(workloads::MakeVecAdd(512),
+                                    RunMode::kScalar, SystemConfig{});
+  const RunResult b = dsa::sim::Run(workloads::MakeBitCount(),
+                                    RunMode::kScalar, SystemConfig{});
+  EXPECT_TRUE(HasCheck(oracle::CheckEquivalence(a, b, "j"),
+                       "equivalence.workload"));
+}
+
+TEST(OracleFormat, OneLinePerViolation) {
+  std::vector<oracle::Violation> v = {
+      {"job1", "invariant.cycles", "cycle count is zero"},
+      {"job2", "determinism.cycles", "run 1: 5, run 2: 6"},
+  };
+  const std::string s = oracle::FormatViolations(v);
+  EXPECT_NE(s.find("ORACLE VIOLATION [invariant.cycles] job1"),
+            std::string::npos);
+  EXPECT_NE(s.find("ORACLE VIOLATION [determinism.cycles] job2"),
+            std::string::npos);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace dsa::sim
