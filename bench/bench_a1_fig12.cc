@@ -16,7 +16,7 @@
 int main(int argc, char** argv) {
   using dsa::sim::RunMode;
   const dsa::bench::BenchOptions opts = dsa::bench::ParseBenchArgs(argc, argv);
-  dsa::sim::SystemConfig cfg;
+  dsa::sim::SystemConfig cfg = dsa::bench::BaseConfig(opts);
   cfg.dsa = dsa::engine::DsaConfig::Original();
   dsa::bench::PrintSetupHeader(cfg);
 

@@ -16,8 +16,8 @@
 int main(int argc, char** argv) {
   using dsa::sim::RunMode;
   const dsa::bench::BenchOptions opts = dsa::bench::ParseBenchArgs(argc, argv);
-  dsa::sim::SystemConfig ext_cfg;
-  dsa::sim::SystemConfig orig_cfg;
+  dsa::sim::SystemConfig ext_cfg = dsa::bench::BaseConfig(opts);
+  dsa::sim::SystemConfig orig_cfg = dsa::bench::BaseConfig(opts);
   orig_cfg.dsa = dsa::engine::DsaConfig::Original();
   dsa::bench::PrintSetupHeader(ext_cfg);
 

@@ -14,7 +14,7 @@
 int main(int argc, char** argv) {
   using dsa::sim::RunMode;
   const dsa::bench::BenchOptions opts = dsa::bench::ParseBenchArgs(argc, argv);
-  const dsa::sim::SystemConfig cfg;
+  const dsa::sim::SystemConfig cfg = dsa::bench::BaseConfig(opts);
   dsa::bench::PrintSetupHeader(cfg);
 
   dsa::sim::BatchRunner runner(opts.runner);

@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
   const dsa::bench::BenchOptions opts = dsa::bench::ParseBenchArgs(argc, argv);
   dsa::bench::PrintSetupHeader();
 
-  SystemConfig base;
+  SystemConfig base = dsa::bench::BaseConfig(opts);
   BatchRunner runner(opts.runner);
   std::vector<ComparePair> pairs;
 

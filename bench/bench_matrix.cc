@@ -141,8 +141,8 @@ TableRun RenderAllTables(const Getter& get, const SystemConfig& cfg,
 
 int main(int argc, char** argv) {
   const dsa::bench::BenchOptions opts = dsa::bench::ParseBenchArgs(argc, argv);
-  const SystemConfig cfg;
-  SystemConfig orig_cfg;
+  const SystemConfig cfg = dsa::bench::BaseConfig(opts);
+  SystemConfig orig_cfg = dsa::bench::BaseConfig(opts);
   orig_cfg.dsa = dsa::engine::DsaConfig::Original();
   dsa::bench::PrintSetupHeader(cfg);
 

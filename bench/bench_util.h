@@ -9,6 +9,7 @@
 // --repeats K, --no-oracle.
 #pragma once
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -16,8 +17,10 @@
 #include <string>
 #include <vector>
 
+#include "sim/report.h"
 #include "sim/runner.h"
 #include "sim/system.h"
+#include "trace/chrome_export.h"
 
 namespace dsa::bench {
 
@@ -25,6 +28,7 @@ struct BenchOptions {
   sim::RunnerOptions runner;  // --jobs, --repeats, --no-oracle
   std::string json_path;      // --json <path>; empty = no JSON emitted
   std::string filter;         // --filter <substr> on workload names
+  std::string trace_path;     // --trace <path>; empty = tracing disabled
   bool serial = false;        // --serial: seed-style direct Run() loop
   bool compare = false;       // --compare: time serial vs. runner paths
 };
@@ -52,6 +56,8 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
       o.filter = value();
     } else if (arg == "--no-oracle") {
       o.runner.oracle = false;
+    } else if (arg == "--trace") {
+      o.trace_path = value();
     } else if (arg == "--serial") {
       o.serial = true;
     } else if (arg == "--compare") {
@@ -59,17 +65,41 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--jobs N] [--repeats K] [--json PATH] "
-                   "[--filter SUBSTR] [--no-oracle] [--serial] [--compare]\n",
+                   "[--filter SUBSTR] [--trace PATH] [--no-oracle] "
+                   "[--serial] [--compare]\n",
                    argv[0]);
       std::exit(2);
     }
   }
+  if (o.runner.oracle && o.runner.repeats < 2) {
+    // The determinism layer of the oracle diffs repeated executions of the
+    // same job; with a single sample it silently has nothing to compare.
+    std::fprintf(stderr,
+                 "warning: --repeats %d leaves the determinism oracle with "
+                 "<2 samples per job; only invariant and equivalence checks "
+                 "will run (use --repeats 2 or --no-oracle)\n",
+                 o.runner.repeats);
+  }
   return o;
+}
+
+// The driver's base SystemConfig: defaults plus everything the shared
+// flags configure (today: event tracing). Drivers derive their per-table
+// config variations from this instead of a bare `SystemConfig cfg;`.
+[[nodiscard]] inline sim::SystemConfig BaseConfig(const BenchOptions& o) {
+  sim::SystemConfig cfg;
+  cfg.trace.enabled = !o.trace_path.empty();
+  return cfg;
 }
 
 [[nodiscard]] inline bool KeepWorkload(const BenchOptions& o,
                                        const std::string& name) {
-  return o.filter.empty() || name.find(o.filter) != std::string::npos;
+  if (o.filter.empty()) return true;
+  auto lower = [](std::string s) {
+    for (char& c : s) c = static_cast<char>(std::tolower(c));
+    return s;
+  };
+  return lower(name).find(lower(o.filter)) != std::string::npos;
 }
 
 // Oracle summary + JSON emission + exit code for a runner-based driver.
@@ -102,6 +132,32 @@ inline int FinishBench(sim::BatchRunner& runner, const BenchOptions& o,
     } else {
       std::fprintf(stderr, "[%s] could not write %s\n", bench_name,
                    o.json_path.c_str());
+      return 1;
+    }
+  }
+  if (!o.trace_path.empty()) {
+    // One Chrome process per traced job; DSA jobs additionally get the
+    // per-loop text profile on stdout.
+    std::vector<trace::ChromeProcess> procs;
+    for (const auto& [key, out] : runner.outcomes()) {
+      if (out.runs.empty() || out.result().trace == nullptr) continue;
+      procs.push_back(trace::ChromeProcess{key, out.result().trace.get()});
+      if (out.result().dsa.has_value()) {
+        std::fputs(sim::FormatTraceProfile(out.result()).c_str(), stdout);
+      }
+    }
+    if (procs.empty()) {
+      std::fprintf(stderr, "[%s] --trace given but no job produced a trace\n",
+                   bench_name);
+      return 1;
+    }
+    if (trace::WriteChromeTrace(o.trace_path, procs)) {
+      std::printf("[%s] wrote %s (%zu traced job(s); open in "
+                  "chrome://tracing or ui.perfetto.dev)\n",
+                  bench_name, o.trace_path.c_str(), procs.size());
+    } else {
+      std::fprintf(stderr, "[%s] could not write %s\n", bench_name,
+                   o.trace_path.c_str());
       return 1;
     }
   }

@@ -32,6 +32,14 @@ echo "== oracle-gated mini bench =="
     --json "$BUILD"/BENCH_check.json
 grep -q '"ok": true' "$BUILD"/BENCH_check.json
 
+echo "== traced mini bench + trace validation =="
+# Same driver with event tracing on: the oracle additionally cross-checks
+# the trace against the engine counters, and the emitted Chrome JSON is
+# validated structurally (B/E balance, stage-count re-derivation).
+"$BUILD"/bench/bench_a3_fig8_perf --filter dijkstra --jobs "$JOBS" \
+    --trace "$BUILD"/TRACE_check.json
+python3 scripts/validate_trace.py "$BUILD"/TRACE_check.json
+
 if [[ "$KEEP" -eq 0 ]]; then
   rm -rf "$BUILD"
 fi

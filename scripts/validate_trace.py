@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Structural validator for dsa-trace/1 Chrome trace-event JSON.
+
+Checks that a file produced by `--trace PATH` (trace/chrome_export.cc):
+  * is well-formed JSON carrying the "dsa-trace/1" schema marker,
+  * uses only the phase types the exporter emits (M, X, B, E, i),
+  * has non-negative timestamps and durations,
+  * balances takeover B/E pairs per (pid, tid),
+  * declares every traced process in metadata.processes, and
+  * (when a process dropped no events) has per-stage event counts that
+    re-derive exactly to the declared stage_activations aggregates.
+
+Exit code 0 = valid, 1 = validation failure, 2 = usage/IO error.
+
+  $ python3 scripts/validate_trace.py out.json
+"""
+import json
+import sys
+
+ALLOWED_PHASES = {"M", "X", "B", "E", "i"}
+
+
+def fail(msg: str) -> None:
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    path = sys.argv[1]
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"validate_trace: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+    if doc.get("schema") != "dsa-trace/1":
+        fail(f"schema marker is {doc.get('schema')!r}, expected 'dsa-trace/1'")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing or empty")
+    processes = doc.get("metadata", {}).get("processes")
+    if not isinstance(processes, list) or not processes:
+        fail("metadata.processes missing or empty")
+
+    declared_pids = {p["pid"] for p in processes}
+    seen_pids = set()
+    begin_depth = {}  # (pid, tid) -> open B count
+    stage_counts = {}  # pid -> {stage name: count}
+
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph not in ALLOWED_PHASES:
+            fail(f"event {i}: unexpected phase {ph!r}")
+        pid = e.get("pid")
+        if not isinstance(pid, int):
+            fail(f"event {i}: missing pid")
+        seen_pids.add(pid)
+        if ph == "M":
+            continue
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"event {i}: bad ts {ts!r}")
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"event {i}: complete event with bad dur {dur!r}")
+        key = (pid, e.get("tid"))
+        if ph == "B":
+            begin_depth[key] = begin_depth.get(key, 0) + 1
+        elif ph == "E":
+            depth = begin_depth.get(key, 0)
+            if depth == 0:
+                fail(f"event {i}: E without matching B on pid/tid {key}")
+            begin_depth[key] = depth - 1
+        name = e.get("name", "")
+        if ph == "X" and name.startswith("stage:"):
+            per = stage_counts.setdefault(pid, {})
+            per[name[6:]] = per.get(name[6:], 0) + 1
+
+    unbalanced = {k: d for k, d in begin_depth.items() if d != 0}
+    if unbalanced:
+        fail(f"unbalanced B/E pairs: {unbalanced}")
+    if not seen_pids <= declared_pids:
+        fail(f"events reference undeclared pids {seen_pids - declared_pids}")
+
+    for p in processes:
+        pid, name = p["pid"], p.get("name", "?")
+        if p.get("dropped", 0) != 0:
+            print(f"validate_trace: note: {name} dropped {p['dropped']} "
+                  "events; skipping stage re-derivation")
+            continue
+        declared = {k: v for k, v in p.get("stage_activations", {}).items()
+                    if v != 0}
+        derived = stage_counts.get(pid, {})
+        if derived != declared:
+            fail(f"{name}: stage counts from events {derived} != declared "
+                 f"aggregates {declared}")
+
+    print(f"validate_trace: OK: {len(events)} events, "
+          f"{len(processes)} process(es)")
+
+
+if __name__ == "__main__":
+    main()

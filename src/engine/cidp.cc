@@ -70,4 +70,16 @@ CidpResult PredictBody(const BodySummary& body, std::int64_t last_iteration) {
   return worst;
 }
 
+CidpResult PredictBodyTraced(const BodySummary& body,
+                             std::int64_t last_iteration,
+                             trace::Tracer* tracer, std::uint32_t loop_id) {
+  const CidpResult res = PredictBody(body, last_iteration);
+  if (tracer) {
+    tracer->Emit(trace::EventKind::kCidpVerdict, loop_id,
+                 res.has_dependency ? 1 : 0,
+                 static_cast<std::uint64_t>(res.distance));
+  }
+  return res;
+}
+
 }  // namespace dsa::engine

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "engine/loop_info.h"
+#include "trace/trace.h"
 
 namespace dsa::engine {
 
@@ -41,5 +42,14 @@ struct CidpResult {
 // same interval logic on store streams against load streams.
 [[nodiscard]] CidpResult PredictBody(const BodySummary& body,
                                      std::int64_t last_iteration);
+
+// PredictBody plus a kCidpVerdict trace event (arg0 = has_dependency,
+// arg1 = dependency distance) when `tracer` is non-null. All engine and
+// tracker prediction sites go through this wrapper so every CID/NCID
+// verdict of a traced run is visible in the event stream.
+[[nodiscard]] CidpResult PredictBodyTraced(const BodySummary& body,
+                                           std::int64_t last_iteration,
+                                           trace::Tracer* tracer,
+                                           std::uint32_t loop_id);
 
 }  // namespace dsa::engine

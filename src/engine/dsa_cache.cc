@@ -10,9 +10,11 @@ LoopRecord* DsaCache::LookupMutable(std::uint32_t loop_id) {
   const auto it = map_.find(loop_id);
   if (it == map_.end()) {
     ++misses_;
+    if (tracer_) tracer_->Emit(trace::EventKind::kCacheMiss, loop_id);
     return nullptr;
   }
   ++hits_;
+  if (tracer_) tracer_->Emit(trace::EventKind::kCacheHit, loop_id);
   lru_.splice(lru_.begin(), lru_, it->second);
   return &*it->second;
 }
@@ -22,15 +24,25 @@ void DsaCache::Insert(const LoopRecord& rec) {
   if (it != map_.end()) {
     *it->second = rec;
     lru_.splice(lru_.begin(), lru_, it->second);
+    if (tracer_) {
+      tracer_->Emit(trace::EventKind::kCacheInsert, rec.loop_id,
+                    static_cast<std::uint64_t>(rec.cls));
+    }
     return;
   }
   if (map_.size() >= max_entries_ && !lru_.empty()) {
-    map_.erase(lru_.back().loop_id);
+    const std::uint32_t victim = lru_.back().loop_id;
+    map_.erase(victim);
     lru_.pop_back();
     ++evictions_;
+    if (tracer_) tracer_->Emit(trace::EventKind::kCacheEvict, victim);
   }
   lru_.push_front(rec);
   map_[rec.loop_id] = lru_.begin();
+  if (tracer_) {
+    tracer_->Emit(trace::EventKind::kCacheInsert, rec.loop_id,
+                  static_cast<std::uint64_t>(rec.cls));
+  }
 }
 
 }  // namespace dsa::engine

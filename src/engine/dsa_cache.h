@@ -12,12 +12,17 @@
 
 #include "engine/config.h"
 #include "engine/loop_info.h"
+#include "trace/trace.h"
 
 namespace dsa::engine {
 
 class DsaCache {
  public:
   explicit DsaCache(std::uint32_t max_entries) : max_entries_(max_entries) {}
+
+  // Optional execution tracer; hits/misses/inserts/evictions are emitted
+  // as cache events when set.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
 
   // Returns nullptr on miss. A hit refreshes LRU position.
   [[nodiscard]] const LoopRecord* Lookup(std::uint32_t loop_id);
@@ -34,6 +39,7 @@ class DsaCache {
 
  private:
   std::uint32_t max_entries_;
+  trace::Tracer* tracer_ = nullptr;
   std::list<LoopRecord> lru_;  // front = most recent
   std::unordered_map<std::uint32_t, std::list<LoopRecord>::iterator> map_;
   std::uint64_t hits_ = 0;

@@ -64,10 +64,25 @@ DsaEngine::DsaEngine(const DsaConfig& cfg, const cpu::TimingConfig& timing)
     : cfg_(cfg), timing_(timing), dsa_cache_(cfg.dsa_cache_entries()),
       vc_(cfg.verification_cache_entries()) {}
 
+void DsaEngine::CountStage(Stage s, std::uint32_t loop_id) {
+  stats_.CountStage(s);
+  if (tracer_) {
+    tracer_->Emit(trace::EventKind::kStageActivation, loop_id,
+                  static_cast<std::uint64_t>(s));
+  }
+}
+
 void DsaEngine::StoreRecord(const LoopRecord& rec, bool count_class) {
   dsa_cache_.Insert(rec);
   ++stats_.dsa_cache_accesses;
-  if (count_class) ++stats_.loops_by_class[rec.cls];
+  if (count_class) {
+    ++stats_.loops_by_class[rec.cls];
+    if (tracer_) {
+      tracer_->Emit(trace::EventKind::kLoopClassified, rec.loop_id,
+                    static_cast<std::uint64_t>(rec.cls),
+                    static_cast<std::uint64_t>(rec.reject));
+    }
+  }
 }
 
 std::optional<TakeoverPlan> DsaEngine::Observe(const cpu::Retired& r,
@@ -92,8 +107,14 @@ std::optional<TakeoverPlan> DsaEngine::Observe(const cpu::Retired& r,
             plan.from_cache = true;
             plan.max_iterations = std::max<std::uint64_t>(
                 cd.next_range, rec->body.lanes());
-            stats_.CountStage(Stage::kSpeculativeExecution);
+            CountStage(Stage::kSpeculativeExecution, latch);
             ++stats_.sentinel_respeculations;
+            if (tracer_) {
+              tracer_->Emit(trace::EventKind::kRespeculation, latch,
+                            plan.max_iterations);
+              tracer_->Emit(trace::EventKind::kSpecWindow, latch,
+                            plan.max_iterations);
+            }
             return SelfCoverage(plan);
           }
         }
@@ -171,7 +192,7 @@ std::optional<TakeoverPlan> DsaEngine::HandleLatch(const cpu::Retired& r,
     return std::nullopt;
   }
 
-  stats_.CountStage(Stage::kLoopDetection);
+  CountStage(Stage::kLoopDetection, latch);
   ++stats_.dsa_cache_accesses;
   const LoopRecord* rec = dsa_cache_.Lookup(latch);
   if (rec != nullptr) {
@@ -185,7 +206,7 @@ std::optional<TakeoverPlan> DsaEngine::HandleLatch(const cpu::Retired& r,
       if (inner != nullptr && inner->reject == RejectReason::kNone &&
           (inner->cls == LoopClass::kCount ||
            inner->cls == LoopClass::kFunction)) {
-        stats_.CountStage(Stage::kStoreIdExecution);
+        CountStage(Stage::kStoreIdExecution, latch);
         TakeoverPlan plan;
         plan.record = *inner;
         plan.from_cache = true;
@@ -212,7 +233,7 @@ std::optional<TakeoverPlan> DsaEngine::HandleLatch(const cpu::Retired& r,
 
   // DSA cache miss: begin the analysis state machine at iteration 2.
   trackers_.emplace(latch, std::make_unique<LoopTracker>(target, latch, cfg_,
-                                                         vc_, stats_));
+                                                         vc_, stats_, tracer_));
   return std::nullopt;
 }
 
@@ -256,7 +277,8 @@ std::optional<TakeoverPlan> DsaEngine::PlanFromRecord(
   // Dynamic-range semantics (Fig. 24): dependency prediction must re-run on
   // every execution because a different range can create a dependency.
   if (cfg_.enable_cidp && rec.cls != LoopClass::kPartial) {
-    const CidpResult dep = PredictBody(rec.body, total_iterations);
+    const CidpResult dep =
+        PredictBodyTraced(rec.body, total_iterations, tracer_, rec.loop_id);
     if (dep.has_dependency) {
       if (cfg_.enable_partial_vectorization && dep.distance >= 2 &&
           rec.cls != LoopClass::kConditional &&
@@ -269,7 +291,10 @@ std::optional<TakeoverPlan> DsaEngine::PlanFromRecord(
     }
   }
 
-  stats_.CountStage(Stage::kStoreIdExecution);
+  CountStage(Stage::kStoreIdExecution, rec.loop_id);
+  if (tracer_ && max_iterations != 0) {
+    tracer_->Emit(trace::EventKind::kSpecWindow, rec.loop_id, max_iterations);
+  }
   TakeoverPlan plan;
   plan.record = rec;
   plan.from_cache = true;
@@ -283,6 +308,9 @@ void DsaEngine::DemoteFusion(std::uint32_t outer_latch_pc) {
       rec->fused_outer = false;
       rec->reject = RejectReason::kContainsInnerLoop;
       ++stats_.fusion_demotions;
+      if (tracer_) {
+        tracer_->Emit(trace::EventKind::kFusionDemoted, outer_latch_pc);
+      }
       cooldowns_[outer_latch_pc] =
           Cooldown{rec->body.start_pc, false, 0, 0, 0};
     }
@@ -324,6 +352,12 @@ void DsaEngine::FinishTakeover(const TakeoverPlan& plan,
   cost.scalar_addback_cycles += (glue_instrs + w - 1) / w;
   cost.scalar_instrs += glue_instrs;
 
+  if (tracer_ && cost.vector_instrs > 0) {
+    tracer_->Emit(trace::EventKind::kNeonBurst, rec.loop_id,
+                  cost.vector_instrs, cost.neon_busy_cycles,
+                  cost.neon_busy_cycles);
+  }
+
   cpu.AddNeonBusy(cost.neon_busy_cycles);
   cpu.AddDsaOverhead(cost.overhead_cycles);
   cpu.AddStall(cost.scalar_addback_cycles);
@@ -360,6 +394,10 @@ void DsaEngine::FinishTakeover(const TakeoverPlan& plan,
         outer.fused_outer = true;
         outer.inner_latch_pc = plan.count_latch;
         ++stats_.fusions_formed;
+        if (tracer_) {
+          tracer_->Emit(trace::EventKind::kFusionFormed, latch,
+                        plan.count_latch);
+        }
       } else {
         outer.reject = RejectReason::kContainsInnerLoop;
         cooldowns_[latch] = Cooldown{tracker->start_pc(), false, 0, 0};

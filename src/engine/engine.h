@@ -22,6 +22,7 @@
 #include "engine/stats.h"
 #include "engine/tracker.h"
 #include "engine/vector_cost.h"
+#include "trace/trace.h"
 
 namespace dsa::engine {
 
@@ -67,6 +68,15 @@ class DsaEngine {
   [[nodiscard]] const DsaCache& cache() const { return dsa_cache_; }
   [[nodiscard]] const DsaConfig& config() const { return cfg_; }
 
+  // Attaches an execution tracer (nullptr detaches). The engine, its
+  // caches and all trackers created afterwards emit events into it; the
+  // caller keeps ownership and must outlive the engine or detach first.
+  void set_tracer(trace::Tracer* tracer) {
+    tracer_ = tracer;
+    dsa_cache_.set_tracer(tracer);
+  }
+  [[nodiscard]] trace::Tracer* tracer() const { return tracer_; }
+
  private:
   struct Cooldown {
     std::uint32_t start_pc = 0;
@@ -81,7 +91,11 @@ class DsaEngine {
   std::optional<TakeoverPlan> PlanFromRecord(const LoopRecord& stored,
                                              const cpu::CpuState& state);
   void StoreRecord(const LoopRecord& rec, bool count_class);
+  // Stage counting + the matching trace event (instant; spans are only
+  // known to trackers).
+  void CountStage(Stage s, std::uint32_t loop_id);
 
+  trace::Tracer* tracer_ = nullptr;
   DsaConfig cfg_;
   cpu::TimingConfig timing_;
   DsaCache dsa_cache_;

@@ -104,13 +104,29 @@ std::optional<std::int64_t> EstimateRemainingIterations(std::int64_t a,
 
 LoopTracker::LoopTracker(std::uint32_t start_pc, std::uint32_t latch_pc,
                          const DsaConfig& cfg, VerificationCache& vc,
-                         DsaStats& stats)
+                         DsaStats& stats, trace::Tracer* tracer)
     : start_pc_(start_pc), latch_pc_(latch_pc), cfg_(cfg), vc_(vc),
-      stats_(stats), iteration_(2) {
+      stats_(stats), tracer_(tracer), iteration_(2) {
   vc_.Clear();
   record_.loop_id = latch_pc;
   record_.body.start_pc = start_pc;
   record_.body.latch_pc = latch_pc;
+  if (tracer_) {
+    iter_begin_cycle_ = tracer_->now();
+    tracer_->Emit(trace::EventKind::kLoopDetected, latch_pc_, start_pc_);
+  }
+}
+
+void LoopTracker::CountStage(Stage s) {
+  stats_.CountStage(s);
+  if (tracer_) {
+    const std::uint64_t now = tracer_->now();
+    const std::uint64_t dur =
+        now >= iter_begin_cycle_ ? now - iter_begin_cycle_ : 0;
+    tracer_->Emit(trace::EventKind::kStageActivation, latch_pc_,
+                  static_cast<std::uint64_t>(s),
+                  static_cast<std::uint64_t>(iteration_), dur);
+  }
 }
 
 LoopTracker::Event LoopTracker::Observe(const cpu::Retired& r,
@@ -200,10 +216,10 @@ LoopTracker::Event LoopTracker::EndOfIteration(const cpu::Retired& latch,
 
   Event ev = Event::kNone;
   if (conditional_mode_) {
-    stats_.CountStage(Stage::kMapping);
+    CountStage(Stage::kMapping);
     ev = AnalyzeConditionalStep(state);
   } else if (iteration_ == 2) {
-    stats_.CountStage(Stage::kDataCollection);
+    CountStage(Stage::kDataCollection);
     trace2_ = cur_trace_;
     pcs2_ = cur_pcs_;
     for (const Obs& o : trace2_) {
@@ -216,7 +232,7 @@ LoopTracker::Event LoopTracker::EndOfIteration(const cpu::Retired& latch,
       }
     }
   } else if (iteration_ == 3) {
-    stats_.CountStage(Stage::kDependencyAnalysis);
+    CountStage(Stage::kDependencyAnalysis);
     trace3_ = cur_trace_;
     pcs3_ = cur_pcs_;
     if (saw_inner_loop_) {
@@ -239,7 +255,7 @@ LoopTracker::Event LoopTracker::EndOfIteration(const cpu::Retired& latch,
         return Reject(LoopClass::kConditional, RejectReason::kFeatureDisabled);
       }
       conditional_mode_ = true;
-      stats_.CountStage(Stage::kMapping);
+      CountStage(Stage::kMapping);
       // Seed the path table with the two iterations already observed.
       std::vector<std::uint32_t> key2(pcs2_.begin(), pcs2_.end());
       PathState& p2 = paths_[key2];
@@ -258,6 +274,7 @@ LoopTracker::Event LoopTracker::EndOfIteration(const cpu::Retired& latch,
   cur_pcs_.clear();
   last_cmp_.reset();
   call_depth_ = 0;
+  if (tracer_) iter_begin_cycle_ = tracer_->now();
   return ev;
 }
 
@@ -528,15 +545,16 @@ LoopTracker::Event LoopTracker::AnalyzeStraightBody(
     record_.body.scalar_per_iter =
         static_cast<std::uint32_t>(slice.size()) + 2;
     record_.speculative_range = lanes;
-    const CidpResult dep = PredictBody(record_.body, 3 + lanes);
+    const CidpResult dep =
+        PredictBodyTraced(record_.body, 3 + lanes, tracer_, latch_pc_);
     if (dep.has_dependency) {
       return Reject(LoopClass::kNonVectorizable,
                     RejectReason::kCrossIterationDep);
     }
     record_.cls = LoopClass::kSentinel;
     finished_ = true;
-    stats_.CountStage(Stage::kStoreIdExecution);
-    stats_.CountStage(Stage::kSpeculativeExecution);
+    CountStage(Stage::kStoreIdExecution);
+    CountStage(Stage::kSpeculativeExecution);
     return Event::kReadyToVectorize;
   }
 
@@ -548,7 +566,8 @@ LoopTracker::Event LoopTracker::AnalyzeStraightBody(
 
   const CidpResult dep =
       cfg_.enable_cidp
-          ? PredictBody(record_.body, total_iterations)
+          ? PredictBodyTraced(record_.body, total_iterations, tracer_,
+                              latch_pc_)
           : CidpResult{};  // ablation: only exact-match detection, below
   if (!cfg_.enable_cidp) {
     // Fallback without prediction: compare iteration-3 addresses against
@@ -566,7 +585,7 @@ LoopTracker::Event LoopTracker::AnalyzeStraightBody(
       record_.cls = LoopClass::kPartial;
       record_.dep_distance = dep.distance;
       finished_ = true;
-      stats_.CountStage(Stage::kStoreIdExecution);
+      CountStage(Stage::kStoreIdExecution);
       return Event::kReadyToVectorize;
     }
     return Reject(LoopClass::kNonVectorizable,
@@ -584,7 +603,7 @@ LoopTracker::Event LoopTracker::AnalyzeStraightBody(
                     ? LoopClass::kDynamicRange
                     : (has_call_ ? LoopClass::kFunction : LoopClass::kCount);
   finished_ = true;
-  stats_.CountStage(Stage::kStoreIdExecution);
+  CountStage(Stage::kStoreIdExecution);
   return Event::kReadyToVectorize;
 }
 
@@ -761,7 +780,8 @@ LoopTracker::Event LoopTracker::FinalizeConditional() {
     (s.is_write ? dep_view.stores : dep_view.loads).push_back(s);
   }
   if (cfg_.enable_cidp &&
-      PredictBody(dep_view, total_iterations).has_dependency) {
+      PredictBodyTraced(dep_view, total_iterations, tracer_, latch_pc_)
+          .has_dependency) {
     return Reject(LoopClass::kConditional, RejectReason::kCrossIterationDep);
   }
 
@@ -773,8 +793,8 @@ LoopTracker::Event LoopTracker::FinalizeConditional() {
   record_.body = body;
   record_.cls = LoopClass::kConditional;
   finished_ = true;
-  stats_.CountStage(Stage::kStoreIdExecution);
-  stats_.CountStage(Stage::kSpeculativeExecution);
+  CountStage(Stage::kStoreIdExecution);
+  CountStage(Stage::kSpeculativeExecution);
   return Event::kReadyToVectorize;
 }
 

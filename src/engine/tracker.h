@@ -17,6 +17,7 @@
 #include "engine/dsa_cache.h"
 #include "engine/loop_info.h"
 #include "engine/stats.h"
+#include "trace/trace.h"
 
 namespace dsa::engine {
 
@@ -36,8 +37,11 @@ class LoopTracker {
     kAborted,           // loop exited before analysis completed; discard
   };
 
+  // `tracer` may be null (untraced run); stage activations then only count
+  // into `stats`.
   LoopTracker(std::uint32_t start_pc, std::uint32_t latch_pc,
-              const DsaConfig& cfg, VerificationCache& vc, DsaStats& stats);
+              const DsaConfig& cfg, VerificationCache& vc, DsaStats& stats,
+              trace::Tracer* tracer = nullptr);
 
   // Feeds one retired instruction. `state` is the architectural state
   // after the retire (the DSA taps the O3CPU pipeline, Fig. 31).
@@ -80,6 +84,10 @@ class LoopTracker {
     bool verified = false;
   };
 
+  // Counts a stage activation into the stats and, when tracing, emits the
+  // matching kStageActivation event spanning the iteration that fed it.
+  void CountStage(Stage s);
+
   Event EndOfIteration(const cpu::Retired& latch, const cpu::CpuState& state);
   Event AnalyzeStraightBody(const cpu::CpuState& state);
   Event AnalyzeConditionalStep(const cpu::CpuState& state);
@@ -105,6 +113,8 @@ class LoopTracker {
   const DsaConfig& cfg_;
   VerificationCache& vc_;
   DsaStats& stats_;
+  trace::Tracer* tracer_;
+  std::uint64_t iter_begin_cycle_ = 0;  // trace: span of the current iter
 
   std::int64_t iteration_ = 1;  // iteration currently executing (1-based)
   int call_depth_ = 0;

@@ -156,6 +156,25 @@ QReg Broadcast(VecType t, std::uint32_t v) {
   return out;
 }
 
+std::optional<IssueBurst> BurstAggregator::Observe(Opcode op,
+                                                   std::uint64_t cycle) {
+  if (!isa::IsVector(op)) return Flush();
+  if (!open_) {
+    cur_ = IssueBurst{};
+    open_ = true;
+  }
+  cur_.end_cycle = cycle;
+  ++cur_.instrs;
+  cur_.busy_cycles += timing_.LatencyOf(op);
+  return std::nullopt;
+}
+
+std::optional<IssueBurst> BurstAggregator::Flush() {
+  if (!open_) return std::nullopt;
+  open_ = false;
+  return cur_;
+}
+
 std::uint32_t NeonTiming::LatencyOf(Opcode op) const {
   switch (op) {
     case Opcode::kVmul:

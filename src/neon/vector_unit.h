@@ -7,6 +7,7 @@
 #include <array>
 #include <cstdint>
 #include <cstring>
+#include <optional>
 
 #include "isa/instruction.h"
 #include "isa/opcode.h"
@@ -81,6 +82,33 @@ struct NeonTiming {
   std::uint32_t pipeline_fill = 10;  // charged when the engine is activated
 
   [[nodiscard]] std::uint32_t LatencyOf(isa::Opcode op) const;
+};
+
+// A maximal run of vector instructions uninterrupted by scalar work, as
+// observed at retire. Feeds the tracer's NEON-burst track: explicit-SIMD
+// binaries (autovec/handvec) surface their bursts from the retire stream,
+// while DSA takeovers report theirs wholesale from the region cost model.
+struct IssueBurst {
+  std::uint64_t end_cycle = 0;    // cycle of the last issue in the burst
+  std::uint64_t instrs = 0;
+  std::uint64_t busy_cycles = 0;  // summed NeonTiming occupancy
+};
+
+class BurstAggregator {
+ public:
+  explicit BurstAggregator(const NeonTiming& timing) : timing_(timing) {}
+
+  // Feeds one retired opcode at `cycle`. Vector opcodes extend the open
+  // burst; a scalar opcode closes it and returns the completed burst.
+  std::optional<IssueBurst> Observe(isa::Opcode op, std::uint64_t cycle);
+
+  // Closes and returns the open burst, if any (end of run).
+  std::optional<IssueBurst> Flush();
+
+ private:
+  NeonTiming timing_;  // by value: bursts outlive any timing-config scope
+  IssueBurst cur_;
+  bool open_ = false;
 };
 
 }  // namespace dsa::neon

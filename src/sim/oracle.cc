@@ -95,6 +95,47 @@ std::vector<Violation> CheckInvariants(const RunResult& r,
          "invariant.dsa_analysis",
          Format("analysis cycles %" PRIu64 " exceed observed instrs %" PRIu64,
                 d.analysis_cycles, d.observed_instructions));
+
+  // Trace cross-check: a traced run's aggregate stage counters (exact even
+  // when the ring overflowed) must mirror the engine's own stage counters;
+  // when nothing was dropped, re-deriving the counts from the retained
+  // events must give the same answer a third time.
+  if (r.trace != nullptr) {
+    const trace::TraceDump& t = *r.trace;
+    std::array<std::uint64_t, trace::kNumStages> from_events{};
+    for (const trace::Event& e : t.events) {
+      if (e.kind == trace::EventKind::kStageActivation &&
+          e.arg0 < trace::kNumStages) {
+        ++from_events[e.arg0];
+      }
+    }
+    for (int s = 0; s < trace::kNumStages; ++s) {
+      Expect(v, job, t.stage_counts[s] == d.stage_activations[s],
+             "invariant.trace_stage_aggregate",
+             Format("trace counted stage %d %" PRIu64
+                    " times, engine counted %" PRIu64,
+                    s, t.stage_counts[s], d.stage_activations[s]));
+      if (t.dropped == 0) {
+        Expect(v, job, from_events[s] == d.stage_activations[s],
+               "invariant.trace_stage_events",
+               Format("trace events carry stage %d %" PRIu64
+                      " times, engine counted %" PRIu64,
+                      s, from_events[s], d.stage_activations[s]));
+      }
+    }
+    Expect(v, job,
+           t.kind_counts[static_cast<int>(trace::EventKind::kTakeoverBegin)] ==
+               d.takeovers,
+           "invariant.trace_takeovers",
+           Format("trace saw %" PRIu64 " takeover-begins, engine counted "
+                  "%" PRIu64,
+                  t.kind_counts[static_cast<int>(
+                      trace::EventKind::kTakeoverBegin)],
+                  d.takeovers));
+    Expect(v, job, t.dropped <= t.emitted, "invariant.trace_drop_accounting",
+           Format("dropped %" PRIu64 " > emitted %" PRIu64, t.dropped,
+                  t.emitted));
+  }
   return v;
 }
 
@@ -126,6 +167,9 @@ std::vector<Violation> CheckDeterminism(const RunResult& a, const RunResult& b,
       same_u64("determinism.stage_activations", a.dsa->stage_activations[s],
                b.dsa->stage_activations[s]);
     }
+  }
+  if (a.trace != nullptr && b.trace != nullptr) {
+    same_u64("determinism.trace_emitted", a.trace->emitted, b.trace->emitted);
   }
   return v;
 }

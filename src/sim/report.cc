@@ -1,5 +1,7 @@
 #include "sim/report.h"
 
+#include <iomanip>
+#include <map>
 #include <sstream>
 
 namespace dsa::sim {
@@ -64,6 +66,117 @@ std::string FormatReport(const RunResult& r) {
   put("energy.dsa_dynamic", r.energy.dsa_dynamic);
   put("energy.dsa_static", r.energy.dsa_static);
   put("energy.total", r.energy.total());
+  return os.str();
+}
+
+namespace {
+
+// Everything the profile says about one loop ID, accumulated from events.
+struct LoopProfile {
+  bool detected = false;
+  bool classified = false;
+  std::uint64_t cls = 0;
+  std::uint64_t reject = 0;
+  std::array<std::uint64_t, trace::kNumStages> stages{};
+  std::uint64_t takeovers = 0;
+  std::uint64_t covered_iterations = 0;
+  std::uint64_t cidp_checks = 0;
+  std::uint64_t cidp_dependencies = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t respeculations = 0;
+  std::uint64_t spec_window = 0;  // latest speculative window
+  std::uint64_t neon_instrs = 0;
+  std::uint64_t neon_busy = 0;
+};
+
+}  // namespace
+
+std::string FormatTraceProfile(const RunResult& r) {
+  if (r.trace == nullptr) return "";
+  const trace::TraceDump& t = *r.trace;
+
+  std::map<std::uint32_t, LoopProfile> loops;
+  std::uint64_t bursts = 0, burst_instrs = 0, burst_busy = 0;
+  for (const trace::Event& e : t.events) {
+    using trace::EventKind;
+    if (e.kind == EventKind::kNeonBurst) {
+      ++bursts;
+      burst_instrs += e.arg0;
+      burst_busy += e.arg1;
+      if (e.loop_id == 0) continue;  // retire-stream burst, not loop-scoped
+    }
+    LoopProfile& p = loops[e.loop_id];
+    switch (e.kind) {
+      case EventKind::kStageActivation:
+        if (e.arg0 < trace::kNumStages) ++p.stages[e.arg0];
+        break;
+      case EventKind::kLoopDetected: p.detected = true; break;
+      case EventKind::kLoopClassified:
+        p.classified = true;
+        p.cls = e.arg0;
+        p.reject = e.arg1;
+        break;
+      case EventKind::kCacheHit: ++p.cache_hits; break;
+      case EventKind::kCidpVerdict:
+        ++p.cidp_checks;
+        p.cidp_dependencies += e.arg0;
+        break;
+      case EventKind::kTakeoverBegin: ++p.takeovers; break;
+      case EventKind::kTakeoverEnd: p.covered_iterations += e.arg0; break;
+      case EventKind::kSpecWindow: p.spec_window = e.arg0; break;
+      case EventKind::kRespeculation: ++p.respeculations; break;
+      case EventKind::kNeonBurst:
+        p.neon_instrs += e.arg0;
+        p.neon_busy += e.arg1;
+        break;
+      default: break;
+    }
+  }
+
+  std::ostringstream os;
+  os << "=== trace profile: " << r.workload << " @ "
+     << std::string(ToString(r.mode)) << " ===\n";
+  for (const auto& [loop, p] : loops) {
+    os << "loop 0x" << std::hex << loop << std::dec;
+    if (p.classified) {
+      os << " [" << ToString(static_cast<engine::LoopClass>(p.cls));
+      if (p.reject != 0) {
+        os << "/" << ToString(static_cast<engine::RejectReason>(p.reject));
+      }
+      os << "]";
+    } else if (p.detected) {
+      os << " [analyzing]";
+    }
+    os << "\n";
+    os << "  stages:";
+    for (int s = 0; s < trace::kNumStages; ++s) {
+      if (p.stages[s] != 0) {
+        os << " " << trace::kStageNames[s] << "=" << p.stages[s];
+      }
+    }
+    os << "\n";
+    if (p.takeovers != 0 || p.covered_iterations != 0) {
+      os << "  takeovers=" << p.takeovers
+         << " covered_iterations=" << p.covered_iterations << "\n";
+    }
+    if (p.cidp_checks != 0) {
+      os << "  cidp_checks=" << p.cidp_checks
+         << " cidp_dependencies=" << p.cidp_dependencies << "\n";
+    }
+    if (p.cache_hits != 0) os << "  cache_hits=" << p.cache_hits << "\n";
+    if (p.spec_window != 0 || p.respeculations != 0) {
+      os << "  spec_window=" << p.spec_window
+         << " respeculations=" << p.respeculations << "\n";
+    }
+    if (p.neon_instrs != 0) {
+      os << "  neon_instrs=" << p.neon_instrs << " neon_busy=" << p.neon_busy
+         << "\n";
+    }
+  }
+  os << "neon bursts: " << bursts << " (instrs=" << burst_instrs
+     << ", busy_cycles=" << burst_busy << ")\n";
+  os << "trace: emitted=" << t.emitted << " dropped=" << t.dropped
+     << " ring_capacity=" << t.config.capacity << "\n";
   return os.str();
 }
 

@@ -13,4 +13,11 @@ namespace dsa::sim {
 // stable order, prefixed by the workload/system identity.
 [[nodiscard]] std::string FormatReport(const RunResult& r);
 
+// Compact per-loop text profile of a run's event trace: for every loop ID
+// seen, its classification, stage activations, takeovers, covered
+// iterations, CIDP verdicts, cache hits and respeculations, followed by
+// NEON burst totals and ring-buffer health. Empty string when the run
+// carries no trace.
+[[nodiscard]] std::string FormatTraceProfile(const RunResult& r);
+
 }  // namespace dsa::sim

@@ -369,6 +369,13 @@ bool WriteBenchJson(const std::string& path, const std::string& bench_name,
     w.Dbl("total", r.energy.total());
     w.Close('}');
 
+    if (r.trace != nullptr) {
+      w.Open("trace", '{');
+      w.U64("emitted", r.trace->emitted);
+      w.U64("dropped", r.trace->dropped);
+      w.Close('}');
+    }
+
     if (r.dsa.has_value()) {
       const engine::DsaStats& d = *r.dsa;
       w.Dbl("detection_latency_pct", r.detection_latency_pct());

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "neon/vector_unit.h"
+
 namespace dsa::sim {
 
 using engine::TakeoverPlan;
@@ -150,6 +152,20 @@ RunResult Run(const Workload& wl, RunMode mode, const SystemConfig& cfg) {
   std::optional<engine::DsaEngine> engine;
   if (mode == RunMode::kDsa) engine.emplace(cfg.dsa, cfg.timing);
 
+  // The tracer outlives the engine's raw pointer into it; disabled configs
+  // never allocate. Explicit-SIMD modes trace their NEON bursts from the
+  // retire stream; DSA mode additionally traces the whole engine pipeline.
+  std::optional<trace::Tracer> tracer;
+  neon::BurstAggregator bursts(cfg.timing.neon);
+  if (cfg.trace.enabled) {
+    tracer.emplace(cfg.trace);
+    if (engine.has_value()) engine->set_tracer(&*tracer);
+  }
+  const auto emit_burst = [&](const neon::IssueBurst& b) {
+    tracer->EmitAt(b.end_cycle, trace::EventKind::kNeonBurst, /*loop_id=*/0,
+                   b.instrs, b.busy_cycles, b.busy_cycles);
+  };
+
   std::uint64_t steps = 0;
   while (!cpu.halted()) {
     if (++steps > cfg.max_steps) {
@@ -157,12 +173,31 @@ RunResult Run(const Workload& wl, RunMode mode, const SystemConfig& cfg) {
     }
     const cpu::Retired r = cpu.Step();
     if (r.instr == nullptr) break;
+    if (tracer.has_value()) {
+      tracer->SetNow(cpu.Cycles());
+      if (const auto b = bursts.Observe(r.instr->op, cpu.Cycles())) {
+        emit_burst(*b);
+      }
+    }
     if (engine.has_value()) {
       std::optional<TakeoverPlan> plan = engine->Observe(r, cpu.state());
       if (plan.has_value()) {
+        if (tracer.has_value()) {
+          tracer->Emit(trace::EventKind::kTakeoverBegin,
+                       plan->record.loop_id, plan->from_cache ? 1 : 0,
+                       plan->max_iterations);
+        }
         const CoveredDelta d = RunCovered(cpu, *plan);
+        if (tracer.has_value()) tracer->SetNow(cpu.Cycles());
         engine->FinishTakeover(*plan, d.iterations, d.retired, cpu,
                                d.glue_instrs);
+        if (tracer.has_value()) {
+          // Re-stamp: FinishTakeover charged the NEON/overhead cycles, so
+          // the end marker sits after the replaced region.
+          tracer->SetNow(cpu.Cycles());
+          tracer->Emit(trace::EventKind::kTakeoverEnd, plan->record.loop_id,
+                       d.iterations, d.retired);
+        }
         if (d.fused_glue_store) engine->DemoteFusion(plan->coverage_latch);
       }
     }
@@ -177,6 +212,12 @@ RunResult Run(const Workload& wl, RunMode mode, const SystemConfig& cfg) {
   res.l2 = hierarchy.l2().stats();
   res.dram_accesses = hierarchy.dram_accesses();
   if (engine.has_value()) res.dsa = engine->stats();
+  if (tracer.has_value()) {
+    tracer->SetNow(cpu.Cycles());
+    if (const auto b = bursts.Flush()) emit_burst(*b);
+    res.trace = std::make_shared<const trace::TraceDump>(tracer->Dump());
+    if (engine.has_value()) engine->set_tracer(nullptr);
+  }
   res.output_ok = wl.check ? wl.check(memory) : true;
   res.output_digest = DigestOutputs(wl, memory);
 

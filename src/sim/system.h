@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -14,6 +15,7 @@
 #include "engine/engine.h"
 #include "mem/cache.h"
 #include "sim/workload.h"
+#include "trace/trace.h"
 
 namespace dsa::sim {
 
@@ -43,6 +45,10 @@ struct RunResult {
   // image if none declared) after the run; the oracle's equivalence unit.
   std::uint64_t output_digest = 0;
 
+  // Structured event trace of the run (DSA mode with cfg.trace.enabled
+  // only; null otherwise). Shared so copies of the result stay cheap.
+  std::shared_ptr<const trace::TraceDump> trace;
+
   // Fraction of total cycles the DSA spent analyzing (detection latency,
   // Article 2/3 latency tables). Zero for non-DSA modes.
   [[nodiscard]] double detection_latency_pct() const;
@@ -53,6 +59,7 @@ struct SystemConfig {
   mem::Hierarchy::Config memory;
   engine::DsaConfig dsa;  // used in kDsa mode
   energy::EnergyParams energy;
+  trace::TraceConfig trace;  // structured event tracing (kDsa mode)
   std::uint64_t max_steps = 400'000'000;
 };
 

@@ -1,0 +1,149 @@
+#include "trace/chrome_export.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace dsa::trace {
+
+namespace {
+
+// Track (tid) layout inside each traced process.
+constexpr int kTidStages = 1;
+constexpr int kTidTakeovers = 2;
+constexpr int kTidNeon = 3;
+constexpr int kTidLifecycle = 4;
+
+void PutEscaped(std::FILE* f, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') std::fputc('\\', f);
+    if (static_cast<unsigned char>(c) < 0x20) {
+      std::fprintf(f, "\\u%04x", c);
+    } else {
+      std::fputc(c, f);
+    }
+  }
+}
+
+// Cycles (1 GHz -> ns) to Chrome microseconds.
+double Us(std::uint64_t cycles) { return static_cast<double>(cycles) / 1000.0; }
+
+void MetaEvent(std::FILE* f, bool& first, int pid, int tid, const char* key,
+               std::string_view value) {
+  std::fprintf(f, "%s\n  {\"name\": \"%s\", \"ph\": \"M\", \"pid\": %d, ",
+               first ? "" : ",", key, pid);
+  first = false;
+  if (tid >= 0) std::fprintf(f, "\"tid\": %d, ", tid);
+  std::fputs("\"args\": {\"name\": \"", f);
+  PutEscaped(f, value);
+  std::fputs("\"}}", f);
+}
+
+void BeginEvent(std::FILE* f, bool& first, int pid, int tid, const char* ph,
+                double ts, std::string_view name) {
+  std::fprintf(f, "%s\n  {\"name\": \"", first ? "" : ",");
+  first = false;
+  PutEscaped(f, name);
+  std::fprintf(f, "\", \"ph\": \"%s\", \"ts\": %.3f, \"pid\": %d, \"tid\": %d",
+               ph, ts, pid, tid);
+}
+
+void WriteEvent(std::FILE* f, bool& first, int pid, const Event& e) {
+  char name[64];
+  switch (e.kind) {
+    case EventKind::kStageActivation: {
+      const std::string_view stage =
+          e.arg0 < kNumStages ? kStageNames[e.arg0] : "?";
+      std::snprintf(name, sizeof(name), "stage:%.*s",
+                    static_cast<int>(stage.size()), stage.data());
+      const std::uint64_t begin = e.dur <= e.ts ? e.ts - e.dur : 0;
+      BeginEvent(f, first, pid, kTidStages, "X", Us(begin), name);
+      std::fprintf(f,
+                   ", \"dur\": %.3f, \"args\": {\"loop\": \"0x%x\", "
+                   "\"stage\": %" PRIu64 ", \"iteration\": %" PRIu64 "}}",
+                   Us(e.dur), e.loop_id, e.arg0, e.arg1);
+      return;
+    }
+    case EventKind::kTakeoverBegin:
+      BeginEvent(f, first, pid, kTidTakeovers, "B", Us(e.ts), "takeover");
+      std::fprintf(f,
+                   ", \"args\": {\"loop\": \"0x%x\", \"from_cache\": %" PRIu64
+                   ", \"max_iterations\": %" PRIu64 "}}",
+                   e.loop_id, e.arg0, e.arg1);
+      return;
+    case EventKind::kTakeoverEnd:
+      BeginEvent(f, first, pid, kTidTakeovers, "E", Us(e.ts), "takeover");
+      std::fprintf(f,
+                   ", \"args\": {\"loop\": \"0x%x\", \"iterations\": %" PRIu64
+                   ", \"covered_instrs\": %" PRIu64 "}}",
+                   e.loop_id, e.arg0, e.arg1);
+      return;
+    case EventKind::kNeonBurst: {
+      const std::uint64_t begin = e.dur <= e.ts ? e.ts - e.dur : 0;
+      BeginEvent(f, first, pid, kTidNeon, "X", Us(begin), "neon-burst");
+      std::fprintf(f,
+                   ", \"dur\": %.3f, \"args\": {\"loop\": \"0x%x\", "
+                   "\"instrs\": %" PRIu64 ", \"busy_cycles\": %" PRIu64 "}}",
+                   Us(e.dur), e.loop_id, e.arg0, e.arg1);
+      return;
+    }
+    default: {
+      const std::string_view kind = ToString(e.kind);
+      BeginEvent(f, first, pid, kTidLifecycle, "i", Us(e.ts), kind);
+      std::fprintf(f,
+                   ", \"s\": \"t\", \"args\": {\"loop\": \"0x%x\", "
+                   "\"arg0\": %" PRIu64 ", \"arg1\": %" PRIu64 "}}",
+                   e.loop_id, e.arg0, e.arg1);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+bool WriteChromeTrace(const std::string& path,
+                      const std::vector<ChromeProcess>& processes) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+
+  std::fputs("{\n\"schema\": \"dsa-trace/1\",\n\"displayTimeUnit\": \"ns\",\n"
+             "\"traceEvents\": [", f);
+  bool first = true;
+  int pid = 0;
+  for (const ChromeProcess& p : processes) {
+    if (p.trace == nullptr) continue;
+    ++pid;
+    MetaEvent(f, first, pid, -1, "process_name", p.name);
+    MetaEvent(f, first, pid, kTidStages, "thread_name", "DSA stages");
+    MetaEvent(f, first, pid, kTidTakeovers, "thread_name", "NEON takeovers");
+    MetaEvent(f, first, pid, kTidNeon, "thread_name", "NEON issue bursts");
+    MetaEvent(f, first, pid, kTidLifecycle, "thread_name", "loop lifecycle");
+    for (const Event& e : p.trace->events) WriteEvent(f, first, pid, e);
+  }
+  std::fputs("\n],\n\"metadata\": {\"processes\": [", f);
+
+  pid = 0;
+  bool first_proc = true;
+  for (const ChromeProcess& p : processes) {
+    if (p.trace == nullptr) continue;
+    ++pid;
+    std::fprintf(f, "%s\n  {\"pid\": %d, \"name\": \"", first_proc ? "" : ",",
+                 pid);
+    first_proc = false;
+    PutEscaped(f, p.name);
+    std::fprintf(f,
+                 "\", \"emitted\": %" PRIu64 ", \"dropped\": %" PRIu64
+                 ", \"ring_capacity\": %zu, \"stage_activations\": {",
+                 p.trace->emitted, p.trace->dropped,
+                 static_cast<std::size_t>(p.trace->config.capacity));
+    for (int s = 0; s < kNumStages; ++s) {
+      std::fprintf(f, "%s\"%.*s\": %" PRIu64, s == 0 ? "" : ", ",
+                   static_cast<int>(kStageNames[s].size()),
+                   kStageNames[s].data(), p.trace->stage_counts[s]);
+    }
+    std::fputs("}}", f);
+  }
+  std::fputs("\n]}\n}\n", f);
+  return std::fclose(f) == 0;
+}
+
+}  // namespace dsa::trace

@@ -1,0 +1,29 @@
+// Chrome trace-event JSON exporter (open the file in chrome://tracing or
+// https://ui.perfetto.dev). Each traced run becomes one process (pid);
+// within a process, stage activations, takeovers, NEON bursts and instant
+// lifecycle events land on separate tracks (tid) so a DSA takeover reads
+// top-to-bottom like the paper's Fig. 5 stage diagram. Timestamps are
+// cycles at the 1 GHz core clock, exported as microseconds (1 cycle =
+// 1 ns = 0.001 us). Top-level `metadata` carries the exact per-process
+// aggregates so tooling (scripts/validate_trace.py, the oracle round-trip
+// test) can re-derive stage counts from the events and cross-check.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace dsa::trace {
+
+struct ChromeProcess {
+  std::string name;  // shown as the process label, e.g. "dijkstra@neon-dsa"
+  const TraceDump* trace = nullptr;
+};
+
+// Writes schema "dsa-trace/1". Returns false if the file could not be
+// written. Processes with a null trace are skipped.
+bool WriteChromeTrace(const std::string& path,
+                      const std::vector<ChromeProcess>& processes);
+
+}  // namespace dsa::trace

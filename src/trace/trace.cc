@@ -1,0 +1,27 @@
+#include "trace/trace.h"
+
+namespace dsa::trace {
+
+TraceDump Tracer::Dump() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceDump d;
+  d.config = cfg_;
+  d.kind_counts = kind_counts_;
+  d.stage_counts = stage_counts_;
+  d.emitted = emitted_;
+  d.dropped = dropped_;
+  if (!ring_.empty() && emitted_ > 0) {
+    const std::uint64_t retained =
+        emitted_ < ring_.size() ? emitted_ : ring_.size();
+    d.events.reserve(retained);
+    // Oldest retained event first: the ring index the next write would
+    // overwrite is the oldest slot once the buffer has wrapped.
+    const std::uint64_t first = emitted_ - retained;
+    for (std::uint64_t i = 0; i < retained; ++i) {
+      d.events.push_back(ring_[(first + i) % ring_.size()]);
+    }
+  }
+  return d;
+}
+
+}  // namespace dsa::trace

@@ -1,0 +1,184 @@
+// Structured execution tracer for the DSA pipeline: a ring-buffered,
+// thread-safe event log fed by the engine (loop lifecycle, per-stage
+// activations, CIDP verdicts, speculation windows), the DSA caches and the
+// NEON issue path. Zero-cost when disabled: every emit site holds a
+// `Tracer*` that is nullptr for untraced runs, and a disabled Tracer never
+// allocates its ring. Aggregate counters (per event kind, per DSA stage)
+// are exact even when the ring overflows, so the oracle can cross-check a
+// trace against the engine's DsaStats regardless of buffer size.
+//
+// The event schema (kinds, argument meanings, stable IDs) is documented in
+// docs/TRACING.md; exporters live in trace/chrome_export.h (Chrome
+// trace-event JSON) and sim/report.h (per-loop text profile).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace dsa::trace {
+
+// Stable event-kind IDs (schema "dsa-trace/1"). Append only; never
+// renumber — downstream tooling (validate_trace.py, saved traces) keys on
+// the numeric value.
+enum class EventKind : std::uint8_t {
+  kStageActivation = 0,  // arg0 = stage index (kStageNames), arg1 = iter
+  kLoopDetected = 1,     // arg0 = body start pc
+  kLoopClassified = 2,   // arg0 = LoopClass, arg1 = RejectReason
+  kCacheInsert = 3,      // arg0 = LoopClass
+  kCacheEvict = 4,       // loop_id = evicted loop
+  kCacheHit = 5,         // DSA cache lookup hit
+  kCacheMiss = 6,        // DSA cache lookup miss
+  kCidpVerdict = 7,      // arg0 = has_dependency, arg1 = distance
+  kTakeoverBegin = 8,    // arg0 = from_cache, arg1 = max_iterations
+  kTakeoverEnd = 9,      // arg0 = covered iterations, arg1 = covered instrs
+  kFusionFormed = 10,    // loop_id = outer latch, arg0 = inner latch
+  kFusionDemoted = 11,   // loop_id = outer latch
+  kSpecWindow = 12,      // arg0 = speculative window (iterations)
+  kRespeculation = 13,   // arg0 = doubled window
+  kNeonBurst = 14,       // arg0 = vector instrs, arg1/dur = busy cycles
+};
+inline constexpr int kNumEventKinds = 15;
+
+[[nodiscard]] constexpr std::string_view ToString(EventKind k) {
+  switch (k) {
+    case EventKind::kStageActivation: return "stage-activation";
+    case EventKind::kLoopDetected: return "loop-detected";
+    case EventKind::kLoopClassified: return "loop-classified";
+    case EventKind::kCacheInsert: return "cache-insert";
+    case EventKind::kCacheEvict: return "cache-evict";
+    case EventKind::kCacheHit: return "cache-hit";
+    case EventKind::kCacheMiss: return "cache-miss";
+    case EventKind::kCidpVerdict: return "cidp-verdict";
+    case EventKind::kTakeoverBegin: return "takeover-begin";
+    case EventKind::kTakeoverEnd: return "takeover-end";
+    case EventKind::kFusionFormed: return "fusion-formed";
+    case EventKind::kFusionDemoted: return "fusion-demoted";
+    case EventKind::kSpecWindow: return "speculation-window";
+    case EventKind::kRespeculation: return "respeculation";
+    case EventKind::kNeonBurst: return "neon-burst";
+  }
+  return "?";
+}
+
+// The six DSA stages, in the numeric order of engine::Stage (asserted by
+// tests/test_trace.cc so the two tables can never drift apart). The trace
+// library owns the schema and must not depend on the engine.
+inline constexpr int kNumStages = 6;
+inline constexpr std::array<std::string_view, kNumStages> kStageNames = {
+    "loop-detection",     "data-collection", "dependency-analysis",
+    "store-id/execution", "mapping",         "speculative-execution",
+};
+
+// One trace record: 40 bytes, POD, no ownership.
+struct Event {
+  std::uint64_t ts = 0;   // cycle of emission (core clock == DSA clock)
+  std::uint64_t dur = 0;  // cycle span; 0 = instant event
+  std::uint32_t loop_id = 0;  // latch pc of the loop; 0 = not loop-scoped
+  EventKind kind = EventKind::kStageActivation;
+  std::uint64_t arg0 = 0;  // kind-specific, see EventKind comments
+  std::uint64_t arg1 = 0;
+};
+
+struct TraceConfig {
+  bool enabled = false;
+  // Ring slots allocated when enabled. Once full, the oldest events are
+  // overwritten (`dropped` counts them); aggregates stay exact.
+  std::uint32_t capacity = 1u << 18;
+};
+
+// Immutable snapshot of a finished trace, carried by sim::RunResult.
+struct TraceDump {
+  TraceConfig config;
+  std::vector<Event> events;  // ring contents, oldest -> newest
+  std::array<std::uint64_t, kNumEventKinds> kind_counts{};
+  std::array<std::uint64_t, kNumStages> stage_counts{};
+  std::uint64_t emitted = 0;  // total Emit() calls, including overwritten
+  std::uint64_t dropped = 0;  // events overwritten by ring wrap-around
+};
+
+class Tracer {
+ public:
+  // A default-constructed Tracer is disabled and never allocates.
+  Tracer() = default;
+  explicit Tracer(const TraceConfig& cfg) : cfg_(cfg) {
+    if (cfg_.enabled && cfg_.capacity > 0) ring_.resize(cfg_.capacity);
+  }
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  [[nodiscard]] bool enabled() const { return cfg_.enabled; }
+  [[nodiscard]] std::size_t ring_capacity() const { return ring_.size(); }
+
+  // Timestamp source for emitters that don't see the CPU (caches, CIDP,
+  // trackers): the run loop stamps the current cycle once per retire.
+  void SetNow(std::uint64_t cycle) {
+    now_.store(cycle, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t now() const {
+    return now_.load(std::memory_order_relaxed);
+  }
+
+  void Emit(EventKind kind, std::uint32_t loop_id, std::uint64_t arg0 = 0,
+            std::uint64_t arg1 = 0, std::uint64_t dur = 0) {
+    EmitAt(now(), kind, loop_id, arg0, arg1, dur);
+  }
+
+  void EmitAt(std::uint64_t ts, EventKind kind, std::uint32_t loop_id,
+              std::uint64_t arg0 = 0, std::uint64_t arg1 = 0,
+              std::uint64_t dur = 0) {
+    if (!cfg_.enabled) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++kind_counts_[static_cast<int>(kind)];
+    if (kind == EventKind::kStageActivation && arg0 < kNumStages) {
+      ++stage_counts_[arg0];
+    }
+    if (!ring_.empty()) {
+      if (emitted_ >= ring_.size()) ++dropped_;
+      Event& e = ring_[emitted_ % ring_.size()];
+      e.ts = ts;
+      e.dur = dur;
+      e.loop_id = loop_id;
+      e.kind = kind;
+      e.arg0 = arg0;
+      e.arg1 = arg1;
+    } else {
+      ++dropped_;
+    }
+    ++emitted_;
+  }
+
+  [[nodiscard]] std::uint64_t emitted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return emitted_;
+  }
+  [[nodiscard]] std::uint64_t dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+  }
+  [[nodiscard]] std::array<std::uint64_t, kNumStages> stage_counts() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stage_counts_;
+  }
+
+  // Snapshot of the retained events in emission order, plus the exact
+  // aggregates. Safe to call while other threads emit.
+  [[nodiscard]] TraceDump Dump() const;
+
+ private:
+  TraceConfig cfg_;
+  std::atomic<std::uint64_t> now_{0};
+
+  mutable std::mutex mu_;
+  std::vector<Event> ring_;
+  std::array<std::uint64_t, kNumEventKinds> kind_counts_{};
+  std::array<std::uint64_t, kNumStages> stage_counts_{};
+  std::uint64_t emitted_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace dsa::trace
