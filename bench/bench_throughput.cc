@@ -1,0 +1,79 @@
+// Host-throughput driver: runs the same workload x mode matrix as
+// bench_matrix (Article 3 full matrix + Article 2 Original-DSA column,
+// plus the VecAdd microbenchmark as a cheap smoke slice) and
+// reports how fast the simulator itself executes — millions of simulated
+// instructions per host second (MIPS), per job and in aggregate. Tracks
+// the interpreter hot-path work documented in docs/PERF.md; --reference
+// forces the pre-optimization code paths so fast-vs-reference throughput
+// is a one-flag A/B. The differential oracle still gates the exit code,
+// so a throughput run doubles as a correctness sweep.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "workloads/workloads.h"
+
+int main(int argc, char** argv) {
+  using dsa::sim::BatchRunner;
+  using dsa::sim::RunMode;
+  using dsa::sim::RunResult;
+  using dsa::sim::SystemConfig;
+  using dsa::sim::Workload;
+
+  const dsa::bench::BenchOptions opts = dsa::bench::ParseBenchArgs(argc, argv);
+  const SystemConfig cfg = dsa::bench::BaseConfig(opts);
+  SystemConfig orig_cfg = cfg;
+  orig_cfg.dsa = dsa::engine::DsaConfig::Original();
+  dsa::bench::PrintSetupHeader(cfg);
+  std::printf("simulator path: %s\n\n",
+              cfg.reference_path ? "reference (pre-optimization)" : "fast");
+
+  BatchRunner runner(opts.runner);
+  std::vector<std::string> keys;
+  // VecAdd first: the cheap microbenchmark that `--filter VecAdd` selects
+  // as the CI smoke slice (scripts/check.sh).
+  std::vector<Workload> sweep;
+  sweep.push_back(dsa::workloads::MakeVecAdd());
+  for (Workload& wl : dsa::workloads::Article3Set()) {
+    sweep.push_back(std::move(wl));
+  }
+  for (const Workload& wl : sweep) {
+    if (!dsa::bench::KeepWorkload(opts, wl.name)) continue;
+    for (std::string& k : runner.SubmitMatrix(wl, cfg)) {
+      keys.push_back(std::move(k));
+    }
+  }
+  for (const Workload& wl : dsa::workloads::Article2Set()) {
+    if (!dsa::bench::KeepWorkload(opts, wl.name)) continue;
+    keys.push_back(runner.Submit(wl, RunMode::kDsa, orig_cfg, "orig"));
+  }
+  if (keys.empty()) {
+    std::fprintf(stderr, "[throughput] no workload matches --filter %s\n",
+                 opts.filter.c_str());
+    return 2;
+  }
+
+  std::printf("%-28s %14s %10s %10s\n", "job", "sim instrs", "wall ms",
+              "MIPS");
+  std::uint64_t total_steps = 0;
+  double total_ms = 0.0;
+  for (const std::string& key : keys) {
+    const RunResult& r = runner.Result(key);
+    total_steps += r.host_steps;
+    total_ms += r.host_wall_ms;
+    std::printf("%-28s %14llu %10.2f %10.1f\n", key.c_str(),
+                static_cast<unsigned long long>(r.host_steps), r.host_wall_ms,
+                r.host_mips());
+  }
+  const double aggregate =
+      total_ms > 0.0 ? static_cast<double>(total_steps) / (1000.0 * total_ms)
+                     : 0.0;
+  std::printf("\n[throughput] aggregate %.1f MIPS "
+              "(%llu simulated instrs in %.0f ms of run-loop time, "
+              "%zu jobs)\n",
+              aggregate, static_cast<unsigned long long>(total_steps),
+              total_ms, keys.size());
+
+  return dsa::bench::FinishBench(runner, opts, "throughput");
+}

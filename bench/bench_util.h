@@ -31,6 +31,7 @@ struct BenchOptions {
   std::string trace_path;     // --trace <path>; empty = tracing disabled
   bool serial = false;        // --serial: seed-style direct Run() loop
   bool compare = false;       // --compare: time serial vs. runner paths
+  bool reference = false;     // --reference: pre-optimization sim paths
 };
 
 // Parses the shared harness flags; unknown flags abort with usage so a
@@ -62,11 +63,13 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
       o.serial = true;
     } else if (arg == "--compare") {
       o.compare = true;
+    } else if (arg == "--reference") {
+      o.reference = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--jobs N] [--repeats K] [--json PATH] "
                    "[--filter SUBSTR] [--trace PATH] [--no-oracle] "
-                   "[--serial] [--compare]\n",
+                   "[--serial] [--compare] [--reference]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -89,6 +92,7 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
 [[nodiscard]] inline sim::SystemConfig BaseConfig(const BenchOptions& o) {
   sim::SystemConfig cfg;
   cfg.trace.enabled = !o.trace_path.empty();
+  cfg.reference_path = o.reference;
   return cfg;
 }
 

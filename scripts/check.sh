@@ -40,6 +40,18 @@ echo "== traced mini bench + trace validation =="
     --trace "$BUILD"/TRACE_check.json
 python3 scripts/validate_trace.py "$BUILD"/TRACE_check.json
 
+echo "== release build + throughput smoke =="
+# Optimized build via the release preset (-O3, warnings-as-errors), then
+# the host-throughput driver on the VecAdd smoke slice. The driver's exit
+# code is gated by the differential oracle; the validator re-checks the
+# dsa-bench-json/2 contract and that every job reports MIPS > 0.
+cmake --preset release > /dev/null
+cmake --build build -j "$JOBS" --target bench_throughput
+build/bench/bench_throughput --filter VecAdd --repeats 2 \
+    --json build/BENCH_throughput_check.json
+grep -q '"ok": true' build/BENCH_throughput_check.json
+python3 scripts/validate_bench.py build/BENCH_throughput_check.json
+
 if [[ "$KEEP" -eq 0 ]]; then
   rm -rf "$BUILD"
 fi

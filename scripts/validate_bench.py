@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Structural validator for dsa-bench-json/2 batch reports.
+
+Checks that a file produced by `--json PATH` (sim::WriteBenchJson,
+src/sim/runner.cc) honours the contract in docs/BENCH_SCHEMA.md:
+  * is well-formed JSON carrying the "dsa-bench-json/2" schema marker,
+  * has every required top-level field with a sane value,
+  * satisfies executed_runs == distinct_jobs * repeats,
+  * carries an oracle verdict (and, by default, a passing one),
+  * has one result object per distinct job with the required fields,
+  * has a host throughput block per result with mips > 0 whenever the
+    run executed at least one interpreter step, and
+  * uses "0x..." hex form for output digests.
+
+Exit code 0 = valid, 1 = validation failure, 2 = usage/IO error.
+
+  $ python3 scripts/validate_bench.py out.json [--allow-oracle-failure]
+"""
+import json
+import sys
+
+REQUIRED_TOP = [
+    "schema", "bench", "jobs", "repeats", "wall_ms", "distinct_jobs",
+    "executed_runs", "memo_hits", "oracle", "results",
+]
+REQUIRED_RESULT = [
+    "job", "workload", "mode", "config", "cycles", "output_ok",
+    "output_digest", "wall_ms", "runs", "host", "cpu", "l1", "l2",
+    "dram_accesses", "energy",
+]
+REQUIRED_HOST = ["mips", "wall_ms", "steps"]
+MODES = {"arm-original", "neon-autovec", "neon-handvec", "neon-dsa"}
+
+
+def fail(msg: str) -> None:
+    print(f"validate_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    allow_oracle_failure = "--allow-oracle-failure" in sys.argv[1:]
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    path = args[0]
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"validate_bench: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+    for k in REQUIRED_TOP:
+        if k not in doc:
+            fail(f"missing top-level field '{k}'")
+    if doc["schema"] != "dsa-bench-json/2":
+        fail(f"schema is {doc['schema']!r}, expected 'dsa-bench-json/2'")
+    if doc["executed_runs"] != doc["distinct_jobs"] * doc["repeats"]:
+        fail("executed_runs != distinct_jobs * repeats "
+             f"({doc['executed_runs']} != {doc['distinct_jobs']} * "
+             f"{doc['repeats']})")
+    if len(doc["results"]) != doc["distinct_jobs"]:
+        fail(f"{len(doc['results'])} results for "
+             f"{doc['distinct_jobs']} distinct jobs")
+    if doc["wall_ms"] < 0:
+        fail("negative batch wall_ms")
+
+    oracle = doc["oracle"]
+    for k in ("enabled", "ok", "violations"):
+        if k not in oracle:
+            fail(f"oracle missing '{k}'")
+    if oracle["enabled"] and not oracle["ok"] and not allow_oracle_failure:
+        fail(f"oracle reports {len(oracle['violations'])} violation(s)")
+
+    for r in doc["results"]:
+        job = r.get("job", "<unnamed>")
+        for k in REQUIRED_RESULT:
+            if k not in r:
+                fail(f"result {job}: missing '{k}'")
+        if r["mode"] not in MODES:
+            fail(f"result {job}: unknown mode {r['mode']!r}")
+        digest = r["output_digest"]
+        if not (isinstance(digest, str) and digest.startswith("0x")):
+            fail(f"result {job}: output_digest {digest!r} not '0x...' hex")
+        host = r["host"]
+        for k in REQUIRED_HOST:
+            if k not in host:
+                fail(f"result {job}: host block missing '{k}'")
+        if host["steps"] > 0 and not host["mips"] > 0:
+            fail(f"result {job}: {host['steps']} steps but "
+                 f"mips={host['mips']}")
+        if host["wall_ms"] < 0 or r["wall_ms"] < 0:
+            fail(f"result {job}: negative wall time")
+        if r["runs"] != doc["repeats"]:
+            fail(f"result {job}: runs={r['runs']} != repeats")
+
+    n = len(doc["results"])
+    print(f"validate_bench: OK: {path}: {n} results, "
+          f"oracle ok={oracle['ok']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -24,8 +24,29 @@ bool CpuState::CondHolds(Cond c) const {
 }
 
 Cpu::Cpu(const prog::Program& program, mem::Memory& memory,
-         mem::Hierarchy& hierarchy, const TimingConfig& cfg)
-    : program_(program), memory_(memory), hierarchy_(hierarchy), cfg_(cfg) {}
+         mem::Hierarchy& hierarchy, const TimingConfig& cfg,
+         bool reference_path)
+    : program_(program), memory_(memory), hierarchy_(hierarchy), cfg_(cfg),
+      reference_path_(reference_path) {
+  decoded_.resize(program.size());
+  predict_.assign(program.size(), kUntrained);
+  for (std::size_t pc = 0; pc < program.size(); ++pc) {
+    const Instruction& ins = program.at(static_cast<std::uint32_t>(pc));
+    DecodedInstr& d = decoded_[pc];
+    d.ins = ins;
+    d.src = &ins;
+    d.is_vector = isa::IsVector(ins.op);
+    d.is_store = ins.op == Opcode::kStr || ins.op == Opcode::kStrh ||
+                 ins.op == Opcode::kStrb || ins.op == Opcode::kVst1 ||
+                 ins.op == Opcode::kVstLane;
+    d.static_taken = static_cast<std::uint32_t>(ins.imm) <= pc;
+    d.latch_candidate = ins.op == Opcode::kB && d.static_taken;
+    if (d.is_vector) {
+      d.neon_extra =
+          static_cast<std::uint16_t>(cfg_.neon.LatencyOf(ins.op) - 1);
+    }
+  }
+}
 
 std::uint64_t Cpu::Cycles() const {
   const std::uint64_t issue =
@@ -36,19 +57,38 @@ std::uint64_t Cpu::Cycles() const {
 }
 
 bool Cpu::PredictTaken(std::uint32_t pc) {
-  const auto it = predictor_.find(pc);
-  // Static fallback: backward taken, forward not-taken.
-  if (it == predictor_.end()) {
-    const Instruction& ins = program_.at(pc);
-    return static_cast<std::uint32_t>(ins.imm) <= pc;
+  if (reference_path_) {
+    const auto it = predictor_.find(pc);
+    // Static fallback: backward taken, forward not-taken.
+    if (it == predictor_.end()) {
+      const Instruction& ins = program_.at(pc);
+      return static_cast<std::uint32_t>(ins.imm) <= pc;
+    }
+    return it->second >= 2;
   }
-  return it->second >= 2;
+  const std::uint8_t ctr = predict_[pc];
+  if (ctr == kUntrained) return decoded_[pc].static_taken;
+  return ctr >= 2;
 }
 
 void Cpu::TrainPredictor(std::uint32_t pc, bool taken) {
-  std::uint8_t& ctr = predictor_.try_emplace(pc, taken ? 2 : 1).first->second;
-  if (taken && ctr < 3) ++ctr;
-  if (!taken && ctr > 0) --ctr;
+  if (reference_path_) {
+    std::uint8_t& ctr =
+        predictor_.try_emplace(pc, taken ? 2 : 1).first->second;
+    if (taken && ctr < 3) ++ctr;
+    if (!taken && ctr > 0) --ctr;
+    return;
+  }
+  std::uint8_t& ctr = predict_[pc];
+  // First training seeds the weak state (2/1) and then applies the update,
+  // matching the map predictor's try_emplace-then-update sequence: the
+  // first taken branch lands at 3, the first not-taken at 0.
+  if (ctr == kUntrained) ctr = taken ? 2 : 1;
+  if (taken) {
+    if (ctr < 3) ++ctr;
+  } else if (ctr > 0) {
+    --ctr;
+  }
 }
 
 std::uint32_t Cpu::MemAccessLatency(std::uint32_t addr, std::uint32_t bytes) {
@@ -74,18 +114,16 @@ std::uint32_t AsBits(float f) {
 
 }  // namespace
 
-Retired Cpu::Step() {
-  Retired r;
-  if (state_.halted) return r;
-  if (state_.pc >= program_.size()) {
-    state_.halted = true;
-    return r;
+template <bool kObserve, bool kRef>
+std::uint32_t Cpu::StepBody(std::uint32_t pc, Retired& r, StepAccum& a,
+                            const StepCtx& ctx) {
+  const DecodedInstr& dec = ctx.dtab[pc];
+  const Instruction& ins = kRef ? program_.at(pc) : dec.ins;
+  const bool is_vector = kRef ? isa::IsVector(ins.op) : dec.is_vector;
+  if constexpr (kObserve) {
+    r.pc = pc;
+    r.instr = dec.src;  // == &program_[pc], stable beyond this step
   }
-
-  const std::uint32_t pc = state_.pc;
-  const Instruction& ins = program_.at(pc);
-  r.pc = pc;
-  r.instr = &ins;
 
   auto& regs = state_.regs;
   std::uint32_t next_pc = pc + 1;
@@ -100,19 +138,38 @@ Retired Cpu::Step() {
       const std::uint32_t addr = regs[ins.rn] + ins.imm;
       const std::uint32_t bytes =
           ins.op == Opcode::kLdr ? 4 : (ins.op == Opcode::kLdrh ? 2 : 1);
-      if (ins.op == Opcode::kLdr) {
-        regs[ins.rd] = memory_.Read32(addr);
-      } else if (ins.op == Opcode::kLdrh) {
-        regs[ins.rd] = memory_.Read16(addr);
+      if constexpr (kRef) {
+        if (ins.op == Opcode::kLdr) {
+          regs[ins.rd] = memory_.Read32(addr);
+        } else if (ins.op == Opcode::kLdrh) {
+          regs[ins.rd] = memory_.Read16(addr);
+        } else {
+          regs[ins.rd] = memory_.Read8(addr);
+        }
       } else {
-        regs[ins.rd] = memory_.Read8(addr);
+        if (static_cast<std::size_t>(addr) + bytes > ctx.msize) {
+          memory_.FailRange(addr, bytes);
+        }
+        if (ins.op == Opcode::kLdr) {
+          std::uint32_t v;
+          std::memcpy(&v, ctx.mbase + addr, 4);
+          regs[ins.rd] = v;
+        } else if (ins.op == Opcode::kLdrh) {
+          std::uint16_t v;
+          std::memcpy(&v, ctx.mbase + addr, 2);
+          regs[ins.rd] = v;
+        } else {
+          regs[ins.rd] = ctx.mbase[addr];
+        }
       }
       regs[ins.rn] += ins.post_inc;
       mem_stall += MemAccessLatency(addr, bytes);
-      r.has_mem = true;
-      r.mem_addr = addr;
-      r.mem_bytes = bytes;
-      ++stats_.mem_reads;
+      if constexpr (kObserve) {
+        r.has_mem = true;
+        r.mem_addr = addr;
+        r.mem_bytes = bytes;
+      }
+      ++a.mem_reads;
       break;
     }
     // ---- scalar stores -----------------------------------------------
@@ -122,20 +179,37 @@ Retired Cpu::Step() {
       const std::uint32_t addr = regs[ins.rn] + ins.imm;
       const std::uint32_t bytes =
           ins.op == Opcode::kStr ? 4 : (ins.op == Opcode::kStrh ? 2 : 1);
-      if (ins.op == Opcode::kStr) {
-        memory_.Write32(addr, regs[ins.rd]);
-      } else if (ins.op == Opcode::kStrh) {
-        memory_.Write16(addr, static_cast<std::uint16_t>(regs[ins.rd]));
+      if constexpr (kRef) {
+        if (ins.op == Opcode::kStr) {
+          memory_.Write32(addr, regs[ins.rd]);
+        } else if (ins.op == Opcode::kStrh) {
+          memory_.Write16(addr, static_cast<std::uint16_t>(regs[ins.rd]));
+        } else {
+          memory_.Write8(addr, static_cast<std::uint8_t>(regs[ins.rd]));
+        }
       } else {
-        memory_.Write8(addr, static_cast<std::uint8_t>(regs[ins.rd]));
+        if (static_cast<std::size_t>(addr) + bytes > ctx.msize) {
+          memory_.FailRange(addr, bytes);
+        }
+        if (ins.op == Opcode::kStr) {
+          const std::uint32_t v = regs[ins.rd];
+          std::memcpy(ctx.mbase + addr, &v, 4);
+        } else if (ins.op == Opcode::kStrh) {
+          const std::uint16_t v = static_cast<std::uint16_t>(regs[ins.rd]);
+          std::memcpy(ctx.mbase + addr, &v, 2);
+        } else {
+          ctx.mbase[addr] = static_cast<std::uint8_t>(regs[ins.rd]);
+        }
       }
       regs[ins.rn] += ins.post_inc;
       mem_stall += MemAccessLatency(addr, bytes);
-      r.has_mem = true;
-      r.mem_addr = addr;
-      r.mem_bytes = bytes;
-      r.mem_is_write = true;
-      ++stats_.mem_writes;
+      if constexpr (kObserve) {
+        r.has_mem = true;
+        r.mem_addr = addr;
+        r.mem_bytes = bytes;
+        r.mem_is_write = true;
+      }
+      ++a.mem_writes;
       break;
     }
     // ---- moves / ALU ---------------------------------------------------
@@ -222,27 +296,45 @@ Retired Cpu::Step() {
       break;
     case Opcode::kB: {
       const bool taken = state_.CondHolds(ins.cond);
-      const bool predicted = PredictTaken(pc);
+      bool predicted;
+      if constexpr (kRef) {
+        predicted = PredictTaken(pc);
+      } else {
+        const std::uint8_t ctr = ctx.ptab[pc];
+        predicted = ctr == kUntrained ? dec.static_taken : ctr >= 2;
+      }
       if (taken) next_pc = static_cast<std::uint32_t>(ins.imm);
       if (predicted != taken) {
         stall += cfg_.branch_mispredict_penalty;
-        ++stats_.mispredicts;
+        ++a.mispredicts;
       }
-      TrainPredictor(pc, taken);
-      r.branch_taken = taken;
-      ++stats_.branches;
+      if constexpr (kRef) {
+        TrainPredictor(pc, taken);
+      } else {
+        std::uint8_t& ctr = ctx.ptab[pc];
+        // Same first-training quirk as TrainPredictor: seed weak (2/1),
+        // then update -- first taken lands at 3, first not-taken at 0.
+        if (ctr == kUntrained) ctr = taken ? 2 : 1;
+        if (taken) {
+          if (ctr < 3) ++ctr;
+        } else if (ctr > 0) {
+          --ctr;
+        }
+      }
+      if constexpr (kObserve) r.branch_taken = taken;
+      ++a.branches;
       break;
     }
     case Opcode::kBl:
       regs[isa::kLr] = pc + 1;
       next_pc = static_cast<std::uint32_t>(ins.imm);
-      r.branch_taken = true;
-      ++stats_.branches;
+      if constexpr (kObserve) r.branch_taken = true;
+      ++a.branches;
       break;
     case Opcode::kRet:
       next_pc = regs[isa::kLr];
-      r.branch_taken = true;
-      ++stats_.branches;
+      if constexpr (kObserve) r.branch_taken = true;
+      ++a.branches;
       break;
     case Opcode::kNop: break;
     case Opcode::kHalt:
@@ -252,59 +344,115 @@ Retired Cpu::Step() {
     // ---- vector (inline NEON instructions from static vectorization) ----
     case Opcode::kVld1: {
       const std::uint32_t addr = regs[ins.rn];
-      memory_.ReadBlock(addr, state_.vregs.q(ins.rd).bytes.data(), 16);
+      if constexpr (kRef) {
+        memory_.ReadBlock(addr, state_.vregs.q(ins.rd).bytes.data(), 16);
+      } else {
+        if (static_cast<std::size_t>(addr) + 16 > ctx.msize) {
+          memory_.FailRange(addr, 16);
+        }
+        std::memcpy(state_.vregs.q(ins.rd).bytes.data(), ctx.mbase + addr,
+                    16);
+      }
       regs[ins.rn] += ins.post_inc;
       mem_stall += MemAccessLatency(addr, 16);
-      stall += cfg_.neon.LatencyOf(ins.op) - 1;
-      r.has_mem = true;
-      r.mem_addr = addr;
-      r.mem_bytes = 16;
-      ++stats_.mem_reads;
+      stall += kRef ? cfg_.neon.LatencyOf(ins.op) - 1 : dec.neon_extra;
+      if constexpr (kObserve) {
+        r.has_mem = true;
+        r.mem_addr = addr;
+        r.mem_bytes = 16;
+      }
+      ++a.mem_reads;
       break;
     }
     case Opcode::kVst1: {
       const std::uint32_t addr = regs[ins.rn];
-      memory_.WriteBlock(addr, state_.vregs.q(ins.rd).bytes.data(), 16);
+      if constexpr (kRef) {
+        memory_.WriteBlock(addr, state_.vregs.q(ins.rd).bytes.data(), 16);
+      } else {
+        if (static_cast<std::size_t>(addr) + 16 > ctx.msize) {
+          memory_.FailRange(addr, 16);
+        }
+        std::memcpy(ctx.mbase + addr, state_.vregs.q(ins.rd).bytes.data(),
+                    16);
+      }
       regs[ins.rn] += ins.post_inc;
       mem_stall += MemAccessLatency(addr, 16);
-      stall += cfg_.neon.LatencyOf(ins.op) - 1;
-      r.has_mem = true;
-      r.mem_addr = addr;
-      r.mem_bytes = 16;
-      r.mem_is_write = true;
-      ++stats_.mem_writes;
+      stall += kRef ? cfg_.neon.LatencyOf(ins.op) - 1 : dec.neon_extra;
+      if constexpr (kObserve) {
+        r.has_mem = true;
+        r.mem_addr = addr;
+        r.mem_bytes = 16;
+        r.mem_is_write = true;
+      }
+      ++a.mem_writes;
       break;
     }
     case Opcode::kVldLane: {
       const std::uint32_t addr = regs[ins.rn];
       const int bytes = isa::LaneBytes(ins.vt);
       std::uint32_t v = 0;
-      if (bytes == 1) v = memory_.Read8(addr);
-      else if (bytes == 2) v = memory_.Read16(addr);
-      else v = memory_.Read32(addr);
+      if constexpr (kRef) {
+        if (bytes == 1) v = memory_.Read8(addr);
+        else if (bytes == 2) v = memory_.Read16(addr);
+        else v = memory_.Read32(addr);
+      } else {
+        if (static_cast<std::size_t>(addr) + bytes > ctx.msize) {
+          memory_.FailRange(addr, static_cast<std::size_t>(bytes));
+        }
+        if (bytes == 1) {
+          v = ctx.mbase[addr];
+        } else if (bytes == 2) {
+          std::uint16_t h;
+          std::memcpy(&h, ctx.mbase + addr, 2);
+          v = h;
+        } else {
+          std::memcpy(&v, ctx.mbase + addr, 4);
+        }
+      }
       state_.vregs.q(ins.rd).SetLane(ins.vt, ins.imm, v);
       regs[ins.rn] += ins.post_inc;
       mem_stall += MemAccessLatency(addr, bytes);
-      r.has_mem = true;
-      r.mem_addr = addr;
-      r.mem_bytes = bytes;
-      ++stats_.mem_reads;
+      if constexpr (kObserve) {
+        r.has_mem = true;
+        r.mem_addr = addr;
+        r.mem_bytes = bytes;
+      }
+      ++a.mem_reads;
       break;
     }
     case Opcode::kVstLane: {
       const std::uint32_t addr = regs[ins.rn];
       const int bytes = isa::LaneBytes(ins.vt);
       const std::uint32_t v = state_.vregs.q(ins.rd).Lane(ins.vt, ins.imm);
-      if (bytes == 1) memory_.Write8(addr, static_cast<std::uint8_t>(v));
-      else if (bytes == 2) memory_.Write16(addr, static_cast<std::uint16_t>(v));
-      else memory_.Write32(addr, v);
+      if constexpr (kRef) {
+        if (bytes == 1) memory_.Write8(addr, static_cast<std::uint8_t>(v));
+        else if (bytes == 2) {
+          memory_.Write16(addr, static_cast<std::uint16_t>(v));
+        } else {
+          memory_.Write32(addr, v);
+        }
+      } else {
+        if (static_cast<std::size_t>(addr) + bytes > ctx.msize) {
+          memory_.FailRange(addr, static_cast<std::size_t>(bytes));
+        }
+        if (bytes == 1) {
+          ctx.mbase[addr] = static_cast<std::uint8_t>(v);
+        } else if (bytes == 2) {
+          const std::uint16_t h = static_cast<std::uint16_t>(v);
+          std::memcpy(ctx.mbase + addr, &h, 2);
+        } else {
+          std::memcpy(ctx.mbase + addr, &v, 4);
+        }
+      }
       regs[ins.rn] += ins.post_inc;
       mem_stall += MemAccessLatency(addr, bytes);
-      r.has_mem = true;
-      r.mem_addr = addr;
-      r.mem_bytes = bytes;
-      r.mem_is_write = true;
-      ++stats_.mem_writes;
+      if constexpr (kObserve) {
+        r.has_mem = true;
+        r.mem_addr = addr;
+        r.mem_bytes = bytes;
+        r.mem_is_write = true;
+      }
+      ++a.mem_writes;
       break;
     }
     case Opcode::kVdup:
@@ -328,11 +476,11 @@ Retired Cpu::Step() {
       break;
     default: {
       // Remaining vector lane ops share one evaluation path.
-      if (isa::IsVector(ins.op)) {
+      if (is_vector) {
         state_.vregs.q(ins.rd) = neon::ExecuteLaneOp(
             ins.op, ins.vt, state_.vregs.q(ins.rn), state_.vregs.q(ins.rm),
             state_.vregs.q(ins.ra));
-        stall += cfg_.neon.LatencyOf(ins.op) - 1;
+        stall += kRef ? cfg_.neon.LatencyOf(ins.op) - 1 : dec.neon_extra;
       } else {
         throw std::logic_error("unhandled opcode");
       }
@@ -340,20 +488,204 @@ Retired Cpu::Step() {
     }
   }
 
-  ++stats_.retired_total;
-  if (isa::IsVector(ins.op)) {
-    ++stats_.retired_vector;
-  } else {
-    ++stats_.retired_scalar;
-  }
-  ++stats_.issue_slots;
-  stats_.mem_stall_cycles += mem_stall;
-  stats_.other_stall_cycles += stall;
+  ++a.steps;
+  if (is_vector) ++a.vec;
+  a.mem_stall += mem_stall;
+  a.other_stall += stall;
 
-  state_.pc = next_pc;
-  r.next_pc = next_pc;
-  if (next_pc >= program_.size() && !state_.halted) state_.halted = true;
+  if constexpr (kObserve) r.next_pc = next_pc;
+  if (next_pc >= ctx.psize && !state_.halted) state_.halted = true;
+  return next_pc;
+}
+
+void Cpu::FlushAccum(const StepAccum& a) {
+  stats_.retired_total += a.steps;
+  stats_.retired_vector += a.vec;
+  stats_.retired_scalar += a.steps - a.vec;
+  stats_.issue_slots += a.steps;
+  host_steps_ += a.steps;
+  stats_.mem_stall_cycles += a.mem_stall;
+  stats_.other_stall_cycles += a.other_stall;
+  stats_.mem_reads += a.mem_reads;
+  stats_.mem_writes += a.mem_writes;
+  stats_.branches += a.branches;
+  stats_.mispredicts += a.mispredicts;
+}
+
+template <bool kObserve>
+void Cpu::StepImpl(Retired& r) {
+  if (state_.halted) return;
+  if (state_.pc >= program_.size()) {
+    state_.halted = true;
+    return;
+  }
+  const StepCtx ctx = MakeCtx();
+  BatchScope b(*this);
+  if (reference_path_) {
+    b.pc = StepBody<kObserve, true>(b.pc, r, b.a, ctx);
+  } else {
+    b.pc = StepBody<kObserve, false>(b.pc, r, b.a, ctx);
+  }
+}
+
+Retired Cpu::Step() {
+  Retired r;
+  StepImpl<true>(r);
   return r;
+}
+
+template <bool kRef>
+void Cpu::RunFreeImpl(std::uint64_t max_steps, std::uint64_t& steps) {
+  Retired r;
+  const StepCtx ctx = MakeCtx();
+  BatchScope b(*this);
+  while (!state_.halted) {
+    if (++steps > max_steps) return;
+    if (b.pc >= ctx.psize) {
+      state_.halted = true;
+      return;
+    }
+    b.pc = StepBody<false, kRef>(b.pc, r, b.a, ctx);
+  }
+}
+
+void Cpu::RunFree(std::uint64_t max_steps, std::uint64_t& steps) {
+  if (reference_path_) {
+    RunFreeImpl<true>(max_steps, steps);
+  } else {
+    RunFreeImpl<false>(max_steps, steps);
+  }
+}
+
+template <bool kRef>
+Retired Cpu::RunToInterestingImpl(bool watch_window, std::uint32_t window_lo,
+                                  std::uint32_t window_hi,
+                                  std::uint64_t max_steps,
+                                  std::uint64_t& steps,
+                                  std::uint64_t& skipped) {
+  Retired r;
+  const StepCtx ctx = MakeCtx();
+  BatchScope b(*this);
+  while (!state_.halted) {
+    if (++steps > max_steps) return Retired{};
+    const std::uint32_t pc = b.pc;
+    if (pc >= ctx.psize) {
+      state_.halted = true;
+      return Retired{};
+    }
+    if (ctx.dtab[pc].latch_candidate ||
+        (watch_window && (pc < window_lo || pc >= window_hi))) {
+      b.pc = StepBody<true, kRef>(b.pc, r, b.a, ctx);
+      return r;
+    }
+    b.pc = StepBody<false, kRef>(b.pc, r, b.a, ctx);
+    ++skipped;
+  }
+  return Retired{};
+}
+
+Retired Cpu::RunToInteresting(bool watch_window, std::uint32_t window_lo,
+                              std::uint32_t window_hi,
+                              std::uint64_t max_steps, std::uint64_t& steps,
+                              std::uint64_t& skipped) {
+  if (reference_path_) {
+    return RunToInterestingImpl<true>(watch_window, window_lo, window_hi,
+                                      max_steps, steps, skipped);
+  }
+  return RunToInterestingImpl<false>(watch_window, window_lo, window_hi,
+                                     max_steps, steps, skipped);
+}
+
+template <bool kRef>
+Cpu::CoveredOutcome Cpu::RunCoveredImpl(std::uint32_t coverage_start,
+                                        std::uint32_t coverage_latch,
+                                        std::uint32_t inner_start,
+                                        std::uint32_t inner_latch,
+                                        std::uint32_t count_latch,
+                                        std::uint64_t max_iterations) {
+  const bool fused =
+      coverage_start != inner_start || coverage_latch != inner_latch;
+  const CpuStats before = stats_;
+  CoveredOutcome d;
+  {
+    const StepCtx ctx = MakeCtx();
+    BatchScope b(*this);
+    int depth = 0;
+    Retired r;  // never written: covered steps run unobserved
+    while (!state_.halted) {
+      // Peek: stop when control has left the covered region (function
+      // calls inside the body keep the coverage alive through `depth`).
+      const std::uint32_t pc = b.pc;
+      if (depth == 0 && (pc < coverage_start || pc > coverage_latch)) break;
+      if (pc >= ctx.psize) {
+        state_.halted = true;
+        break;
+      }
+
+      // Everything the loop needs from a retire is derivable from the
+      // decode table and the pc transition, so no Retired record is
+      // materialized: opcode and store-ness are static, and a latch kB's
+      // taken-ness is `next != pc + 1` (its target is backward, so a
+      // taken branch can never land on the fall-through).
+      const Opcode op = ctx.dtab[pc].ins.op;
+      const bool store = ctx.dtab[pc].is_store;
+      b.pc = StepBody<false, kRef>(pc, r, b.a, ctx);
+      if (op == Opcode::kBl) ++depth;
+      if (op == Opcode::kRet) --depth;
+
+      if (fused && (pc < inner_start || pc > inner_latch)) {
+        ++d.glue_instrs;
+        if (store) {
+          // A store between the loops: the Fig. 17 "nothing but glue"
+          // assumption does not hold after all. End the fused coverage
+          // and let the engine demote the fusion record.
+          d.fused_glue_store = true;
+          break;
+        }
+      }
+
+      if (pc == count_latch && op == Opcode::kB) {
+        ++d.iterations;
+        if (pc == coverage_latch && b.pc == pc + 1) break;  // fell through
+        if (max_iterations != 0 && d.iterations >= max_iterations) {
+          break;  // sentinel: speculated range exhausted, back to scalar
+        }
+      }
+    }
+  }  // publish pc + stat deltas before the timing replacement below
+
+  const std::uint64_t d_issue = stats_.issue_slots - before.issue_slots;
+  const std::uint64_t d_other =
+      stats_.other_stall_cycles - before.other_stall_cycles;
+  const std::uint64_t d_retired = stats_.retired_total - before.retired_total;
+  const std::uint64_t d_branches = stats_.branches - before.branches;
+  const std::uint64_t d_mispred = stats_.mispredicts - before.mispredicts;
+
+  // Remove the scalar cost of the covered instructions; keep memory stalls
+  // (the same lines move under vector execution).
+  stats_.issue_slots -= d_issue;
+  stats_.other_stall_cycles -= d_other;
+  stats_.retired_total -= d_retired;
+  stats_.retired_scalar -= d_retired;
+  stats_.branches -= d_branches;
+  stats_.mispredicts -= d_mispred;
+
+  d.retired = d_retired;
+  return d;
+}
+
+Cpu::CoveredOutcome Cpu::RunCovered(std::uint32_t coverage_start,
+                                    std::uint32_t coverage_latch,
+                                    std::uint32_t inner_start,
+                                    std::uint32_t inner_latch,
+                                    std::uint32_t count_latch,
+                                    std::uint64_t max_iterations) {
+  if (reference_path_) {
+    return RunCoveredImpl<true>(coverage_start, coverage_latch, inner_start,
+                                inner_latch, count_latch, max_iterations);
+  }
+  return RunCoveredImpl<false>(coverage_start, coverage_latch, inner_start,
+                               inner_latch, count_latch, max_iterations);
 }
 
 }  // namespace dsa::cpu

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "isa/instruction.h"
 #include "mem/cache.h"
@@ -75,11 +76,59 @@ struct CpuStats {
 
 class Cpu {
  public:
+  // `reference_path` forces the pre-optimization code paths (per-step
+  // opcode re-derivation, unordered_map branch predictor); simulated
+  // results are bit-identical either way (tests/test_reference_path.cc).
   Cpu(const prog::Program& program, mem::Memory& memory,
-      mem::Hierarchy& hierarchy, const TimingConfig& cfg = {});
+      mem::Hierarchy& hierarchy, const TimingConfig& cfg = {},
+      bool reference_path = false);
 
   // Executes one instruction; returns the retire record. No-op when halted.
   Retired Step();
+
+  // Batched stepping (the fast-loop interface used by sim::Run when no
+  // per-retire consumer is attached): executes instructions back to back
+  // without materializing Retired records. State and stats mutations are
+  // identical to an equivalent sequence of Step() calls. `steps` counts
+  // loop iterations against `max_steps` exactly like the per-step run loop
+  // (on budget exhaustion the method returns with steps == max_steps + 1
+  // and the instruction NOT executed; the caller throws).
+  void RunFree(std::uint64_t max_steps, std::uint64_t& steps);
+
+  // DSA-idle batch: executes instructions without observation until one
+  // matches the engine's interest filter — a backward conditional branch
+  // (latch candidate), or, when `watch_window`, any pc outside
+  // [window_lo, window_hi) (the cooldown-maintenance window). The matching
+  // instruction is executed with full observation and its retire record
+  // returned; `skipped` counts the unobserved instructions executed before
+  // it (the caller credits them via DsaEngine::ObserveSkipped). Returns a
+  // null-instr record when the CPU halts or the step budget runs out
+  // first.
+  Retired RunToInteresting(bool watch_window, std::uint32_t window_lo,
+                           std::uint32_t window_hi, std::uint64_t max_steps,
+                           std::uint64_t& steps, std::uint64_t& skipped);
+
+  // Outcome of a covered-region run (DSA takeover, Scenario 2).
+  struct CoveredOutcome {
+    std::uint64_t iterations = 0;
+    std::uint64_t retired = 0;
+    std::uint64_t glue_instrs = 0;  // fused nests: scalar glue around the
+                                    // vectorized inner loop
+    bool fused_glue_store = false;  // fusion assumption violated mid-run
+  };
+
+  // Executes the covered region of a takeover: the remaining loop
+  // iterations run functionally on the interpreter while their issue
+  // bandwidth and non-memory stalls are removed from the timing (the
+  // engine retro-charges them as vector execution in FinishTakeover).
+  // Covered instructions are not counted against the run loop's step
+  // budget, matching the per-step reference loop.
+  CoveredOutcome RunCovered(std::uint32_t coverage_start,
+                            std::uint32_t coverage_latch,
+                            std::uint32_t inner_start,
+                            std::uint32_t inner_latch,
+                            std::uint32_t count_latch,
+                            std::uint64_t max_iterations);
 
   [[nodiscard]] bool halted() const { return state_.halted; }
   [[nodiscard]] CpuState& state() { return state_; }
@@ -106,7 +155,114 @@ class Cpu {
     stats_.retired_total += n;
   }
 
+  // Interpreter steps actually executed (host-side throughput metric; not
+  // a simulated stat and never compared by the oracle).
+  [[nodiscard]] std::uint64_t host_steps() const { return host_steps_; }
+
  private:
+  // Per-PC instruction properties precomputed once at construction (the
+  // DecodedProgram side table) so Step() never re-derives per-opcode facts.
+  struct DecodedInstr {
+    // Embedded copy of the instruction word: the interpreter reads every
+    // field from the decode-table cache line instead of chasing a pointer
+    // into the program (one dependent load per step fewer).
+    isa::Instruction ins;
+    const isa::Instruction* src = nullptr;  // canonical &program_[pc], the
+                                            // stable pointer Retired carries
+    std::uint16_t neon_extra = 0;  // NeonTiming::LatencyOf(op) - 1
+    bool is_vector = false;
+    bool is_store = false;  // opcodes that set Retired::mem_is_write
+    bool static_taken = false;  // untrained-branch fallback: backward taken
+    bool latch_candidate = false;  // kB with a backward target: the only
+                                   // opcode an idle DSA engine reacts to
+  };
+
+  // Per-batch stat deltas accumulated in registers by the hot loops and
+  // flushed once at scope exit (BatchScope). Keeping these out of stats_
+  // while a loop runs matters: interpreter memory writes go through byte
+  // pointers, which forces the compiler to re-load and re-store every
+  // member counter on each step, while locals are provably unaliased.
+  struct StepAccum {
+    std::uint64_t steps = 0;  // feeds retired_total/issue_slots/host_steps
+    std::uint64_t vec = 0;    // of which vector
+    std::uint64_t mem_stall = 0;
+    std::uint64_t other_stall = 0;
+    std::uint64_t mem_reads = 0;
+    std::uint64_t mem_writes = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+  };
+
+  // Flush-on-exit guard owning the live pc and the accumulated deltas of
+  // a stepping scope. The destructor publishes both, so observable state
+  // (state_.pc, stats_) is exact wherever control leaves the loop —
+  // including via an exception from an out-of-range memory access.
+  struct BatchScope {
+    explicit BatchScope(Cpu& c) : cpu(c), pc(c.state_.pc) {}
+    BatchScope(const BatchScope&) = delete;
+    BatchScope& operator=(const BatchScope&) = delete;
+    ~BatchScope() {
+      cpu.FlushAccum(a);
+      cpu.state_.pc = pc;
+    }
+    Cpu& cpu;
+    StepAccum a;
+    std::uint32_t pc;
+  };
+
+  void FlushAccum(const StepAccum& a);
+
+  // Loop-invariant table pointers hoisted out of the stepping loops. The
+  // interpreter's byte-wise memory writes may alias any object under the
+  // strict-aliasing rules, so without the hoist the compiler re-loads the
+  // vectors' data pointers on every step — a dependent load in front of
+  // the opcode dispatch.
+  struct StepCtx {
+    const DecodedInstr* dtab;  // decoded_.data()
+    std::uint8_t* ptab;        // predict_.data()
+    std::uint32_t psize;       // program_.size()
+    std::uint8_t* mbase;       // memory_.data()
+    std::size_t msize;         // memory_.size()
+  };
+  [[nodiscard]] StepCtx MakeCtx() {
+    return {decoded_.data(), predict_.data(),
+            static_cast<std::uint32_t>(program_.size()), memory_.data(),
+            memory_.size()};
+  }
+
+  // Executes exactly one instruction at `pc` (caller guarantees !halted
+  // and pc < ctx.psize) and returns the follow-on pc. Architectural side
+  // effects apply immediately; stat deltas go to `a`. Always inlined into
+  // the stepping loops so pc and the accumulators stay in registers.
+  // kObserve fills the caller's Retired record; !kObserve compiles the
+  // record writes out. kRef selects the pre-optimization code paths
+  // (per-step opcode re-derivation, map predictor). State, stats and
+  // memory effects are identical across all four instantiations.
+  template <bool kObserve, bool kRef>
+  [[gnu::always_inline]] inline std::uint32_t StepBody(std::uint32_t pc,
+                                                       Retired& r,
+                                                       StepAccum& a,
+                                                       const StepCtx& ctx);
+
+  // One-instruction wrapper around StepBody (the Step() slow path).
+  template <bool kObserve>
+  void StepImpl(Retired& r);
+
+  template <bool kRef>
+  void RunFreeImpl(std::uint64_t max_steps, std::uint64_t& steps);
+  template <bool kRef>
+  Retired RunToInterestingImpl(bool watch_window, std::uint32_t window_lo,
+                               std::uint32_t window_hi,
+                               std::uint64_t max_steps, std::uint64_t& steps,
+                               std::uint64_t& skipped);
+  template <bool kRef>
+  CoveredOutcome RunCoveredImpl(std::uint32_t coverage_start,
+                                std::uint32_t coverage_latch,
+                                std::uint32_t inner_start,
+                                std::uint32_t inner_latch,
+                                std::uint32_t count_latch,
+                                std::uint64_t max_iterations);
+
   // Simple 2-bit saturating-counter branch predictor, indexed by pc.
   bool PredictTaken(std::uint32_t pc);
   void TrainPredictor(std::uint32_t pc, bool taken);
@@ -119,7 +275,15 @@ class Cpu {
   TimingConfig cfg_;
   CpuState state_;
   CpuStats stats_;
-  std::unordered_map<std::uint32_t, std::uint8_t> predictor_;
+  bool reference_path_;
+  std::uint64_t host_steps_ = 0;
+  std::vector<DecodedInstr> decoded_;
+  // Fast-path predictor: one counter per PC, kUntrained until the first
+  // branch retires there (preserving the static-fallback semantics of the
+  // map-based predictor exactly).
+  static constexpr std::uint8_t kUntrained = 0xFF;
+  std::vector<std::uint8_t> predict_;
+  std::unordered_map<std::uint32_t, std::uint8_t> predictor_;  // reference
 };
 
 }  // namespace dsa::cpu

@@ -85,13 +85,39 @@ void DsaEngine::StoreRecord(const LoopRecord& rec, bool count_class) {
   }
 }
 
+void DsaEngine::RecomputeCooldownBounds() {
+  if (cooldowns_.empty()) {
+    cd_skip_lo_ = 1;
+    cd_skip_hi_ = 0;
+    return;
+  }
+  cd_skip_lo_ = 0;
+  cd_skip_hi_ = UINT32_MAX;
+  for (const auto& [latch, cd] : cooldowns_) {
+    cd_skip_lo_ = std::max(cd_skip_lo_, cd.start_pc);
+    cd_skip_hi_ = std::min(cd_skip_hi_, latch);
+  }
+}
+
 std::optional<TakeoverPlan> DsaEngine::Observe(const cpu::Retired& r,
                                                const cpu::CpuState& state) {
   if (r.instr == nullptr) return std::nullopt;
   ++stats_.observed_instructions;
+
+  // Idle fast path: with no tracker in flight, the tracker loop below is
+  // empty (and analysis_cycles would not tick), and while the PC sits
+  // strictly inside every cooldown's [start, latch) window the maintenance
+  // scan is a no-op too — only loop detection can react to this retire.
+  if (!reference_path_ && trackers_.empty() &&
+      (cooldowns_.empty() ||
+       (r.pc >= cd_skip_lo_ && r.pc < cd_skip_hi_))) {
+    return HandleLatch(r, state);
+  }
+
   if (!trackers_.empty()) ++stats_.analysis_cycles;
 
   // --- cooldown maintenance -----------------------------------------------
+  bool erased = false;
   for (auto it = cooldowns_.begin(); it != cooldowns_.end();) {
     Cooldown& cd = it->second;
     const std::uint32_t latch = it->first;
@@ -133,14 +159,17 @@ std::optional<TakeoverPlan> DsaEngine::Observe(const cpu::Retired& r,
         }
       }
       it = cooldowns_.erase(it);
+      erased = true;
     } else {
       ++it;
     }
   }
+  if (erased) RecomputeCooldownBounds();
 
   // --- feed active trackers -------------------------------------------------
   {
-    std::vector<std::uint32_t> done;
+    std::vector<std::uint32_t>& done = done_scratch_;
+    done.clear();
     std::optional<TakeoverPlan> plan;
     for (auto& [latch, tracker] : trackers_) {
       const LoopTracker::Event ev = tracker->Observe(r, state);
@@ -161,7 +190,7 @@ std::optional<TakeoverPlan> DsaEngine::Observe(const cpu::Retired& r,
         case LoopTracker::Event::kRejected: {
           const LoopRecord rec = tracker->record();
           StoreRecord(rec, /*count_class=*/true);
-          cooldowns_[latch] = Cooldown{rec.body.start_pc, false, 0, 0};
+          SetCooldown(latch, Cooldown{rec.body.start_pc, false, 0, 0});
           done.push_back(latch);
           break;
         }
@@ -215,13 +244,13 @@ std::optional<TakeoverPlan> DsaEngine::HandleLatch(const cpu::Retired& r,
         plan.count_latch = inner->body.latch_pc;
         return plan;
       }
-      cooldowns_[latch] = Cooldown{outer_start, false, 0, 0};
+      SetCooldown(latch, Cooldown{outer_start, false, 0, 0});
       return std::nullopt;
     }
     if (rec->cls == LoopClass::kNonVectorizable ||
         rec->cls == LoopClass::kOuter ||
         rec->reject != RejectReason::kNone) {
-      cooldowns_[latch] = Cooldown{rec->body.start_pc, false, 0, 0};
+      SetCooldown(latch, Cooldown{rec->body.start_pc, false, 0, 0});
       return std::nullopt;
     }
     // Known-vectorizable loop: activate NEON right away (Article 1
@@ -311,8 +340,8 @@ void DsaEngine::DemoteFusion(std::uint32_t outer_latch_pc) {
       if (tracer_) {
         tracer_->Emit(trace::EventKind::kFusionDemoted, outer_latch_pc);
       }
-      cooldowns_[outer_latch_pc] =
-          Cooldown{rec->body.start_pc, false, 0, 0, 0};
+      SetCooldown(outer_latch_pc,
+                  Cooldown{rec->body.start_pc, false, 0, 0, 0});
     }
   }
 }
@@ -400,7 +429,7 @@ void DsaEngine::FinishTakeover(const TakeoverPlan& plan,
         }
       } else {
         outer.reject = RejectReason::kContainsInnerLoop;
-        cooldowns_[latch] = Cooldown{tracker->start_pc(), false, 0, 0};
+        SetCooldown(latch, Cooldown{tracker->start_pc(), false, 0, 0});
       }
       StoreRecord(outer, /*count_class=*/true);
     }
@@ -422,7 +451,7 @@ void DsaEngine::FinishTakeover(const TakeoverPlan& plan,
     cd.covered += covered_iterations;
     cd.next_range = std::min<std::uint64_t>(
         std::max<std::uint64_t>(2 * plan.max_iterations, body.lanes()), 8192);
-    cooldowns_[body.latch_pc] = cd;
+    SetCooldown(body.latch_pc, cd);
   }
 }
 

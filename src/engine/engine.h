@@ -15,6 +15,7 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "cpu/cpu.h"
 #include "engine/config.h"
@@ -77,6 +78,26 @@ class DsaEngine {
   }
   [[nodiscard]] trace::Tracer* tracer() const { return tracer_; }
 
+  // Forces the original per-retire bookkeeping in Observe() (no idle
+  // shortcut, no cooldown-scan skip); stats are identical either way.
+  void set_reference_path(bool ref) { reference_path_ = ref; }
+
+  // Batched-observation interface (sim::Run's DSA fast loop). While idle()
+  // — no tracker in flight — the only retires Observe() can react to are
+  // backward conditional branches, plus, when has_cooldowns(), any pc
+  // outside [cooldown_window_lo, cooldown_window_hi). Every other retire
+  // is provably inert and may be executed unobserved, credited afterwards
+  // through ObserveSkipped() so observed_instructions stays exact.
+  [[nodiscard]] bool idle() const { return trackers_.empty(); }
+  [[nodiscard]] bool has_cooldowns() const { return !cooldowns_.empty(); }
+  [[nodiscard]] std::uint32_t cooldown_window_lo() const {
+    return cd_skip_lo_;
+  }
+  [[nodiscard]] std::uint32_t cooldown_window_hi() const {
+    return cd_skip_hi_;
+  }
+  void ObserveSkipped(std::uint64_t n) { stats_.observed_instructions += n; }
+
  private:
   struct Cooldown {
     std::uint32_t start_pc = 0;
@@ -94,8 +115,14 @@ class DsaEngine {
   // Stage counting + the matching trace event (instant; spans are only
   // known to trackers).
   void CountStage(Stage s, std::uint32_t loop_id);
+  void RecomputeCooldownBounds();
+  void SetCooldown(std::uint32_t latch, const Cooldown& cd) {
+    cooldowns_[latch] = cd;
+    RecomputeCooldownBounds();
+  }
 
   trace::Tracer* tracer_ = nullptr;
+  bool reference_path_ = false;
   DsaConfig cfg_;
   cpu::TimingConfig timing_;
   DsaCache dsa_cache_;
@@ -104,6 +131,15 @@ class DsaEngine {
 
   std::unordered_map<std::uint32_t, std::unique_ptr<LoopTracker>> trackers_;
   std::unordered_map<std::uint32_t, Cooldown> cooldowns_;  // by latch pc
+
+  // PC-interest window for the cooldown scan: while every cooldown has
+  // start_pc <= pc < latch the maintenance loop is provably a no-op, so
+  // Observe skips it for cd_skip_lo_ <= pc < cd_skip_hi_ (lo = max start,
+  // hi = min latch; empty map keeps lo > hi). Recomputed on every
+  // cooldowns_ mutation.
+  std::uint32_t cd_skip_lo_ = 1;
+  std::uint32_t cd_skip_hi_ = 0;
+  std::vector<std::uint32_t> done_scratch_;  // reused across Observe calls
 };
 
 }  // namespace dsa::engine

@@ -20,39 +20,48 @@ Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
     throw std::invalid_argument("number of sets must be a power of two");
   }
   ways_.resize(static_cast<std::size_t>(num_sets_) * cfg.ways);
+  while ((1u << line_shift_) < cfg.line_bytes) ++line_shift_;
+  while ((1u << set_shift_) < num_sets_) ++set_shift_;
+  buf_line_.fill(kNoLine);
 }
 
-std::uint32_t Cache::SetIndex(std::uint32_t addr) const {
-  return (addr / cfg_.line_bytes) & (num_sets_ - 1);
-}
-
-std::uint32_t Cache::Tag(std::uint32_t addr) const {
-  return (addr / cfg_.line_bytes) / num_sets_;
-}
-
-bool Cache::Access(std::uint32_t addr) {
+bool Cache::AccessWalk(std::uint32_t addr) {
   ++tick_;
   const std::uint32_t set = SetIndex(addr);
   const std::uint32_t tag = Tag(addr);
   Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.ways];
-  Way* lru = base;
+  // Victim choice: the first invalid way wins outright; only when the set
+  // is full does true LRU among the valid ways decide.
+  Way* victim = nullptr;
   for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
     Way& way = base[w];
     if (way.valid && way.tag == tag) {
       way.last_use = tick_;
       ++stats_.hits;
+      const std::uint64_t line = addr >> line_shift_;
+      buf_line_[line & (kLineBuf - 1)] = line;
+      buf_way_[line & (kLineBuf - 1)] = &way;
       return true;
     }
     if (!way.valid) {
-      lru = &way;  // prefer invalid ways for fill
-    } else if (lru->valid && way.last_use < lru->last_use) {
-      lru = &way;
+      if (victim == nullptr || victim->valid) victim = &way;
+    } else if (victim == nullptr ||
+               (victim->valid && way.last_use < victim->last_use)) {
+      victim = &way;
     }
   }
-  lru->valid = true;
-  lru->tag = tag;
-  lru->last_use = tick_;
+  // The fill evicts whatever line the victim way held: drop any buffer slot
+  // still pointing at it before the slot could serve a stale hit.
+  for (std::size_t s = 0; s < kLineBuf; ++s) {
+    if (buf_way_[s] == victim) buf_line_[s] = kNoLine;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->last_use = tick_;
   ++stats_.misses;
+  const std::uint64_t line = addr >> line_shift_;
+  buf_line_[line & (kLineBuf - 1)] = line;
+  buf_way_[line & (kLineBuf - 1)] = victim;
   return false;
 }
 
@@ -66,14 +75,24 @@ bool Cache::Probe(std::uint32_t addr) const {
   return false;
 }
 
+int Cache::WayOf(std::uint32_t addr) const {
+  const std::uint32_t set = SetIndex(addr);
+  const std::uint32_t tag = Tag(addr);
+  const Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.ways];
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) return static_cast<int>(w);
+  }
+  return -1;
+}
+
 void Cache::Flush() {
   for (Way& w : ways_) w = Way{};
   tick_ = 0;
+  buf_line_.fill(kNoLine);
 }
 
-std::uint32_t Hierarchy::Access(std::uint32_t addr) {
+std::uint32_t Hierarchy::AccessMiss(std::uint32_t addr) {
   std::uint32_t latency = cfg_.l1.hit_latency;
-  if (l1_.Access(addr)) return latency;
   if (cfg_.next_line_prefetch) {
     // Pull the next line toward the core in the shadow of this miss; the
     // prefetch itself is off the critical path (stats still count it).
@@ -86,7 +105,8 @@ std::uint32_t Hierarchy::Access(std::uint32_t addr) {
   return latency + cfg_.dram_latency;
 }
 
-std::uint32_t Hierarchy::AccessRange(std::uint32_t addr, std::uint32_t bytes) {
+std::uint32_t Hierarchy::AccessRangeWalk(std::uint32_t addr,
+                                         std::uint32_t bytes) {
   const std::uint32_t line = cfg_.l1.line_bytes;
   const std::uint32_t first = addr / line;
   const std::uint32_t last = (addr + bytes - 1) / line;

@@ -4,6 +4,8 @@
 // lines would be resident and charges hit/miss latencies.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -31,13 +33,39 @@ class Cache {
   explicit Cache(const CacheConfig& cfg);
 
   // Touches the line containing addr. Returns true on hit. On miss the line
-  // is filled, evicting the LRU way of its set.
-  bool Access(std::uint32_t addr);
+  // is filled, evicting the first invalid way of its set, else the LRU way.
+  //
+  // A repeated access to a recently used line takes the inline line-buffer
+  // shortcut instead of the set-associative walk; the side effects (tick
+  // advance, LRU stamp, hit count) are identical, so stats and residency
+  // cannot diverge. The buffer is direct-mapped on the low line bits so
+  // alternating streams (load A[i] / store B[i]) keep hitting it.
+  // set_reference_path(true) disables the shortcut.
+  bool Access(std::uint32_t addr) {
+    if (fast_path_) {
+      const std::uint64_t line = addr >> line_shift_;
+      const std::size_t slot = line & (kLineBuf - 1);
+      if (buf_line_[slot] == line) {
+        ++tick_;
+        buf_way_[slot]->last_use = tick_;
+        ++stats_.hits;
+        return true;
+      }
+    }
+    return AccessWalk(addr);
+  }
 
   // True if the line containing addr is currently resident (no LRU update).
   [[nodiscard]] bool Probe(std::uint32_t addr) const;
 
+  // Physical way currently holding addr's line, -1 if not resident. Test
+  // introspection for fill-order/victim-choice checks; no LRU update.
+  [[nodiscard]] int WayOf(std::uint32_t addr) const;
+
   void Flush();
+
+  // Forces the pre-optimization full set walk on every access.
+  void set_reference_path(bool ref) { fast_path_ = !ref; }
 
   [[nodiscard]] const CacheConfig& config() const { return cfg_; }
   [[nodiscard]] const CacheStats& stats() const { return stats_; }
@@ -50,14 +78,33 @@ class Cache {
     std::uint64_t last_use = 0;  // for true LRU
   };
 
-  [[nodiscard]] std::uint32_t SetIndex(std::uint32_t addr) const;
-  [[nodiscard]] std::uint32_t Tag(std::uint32_t addr) const;
+  bool AccessWalk(std::uint32_t addr);
+
+  // line_bytes and num_sets_ are validated powers of two, so index/tag
+  // extraction is shift/mask work instead of two divisions.
+  [[nodiscard]] std::uint32_t SetIndex(std::uint32_t addr) const {
+    return (addr >> line_shift_) & (num_sets_ - 1);
+  }
+  [[nodiscard]] std::uint32_t Tag(std::uint32_t addr) const {
+    return (addr >> line_shift_) >> set_shift_;
+  }
 
   CacheConfig cfg_;
   std::uint32_t num_sets_;
+  std::uint32_t line_shift_ = 0;  // log2(line_bytes)
+  std::uint32_t set_shift_ = 0;   // log2(num_sets_)
   std::vector<Way> ways_;  // num_sets_ * cfg_.ways, row-major by set
   CacheStats stats_;
   std::uint64_t tick_ = 0;
+  // Line-buffer shortcut state: buf_line_[slot] == line implies buf_way_
+  // holds that resident line (ways_ never reallocates, so the pointer stays
+  // valid until the line is evicted, which invalidates the slot). Empty
+  // slots hold kNoLine, which no 32-bit address can shift into.
+  static constexpr std::size_t kLineBuf = 8;
+  static constexpr std::uint64_t kNoLine = ~std::uint64_t{0};
+  std::array<std::uint64_t, kLineBuf> buf_line_;
+  std::array<Way*, kLineBuf> buf_way_{};
+  bool fast_path_ = true;
 };
 
 // Two-level hierarchy: L1 -> L2 -> DRAM. Access() returns the latency in
@@ -74,16 +121,35 @@ class Hierarchy {
   };
 
   explicit Hierarchy(const Config& cfg)
-      : cfg_(cfg), l1_(cfg.l1), l2_(cfg.l2) {}
+      : cfg_(cfg), l1_(cfg.l1), l2_(cfg.l2),
+        line_mask_(cfg.l1.line_bytes - 1) {}
 
-  std::uint32_t Access(std::uint32_t addr);
+  std::uint32_t Access(std::uint32_t addr) {
+    if (l1_.Access(addr)) return cfg_.l1.hit_latency;
+    return AccessMiss(addr);
+  }
 
-  // A 16-byte vector access may straddle two lines; charge both.
-  std::uint32_t AccessRange(std::uint32_t addr, std::uint32_t bytes);
+  // A 16-byte vector access may straddle two lines; charge both. Accesses
+  // contained in one L1 line (the overwhelmingly common case) skip the
+  // line-walking loop.
+  std::uint32_t AccessRange(std::uint32_t addr, std::uint32_t bytes) {
+    if (fast_path_ && (addr & line_mask_) + bytes <= line_mask_ + 1) {
+      return Access(addr & ~line_mask_);
+    }
+    return AccessRangeWalk(addr, bytes);
+  }
 
   void Flush() {
     l1_.Flush();
     l2_.Flush();
+  }
+
+  // Forces the pre-optimization paths in both cache levels and in
+  // AccessRange; simulated latencies and stats are identical either way.
+  void set_reference_path(bool ref) {
+    fast_path_ = !ref;
+    l1_.set_reference_path(ref);
+    l2_.set_reference_path(ref);
   }
 
   [[nodiscard]] const Cache& l1() const { return l1_; }
@@ -91,9 +157,14 @@ class Hierarchy {
   [[nodiscard]] std::uint64_t dram_accesses() const { return dram_accesses_; }
 
  private:
+  std::uint32_t AccessMiss(std::uint32_t addr);
+  std::uint32_t AccessRangeWalk(std::uint32_t addr, std::uint32_t bytes);
+
   Config cfg_;
   Cache l1_;
   Cache l2_;
+  std::uint32_t line_mask_;
+  bool fast_path_ = true;
   std::uint64_t dram_accesses_ = 0;
 };
 

@@ -3,7 +3,9 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
+#include <stdexcept>
 #include <vector>
 
 namespace dsa::mem {
@@ -15,7 +17,8 @@ class Memory {
   [[nodiscard]] std::size_t size() const { return bytes_.size(); }
 
   [[nodiscard]] std::uint8_t Read8(std::uint32_t addr) const {
-    return bytes_.at(addr);
+    CheckRange(addr, 1);
+    return bytes_[addr];
   }
   [[nodiscard]] std::uint16_t Read16(std::uint32_t addr) const {
     CheckRange(addr, 2);
@@ -36,7 +39,10 @@ class Memory {
     return f;
   }
 
-  void Write8(std::uint32_t addr, std::uint8_t v) { bytes_.at(addr) = v; }
+  void Write8(std::uint32_t addr, std::uint8_t v) {
+    CheckRange(addr, 1);
+    bytes_[addr] = v;
+  }
   void Write16(std::uint32_t addr, std::uint16_t v) {
     CheckRange(addr, 2);
     std::memcpy(&bytes_[addr], &v, 2);
@@ -62,11 +68,35 @@ class Memory {
 
   [[nodiscard]] const std::vector<std::uint8_t>& raw() const { return bytes_; }
 
+  // Direct byte-store access for the interpreter's hoisted fast path (the
+  // base pointer is loop-invariant; accessor calls re-load it every time
+  // because interpreter stores may alias the vector's bookkeeping).
+  [[nodiscard]] std::uint8_t* data() { return bytes_.data(); }
+
+  // Out-of-line range failure for callers that do their own bounds check
+  // against a hoisted size; throws exactly what the accessors throw.
+  [[noreturn]] void FailRange(std::uint32_t addr, std::size_t n) const {
+    ThrowOutOfRange(addr, n);
+  }
+
  private:
+  // Hot path is the single size_t comparison; the `addr + n - 1` probe the
+  // old idiom used would compute its address in 32 bits on an ILP32 target
+  // and wrap before widening. The throw lives out of line so accessors
+  // inline to a compare-and-branch.
   void CheckRange(std::uint32_t addr, std::size_t n) const {
     if (static_cast<std::size_t>(addr) + n > bytes_.size()) {
-      bytes_.at(addr + n - 1);  // throws std::out_of_range
+      ThrowOutOfRange(addr, n);
     }
+  }
+
+  [[noreturn]] void ThrowOutOfRange(std::uint32_t addr, std::size_t n) const {
+    char msg[96];
+    std::snprintf(msg, sizeof(msg),
+                  "memory access out of range: addr=0x%08x size=%zu "
+                  "(memory is %zu bytes)",
+                  addr, n, bytes_.size());
+    throw std::out_of_range(msg);
   }
 
   std::vector<std::uint8_t> bytes_;

@@ -43,51 +43,6 @@ std::uint32_t AsBits(float f) {
   return v;
 }
 
-// Sign-extends a lane value for signed comparisons / min / max.
-std::int32_t SignExtend(VecType t, std::uint32_t v) {
-  switch (t) {
-    case VecType::kI8: return static_cast<std::int8_t>(v);
-    case VecType::kI16: return static_cast<std::int16_t>(v);
-    default: return static_cast<std::int32_t>(v);
-  }
-}
-
-std::uint32_t LaneMask(VecType t) {
-  switch (t) {
-    case VecType::kI8: return 0xFFu;
-    case VecType::kI16: return 0xFFFFu;
-    default: return 0xFFFFFFFFu;
-  }
-}
-
-std::uint32_t IntLaneOp(Opcode op, VecType t, std::uint32_t a, std::uint32_t b,
-                        std::uint32_t acc) {
-  const std::uint32_t mask = LaneMask(t);
-  switch (op) {
-    case Opcode::kVadd: return (a + b) & mask;
-    case Opcode::kVsub: return (a - b) & mask;
-    case Opcode::kVmul: return (a * b) & mask;
-    case Opcode::kVmla: return (acc + a * b) & mask;
-    case Opcode::kVmin:
-      return static_cast<std::uint32_t>(
-                 std::min(SignExtend(t, a), SignExtend(t, b))) &
-             mask;
-    case Opcode::kVmax:
-      return static_cast<std::uint32_t>(
-                 std::max(SignExtend(t, a), SignExtend(t, b))) &
-             mask;
-    case Opcode::kVand: return a & b;
-    case Opcode::kVorr: return a | b;
-    case Opcode::kVeor: return a ^ b;
-    case Opcode::kVcge:
-      return SignExtend(t, a) >= SignExtend(t, b) ? mask : 0u;
-    case Opcode::kVcgt:
-      return SignExtend(t, a) > SignExtend(t, b) ? mask : 0u;
-    case Opcode::kVceq: return a == b ? mask : 0u;
-    default: return 0;
-  }
-}
-
 std::uint32_t FloatLaneOp(Opcode op, std::uint32_t a, std::uint32_t b,
                           std::uint32_t acc) {
   const float fa = AsFloat(a);
@@ -111,33 +66,149 @@ std::uint32_t FloatLaneOp(Opcode op, std::uint32_t a, std::uint32_t b,
 
 }  // namespace
 
-QReg ExecuteLaneOp(Opcode op, VecType t, const QReg& a, const QReg& b,
-                   const QReg& acc) {
-  QReg out;
-  const int lanes = isa::LaneCount(t);
-  for (int l = 0; l < lanes; ++l) {
-    const std::uint32_t va = a.Lane(t, l);
-    const std::uint32_t vb = b.Lane(t, l);
-    const std::uint32_t vacc = acc.Lane(t, l);
-    const std::uint32_t r = (t == VecType::kF32)
-                                ? FloatLaneOp(op, va, vb, vacc)
-                                : IntLaneOp(op, t, va, vb, vacc);
-    out.SetLane(t, l, r);
+namespace {
+
+// Lane loops with the (op, type) dispatch hoisted out of the loop: each
+// case body is a flat fixed-trip loop over typed lanes that the host
+// compiler turns into a few SIMD instructions. Integer semantics are
+// bit-identical to IntLaneOp's widen-compute-mask form (unsigned
+// wraparound at lane width; signed compares via sign extension).
+template <typename U, typename S>
+QReg IntLanes(Opcode op, const QReg& qa, const QReg& qb, const QReg& qacc) {
+  constexpr int kN = static_cast<int>(16 / sizeof(U));
+  U a[kN], b[kN], c[kN], o[kN];
+  std::memcpy(a, qa.bytes.data(), 16);
+  std::memcpy(b, qb.bytes.data(), 16);
+  std::memcpy(c, qacc.bytes.data(), 16);
+  switch (op) {
+    case Opcode::kVadd:
+      for (int l = 0; l < kN; ++l) o[l] = static_cast<U>(a[l] + b[l]);
+      break;
+    case Opcode::kVsub:
+      for (int l = 0; l < kN; ++l) o[l] = static_cast<U>(a[l] - b[l]);
+      break;
+    case Opcode::kVmul:
+      for (int l = 0; l < kN; ++l) o[l] = static_cast<U>(a[l] * b[l]);
+      break;
+    case Opcode::kVmla:
+      for (int l = 0; l < kN; ++l) o[l] = static_cast<U>(c[l] + a[l] * b[l]);
+      break;
+    case Opcode::kVmin:
+      for (int l = 0; l < kN; ++l) {
+        o[l] = static_cast<U>(
+            std::min(static_cast<S>(a[l]), static_cast<S>(b[l])));
+      }
+      break;
+    case Opcode::kVmax:
+      for (int l = 0; l < kN; ++l) {
+        o[l] = static_cast<U>(
+            std::max(static_cast<S>(a[l]), static_cast<S>(b[l])));
+      }
+      break;
+    case Opcode::kVand:
+      for (int l = 0; l < kN; ++l) o[l] = a[l] & b[l];
+      break;
+    case Opcode::kVorr:
+      for (int l = 0; l < kN; ++l) o[l] = a[l] | b[l];
+      break;
+    case Opcode::kVeor:
+      for (int l = 0; l < kN; ++l) o[l] = a[l] ^ b[l];
+      break;
+    case Opcode::kVcge:
+      for (int l = 0; l < kN; ++l) {
+        o[l] = static_cast<S>(a[l]) >= static_cast<S>(b[l])
+                   ? static_cast<U>(~U{0})
+                   : U{0};
+      }
+      break;
+    case Opcode::kVcgt:
+      for (int l = 0; l < kN; ++l) {
+        o[l] = static_cast<S>(a[l]) > static_cast<S>(b[l])
+                   ? static_cast<U>(~U{0})
+                   : U{0};
+      }
+      break;
+    case Opcode::kVceq:
+      for (int l = 0; l < kN; ++l) {
+        o[l] = a[l] == b[l] ? static_cast<U>(~U{0}) : U{0};
+      }
+      break;
+    default:
+      for (int l = 0; l < kN; ++l) o[l] = 0;
+      break;
   }
+  QReg out;
+  std::memcpy(out.bytes.data(), o, 16);
   return out;
 }
 
-QReg ExecuteShift(Opcode op, VecType t, const QReg& a, std::int32_t amount) {
+// Float lanes keep the exact per-lane expressions of FloatLaneOp so the
+// generated rounding/contraction behavior matches the reference path.
+QReg FloatLanes(Opcode op, const QReg& qa, const QReg& qb, const QReg& qacc) {
+  std::uint32_t a[4], b[4], c[4], o[4];
+  std::memcpy(a, qa.bytes.data(), 16);
+  std::memcpy(b, qb.bytes.data(), 16);
+  std::memcpy(c, qacc.bytes.data(), 16);
+  for (int l = 0; l < 4; ++l) o[l] = FloatLaneOp(op, a[l], b[l], c[l]);
   QReg out;
-  const int lanes = isa::LaneCount(t);
-  const std::uint32_t mask = LaneMask(t);
-  for (int l = 0; l < lanes; ++l) {
-    const std::uint32_t v = a.Lane(t, l);
-    const std::uint32_t r =
-        op == Opcode::kVshl ? (v << amount) & mask : (v & mask) >> amount;
-    out.SetLane(t, l, r);
-  }
+  std::memcpy(out.bytes.data(), o, 16);
   return out;
+}
+
+}  // namespace
+
+QReg ExecuteLaneOp(Opcode op, VecType t, const QReg& a, const QReg& b,
+                   const QReg& acc) {
+  switch (t) {
+    case VecType::kI8:
+      return IntLanes<std::uint8_t, std::int8_t>(op, a, b, acc);
+    case VecType::kI16:
+      return IntLanes<std::uint16_t, std::int16_t>(op, a, b, acc);
+    case VecType::kF32:
+      return FloatLanes(op, a, b, acc);
+    default:
+      return IntLanes<std::uint32_t, std::int32_t>(op, a, b, acc);
+  }
+}
+
+namespace {
+
+// Same typed-loop shape as IntLanes; the narrowing cast reproduces the
+// lane-mask truncation of the reference per-lane form.
+template <typename U>
+QReg ShiftLanes(Opcode op, const QReg& qa, std::int32_t amount) {
+  constexpr int kN = static_cast<int>(16 / sizeof(U));
+  U a[kN], o[kN];
+  std::memcpy(a, qa.bytes.data(), 16);
+  if (op == Opcode::kVshl) {
+    for (int l = 0; l < kN; ++l) o[l] = static_cast<U>(a[l] << amount);
+  } else {
+    for (int l = 0; l < kN; ++l) o[l] = static_cast<U>(a[l] >> amount);
+  }
+  QReg out;
+  std::memcpy(out.bytes.data(), o, 16);
+  return out;
+}
+
+template <typename U>
+QReg Splat(std::uint32_t v) {
+  constexpr int kN = static_cast<int>(16 / sizeof(U));
+  U o[kN];
+  const U x = static_cast<U>(v);
+  for (int l = 0; l < kN; ++l) o[l] = x;
+  QReg out;
+  std::memcpy(out.bytes.data(), o, 16);
+  return out;
+}
+
+}  // namespace
+
+QReg ExecuteShift(Opcode op, VecType t, const QReg& a, std::int32_t amount) {
+  switch (t) {
+    case VecType::kI8: return ShiftLanes<std::uint8_t>(op, a, amount);
+    case VecType::kI16: return ShiftLanes<std::uint16_t>(op, a, amount);
+    default: return ShiftLanes<std::uint32_t>(op, a, amount);
+  }
 }
 
 QReg ExecuteBsl(const QReg& mask, const QReg& a, const QReg& b) {
@@ -150,10 +221,11 @@ QReg ExecuteBsl(const QReg& mask, const QReg& a, const QReg& b) {
 }
 
 QReg Broadcast(VecType t, std::uint32_t v) {
-  QReg out;
-  const int lanes = isa::LaneCount(t);
-  for (int l = 0; l < lanes; ++l) out.SetLane(t, l, v);
-  return out;
+  switch (t) {
+    case VecType::kI8: return Splat<std::uint8_t>(v);
+    case VecType::kI16: return Splat<std::uint16_t>(v);
+    default: return Splat<std::uint32_t>(v);
+  }
 }
 
 std::optional<IssueBurst> BurstAggregator::Observe(Opcode op,

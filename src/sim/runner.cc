@@ -290,7 +290,7 @@ bool WriteBenchJson(const std::string& path, const std::string& bench_name,
   }
 
   w.Open(nullptr, '{');
-  w.Str("schema", "dsa-bench-json/1");
+  w.Str("schema", "dsa-bench-json/2");
   w.Str("bench", bench_name);
   w.U64("jobs", static_cast<std::uint64_t>(runner.options().jobs));
   w.U64("repeats", static_cast<std::uint64_t>(runner.options().repeats));
@@ -335,6 +335,13 @@ bool WriteBenchJson(const std::string& path, const std::string& bench_name,
     w.Str("output_digest", digest);
     w.Dbl("wall_ms", out.wall_ms);
     w.U64("runs", static_cast<std::uint64_t>(out.runs.size()));
+
+    // Host simulation throughput of the canonical run (schema /2).
+    w.Open("host", '{');
+    w.Dbl("mips", r.host_mips());
+    w.Dbl("wall_ms", r.host_wall_ms);
+    w.U64("steps", r.host_steps);
+    w.Close('}');
 
     w.Open("cpu", '{');
     w.U64("retired_total", r.cpu.retired_total);

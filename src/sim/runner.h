@@ -140,10 +140,11 @@ class BatchRunner {
   std::map<std::string, JobOutcome> outcomes_;  // filled by Finish()
 };
 
-// Writes the batch as machine-readable JSON (schema "dsa-bench-json/1"):
+// Writes the batch as machine-readable JSON (schema "dsa-bench-json/2"):
 // per-job cycles, speedup over the workload's scalar baseline when one is
-// in the batch, DSA stats, energy breakdown, wall time, plus the oracle
-// verdict. Returns false if the file could not be written.
+// in the batch, DSA stats, energy breakdown, wall time, host simulation
+// throughput (the `host` block), plus the oracle verdict. Returns false if
+// the file could not be written.
 bool WriteBenchJson(const std::string& path, const std::string& bench_name,
                     const BatchRunner& runner, const BatchReport& report);
 

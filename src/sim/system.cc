@@ -1,6 +1,7 @@
 #include "sim/system.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "neon/vector_unit.h"
@@ -17,6 +18,14 @@ std::string_view ToString(RunMode m) {
     case RunMode::kDsa: return "neon-dsa";
   }
   return "?";
+}
+
+double RunResult::host_mips() const {
+  if (host_steps == 0) return 0.0;
+  // Clamp the wall time so a run faster than the clock tick still reports
+  // a positive throughput instead of a division blow-up.
+  const double ms = host_wall_ms > 1e-9 ? host_wall_ms : 1e-9;
+  return static_cast<double>(host_steps) / (1000.0 * ms);
 }
 
 double RunResult::detection_latency_pct() const {
@@ -54,6 +63,8 @@ std::uint64_t DigestOutputs(const Workload& wl, const mem::Memory& memory) {
 // run functionally on the scalar interpreter while their issue bandwidth
 // and non-memory stalls are retro-charged as vector execution by
 // DsaEngine::FinishTakeover (the paper's timing-model replacement).
+// Reference-path twin of cpu::Cpu::RunCovered (which the fast DSA loop
+// uses); kept verbatim so --reference exercises the pre-optimization code.
 struct CoveredDelta {
   std::uint64_t iterations = 0;
   std::uint64_t retired = 0;
@@ -147,10 +158,14 @@ RunResult Run(const Workload& wl, RunMode mode, const SystemConfig& cfg) {
   mem::Memory memory(wl.mem_bytes);
   if (wl.init) wl.init(memory);
   mem::Hierarchy hierarchy(cfg.memory);
-  cpu::Cpu cpu(*program, memory, hierarchy, cfg.timing);
+  hierarchy.set_reference_path(cfg.reference_path);
+  cpu::Cpu cpu(*program, memory, hierarchy, cfg.timing, cfg.reference_path);
 
   std::optional<engine::DsaEngine> engine;
-  if (mode == RunMode::kDsa) engine.emplace(cfg.dsa, cfg.timing);
+  if (mode == RunMode::kDsa) {
+    engine.emplace(cfg.dsa, cfg.timing);
+    engine->set_reference_path(cfg.reference_path);
+  }
 
   // The tracer outlives the engine's raw pointer into it; disabled configs
   // never allocate. Explicit-SIMD modes trace their NEON bursts from the
@@ -167,38 +182,90 @@ RunResult Run(const Workload& wl, RunMode mode, const SystemConfig& cfg) {
   };
 
   std::uint64_t steps = 0;
-  while (!cpu.halted()) {
-    if (++steps > cfg.max_steps) {
+  const auto host_t0 = std::chrono::steady_clock::now();
+  // Fast loops: without a per-retire consumer the interpreter batches
+  // instructions inside the Cpu (no Retired materialization, no per-step
+  // call). The reference path and traced runs keep the original per-step
+  // loop; every path produces bit-identical simulated results
+  // (tests/test_reference_path.cc and the differential oracle).
+  const bool per_step = cfg.reference_path || tracer.has_value();
+  if (!per_step && !engine.has_value()) {
+    cpu.RunFree(cfg.max_steps, steps);
+    if (steps > cfg.max_steps) {
       throw std::runtime_error("step limit exceeded on " + wl.name);
     }
-    const cpu::Retired r = cpu.Step();
-    if (r.instr == nullptr) break;
-    if (tracer.has_value()) {
-      tracer->SetNow(cpu.Cycles());
-      if (const auto b = bursts.Observe(r.instr->op, cpu.Cycles())) {
-        emit_burst(*b);
+  } else if (!per_step) {
+    // DSA fast loop: while the engine is idle, run unobserved up to the
+    // next retire its filter cares about; per-step only while a tracker
+    // is analyzing a loop body.
+    while (!cpu.halted()) {
+      cpu::Retired r;
+      if (engine->idle()) {
+        std::uint64_t skipped = 0;
+        r = cpu.RunToInteresting(engine->has_cooldowns(),
+                                 engine->cooldown_window_lo(),
+                                 engine->cooldown_window_hi(), cfg.max_steps,
+                                 steps, skipped);
+        if (skipped != 0) engine->ObserveSkipped(skipped);
+        if (steps > cfg.max_steps) {
+          throw std::runtime_error("step limit exceeded on " + wl.name);
+        }
+        if (r.instr == nullptr) break;  // halted before anything interesting
+      } else {
+        if (++steps > cfg.max_steps) {
+          throw std::runtime_error("step limit exceeded on " + wl.name);
+        }
+        r = cpu.Step();
+        if (r.instr == nullptr) break;
       }
-    }
-    if (engine.has_value()) {
       std::optional<TakeoverPlan> plan = engine->Observe(r, cpu.state());
       if (plan.has_value()) {
-        if (tracer.has_value()) {
-          tracer->Emit(trace::EventKind::kTakeoverBegin,
-                       plan->record.loop_id, plan->from_cache ? 1 : 0,
-                       plan->max_iterations);
-        }
-        const CoveredDelta d = RunCovered(cpu, *plan);
-        if (tracer.has_value()) tracer->SetNow(cpu.Cycles());
+        const cpu::Cpu::CoveredOutcome d = cpu.RunCovered(
+            plan->coverage_start, plan->coverage_latch,
+            plan->record.body.start_pc, plan->record.body.latch_pc,
+            plan->count_latch, plan->max_iterations);
         engine->FinishTakeover(*plan, d.iterations, d.retired, cpu,
                                d.glue_instrs);
-        if (tracer.has_value()) {
-          // Re-stamp: FinishTakeover charged the NEON/overhead cycles, so
-          // the end marker sits after the replaced region.
-          tracer->SetNow(cpu.Cycles());
-          tracer->Emit(trace::EventKind::kTakeoverEnd, plan->record.loop_id,
-                       d.iterations, d.retired);
-        }
         if (d.fused_glue_store) engine->DemoteFusion(plan->coverage_latch);
+      }
+    }
+  } else {
+    // Reference / traced per-step loop: one Step() and one observation per
+    // retired instruction, exactly the pre-optimization structure.
+    while (!cpu.halted()) {
+      if (++steps > cfg.max_steps) {
+        throw std::runtime_error("step limit exceeded on " + wl.name);
+      }
+      const cpu::Retired r = cpu.Step();
+      if (r.instr == nullptr) break;
+      if (tracer.has_value()) {
+        const std::uint64_t now = cpu.Cycles();
+        tracer->SetNow(now);
+        if (const auto b = bursts.Observe(r.instr->op, now)) {
+          emit_burst(*b);
+        }
+      }
+      if (engine.has_value()) {
+        std::optional<TakeoverPlan> plan = engine->Observe(r, cpu.state());
+        if (plan.has_value()) {
+          if (tracer.has_value()) {
+            tracer->Emit(trace::EventKind::kTakeoverBegin,
+                         plan->record.loop_id, plan->from_cache ? 1 : 0,
+                         plan->max_iterations);
+          }
+          const CoveredDelta d = RunCovered(cpu, *plan);
+          if (tracer.has_value()) tracer->SetNow(cpu.Cycles());
+          engine->FinishTakeover(*plan, d.iterations, d.retired, cpu,
+                                 d.glue_instrs);
+          if (tracer.has_value()) {
+            // Re-stamp: FinishTakeover charged the NEON/overhead cycles, so
+            // the end marker sits after the replaced region.
+            tracer->SetNow(cpu.Cycles());
+            tracer->Emit(trace::EventKind::kTakeoverEnd,
+                         plan->record.loop_id, d.iterations, d.retired);
+          }
+          if (d.fused_glue_store) engine->DemoteFusion(plan->coverage_latch);
+        }
       }
     }
   }
@@ -206,6 +273,10 @@ RunResult Run(const Workload& wl, RunMode mode, const SystemConfig& cfg) {
   RunResult res;
   res.workload = wl.name;
   res.mode = mode;
+  res.host_wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - host_t0)
+                         .count();
+  res.host_steps = cpu.host_steps();
   res.cycles = cpu.Cycles();
   res.cpu = cpu.stats();
   res.l1 = hierarchy.l1().stats();

@@ -49,6 +49,14 @@ struct RunResult {
   // only; null otherwise). Shared so copies of the result stay cheap.
   std::shared_ptr<const trace::TraceDump> trace;
 
+  // Host-side throughput of the run loop: interpreter steps executed and
+  // the wall time they took. Host-dependent, so never compared by the
+  // determinism oracle and never part of FormatReport.
+  std::uint64_t host_steps = 0;
+  double host_wall_ms = 0.0;
+  // Millions of simulated instructions per host second.
+  [[nodiscard]] double host_mips() const;
+
   // Fraction of total cycles the DSA spent analyzing (detection latency,
   // Article 2/3 latency tables). Zero for non-DSA modes.
   [[nodiscard]] double detection_latency_pct() const;
@@ -61,6 +69,11 @@ struct SystemConfig {
   energy::EnergyParams energy;
   trace::TraceConfig trace;  // structured event tracing (kDsa mode)
   std::uint64_t max_steps = 400'000'000;
+  // Forces the pre-optimization code paths throughout the stack (CPU
+  // predecode/predictor, cache MRU + range fast paths, engine observation
+  // gating). Every simulated stat is bit-identical to the default fast
+  // path; tests/test_reference_path.cc asserts it on every workload.
+  bool reference_path = false;
 };
 
 // Runs one workload variant end to end.

@@ -65,6 +65,29 @@ TEST(Cache, FlushInvalidatesEverything) {
   EXPECT_FALSE(c.Probe(0x00));
 }
 
+TEST(Cache, FillsInvalidWaysInOrderBeforeEvicting) {
+  // A set must consume every invalid way before recycling a valid line,
+  // and the scan is strictly first-invalid-wins: cold fills land in way
+  // 0, 1, 2, 3 in access order.
+  Cache c(CacheConfig{256, 16, 4, 1});  // 4 sets x 4 ways
+  // All four lines map to set 0 (stride = 4 sets * 16B = 64).
+  c.Access(0x000);
+  c.Access(0x040);
+  c.Access(0x080);
+  c.Access(0x0C0);
+  EXPECT_EQ(c.WayOf(0x000), 0);
+  EXPECT_EQ(c.WayOf(0x040), 1);
+  EXPECT_EQ(c.WayOf(0x080), 2);
+  EXPECT_EQ(c.WayOf(0x0C0), 3);
+  // Touch way 1 so it is MRU, then fill a fifth line: the victim must be
+  // the LRU valid line (way 0), never an already-valid MRU way.
+  c.Access(0x040);
+  c.Access(0x100);
+  EXPECT_EQ(c.WayOf(0x100), 0);
+  EXPECT_EQ(c.WayOf(0x040), 1);
+  EXPECT_EQ(c.WayOf(0x000), -1);  // evicted
+}
+
 TEST(Cache, BadConfigThrows) {
   EXPECT_THROW(Cache(CacheConfig{100, 24, 2, 1}), std::invalid_argument);
   EXPECT_THROW(Cache(CacheConfig{128, 16, 0, 1}), std::invalid_argument);

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
 
 #include "mem/memory.h"
 
@@ -67,6 +68,44 @@ TEST(Memory, OutOfRangeWordStraddleThrows) {
   EXPECT_THROW(static_cast<void>(m.Read32(6)), std::out_of_range);  // 6..9
   EXPECT_THROW(m.Write32(5, 1), std::out_of_range);
   EXPECT_NO_THROW(static_cast<void>(m.Read32(4)));
+}
+
+TEST(Memory, NearUint32MaxDoesNotWrap) {
+  // Regression: the old `addr + n - 1` probe computed its upper bound in
+  // 32 bits, so an access near UINT32_MAX wrapped around and passed the
+  // bounds check. The size_t rewrite must reject it.
+  Memory m(16);
+  EXPECT_THROW(static_cast<void>(m.Read32(0xFFFFFFFEu)), std::out_of_range);
+  EXPECT_THROW(m.Write32(0xFFFFFFFFu, 1), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(m.Read8(0xFFFFFFFFu)), std::out_of_range);
+  try {
+    static_cast<void>(m.Read32(0xFFFFFFFEu));
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("0xfffffffe"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("size=4"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("16 bytes"), std::string::npos) << msg;
+  }
+}
+
+TEST(Memory, FailRangeMatchesAccessorException) {
+  // FailRange is the out-of-line throw used by the interpreter's hoisted
+  // bounds check; it must produce exactly the accessor exception.
+  Memory m(8);
+  std::string via_accessor, via_failrange;
+  try {
+    static_cast<void>(m.Read32(6));
+  } catch (const std::out_of_range& e) {
+    via_accessor = e.what();
+  }
+  try {
+    m.FailRange(6, 4);
+  } catch (const std::out_of_range& e) {
+    via_failrange = e.what();
+  }
+  EXPECT_FALSE(via_accessor.empty());
+  EXPECT_EQ(via_accessor, via_failrange);
 }
 
 TEST(Memory, OverlappingWritesLastWins) {

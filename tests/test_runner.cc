@@ -82,7 +82,7 @@ TEST(BatchRunner, TagsKeepDistinctConfigsApart) {
   const std::string ka = runner.Submit(wl, RunMode::kDsa, a, "ext");
   const std::string kb = runner.Submit(wl, RunMode::kDsa, b, "orig");
   EXPECT_NE(ka, kb);
-  runner.Finish();
+  (void)runner.Finish();
   EXPECT_EQ(executions.load(), 2);
 }
 
@@ -163,10 +163,10 @@ TEST(BatchRunner, WritesWellFormedJson) {
   EXPECT_EQ(brackets, 0);
   EXPECT_FALSE(in_string);
   for (const char* needle :
-       {"\"schema\": \"dsa-bench-json/1\"", "\"bench\": \"runner_test\"",
+       {"\"schema\": \"dsa-bench-json/2\"", "\"bench\": \"runner_test\"",
         "\"oracle\"", "\"ok\": true", "\"results\"", "\"cycles\"",
         "\"speedup_vs_scalar\"", "\"energy\"", "\"output_digest\"",
-        "\"dsa\"", "\"takeovers\""}) {
+        "\"host\"", "\"mips\"", "\"dsa\"", "\"takeovers\""}) {
     EXPECT_NE(json.find(needle), std::string::npos) << needle;
   }
   std::remove(path.c_str());
