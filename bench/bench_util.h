@@ -14,9 +14,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "fault/fault.h"
 #include "sim/report.h"
 #include "sim/runner.h"
 #include "sim/system.h"
@@ -29,6 +31,9 @@ struct BenchOptions {
   std::string json_path;      // --json <path>; empty = no JSON emitted
   std::string filter;         // --filter <substr> on workload names
   std::string trace_path;     // --trace <path>; empty = tracing disabled
+  // --faults <spec>: deterministic fault injection for DSA cells, e.g.
+  // "cidp@0,bitflip@2+3;seed=7" (grammar in docs/FAULTS.md).
+  fault::FaultPlan faults;
   bool serial = false;        // --serial: seed-style direct Run() loop
   bool compare = false;       // --compare: time serial vs. runner paths
   bool reference = false;     // --reference: pre-optimization sim paths
@@ -59,6 +64,13 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
       o.runner.oracle = false;
     } else if (arg == "--trace") {
       o.trace_path = value();
+    } else if (arg == "--faults") {
+      try {
+        o.faults = fault::ParseFaultPlan(value());
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        std::exit(2);
+      }
     } else if (arg == "--serial") {
       o.serial = true;
     } else if (arg == "--compare") {
@@ -68,11 +80,24 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--jobs N] [--repeats K] [--json PATH] "
-                   "[--filter SUBSTR] [--trace PATH] [--no-oracle] "
-                   "[--serial] [--compare] [--reference]\n",
+                   "[--filter SUBSTR] [--trace PATH] [--faults SPEC] "
+                   "[--no-oracle] [--serial] [--compare] [--reference]\n",
                    argv[0]);
       std::exit(2);
     }
+  }
+  if (o.faults.enabled() && o.runner.oracle && o.runner.repeats < 2 &&
+      !o.faults.seed_explicit) {
+    // With one sample per cell the determinism oracle cannot prove the
+    // injector replayed identically, and an unpinned seed leaves nothing
+    // to reproduce a report against. Refuse instead of emitting numbers
+    // the harness cannot vouch for.
+    std::fprintf(stderr,
+                 "--faults with --repeats %d and no explicit seed leaves the "
+                 "determinism oracle blind; pin the seed (\"...;seed=N\"), "
+                 "use --repeats 2, or pass --no-oracle\n",
+                 o.runner.repeats);
+    std::exit(2);
   }
   if (o.runner.oracle && o.runner.repeats < 2) {
     // The determinism layer of the oracle diffs repeated executions of the
@@ -87,12 +112,14 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
 }
 
 // The driver's base SystemConfig: defaults plus everything the shared
-// flags configure (today: event tracing). Drivers derive their per-table
-// config variations from this instead of a bare `SystemConfig cfg;`.
+// flags configure (event tracing, fault injection, reference paths).
+// Drivers derive their per-table config variations from this instead of
+// a bare `SystemConfig cfg;`.
 [[nodiscard]] inline sim::SystemConfig BaseConfig(const BenchOptions& o) {
   sim::SystemConfig cfg;
   cfg.trace.enabled = !o.trace_path.empty();
   cfg.reference_path = o.reference;
+  cfg.faults = o.faults;
   return cfg;
 }
 

@@ -32,6 +32,21 @@ echo "== oracle-gated mini bench =="
     --json "$BUILD"/BENCH_check.json
 grep -q '"ok": true' "$BUILD"/BENCH_check.json
 
+echo "== chaos smoke (fault injection + guard recovery) =="
+# The chaos driver injects every fault kind into the VecAdd slice and
+# exits non-zero unless every injected run recovers bit-identically to
+# the fault-free digest (speculation guard rollback + blacklisting),
+# with the sanitizers watching the rollback machinery. The validator
+# re-checks the dsa-bench-json/3 contract including the faults block.
+"$BUILD"/bench/bench_chaos --filter VecAdd --jobs 2 \
+    --json "$BUILD"/BENCH_chaos_check.json
+python3 scripts/validate_bench.py "$BUILD"/BENCH_chaos_check.json
+
+echo "== fault suite under ASan =="
+# The rollback/blacklist/watchdog tests rewrite CPU state and memory from
+# checkpoints; run them once more standalone so a failure localizes.
+"$BUILD"/tests/test_fault
+
 echo "== traced mini bench + trace validation =="
 # Same driver with event tracing on: the oracle additionally cross-checks
 # the trace against the engine counters, and the emitted Chrome JSON is
@@ -44,7 +59,7 @@ echo "== release build + throughput smoke =="
 # Optimized build via the release preset (-O3, warnings-as-errors), then
 # the host-throughput driver on the VecAdd smoke slice. The driver's exit
 # code is gated by the differential oracle; the validator re-checks the
-# dsa-bench-json/2 contract and that every job reports MIPS > 0.
+# dsa-bench-json/3 contract and that every job reports MIPS > 0.
 cmake --preset release > /dev/null
 cmake --build build -j "$JOBS" --target bench_throughput
 build/bench/bench_throughput --filter VecAdd --repeats 2 \

@@ -1,15 +1,21 @@
 #!/usr/bin/env python3
-"""Structural validator for dsa-bench-json/2 batch reports.
+"""Structural validator for dsa-bench-json/3 batch reports.
 
 Checks that a file produced by `--json PATH` (sim::WriteBenchJson,
 src/sim/runner.cc) honours the contract in docs/BENCH_SCHEMA.md:
-  * is well-formed JSON carrying the "dsa-bench-json/2" schema marker,
+  * is well-formed JSON carrying the "dsa-bench-json/3" schema marker,
   * has every required top-level field with a sane value,
-  * satisfies executed_runs == distinct_jobs * repeats,
+  * reconciles the run census: sum of per-result `runs` == executed_runs,
+    every "ok" cell ran exactly `repeats` times, and `faulted_cells`
+    matches the number of results whose cell_status != "ok",
   * carries an oracle verdict (and, by default, a passing one),
-  * has one result object per distinct job with the required fields,
-  * has a host throughput block per result with mips > 0 whenever the
-    run executed at least one interpreter step, and
+  * has one result object per distinct job with the required fields --
+    faulted cells appear with a minimal payload (status, attempts, error)
+    instead of being silently dropped,
+  * has a host throughput block per completed result with mips > 0
+    whenever the run executed at least one interpreter step,
+  * cross-checks the `faults` block (fault-injected runs only): the
+    per-kind fired counters must sum to total_fired, and
   * uses "0x..." hex form for output digests.
 
 Exit code 0 = valid, 1 = validation failure, 2 = usage/IO error.
@@ -21,14 +27,17 @@ import sys
 
 REQUIRED_TOP = [
     "schema", "bench", "jobs", "repeats", "wall_ms", "distinct_jobs",
-    "executed_runs", "memo_hits", "oracle", "results",
+    "executed_runs", "faulted_cells", "memo_hits", "oracle", "results",
 ]
-REQUIRED_RESULT = [
-    "job", "workload", "mode", "config", "cycles", "output_ok",
-    "output_digest", "wall_ms", "runs", "host", "cpu", "l1", "l2",
-    "dram_accesses", "energy",
+# Every result carries its cell status; completed cells carry the stats.
+REQUIRED_RESULT_ANY = ["job", "workload", "mode", "config", "cell_status",
+                       "attempts", "runs"]
+REQUIRED_RESULT_OK = [
+    "cycles", "output_ok", "output_digest", "wall_ms", "host", "cpu",
+    "l1", "l2", "dram_accesses", "energy",
 ]
 REQUIRED_HOST = ["mips", "wall_ms", "steps"]
+REQUIRED_FAULTS = ["plan", "seed", "total_fired", "opportunities", "fired"]
 MODES = {"arm-original", "neon-autovec", "neon-handvec", "neon-dsa"}
 
 
@@ -54,12 +63,8 @@ def main() -> None:
     for k in REQUIRED_TOP:
         if k not in doc:
             fail(f"missing top-level field '{k}'")
-    if doc["schema"] != "dsa-bench-json/2":
-        fail(f"schema is {doc['schema']!r}, expected 'dsa-bench-json/2'")
-    if doc["executed_runs"] != doc["distinct_jobs"] * doc["repeats"]:
-        fail("executed_runs != distinct_jobs * repeats "
-             f"({doc['executed_runs']} != {doc['distinct_jobs']} * "
-             f"{doc['repeats']})")
+    if doc["schema"] != "dsa-bench-json/3":
+        fail(f"schema is {doc['schema']!r}, expected 'dsa-bench-json/3'")
     if len(doc["results"]) != doc["distinct_jobs"]:
         fail(f"{len(doc['results'])} results for "
              f"{doc['distinct_jobs']} distinct jobs")
@@ -73,13 +78,26 @@ def main() -> None:
     if oracle["enabled"] and not oracle["ok"] and not allow_oracle_failure:
         fail(f"oracle reports {len(oracle['violations'])} violation(s)")
 
+    runs_sum = 0
+    faulted = 0
     for r in doc["results"]:
         job = r.get("job", "<unnamed>")
-        for k in REQUIRED_RESULT:
+        for k in REQUIRED_RESULT_ANY:
             if k not in r:
                 fail(f"result {job}: missing '{k}'")
         if r["mode"] not in MODES:
             fail(f"result {job}: unknown mode {r['mode']!r}")
+        runs_sum += r["runs"]
+        if r["attempts"] < r["runs"]:
+            fail(f"result {job}: attempts={r['attempts']} < runs={r['runs']}")
+        if r["cell_status"] != "ok":
+            faulted += 1
+            if not r.get("error"):
+                fail(f"result {job}: faulted cell without an 'error'")
+            continue  # faulted cells carry a minimal payload only
+        for k in REQUIRED_RESULT_OK:
+            if k not in r:
+                fail(f"result {job}: missing '{k}'")
         digest = r["output_digest"]
         if not (isinstance(digest, str) and digest.startswith("0x")):
             fail(f"result {job}: output_digest {digest!r} not '0x...' hex")
@@ -94,10 +112,26 @@ def main() -> None:
             fail(f"result {job}: negative wall time")
         if r["runs"] != doc["repeats"]:
             fail(f"result {job}: runs={r['runs']} != repeats")
+        if "faults" in r:
+            fb = r["faults"]
+            for k in REQUIRED_FAULTS:
+                if k not in fb:
+                    fail(f"result {job}: faults block missing '{k}'")
+            if sum(fb["fired"].values()) != fb["total_fired"]:
+                fail(f"result {job}: fired counters sum to "
+                     f"{sum(fb['fired'].values())}, total_fired says "
+                     f"{fb['total_fired']}")
+
+    if runs_sum != doc["executed_runs"]:
+        fail(f"per-result runs sum to {runs_sum}, executed_runs says "
+             f"{doc['executed_runs']}")
+    if faulted != doc["faulted_cells"]:
+        fail(f"{faulted} results are faulted, faulted_cells says "
+             f"{doc['faulted_cells']}")
 
     n = len(doc["results"])
-    print(f"validate_bench: OK: {path}: {n} results, "
-          f"oracle ok={oracle['ok']}")
+    print(f"validate_bench: OK: {path}: {n} results "
+          f"({doc['faulted_cells']} faulted), oracle ok={oracle['ok']}")
 
 
 if __name__ == "__main__":

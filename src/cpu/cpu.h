@@ -137,6 +137,7 @@ class Cpu {
   [[nodiscard]] CpuStats& stats() { return stats_; }
   [[nodiscard]] const prog::Program& program() const { return program_; }
   [[nodiscard]] mem::Memory& memory() { return memory_; }
+  [[nodiscard]] const mem::Memory& memory() const { return memory_; }
   [[nodiscard]] mem::Hierarchy& hierarchy() { return hierarchy_; }
   [[nodiscard]] const TimingConfig& timing() const { return cfg_; }
 

@@ -40,6 +40,17 @@ struct DsaConfig {
   std::uint32_t partial_window_resync_latency = 6;
   std::uint32_t speculative_select_latency = 2;  // vector-map result select
 
+  // --- speculation guard (misspeculation recovery) --------------------------
+  // Rollbacks of the same loop before its PC is blacklisted in the DSA
+  // cache and the system degrades to pure scalar execution of that loop.
+  std::uint32_t blacklist_strikes = 3;
+  // Extra cycles a detected misspeculation costs on top of the pipeline
+  // flush (squash + architectural-state restore from the checkpoint).
+  std::uint32_t rollback_penalty = 24;
+  // Iterations of slack added to the store-undo log's speculative bound so
+  // sentinel overruns stay inside the restorable (and cross-checked) range.
+  std::uint32_t guard_margin_iterations = 16;
+
   [[nodiscard]] std::uint32_t dsa_cache_entries() const {
     return dsa_cache_bytes / dsa_cache_entry_bytes;
   }

@@ -2,6 +2,62 @@
 
 namespace dsa::engine {
 
+namespace {
+
+void Mix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+}
+
+void MixStreams(std::uint64_t& h, const std::vector<MemStream>& streams) {
+  Mix(h, streams.size());
+  for (const MemStream& s : streams) {
+    Mix(h, s.pc);
+    Mix(h, s.is_write ? 1 : 0);
+    Mix(h, s.elem_bytes);
+    Mix(h, s.base_addr);
+    Mix(h, static_cast<std::uint64_t>(s.stride));
+    Mix(h, s.loop_invariant ? 1 : 0);
+    Mix(h, static_cast<std::uint64_t>(s.addr_reg));
+    Mix(h, static_cast<std::uint64_t>(s.addr_offset));
+  }
+}
+
+}  // namespace
+
+std::uint64_t ChecksumOf(const LoopRecord& rec) {
+  std::uint64_t h = 0x6b6f6f6c2d696421ull;
+  Mix(h, rec.loop_id);
+  Mix(h, static_cast<std::uint64_t>(rec.cls));
+  Mix(h, static_cast<std::uint64_t>(rec.reject));
+  Mix(h, rec.body.start_pc);
+  Mix(h, rec.body.latch_pc);
+  Mix(h, static_cast<std::uint64_t>(rec.body.vec_type));
+  Mix(h, rec.body.alu_ops);
+  Mix(h, rec.body.mul_ops);
+  Mix(h, rec.body.body_instrs);
+  Mix(h, rec.body.scalar_per_iter);
+  Mix(h, rec.body.has_function_call ? 1 : 0);
+  Mix(h, rec.body.conditions.size());
+  Mix(h, rec.body.code.size());
+  MixStreams(h, rec.body.loads);
+  MixStreams(h, rec.body.stores);
+  Mix(h, static_cast<std::uint64_t>(rec.induction_reg));
+  Mix(h, static_cast<std::uint64_t>(rec.induction_delta));
+  Mix(h, static_cast<std::uint64_t>(rec.limit_reg));
+  Mix(h, static_cast<std::uint64_t>(rec.limit_imm));
+  Mix(h, static_cast<std::uint64_t>(rec.latch_cond));
+  Mix(h, static_cast<std::uint64_t>(rec.latch_cmp_rn));
+  Mix(h, static_cast<std::uint64_t>(rec.latch_cmp_rm));
+  Mix(h, static_cast<std::uint64_t>(rec.latch_cmp_imm));
+  Mix(h, rec.latch_cmp_is_imm ? 1 : 0);
+  Mix(h, static_cast<std::uint64_t>(rec.latch_diff_delta));
+  Mix(h, rec.speculative_range);
+  Mix(h, static_cast<std::uint64_t>(rec.dep_distance));
+  Mix(h, rec.fused_outer ? 1 : 0);
+  Mix(h, rec.inner_latch_pc);
+  return h;
+}
+
 const LoopRecord* DsaCache::Lookup(std::uint32_t loop_id) {
   return LookupMutable(loop_id);
 }
@@ -9,6 +65,17 @@ const LoopRecord* DsaCache::Lookup(std::uint32_t loop_id) {
 LoopRecord* DsaCache::LookupMutable(std::uint32_t loop_id) {
   const auto it = map_.find(loop_id);
   if (it == map_.end()) {
+    ++misses_;
+    if (tracer_) tracer_->Emit(trace::EventKind::kCacheMiss, loop_id);
+    return nullptr;
+  }
+  if (validate_ && it->second->checksum != ChecksumOf(*it->second)) {
+    // Corrupted or aliased entry: drop it and report a miss so the engine
+    // re-analyzes the loop from scratch instead of speculating on garbage.
+    if (corruptions_ != nullptr) ++*corruptions_;
+    if (tracer_) tracer_->Emit(trace::EventKind::kCacheCorruption, loop_id);
+    lru_.erase(it->second);
+    map_.erase(it);
     ++misses_;
     if (tracer_) tracer_->Emit(trace::EventKind::kCacheMiss, loop_id);
     return nullptr;
@@ -23,6 +90,7 @@ void DsaCache::Insert(const LoopRecord& rec) {
   const auto it = map_.find(rec.loop_id);
   if (it != map_.end()) {
     *it->second = rec;
+    it->second->checksum = ChecksumOf(*it->second);
     lru_.splice(lru_.begin(), lru_, it->second);
     if (tracer_) {
       tracer_->Emit(trace::EventKind::kCacheInsert, rec.loop_id,
@@ -38,10 +106,29 @@ void DsaCache::Insert(const LoopRecord& rec) {
     if (tracer_) tracer_->Emit(trace::EventKind::kCacheEvict, victim);
   }
   lru_.push_front(rec);
+  lru_.front().checksum = ChecksumOf(lru_.front());
   map_[rec.loop_id] = lru_.begin();
   if (tracer_) {
     tracer_->Emit(trace::EventKind::kCacheInsert, rec.loop_id,
                   static_cast<std::uint64_t>(rec.cls));
+  }
+}
+
+void DsaCache::Reseal(std::uint32_t loop_id) {
+  const auto it = map_.find(loop_id);
+  if (it != map_.end()) it->second->checksum = ChecksumOf(*it->second);
+}
+
+void DsaCache::Corrupt(std::uint32_t loop_id, std::uint64_t payload) {
+  const auto it = map_.find(loop_id);
+  if (it == map_.end()) return;
+  LoopRecord& rec = *it->second;
+  // Hit the fields a real bit-flip would silently poison a takeover with:
+  // the speculative window and a stream base address.
+  rec.speculative_range ^= static_cast<std::uint32_t>(payload);
+  if (!rec.body.loads.empty()) {
+    rec.body.loads.front().base_addr ^=
+        static_cast<std::uint32_t>(payload >> 32);
   }
 }
 

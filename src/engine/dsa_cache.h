@@ -16,6 +16,11 @@
 
 namespace dsa::engine {
 
+// Integrity seal over a record's payload (every field that drives a
+// takeover; excludes the checksum slot itself). Insert/Reseal stamp it;
+// guarded lookups validate it.
+[[nodiscard]] std::uint64_t ChecksumOf(const LoopRecord& rec);
+
 class DsaCache {
  public:
   explicit DsaCache(std::uint32_t max_entries) : max_entries_(max_entries) {}
@@ -24,12 +29,37 @@ class DsaCache {
   // as cache events when set.
   void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
 
+  // Guarded mode (fault-injected runs): every lookup validates the
+  // record's checksum and a mismatch drops the entry — counted into
+  // `*counter` and reported as a kCacheCorruption trace event — so a
+  // corrupted record degrades to a re-analysis instead of driving a
+  // takeover from garbage.
+  void set_validate(bool on) { validate_ = on; }
+  void set_corruption_counter(std::uint64_t* counter) {
+    corruptions_ = counter;
+  }
+
   // Returns nullptr on miss. A hit refreshes LRU position.
   [[nodiscard]] const LoopRecord* Lookup(std::uint32_t loop_id);
   [[nodiscard]] LoopRecord* LookupMutable(std::uint32_t loop_id);
 
-  // Inserts or replaces; evicts the LRU record when full.
+  // Inserts or replaces; evicts the LRU record when full. Seals the
+  // stored copy's checksum.
   void Insert(const LoopRecord& rec);
+
+  // Re-stamps the checksum after an in-place mutation through
+  // LookupMutable. Required in guarded mode; harmless otherwise.
+  void Reseal(std::uint32_t loop_id);
+
+  // True when a record for `loop_id` exists (no LRU refresh, no counters).
+  [[nodiscard]] bool Contains(std::uint32_t loop_id) const {
+    return map_.count(loop_id) != 0;
+  }
+
+  // Fault-injection hook: XORs `payload` into the stored record's
+  // speculative/addressing fields without resealing, so the next guarded
+  // lookup sees a corrupted entry. No-op when the record is absent.
+  void Corrupt(std::uint32_t loop_id, std::uint64_t payload);
 
   [[nodiscard]] std::size_t size() const { return map_.size(); }
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
@@ -40,6 +70,8 @@ class DsaCache {
  private:
   std::uint32_t max_entries_;
   trace::Tracer* tracer_ = nullptr;
+  bool validate_ = false;
+  std::uint64_t* corruptions_ = nullptr;
   std::list<LoopRecord> lru_;  // front = most recent
   std::unordered_map<std::uint32_t, std::list<LoopRecord>::iterator> map_;
   std::uint64_t hits_ = 0;

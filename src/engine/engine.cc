@@ -122,7 +122,7 @@ std::optional<TakeoverPlan> DsaEngine::Observe(const cpu::Retired& r,
     Cooldown& cd = it->second;
     const std::uint32_t latch = it->first;
     if (r.pc == latch && r.instr->op == Opcode::kB) {
-      if (r.branch_taken && cd.sentinel_watch) {
+      if (r.branch_taken && cd.sentinel_watch && !IsBlacklisted(latch)) {
         ++cd.extra_iterations;
         // The sentinel loop outlived its speculated range: speculate again
         // with a doubled window (Section 4.6.5's continued execution case).
@@ -133,6 +133,7 @@ std::optional<TakeoverPlan> DsaEngine::Observe(const cpu::Retired& r,
             plan.from_cache = true;
             plan.max_iterations = std::max<std::uint64_t>(
                 cd.next_range, rec->body.lanes());
+            plan.expected_iterations = plan.max_iterations;
             CountStage(Stage::kSpeculativeExecution, latch);
             ++stats_.sentinel_respeculations;
             if (tracer_) {
@@ -156,6 +157,7 @@ std::optional<TakeoverPlan> DsaEngine::Observe(const cpu::Retired& r,
           const std::uint64_t lanes = rec->body.lanes();
           rec->speculative_range = static_cast<std::uint32_t>(
               RoundUpLanes(cd.covered + cd.extra_iterations, lanes));
+          dsa_cache_.Reseal(latch);
         }
       }
       it = cooldowns_.erase(it);
@@ -220,8 +222,24 @@ std::optional<TakeoverPlan> DsaEngine::HandleLatch(const cpu::Retired& r,
   if (trackers_.count(latch) != 0 || cooldowns_.count(latch) != 0) {
     return std::nullopt;
   }
+  // Blacklisted loop PC: too many rollbacks — stay scalar forever. No
+  // lookup, no tracker: the DSA ignores this loop entirely.
+  if (IsBlacklisted(latch)) return std::nullopt;
 
   CountStage(Stage::kLoopDetection, latch);
+  // Fault injection: flip bits in a stored record just before the lookup
+  // that would consume it; guarded validation must catch the mismatch and
+  // degrade to a re-analysis.
+  if (injector_ != nullptr && dsa_cache_.Contains(latch) &&
+      injector_->Fire(fault::FaultKind::kCacheCorrupt)) {
+    dsa_cache_.Corrupt(latch, injector_->Rand(fault::FaultKind::kCacheCorrupt));
+    if (tracer_) {
+      tracer_->Emit(
+          trace::EventKind::kFaultInjected, latch,
+          static_cast<std::uint64_t>(fault::FaultKind::kCacheCorrupt),
+          injector_->fired()[static_cast<int>(fault::FaultKind::kCacheCorrupt)]);
+    }
+  }
   ++stats_.dsa_cache_accesses;
   const LoopRecord* rec = dsa_cache_.Lookup(latch);
   if (rec != nullptr) {
@@ -303,9 +321,27 @@ std::optional<TakeoverPlan> DsaEngine::PlanFromRecord(
     total_iterations = 2 + *remaining;  // iteration 1 done + this latch
   }
 
+  // Fault injection: a forced CIDP misprediction replaces the dependency
+  // verdict with an unconditional "safe", so the takeover proceeds on a
+  // semantically wrong premise and the guard must catch the divergence.
+  bool forced_misprediction = false;
+  if (injector_ != nullptr && cfg_.enable_cidp &&
+      rec.cls != LoopClass::kPartial &&
+      injector_->Fire(fault::FaultKind::kCidpMispredict)) {
+    forced_misprediction = true;
+    if (tracer_) {
+      tracer_->Emit(
+          trace::EventKind::kFaultInjected, rec.loop_id,
+          static_cast<std::uint64_t>(fault::FaultKind::kCidpMispredict),
+          injector_->fired()[static_cast<int>(
+              fault::FaultKind::kCidpMispredict)]);
+    }
+  }
+
   // Dynamic-range semantics (Fig. 24): dependency prediction must re-run on
   // every execution because a different range can create a dependency.
-  if (cfg_.enable_cidp && rec.cls != LoopClass::kPartial) {
+  if (cfg_.enable_cidp && rec.cls != LoopClass::kPartial &&
+      !forced_misprediction) {
     const CidpResult dep =
         PredictBodyTraced(rec.body, total_iterations, tracer_, rec.loop_id);
     if (dep.has_dependency) {
@@ -328,6 +364,9 @@ std::optional<TakeoverPlan> DsaEngine::PlanFromRecord(
   plan.record = rec;
   plan.from_cache = true;
   plan.max_iterations = max_iterations;
+  plan.expected_iterations =
+      total_iterations > 0 ? static_cast<std::uint64_t>(total_iterations) : 0;
+  plan.forced_misprediction = forced_misprediction;
   return SelfCoverage(plan);
 }
 
@@ -336,6 +375,7 @@ void DsaEngine::DemoteFusion(std::uint32_t outer_latch_pc) {
     if (rec->fused_outer) {
       rec->fused_outer = false;
       rec->reject = RejectReason::kContainsInnerLoop;
+      dsa_cache_.Reseal(outer_latch_pc);
       ++stats_.fusion_demotions;
       if (tracer_) {
         tracer_->Emit(trace::EventKind::kFusionDemoted, outer_latch_pc);
@@ -453,6 +493,33 @@ void DsaEngine::FinishTakeover(const TakeoverPlan& plan,
         std::max<std::uint64_t>(2 * plan.max_iterations, body.lanes()), 8192);
     SetCooldown(body.latch_pc, cd);
   }
+}
+
+void DsaEngine::RecordRollback(const TakeoverPlan& plan, cpu::Cpu& cpu) {
+  // The failed speculation still drained the pipe, and the restore from
+  // the checkpoint costs extra on top.
+  cpu.AddDsaOverhead(cfg_.pipeline_flush_latency + cfg_.rollback_penalty);
+  ++stats_.rollbacks;
+
+  // Strike against the latch that produced the plan (the outer latch for a
+  // fused nest — the same PC HandleLatch gates on).
+  const std::uint32_t latch = plan.coverage_latch;
+  const std::uint32_t strikes = ++strikes_[latch];
+  if (tracer_) {
+    tracer_->Emit(trace::EventKind::kMisspecRollback, latch, strikes,
+                  plan.expected_iterations);
+  }
+  if (strikes >= cfg_.blacklist_strikes && blacklist_.count(latch) == 0) {
+    blacklist_.insert(latch);
+    ++stats_.blacklisted_loops;
+    if (tracer_) {
+      tracer_->Emit(trace::EventKind::kLoopBlacklisted, latch, strikes);
+    }
+  }
+
+  // Any loop analysis interrupted by the squashed takeover restarts from
+  // scratch, exactly as after a successful takeover.
+  trackers_.clear();
 }
 
 }  // namespace dsa::engine

@@ -15,6 +15,7 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cpu/cpu.h"
@@ -23,6 +24,7 @@
 #include "engine/stats.h"
 #include "engine/tracker.h"
 #include "engine/vector_cost.h"
+#include "fault/fault.h"
 #include "trace/trace.h"
 
 namespace dsa::engine {
@@ -40,6 +42,15 @@ struct TakeoverPlan {
   std::uint32_t coverage_start = 0;
   std::uint32_t coverage_latch = 0;
   std::uint32_t count_latch = 0;
+  // Best estimate of the covered iteration count at takeover time (trip
+  // count for count/DRL loops, speculative window for sentinels); 0 when
+  // unknown (fresh takeovers). The speculation guard sizes its store-undo
+  // log from this.
+  std::uint64_t expected_iterations = 0;
+  // Fault injection: a forced CIDP misprediction fired on this plan, so
+  // the vectorized execution is semantically wrong and the guard must
+  // detect a divergence and roll back.
+  bool forced_misprediction = false;
 };
 
 class DsaEngine {
@@ -82,6 +93,31 @@ class DsaEngine {
   // shortcut, no cooldown-scan skip); stats are identical either way.
   void set_reference_path(bool ref) { reference_path_ = ref; }
 
+  // Attaches a fault injector (nullptr detaches). While attached the DSA
+  // cache runs in guarded mode (checksum validation + corruption counter)
+  // and the engine fires cidp/cache faults at their trigger sites; the
+  // caller keeps ownership.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    injector_ = injector;
+    dsa_cache_.set_validate(injector != nullptr);
+    dsa_cache_.set_corruption_counter(
+        injector != nullptr ? &stats_.cache_corruptions_detected : nullptr);
+  }
+  [[nodiscard]] fault::FaultInjector* fault_injector() const {
+    return injector_;
+  }
+
+  // Called by the system when the speculation guard detected a divergence
+  // after the covered run: counts the rollback, charges the squash+restore
+  // penalty, records a strike against the loop PC and — after
+  // cfg.blacklist_strikes strikes — blacklists it so every later encounter
+  // executes purely scalar. Replaces FinishTakeover for the failed plan.
+  void RecordRollback(const TakeoverPlan& plan, cpu::Cpu& cpu);
+
+  [[nodiscard]] bool IsBlacklisted(std::uint32_t loop_id) const {
+    return blacklist_.count(loop_id) != 0;
+  }
+
   // Batched-observation interface (sim::Run's DSA fast loop). While idle()
   // — no tracker in flight — the only retires Observe() can react to are
   // backward conditional branches, plus, when has_cooldowns(), any pc
@@ -123,6 +159,11 @@ class DsaEngine {
 
   trace::Tracer* tracer_ = nullptr;
   bool reference_path_ = false;
+  fault::FaultInjector* injector_ = nullptr;
+  // Speculation-guard strike tracking: rollbacks per loop PC, and the set
+  // of PCs degraded to scalar-only execution (per engine = per run).
+  std::unordered_map<std::uint32_t, std::uint32_t> strikes_;
+  std::unordered_set<std::uint32_t> blacklist_;
   DsaConfig cfg_;
   cpu::TimingConfig timing_;
   DsaCache dsa_cache_;

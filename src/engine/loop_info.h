@@ -126,6 +126,11 @@ struct LoopRecord {
   // takes over the whole nest, counting inner-loop iterations.
   bool fused_outer = false;
   std::uint32_t inner_latch_pc = 0;
+  // Integrity seal over the record's payload fields, computed by the DSA
+  // Cache on Insert/Reseal and validated on lookup when the cache runs in
+  // guarded mode (fault injection); a mismatch means the stored entry was
+  // corrupted or aliased and must not drive a takeover.
+  std::uint64_t checksum = 0;
 };
 
 }  // namespace dsa::engine

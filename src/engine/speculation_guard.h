@@ -1,0 +1,88 @@
+// SpeculationGuard: checkpoint/cross-check/rollback protection around DSA
+// takeovers, active only on fault-injected runs. Before the covered region
+// executes, Arm() checkpoints the architectural state (registers, vector
+// file, and the store footprint of the plan — or the whole memory image
+// when the footprint cannot be bounded). After the covered run,
+// CheckAfterCovered() fires the guard-stage faults (wrong-lane select,
+// sentinel overrun, NEON lane bit-flip, wild stream pointer), applies
+// their corruptions to the live state, and cross-checks a digest of the
+// speculatively produced state against the scalar reference — which is the
+// pre-corruption state itself, because covered execution is functionally
+// scalar (the paper's trace-level methodology). A mismatch means the
+// modeled vector hardware diverged: the caller rolls back to the
+// checkpoint, charges the misspeculation penalty through
+// DsaEngine::RecordRollback, and re-executes the loop scalar.
+//
+// docs/FAULTS.md documents the fault model and the recovery guarantees.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/cpu.h"
+#include "engine/config.h"
+#include "engine/engine.h"
+#include "fault/fault.h"
+#include "trace/trace.h"
+
+namespace dsa::engine {
+
+class SpeculationGuard {
+ public:
+  SpeculationGuard(const DsaConfig& cfg, fault::FaultInjector& injector,
+                   trace::Tracer* tracer)
+      : cfg_(cfg), injector_(injector), tracer_(tracer) {}
+
+  // Checkpoints the architectural state for `plan`'s covered run: a copy
+  // of the CPU state plus a store-undo log over the plan's store streams,
+  // sized for max(expected, max) iterations plus the guard margin. Plans
+  // whose footprint cannot be bounded (fused nests, function-call bodies,
+  // fresh takeovers with stale stream bases, unknown trip counts) fall
+  // back to a full memory snapshot.
+  void Arm(const engine::TakeoverPlan& plan, cpu::Cpu& cpu);
+
+  // Fires the guard-stage faults for this takeover, applies the resulting
+  // corruptions to the live state, and returns true when the corrupted
+  // state diverges from the scalar reference (=> the caller must Rollback
+  // and re-execute scalar). Also diverges when the plan carried a forced
+  // CIDP misprediction. Must be called exactly once per armed plan.
+  [[nodiscard]] bool CheckAfterCovered(const engine::TakeoverPlan& plan,
+                                       cpu::Cpu& cpu,
+                                       std::uint64_t covered_iterations);
+
+  // Restores the checkpoint taken by Arm(): CPU state and either the undo
+  // ranges or the full memory image.
+  void Rollback(cpu::Cpu& cpu);
+
+  [[nodiscard]] bool armed() const { return armed_; }
+
+ private:
+  struct UndoRange {
+    std::uint32_t lo = 0;
+    std::vector<std::uint8_t> saved;
+  };
+
+  [[nodiscard]] std::uint64_t DigestState(const cpu::Cpu& cpu) const;
+  void ApplyFaults(const engine::TakeoverPlan& plan, cpu::Cpu& cpu,
+                   std::uint64_t covered_iterations);
+  // Corruption appliers; every site they touch is inside the digest's and
+  // the checkpoint's coverage, so detection and recovery are guaranteed.
+  void CorruptFootprint(cpu::Cpu& cpu, std::uint64_t payload, bool at_end);
+  void CorruptVregBit(cpu::Cpu& cpu, std::uint64_t payload);
+  void CorruptStreamPointer(const engine::TakeoverPlan& plan, cpu::Cpu& cpu,
+                            std::uint64_t payload);
+  void EmitFault(fault::FaultKind kind, std::uint32_t loop_id);
+
+  DsaConfig cfg_;
+  fault::FaultInjector& injector_;
+  trace::Tracer* tracer_ = nullptr;
+
+  bool armed_ = false;
+  bool snapshot_ = false;
+  std::uint64_t bound_iterations_ = 0;
+  cpu::CpuState checkpoint_;
+  std::vector<UndoRange> undo_;
+  std::vector<std::uint8_t> mem_snapshot_;
+};
+
+}  // namespace dsa::engine

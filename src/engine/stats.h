@@ -62,6 +62,11 @@ struct DsaStats {
   std::uint64_t vc_accesses = 0;
   std::uint64_t dsa_cache_accesses = 0;
 
+  // Speculation-guard activity (fault-injected runs; see docs/FAULTS.md).
+  std::uint64_t rollbacks = 0;          // detected misspeculations squashed
+  std::uint64_t blacklisted_loops = 0;  // loop PCs degraded to scalar-only
+  std::uint64_t cache_corruptions_detected = 0;  // checksum-dropped records
+
   void CountStage(Stage s) {
     ++stage_activations[static_cast<int>(s)];
   }

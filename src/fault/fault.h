@@ -1,0 +1,114 @@
+// Deterministic fault-injection subsystem: a seeded FaultPlan describes
+// which faults to arm (kind + trigger + repeat count) and a FaultInjector
+// turns it into per-opportunity fire decisions during one run. Every fire
+// decision is a pure function of {plan, opportunity index}, so a faulted
+// run is exactly as repeatable as a clean one — which is what lets the
+// differential oracle check faulted cells for determinism and for
+// bit-identical recovery against the fault-free baseline.
+//
+// The library is dependency-free on purpose: the engine (speculation
+// guard, DSA-cache corruption hooks) and the sim harness (SystemConfig,
+// CLI) both consume it. docs/FAULTS.md documents the spec grammar and the
+// semantics of each fault kind.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dsa::fault {
+
+// Stable fault-kind IDs (the bench JSON and the trace events carry the
+// numeric value; append only).
+enum class FaultKind : std::uint8_t {
+  kCidpMispredict = 0,  // force a wrong CIDP verdict on a cache-hit plan
+  kCacheCorrupt = 1,    // flip bits in a stored DSA-cache loop record
+  kWrongLane = 2,       // Vector Map selects the wrong lane (cond. loops)
+  kSentinelOverrun = 3, // speculative stores past the sentinel element
+  kLaneBitflip = 4,     // single-event upset in a NEON lane
+  kMemFault = 5,        // wild stream base address out of memory range
+};
+inline constexpr int kNumFaultKinds = 6;
+
+[[nodiscard]] std::string_view ToString(FaultKind k);
+// Parses a kind token ("cidp", "cache", "lane", "sentinel", "bitflip",
+// "mem"); returns false on an unknown token.
+[[nodiscard]] bool ParseFaultKind(std::string_view token, FaultKind& out);
+
+// One armed fault: fire on opportunities [trigger, trigger + count).
+// Opportunities are counted per kind, starting at 0 (so trigger 0 fires on
+// the first chance the run offers this kind of fault).
+struct FaultSpec {
+  FaultKind kind = FaultKind::kCidpMispredict;
+  std::uint64_t trigger = 0;
+  std::uint64_t count = 1;  // UINT64_MAX ("+" in the grammar) = every one
+};
+
+struct FaultPlan {
+  std::vector<FaultSpec> specs;
+  std::uint64_t seed = 0;
+  bool seed_explicit = false;  // ";seed=N" was present in the spec string
+
+  [[nodiscard]] bool enabled() const { return !specs.empty(); }
+};
+
+// Parses the --faults grammar (docs/FAULTS.md):
+//   plan  := entry ("," entry)* (";seed=" uint)?
+//   entry := kind "@" trigger ["+" [count]]
+// e.g. "cidp@0", "bitflip@2+3,mem@1", "cache@0+;seed=42".
+// Throws std::invalid_argument with a pointed message on bad input.
+[[nodiscard]] FaultPlan ParseFaultPlan(const std::string& spec);
+
+// Inverse of ParseFaultPlan (canonical form; round-trips).
+[[nodiscard]] std::string FormatFaultPlan(const FaultPlan& plan);
+
+// Per-run injector: counts opportunities per kind and decides which fire.
+// Not thread-safe; one injector per sim::Run.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+
+  // Registers one opportunity for `k` and returns true when an armed spec
+  // says this one fires. Call exactly once per opportunity site.
+  [[nodiscard]] bool Fire(FaultKind k);
+
+  // Deterministic pseudo-random payload for the next corruption of kind
+  // `k` (splitmix64 stream seeded from plan.seed and the kind). Never
+  // returns 0, so XOR-corruptions always change the target.
+  [[nodiscard]] std::uint64_t Rand(FaultKind k);
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] const std::array<std::uint64_t, kNumFaultKinds>&
+  opportunities() const {
+    return opportunities_;
+  }
+  [[nodiscard]] const std::array<std::uint64_t, kNumFaultKinds>& fired()
+      const {
+    return fired_;
+  }
+  [[nodiscard]] std::uint64_t total_fired() const;
+
+ private:
+  FaultPlan plan_;
+  std::array<std::uint64_t, kNumFaultKinds> opportunities_{};
+  std::array<std::uint64_t, kNumFaultKinds> fired_{};
+  std::array<std::uint64_t, kNumFaultKinds> rng_{};
+};
+
+// Summary of one faulted run, carried by sim::RunResult so reports and the
+// oracle can see what the injector actually did.
+struct FaultReport {
+  FaultPlan plan;
+  std::array<std::uint64_t, kNumFaultKinds> opportunities{};
+  std::array<std::uint64_t, kNumFaultKinds> fired{};
+
+  [[nodiscard]] std::uint64_t total_fired() const {
+    std::uint64_t n = 0;
+    for (const std::uint64_t f : fired) n += f;
+    return n;
+  }
+};
+
+}  // namespace dsa::fault

@@ -95,6 +95,12 @@ std::vector<Violation> CheckInvariants(const RunResult& r,
          "invariant.dsa_analysis",
          Format("analysis cycles %" PRIu64 " exceed observed instrs %" PRIu64,
                 d.analysis_cycles, d.observed_instructions));
+  // A loop is blacklisted only after blacklist_strikes rollbacks, so the
+  // blacklist census can never outrun the rollback counter.
+  Expect(v, job, d.blacklisted_loops <= d.rollbacks,
+         "invariant.dsa_blacklist",
+         Format("blacklisted loops %" PRIu64 " > rollbacks %" PRIu64,
+                d.blacklisted_loops, d.rollbacks));
 
   // Trace cross-check: a traced run's aggregate stage counters (exact even
   // when the ring overflowed) must mirror the engine's own stage counters;
@@ -123,15 +129,35 @@ std::vector<Violation> CheckInvariants(const RunResult& r,
                       s, from_events[s], d.stage_activations[s]));
       }
     }
+    // A rolled-back takeover emits kTakeoverBegin but is squashed before
+    // FinishTakeover, so begins balance against takeovers + rollbacks.
     Expect(v, job,
            t.kind_counts[static_cast<int>(trace::EventKind::kTakeoverBegin)] ==
-               d.takeovers,
+               d.takeovers + d.rollbacks,
            "invariant.trace_takeovers",
            Format("trace saw %" PRIu64 " takeover-begins, engine counted "
-                  "%" PRIu64,
+                  "%" PRIu64 " takeovers + %" PRIu64 " rollbacks",
                   t.kind_counts[static_cast<int>(
                       trace::EventKind::kTakeoverBegin)],
-                  d.takeovers));
+                  d.takeovers, d.rollbacks));
+    Expect(v, job,
+           t.kind_counts[static_cast<int>(
+               trace::EventKind::kMisspecRollback)] == d.rollbacks,
+           "invariant.trace_rollbacks",
+           Format("trace saw %" PRIu64 " rollback events, engine counted "
+                  "%" PRIu64,
+                  t.kind_counts[static_cast<int>(
+                      trace::EventKind::kMisspecRollback)],
+                  d.rollbacks));
+    Expect(v, job,
+           t.kind_counts[static_cast<int>(
+               trace::EventKind::kLoopBlacklisted)] == d.blacklisted_loops,
+           "invariant.trace_blacklist",
+           Format("trace saw %" PRIu64 " blacklist events, engine counted "
+                  "%" PRIu64,
+                  t.kind_counts[static_cast<int>(
+                      trace::EventKind::kLoopBlacklisted)],
+                  d.blacklisted_loops));
     Expect(v, job, t.dropped <= t.emitted, "invariant.trace_drop_accounting",
            Format("dropped %" PRIu64 " > emitted %" PRIu64, t.dropped,
                   t.emitted));
@@ -163,6 +189,11 @@ std::vector<Violation> CheckDeterminism(const RunResult& a, const RunResult& b,
              a.dsa->vectorized_iterations, b.dsa->vectorized_iterations);
     same_u64("determinism.analysis_cycles", a.dsa->analysis_cycles,
              b.dsa->analysis_cycles);
+    same_u64("determinism.rollbacks", a.dsa->rollbacks, b.dsa->rollbacks);
+    same_u64("determinism.blacklisted_loops", a.dsa->blacklisted_loops,
+             b.dsa->blacklisted_loops);
+    same_u64("determinism.cache_corruptions", a.dsa->cache_corruptions_detected,
+             b.dsa->cache_corruptions_detected);
     for (int s = 0; s < engine::kNumStages; ++s) {
       same_u64("determinism.stage_activations", a.dsa->stage_activations[s],
                b.dsa->stage_activations[s]);

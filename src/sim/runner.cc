@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sim/error.h"
+
 namespace dsa::sim {
 
 namespace {
@@ -119,17 +121,45 @@ void BatchRunner::Execute(Pending& p) {
   out.workload_key = WorkloadKey(p.job);
   out.mode = p.job.mode;
   out.config_tag = p.job.config_tag;
+
+  // Watchdog: cap the cell's interpreter step budget so a runaway loop
+  // trips DsaError{kStepLimit} instead of wedging the worker thread.
+  SystemConfig cfg = p.job.config;
+  if (opts_.max_cell_steps > 0 &&
+      (cfg.max_steps == 0 || cfg.max_steps > opts_.max_cell_steps)) {
+    cfg.max_steps = opts_.max_cell_steps;
+  }
+
   for (int rep = 0; rep < opts_.repeats; ++rep) {
     const auto t0 = std::chrono::steady_clock::now();
-    try {
-      out.runs.push_back(
-          opts_.run_fn(p.job.workload, p.job.mode, p.job.config));
-    } catch (const std::exception& e) {
-      out.error = e.what();
-      return;
+    for (int attempt = 0;; ++attempt) {
+      ++out.attempts;
+      try {
+        out.runs.push_back(opts_.run_fn(p.job.workload, p.job.mode, cfg));
+        break;
+      } catch (const DsaError& e) {
+        out.error = e.what();
+        // Only transient harness failures earn a bounded retry with
+        // exponential backoff; deterministic errors (step limit, OOB,
+        // bad workload) would fail identically again.
+        if (!e.transient() || attempt >= opts_.max_retries) {
+          out.cell_status = "faulted";
+          return;
+        }
+        if (opts_.retry_backoff_ms > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              static_cast<std::int64_t>(opts_.retry_backoff_ms) << attempt));
+        }
+        out.error.clear();
+      } catch (const std::exception& e) {
+        out.error = e.what();
+        out.cell_status = "faulted";
+        return;
+      }
     }
     if (rep == 0) out.wall_ms = ElapsedMs(t0);
   }
+  out.cell_status = "ok";
 }
 
 const JobOutcome& BatchRunner::Get(const std::string& key) {
@@ -161,6 +191,7 @@ BatchReport BatchRunner::Finish() {
   report.memo_hits = memo_hits_;
   for (const auto& [key, out] : outcomes_) {
     report.executed_runs += out.runs.size();
+    if (out.cell_status != "ok") ++report.faulted_cells;
     if (!out.error.empty()) {
       report.violations.push_back(
           oracle::Violation{key, "run.exception", out.error});
@@ -290,13 +321,14 @@ bool WriteBenchJson(const std::string& path, const std::string& bench_name,
   }
 
   w.Open(nullptr, '{');
-  w.Str("schema", "dsa-bench-json/2");
+  w.Str("schema", "dsa-bench-json/3");
   w.Str("bench", bench_name);
   w.U64("jobs", static_cast<std::uint64_t>(runner.options().jobs));
   w.U64("repeats", static_cast<std::uint64_t>(runner.options().repeats));
   w.Dbl("wall_ms", report.wall_ms);
   w.U64("distinct_jobs", report.distinct_jobs);
   w.U64("executed_runs", report.executed_runs);
+  w.U64("faulted_cells", report.faulted_cells);
   w.U64("memo_hits", report.memo_hits);
 
   w.Open("oracle", '{');
@@ -315,7 +347,21 @@ bool WriteBenchJson(const std::string& path, const std::string& bench_name,
 
   w.Open("results", '[');
   for (const auto& [key, out] : runner.outcomes()) {
-    if (out.runs.empty()) continue;
+    if (out.runs.empty()) {
+      // A poisoned cell still shows up — minimal payload, no stats.
+      w.Raw("\n  ");
+      w.Open(nullptr, '{');
+      w.Str("job", key);
+      w.Str("workload", out.workload_key);
+      w.Str("mode", ModeSlug(out.mode));
+      w.Str("config", out.config_tag);
+      w.Str("cell_status", out.cell_status);
+      w.U64("attempts", out.attempts);
+      w.U64("runs", 0);
+      if (!out.error.empty()) w.Str("error", out.error);
+      w.Close('}');
+      continue;
+    }
     const RunResult& r = out.result();
     w.Raw("\n  ");
     w.Open(nullptr, '{');
@@ -323,6 +369,9 @@ bool WriteBenchJson(const std::string& path, const std::string& bench_name,
     w.Str("workload", r.workload);
     w.Str("mode", ModeSlug(out.mode));
     w.Str("config", out.config_tag);
+    w.Str("cell_status", out.cell_status);
+    w.U64("attempts", out.attempts);
+    if (!out.error.empty()) w.Str("error", out.error);
     w.U64("cycles", r.cycles);
     const auto base = baseline.find(out.workload_key);
     if (base != baseline.end() && r.cycles > 0) {
@@ -383,6 +432,27 @@ bool WriteBenchJson(const std::string& path, const std::string& bench_name,
       w.Close('}');
     }
 
+    if (r.faults.has_value()) {
+      const fault::FaultReport& fr = *r.faults;
+      w.Open("faults", '{');
+      w.Str("plan", fault::FormatFaultPlan(fr.plan));
+      w.U64("seed", fr.plan.seed);
+      w.U64("total_fired", fr.total_fired());
+      w.Open("opportunities", '{');
+      for (int k = 0; k < fault::kNumFaultKinds; ++k) {
+        w.U64(std::string(ToString(static_cast<fault::FaultKind>(k))).c_str(),
+              fr.opportunities[k]);
+      }
+      w.Close('}');
+      w.Open("fired", '{');
+      for (int k = 0; k < fault::kNumFaultKinds; ++k) {
+        w.U64(std::string(ToString(static_cast<fault::FaultKind>(k))).c_str(),
+              fr.fired[k]);
+      }
+      w.Close('}');
+      w.Close('}');
+    }
+
     if (r.dsa.has_value()) {
       const engine::DsaStats& d = *r.dsa;
       w.Dbl("detection_latency_pct", r.detection_latency_pct());
@@ -396,6 +466,9 @@ bool WriteBenchJson(const std::string& path, const std::string& bench_name,
       w.U64("fusions_formed", d.fusions_formed);
       w.U64("fusion_demotions", d.fusion_demotions);
       w.U64("sentinel_respeculations", d.sentinel_respeculations);
+      w.U64("rollbacks", d.rollbacks);
+      w.U64("blacklisted_loops", d.blacklisted_loops);
+      w.U64("cache_corruptions_detected", d.cache_corruptions_detected);
       w.Open("stage_activations", '{');
       for (int s = 0; s < engine::kNumStages; ++s) {
         w.U64(std::string(ToString(static_cast<engine::Stage>(s))).c_str(),

@@ -53,6 +53,13 @@ struct JobOutcome {
   std::vector<RunResult> runs;
   double wall_ms = 0;  // wall time of the first execution
   std::string error;   // non-empty if the job threw
+  // "ok" once every repeat completed; "faulted" when the cell was poisoned
+  // (watchdog step budget, memory fault, or retries exhausted). A faulted
+  // cell never aborts the batch — siblings keep running and the JSON
+  // records the failure (docs/FAULTS.md).
+  std::string cell_status = "ok";
+  // run_fn invocations, including retried attempts (>= runs.size()).
+  std::uint64_t attempts = 0;
 
   [[nodiscard]] const RunResult& result() const { return runs.at(0); }
 };
@@ -61,6 +68,14 @@ struct RunnerOptions {
   int jobs = 0;      // worker threads; <= 0 uses hardware_concurrency
   int repeats = 2;   // executions per distinct job; >= 2 checks determinism
   bool oracle = true;  // run invariant/determinism/equivalence checks
+  // Watchdog: per-cell interpreter step budget. When > 0 it overrides each
+  // job's SystemConfig::max_steps, so one runaway cell trips kStepLimit
+  // and is marked "faulted" instead of hanging the whole batch.
+  std::uint64_t max_cell_steps = 0;
+  // Bounded retry with backoff for *transient* failures only
+  // (DsaError::transient()); deterministic errors fail the cell at once.
+  int max_retries = 2;
+  int retry_backoff_ms = 10;  // doubles per attempt
   // Test seam: replaces sim::Run (instrumented or fault-injecting runs).
   std::function<RunResult(const Workload&, RunMode, const SystemConfig&)>
       run_fn;
@@ -69,7 +84,8 @@ struct RunnerOptions {
 struct BatchReport {
   std::vector<oracle::Violation> violations;
   std::uint64_t distinct_jobs = 0;
-  std::uint64_t executed_runs = 0;  // distinct_jobs * repeats
+  std::uint64_t executed_runs = 0;  // completed runs across all cells
+  std::uint64_t faulted_cells = 0;  // cells with cell_status != "ok"
   std::uint64_t memo_hits = 0;      // submissions answered from the memo
   double wall_ms = 0;               // batch wall time (construction→Finish)
   [[nodiscard]] bool ok() const { return violations.empty(); }
@@ -140,11 +156,15 @@ class BatchRunner {
   std::map<std::string, JobOutcome> outcomes_;  // filled by Finish()
 };
 
-// Writes the batch as machine-readable JSON (schema "dsa-bench-json/2"):
+// Writes the batch as machine-readable JSON (schema "dsa-bench-json/3"):
 // per-job cycles, speedup over the workload's scalar baseline when one is
-// in the batch, DSA stats, energy breakdown, wall time, host simulation
-// throughput (the `host` block), plus the oracle verdict. Returns false if
-// the file could not be written.
+// in the batch, DSA stats (including the speculation guard's rollback and
+// blacklist counters), energy breakdown, wall time, host simulation
+// throughput (the `host` block), fault-injection report (`faults` block,
+// armed runs only), per-cell status/attempts, plus the oracle verdict.
+// Faulted cells appear with a minimal payload so a poisoned cell is
+// visible, not silently dropped. Returns false if the file could not be
+// written.
 bool WriteBenchJson(const std::string& path, const std::string& bench_name,
                     const BatchRunner& runner, const BatchReport& report);
 

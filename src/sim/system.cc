@@ -4,6 +4,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "engine/speculation_guard.h"
 #include "neon/vector_unit.h"
 
 namespace dsa::sim {
@@ -135,6 +136,40 @@ CoveredDelta RunCovered(cpu::Cpu& cpu, const TakeoverPlan& plan) {
   return d;
 }
 
+[[noreturn]] void ThrowStepLimit(const Workload& wl, const cpu::Cpu& cpu,
+                                 std::uint64_t steps) {
+  throw DsaError(DsaErrorCode::kStepLimit,
+                 "step limit exceeded on " + wl.name,
+                 DsaError::Context{wl.name, cpu.state().pc, steps});
+}
+
+// Scalar re-execution after a speculation-guard rollback: the checkpoint
+// put the PC back at the loop entry, so plain interpreter steps run the
+// whole loop (and, for a fused nest, the whole covered region) to its real
+// exit — the documented degradation semantics of a misspeculated takeover.
+// The DSA observes nothing during the squash-and-replay, but the retires
+// are credited via ObserveSkipped by the caller so observed_instructions
+// stays exact. Returns the number of re-executed instructions.
+std::uint64_t ReexecuteScalar(cpu::Cpu& cpu, const TakeoverPlan& plan,
+                              const Workload& wl, std::uint64_t max_steps,
+                              std::uint64_t& steps) {
+  const std::uint32_t start = plan.coverage_start;
+  const std::uint32_t latch = plan.coverage_latch;
+  std::uint64_t redone = 0;
+  int depth = 0;
+  while (!cpu.halted()) {
+    const std::uint32_t pc = cpu.state().pc;
+    if (depth == 0 && (pc < start || pc > latch)) break;
+    if (++steps > max_steps) ThrowStepLimit(wl, cpu, steps);
+    const cpu::Retired r = cpu.Step();
+    if (r.instr == nullptr) break;
+    if (r.instr->op == isa::Opcode::kBl) ++depth;
+    if (r.instr->op == isa::Opcode::kRet) --depth;
+    ++redone;
+  }
+  return redone;
+}
+
 }  // namespace
 
 RunResult Run(const Workload& wl, RunMode mode, const SystemConfig& cfg) {
@@ -162,9 +197,14 @@ RunResult Run(const Workload& wl, RunMode mode, const SystemConfig& cfg) {
   cpu::Cpu cpu(*program, memory, hierarchy, cfg.timing, cfg.reference_path);
 
   std::optional<engine::DsaEngine> engine;
+  std::optional<fault::FaultInjector> injector;
   if (mode == RunMode::kDsa) {
     engine.emplace(cfg.dsa, cfg.timing);
     engine->set_reference_path(cfg.reference_path);
+    if (cfg.faults.enabled()) {
+      injector.emplace(cfg.faults);
+      engine->set_fault_injector(&*injector);
+    }
   }
 
   // The tracer outlives the engine's raw pointer into it; disabled configs
@@ -181,95 +221,125 @@ RunResult Run(const Workload& wl, RunMode mode, const SystemConfig& cfg) {
                    b.instrs, b.busy_cycles, b.busy_cycles);
   };
 
-  std::uint64_t steps = 0;
-  const auto host_t0 = std::chrono::steady_clock::now();
-  // Fast loops: without a per-retire consumer the interpreter batches
-  // instructions inside the Cpu (no Retired materialization, no per-step
-  // call). The reference path and traced runs keep the original per-step
-  // loop; every path produces bit-identical simulated results
-  // (tests/test_reference_path.cc and the differential oracle).
-  const bool per_step = cfg.reference_path || tracer.has_value();
-  if (!per_step && !engine.has_value()) {
-    cpu.RunFree(cfg.max_steps, steps);
-    if (steps > cfg.max_steps) {
-      throw std::runtime_error("step limit exceeded on " + wl.name);
-    }
-  } else if (!per_step) {
-    // DSA fast loop: while the engine is idle, run unobserved up to the
-    // next retire its filter cares about; per-step only while a tracker
-    // is analyzing a loop body.
-    while (!cpu.halted()) {
-      cpu::Retired r;
-      if (engine->idle()) {
-        std::uint64_t skipped = 0;
-        r = cpu.RunToInteresting(engine->has_cooldowns(),
-                                 engine->cooldown_window_lo(),
-                                 engine->cooldown_window_hi(), cfg.max_steps,
-                                 steps, skipped);
-        if (skipped != 0) engine->ObserveSkipped(skipped);
-        if (steps > cfg.max_steps) {
-          throw std::runtime_error("step limit exceeded on " + wl.name);
-        }
-        if (r.instr == nullptr) break;  // halted before anything interesting
-      } else {
-        if (++steps > cfg.max_steps) {
-          throw std::runtime_error("step limit exceeded on " + wl.name);
-        }
-        r = cpu.Step();
-        if (r.instr == nullptr) break;
-      }
-      std::optional<TakeoverPlan> plan = engine->Observe(r, cpu.state());
-      if (plan.has_value()) {
-        const cpu::Cpu::CoveredOutcome d = cpu.RunCovered(
-            plan->coverage_start, plan->coverage_latch,
-            plan->record.body.start_pc, plan->record.body.latch_pc,
-            plan->count_latch, plan->max_iterations);
-        engine->FinishTakeover(*plan, d.iterations, d.retired, cpu,
-                               d.glue_instrs);
-        if (d.fused_glue_store) engine->DemoteFusion(plan->coverage_latch);
-      }
-    }
-  } else {
-    // Reference / traced per-step loop: one Step() and one observation per
-    // retired instruction, exactly the pre-optimization structure.
-    while (!cpu.halted()) {
-      if (++steps > cfg.max_steps) {
-        throw std::runtime_error("step limit exceeded on " + wl.name);
-      }
-      const cpu::Retired r = cpu.Step();
-      if (r.instr == nullptr) break;
-      if (tracer.has_value()) {
-        const std::uint64_t now = cpu.Cycles();
-        tracer->SetNow(now);
-        if (const auto b = bursts.Observe(r.instr->op, now)) {
-          emit_burst(*b);
-        }
-      }
-      if (engine.has_value()) {
-        std::optional<TakeoverPlan> plan = engine->Observe(r, cpu.state());
-        if (plan.has_value()) {
-          if (tracer.has_value()) {
-            tracer->Emit(trace::EventKind::kTakeoverBegin,
-                         plan->record.loop_id, plan->from_cache ? 1 : 0,
-                         plan->max_iterations);
-          }
-          const CoveredDelta d = RunCovered(cpu, *plan);
-          if (tracer.has_value()) tracer->SetNow(cpu.Cycles());
-          engine->FinishTakeover(*plan, d.iterations, d.retired, cpu,
-                                 d.glue_instrs);
-          if (tracer.has_value()) {
-            // Re-stamp: FinishTakeover charged the NEON/overhead cycles, so
-            // the end marker sits after the replaced region.
-            tracer->SetNow(cpu.Cycles());
-            tracer->Emit(trace::EventKind::kTakeoverEnd,
-                         plan->record.loop_id, d.iterations, d.retired);
-          }
-          if (d.fused_glue_store) engine->DemoteFusion(plan->coverage_latch);
-        }
-      }
-    }
+  // Checkpoint/rollback protection around every takeover of a
+  // fault-injected run (docs/FAULTS.md).
+  std::optional<engine::SpeculationGuard> guard;
+  if (injector.has_value()) {
+    guard.emplace(cfg.dsa, *injector,
+                  tracer.has_value() ? &*tracer : nullptr);
   }
 
+  std::uint64_t steps = 0;
+  const auto host_t0 = std::chrono::steady_clock::now();
+  try {
+    // Fast loops: without a per-retire consumer the interpreter batches
+    // instructions inside the Cpu (no Retired materialization, no per-step
+    // call). The reference path and traced runs keep the original per-step
+    // loop; every path produces bit-identical simulated results
+    // (tests/test_reference_path.cc and the differential oracle).
+    const bool per_step = cfg.reference_path || tracer.has_value();
+    if (!per_step && !engine.has_value()) {
+      cpu.RunFree(cfg.max_steps, steps);
+      if (steps > cfg.max_steps) ThrowStepLimit(wl, cpu, steps);
+    } else if (!per_step) {
+      // DSA fast loop: while the engine is idle, run unobserved up to the
+      // next retire its filter cares about; per-step only while a tracker
+      // is analyzing a loop body.
+      while (!cpu.halted()) {
+        cpu::Retired r;
+        if (engine->idle()) {
+          std::uint64_t skipped = 0;
+          r = cpu.RunToInteresting(engine->has_cooldowns(),
+                                   engine->cooldown_window_lo(),
+                                   engine->cooldown_window_hi(), cfg.max_steps,
+                                   steps, skipped);
+          if (skipped != 0) engine->ObserveSkipped(skipped);
+          if (steps > cfg.max_steps) ThrowStepLimit(wl, cpu, steps);
+          if (r.instr == nullptr) break;  // halted before anything interesting
+        } else {
+          if (++steps > cfg.max_steps) ThrowStepLimit(wl, cpu, steps);
+          r = cpu.Step();
+          if (r.instr == nullptr) break;
+        }
+        std::optional<TakeoverPlan> plan = engine->Observe(r, cpu.state());
+        if (plan.has_value()) {
+          if (guard.has_value()) guard->Arm(*plan, cpu);
+          const cpu::Cpu::CoveredOutcome d = cpu.RunCovered(
+              plan->coverage_start, plan->coverage_latch,
+              plan->record.body.start_pc, plan->record.body.latch_pc,
+              plan->count_latch, plan->max_iterations);
+          if (guard.has_value() &&
+              guard->CheckAfterCovered(*plan, cpu, d.iterations)) {
+            guard->Rollback(cpu);
+            engine->RecordRollback(*plan, cpu);
+            engine->ObserveSkipped(
+                ReexecuteScalar(cpu, *plan, wl, cfg.max_steps, steps));
+          } else {
+            engine->FinishTakeover(*plan, d.iterations, d.retired, cpu,
+                                   d.glue_instrs);
+            if (d.fused_glue_store) engine->DemoteFusion(plan->coverage_latch);
+          }
+        }
+      }
+    } else {
+      // Reference / traced per-step loop: one Step() and one observation per
+      // retired instruction, exactly the pre-optimization structure.
+      while (!cpu.halted()) {
+        if (++steps > cfg.max_steps) ThrowStepLimit(wl, cpu, steps);
+        const cpu::Retired r = cpu.Step();
+        if (r.instr == nullptr) break;
+        if (tracer.has_value()) {
+          const std::uint64_t now = cpu.Cycles();
+          tracer->SetNow(now);
+          if (const auto b = bursts.Observe(r.instr->op, now)) {
+            emit_burst(*b);
+          }
+        }
+        if (engine.has_value()) {
+          std::optional<TakeoverPlan> plan = engine->Observe(r, cpu.state());
+          if (plan.has_value()) {
+            if (tracer.has_value()) {
+              tracer->Emit(trace::EventKind::kTakeoverBegin,
+                           plan->record.loop_id, plan->from_cache ? 1 : 0,
+                           plan->max_iterations);
+            }
+            if (guard.has_value()) guard->Arm(*plan, cpu);
+            const CoveredDelta d = RunCovered(cpu, *plan);
+            if (tracer.has_value()) tracer->SetNow(cpu.Cycles());
+            if (guard.has_value() &&
+                guard->CheckAfterCovered(*plan, cpu, d.iterations)) {
+              guard->Rollback(cpu);
+              engine->RecordRollback(*plan, cpu);
+              engine->ObserveSkipped(
+                  ReexecuteScalar(cpu, *plan, wl, cfg.max_steps, steps));
+              // No kTakeoverEnd: the takeover was squashed, and the oracle
+              // balances kTakeoverBegin against takeovers + rollbacks.
+            } else {
+              engine->FinishTakeover(*plan, d.iterations, d.retired, cpu,
+                                     d.glue_instrs);
+              if (tracer.has_value()) {
+                // Re-stamp: FinishTakeover charged the NEON/overhead cycles,
+                // so the end marker sits after the replaced region.
+                tracer->SetNow(cpu.Cycles());
+                tracer->Emit(trace::EventKind::kTakeoverEnd,
+                             plan->record.loop_id, d.iterations, d.retired);
+              }
+              if (d.fused_glue_store) engine->DemoteFusion(plan->coverage_latch);
+            }
+          }
+        }
+      }
+    }
+
+  } catch (const DsaError&) {
+    throw;
+  } catch (const std::out_of_range& e) {
+    // A raw range failure escaping the Memory accessors carries no
+    // execution context; re-throw with the workload, the faulting PC
+    // and the interpreter step count attached (docs/FAULTS.md).
+    throw DsaError(DsaErrorCode::kMemOutOfRange, e.what(),
+                   DsaError::Context{wl.name, cpu.state().pc, steps});
+  }
   RunResult res;
   res.workload = wl.name;
   res.mode = mode;
@@ -283,6 +353,13 @@ RunResult Run(const Workload& wl, RunMode mode, const SystemConfig& cfg) {
   res.l2 = hierarchy.l2().stats();
   res.dram_accesses = hierarchy.dram_accesses();
   if (engine.has_value()) res.dsa = engine->stats();
+  if (injector.has_value()) {
+    fault::FaultReport rep;
+    rep.plan = injector->plan();
+    rep.opportunities = injector->opportunities();
+    rep.fired = injector->fired();
+    res.faults = rep;
+  }
   if (tracer.has_value()) {
     tracer->SetNow(cpu.Cycles());
     if (const auto b = bursts.Flush()) emit_burst(*b);

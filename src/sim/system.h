@@ -13,7 +13,9 @@
 #include "energy/energy_model.h"
 #include "engine/config.h"
 #include "engine/engine.h"
+#include "fault/fault.h"
 #include "mem/cache.h"
+#include "sim/error.h"
 #include "sim/workload.h"
 #include "trace/trace.h"
 
@@ -40,6 +42,12 @@ struct RunResult {
   std::uint64_t dram_accesses = 0;
   std::optional<engine::DsaStats> dsa;
   energy::EnergyBreakdown energy;
+
+  // What the fault injector actually did (kDsa runs with
+  // SystemConfig::faults armed only): the plan plus per-kind
+  // opportunity/fired counters. The speculation guard's recovery counters
+  // live in `dsa` (rollbacks, blacklisted_loops, ...).
+  std::optional<fault::FaultReport> faults;
 
   // FNV-1a digest of the workload's declared output regions (whole memory
   // image if none declared) after the run; the oracle's equivalence unit.
@@ -68,6 +76,12 @@ struct SystemConfig {
   engine::DsaConfig dsa;  // used in kDsa mode
   energy::EnergyParams energy;
   trace::TraceConfig trace;  // structured event tracing (kDsa mode)
+  // Deterministic fault injection (kDsa mode): when the plan has entries,
+  // the run arms a FaultInjector plus the SpeculationGuard, which detects
+  // every injected divergence, rolls the takeover back and re-executes the
+  // loop scalar — so the final output digest stays bit-identical to the
+  // fault-free run (tests/test_fault.cc, docs/FAULTS.md).
+  fault::FaultPlan faults;
   std::uint64_t max_steps = 400'000'000;
   // Forces the pre-optimization code paths throughout the stack (CPU
   // predecode/predictor, cache MRU + range fast paths, engine observation

@@ -47,7 +47,8 @@ void BeginEvent(std::FILE* f, bool& first, int pid, int tid, const char* ph,
                ph, ts, pid, tid);
 }
 
-void WriteEvent(std::FILE* f, bool& first, int pid, const Event& e) {
+void WriteEvent(std::FILE* f, bool& first, int pid, bool& takeover_open,
+                const Event& e) {
   char name[64];
   switch (e.kind) {
     case EventKind::kStageActivation: {
@@ -69,6 +70,7 @@ void WriteEvent(std::FILE* f, bool& first, int pid, const Event& e) {
                    ", \"args\": {\"loop\": \"0x%x\", \"from_cache\": %" PRIu64
                    ", \"max_iterations\": %" PRIu64 "}}",
                    e.loop_id, e.arg0, e.arg1);
+      takeover_open = true;
       return;
     case EventKind::kTakeoverEnd:
       BeginEvent(f, first, pid, kTidTakeovers, "E", Us(e.ts), "takeover");
@@ -76,7 +78,22 @@ void WriteEvent(std::FILE* f, bool& first, int pid, const Event& e) {
                    ", \"args\": {\"loop\": \"0x%x\", \"iterations\": %" PRIu64
                    ", \"covered_instrs\": %" PRIu64 "}}",
                    e.loop_id, e.arg0, e.arg1);
+      takeover_open = false;
       return;
+    case EventKind::kMisspecRollback:
+      // A rolled-back takeover never reaches FinishTakeover, so no
+      // kTakeoverEnd follows its kTakeoverBegin; close the Chrome span
+      // here so B/E stay balanced. Guard on takeover_open: a ring
+      // overflow may have dropped the matching begin.
+      if (takeover_open) {
+        BeginEvent(f, first, pid, kTidTakeovers, "E", Us(e.ts), "takeover");
+        std::fprintf(f,
+                     ", \"args\": {\"loop\": \"0x%x\", \"rolled_back\": 1, "
+                     "\"strikes\": %" PRIu64 "}}",
+                     e.loop_id, e.arg0);
+        takeover_open = false;
+      }
+      break;  // fall through to the lifecycle instant below
     case EventKind::kNeonBurst: {
       const std::uint64_t begin = e.dur <= e.ts ? e.ts - e.dur : 0;
       BeginEvent(f, first, pid, kTidNeon, "X", Us(begin), "neon-burst");
@@ -86,16 +103,15 @@ void WriteEvent(std::FILE* f, bool& first, int pid, const Event& e) {
                    Us(e.dur), e.loop_id, e.arg0, e.arg1);
       return;
     }
-    default: {
-      const std::string_view kind = ToString(e.kind);
-      BeginEvent(f, first, pid, kTidLifecycle, "i", Us(e.ts), kind);
-      std::fprintf(f,
-                   ", \"s\": \"t\", \"args\": {\"loop\": \"0x%x\", "
-                   "\"arg0\": %" PRIu64 ", \"arg1\": %" PRIu64 "}}",
-                   e.loop_id, e.arg0, e.arg1);
-      return;
-    }
+    default:
+      break;
   }
+  const std::string_view kind = ToString(e.kind);
+  BeginEvent(f, first, pid, kTidLifecycle, "i", Us(e.ts), kind);
+  std::fprintf(f,
+               ", \"s\": \"t\", \"args\": {\"loop\": \"0x%x\", "
+               "\"arg0\": %" PRIu64 ", \"arg1\": %" PRIu64 "}}",
+               e.loop_id, e.arg0, e.arg1);
 }
 
 }  // namespace
@@ -117,7 +133,9 @@ bool WriteChromeTrace(const std::string& path,
     MetaEvent(f, first, pid, kTidTakeovers, "thread_name", "NEON takeovers");
     MetaEvent(f, first, pid, kTidNeon, "thread_name", "NEON issue bursts");
     MetaEvent(f, first, pid, kTidLifecycle, "thread_name", "loop lifecycle");
-    for (const Event& e : p.trace->events) WriteEvent(f, first, pid, e);
+    bool takeover_open = false;
+    for (const Event& e : p.trace->events)
+      WriteEvent(f, first, pid, takeover_open, e);
   }
   std::fputs("\n],\n\"metadata\": {\"processes\": [", f);
 

@@ -40,8 +40,12 @@ enum class EventKind : std::uint8_t {
   kSpecWindow = 12,      // arg0 = speculative window (iterations)
   kRespeculation = 13,   // arg0 = doubled window
   kNeonBurst = 14,       // arg0 = vector instrs, arg1/dur = busy cycles
+  kFaultInjected = 15,   // arg0 = fault::FaultKind, arg1 = fire index
+  kMisspecRollback = 16, // arg0 = strike count, arg1 = covered iterations
+  kLoopBlacklisted = 17, // arg0 = strikes when blacklisted
+  kCacheCorruption = 18, // loop_id = record dropped on checksum mismatch
 };
-inline constexpr int kNumEventKinds = 15;
+inline constexpr int kNumEventKinds = 19;
 
 [[nodiscard]] constexpr std::string_view ToString(EventKind k) {
   switch (k) {
@@ -60,6 +64,10 @@ inline constexpr int kNumEventKinds = 15;
     case EventKind::kSpecWindow: return "speculation-window";
     case EventKind::kRespeculation: return "respeculation";
     case EventKind::kNeonBurst: return "neon-burst";
+    case EventKind::kFaultInjected: return "fault-injected";
+    case EventKind::kMisspecRollback: return "misspec-rollback";
+    case EventKind::kLoopBlacklisted: return "loop-blacklisted";
+    case EventKind::kCacheCorruption: return "cache-corruption";
   }
   return "?";
 }
