@@ -42,9 +42,9 @@ int main(int argc, char** argv) {
   std::vector<double> av_speedups;
   std::vector<double> dsa_speedups;
   for (const Row& row : rows) {
-    const auto& base = runner.Result(row.base);
-    const auto& av = runner.Result(row.av);
-    const auto& ds = runner.Result(row.ds);
+    const auto& base = dsa::bench::ResultOrEmpty(runner, row.base);
+    const auto& av = dsa::bench::ResultOrEmpty(runner, row.av);
+    const auto& ds = dsa::bench::ResultOrEmpty(runner, row.ds);
     av_speedups.push_back(SpeedupOver(base, av));
     dsa_speedups.push_back(SpeedupOver(base, ds));
     std::printf("%-12s %+11.1f%% %+13.1f%%\n", row.name.c_str(),

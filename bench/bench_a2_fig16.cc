@@ -49,10 +49,10 @@ int main(int argc, char** argv) {
   std::vector<double> ext;
   std::vector<double> dyn_ratio;
   for (const Row& row : rows) {
-    const auto& base = runner.Result(row.base);
-    const auto& a = runner.Result(row.av);
-    const auto& o = runner.Result(row.orig);
-    const auto& e = runner.Result(row.ext);
+    const auto& base = dsa::bench::ResultOrEmpty(runner, row.base);
+    const auto& a = dsa::bench::ResultOrEmpty(runner, row.av);
+    const auto& o = dsa::bench::ResultOrEmpty(runner, row.orig);
+    const auto& e = dsa::bench::ResultOrEmpty(runner, row.ext);
     av.push_back(SpeedupOver(base, a));
     orig.push_back(SpeedupOver(base, o));
     ext.push_back(SpeedupOver(base, e));

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   std::printf("%-12s %12s %16s %12s\n", "benchmark", "latency %",
               "analysis cycles", "takeovers");
   for (const auto& [name, key] : rows) {
-    const auto& r = runner.Result(key);
+    const auto& r = dsa::bench::ResultOrEmpty(runner, key);
     std::printf("%-12s %11.2f%% %16llu %12llu\n", name.c_str(),
                 r.detection_latency_pct(),
                 static_cast<unsigned long long>(r.dsa->analysis_cycles),

@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
     for (const auto& [type, frac] : row.wl.loop_type_fractions) {
       std::printf("  %s %.0f%%", type.c_str(), frac * 100);
     }
-    const auto& r = runner.Result(row.key);
+    const auto& r = dsa::bench::ResultOrEmpty(runner, row.key);
     std::printf("\n%-12s DSA runtime classification:", "");
     for (const auto& [cls, n] : r.dsa->loops_by_class) {
       std::printf("  %s x%llu", std::string(ToString(cls)).c_str(),

@@ -36,10 +36,10 @@ int main(int argc, char** argv) {
   std::vector<double> hv;
   std::vector<double> ds;
   for (const Row& row : rows) {
-    const auto& base = runner.Result(row.keys[0]);
-    const auto& a = runner.Result(row.keys[1]);
-    const auto& h = runner.Result(row.keys[2]);
-    const auto& d = runner.Result(row.keys[3]);
+    const auto& base = dsa::bench::ResultOrEmpty(runner, row.keys[0]);
+    const auto& a = dsa::bench::ResultOrEmpty(runner, row.keys[1]);
+    const auto& h = dsa::bench::ResultOrEmpty(runner, row.keys[2]);
+    const auto& d = dsa::bench::ResultOrEmpty(runner, row.keys[3]);
     av.push_back(SpeedupOver(base, a));
     hv.push_back(SpeedupOver(base, h));
     ds.push_back(SpeedupOver(base, d));

@@ -42,10 +42,10 @@ int main(int argc, char** argv) {
   double dsa_savings_sum = 0;
   int dlp_count = 0;
   for (const Row& row : rows) {
-    const auto& base = runner.Result(row.keys[0]);
-    const auto& a = runner.Result(row.keys[1]);
-    const auto& h = runner.Result(row.keys[2]);
-    const auto& d = runner.Result(row.keys[3]);
+    const auto& base = dsa::bench::ResultOrEmpty(runner, row.keys[0]);
+    const auto& a = dsa::bench::ResultOrEmpty(runner, row.keys[1]);
+    const auto& h = dsa::bench::ResultOrEmpty(runner, row.keys[2]);
+    const auto& d = dsa::bench::ResultOrEmpty(runner, row.keys[3]);
     const double ds = dsa::bench::EnergySavingsPct(base, d);
     std::printf("%-12s %+11.1f%% %+11.1f%% %+11.1f%%\n", row.name.c_str(),
                 dsa::bench::EnergySavingsPct(base, a),
@@ -60,8 +60,8 @@ int main(int argc, char** argv) {
               dlp_count ? dsa_savings_sum / dlp_count : 0.0);
 
   // Energy breakdown for one representative benchmark.
-  const auto& base = runner.Result(rgb_base);
-  const auto& d = runner.Result(rgb_dsa);
+  const auto& base = dsa::bench::ResultOrEmpty(runner, rgb_base);
+  const auto& d = dsa::bench::ResultOrEmpty(runner, rgb_dsa);
   std::printf("\nRGB-Gray breakdown (nJ):  %-18s %12s %12s\n", "",
               "ARM original", "DSA");
   auto row = [](const char* name, double a, double b) {

@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
               "(det/col/dep/exec/map/spec)\n",
               "benchmark", "DSA nJ", "system nJ", "share");
   for (const auto& [name, key] : rows) {
-    const auto& r = runner.Result(key);
+    const auto& r = dsa::bench::ResultOrEmpty(runner, key);
     const double dsa_nj = r.energy.dsa_dynamic + r.energy.dsa_static;
     std::printf("%-12s %12.1f %12.1f %9.2f%% |", name.c_str(), dsa_nj,
                 r.energy.total(), 100.0 * dsa_nj / r.energy.total());

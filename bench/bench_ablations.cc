@@ -42,8 +42,8 @@ ComparePair SubmitCompare(BatchRunner& runner, const char* title,
 }
 
 void PrintCompare(BatchRunner& runner, const ComparePair& p) {
-  const RunResult& ra = runner.Result(p.key_a);
-  const RunResult& rb = runner.Result(p.key_b);
+  const RunResult& ra = dsa::bench::ResultOrEmpty(runner, p.key_a);
+  const RunResult& rb = dsa::bench::ResultOrEmpty(runner, p.key_b);
   std::printf("%-38s %-10s: %10llu cycles | %-10s: %10llu cycles (%+.1f%%)\n",
               p.title, p.name_a, static_cast<unsigned long long>(ra.cycles),
               p.name_b, static_cast<unsigned long long>(rb.cycles),
@@ -143,7 +143,7 @@ int main(int argc, char** argv) {
 
   std::printf("\nDSA cache size sweep (MM 64x64):\n");
   for (const SweepCell& cell : sweep) {
-    const RunResult& r = runner.Result(cell.key);
+    const RunResult& r = dsa::bench::ResultOrEmpty(runner, cell.key);
     std::printf("  %5u B (%3u entries): %10llu cycles, %llu cache-hit "
                 "takeovers\n",
                 cell.bytes, cell.entries,
@@ -153,8 +153,8 @@ int main(int argc, char** argv) {
 
   std::printf("\nleftover handling (RGB-Gray with a non-multiple size):\n");
   {
-    const RunResult& scalar = runner.Result(odd_scalar);
-    const RunResult& ds = runner.Result(odd_dsa);
+    const RunResult& scalar = dsa::bench::ResultOrEmpty(runner, odd_scalar);
+    const RunResult& ds = dsa::bench::ResultOrEmpty(runner, odd_dsa);
     std::printf("  scalar %llu cycles, DSA %llu cycles (x%.2f), outputs %s\n",
                 static_cast<unsigned long long>(scalar.cycles),
                 static_cast<unsigned long long>(ds.cycles),
@@ -163,8 +163,8 @@ int main(int argc, char** argv) {
 
   std::printf("\nstream prefetch off (RGB-Gray):\n");
   for (const PfCell& cell : pf_cells) {
-    const RunResult& s = runner.Result(cell.scalar_key);
-    const RunResult& d = runner.Result(cell.dsa_key);
+    const RunResult& s = dsa::bench::ResultOrEmpty(runner, cell.scalar_key);
+    const RunResult& d = dsa::bench::ResultOrEmpty(runner, cell.dsa_key);
     std::printf("  %-12s scalar %10llu | DSA %10llu (x%.2f)\n", cell.name,
                 static_cast<unsigned long long>(s.cycles),
                 static_cast<unsigned long long>(d.cycles), SpeedupOver(s, d));

@@ -96,12 +96,12 @@ int main(int argc, char** argv) {
 
   bool all_identical = true;
   for (const Row& row : rows) {
-    const dsa::sim::RunResult& clean = runner.Result(row.clean_key);
-    const dsa::sim::RunResult& scalar = runner.Result(row.scalar_key);
+    const dsa::sim::RunResult& clean = dsa::bench::ResultOrEmpty(runner, row.clean_key);
+    const dsa::sim::RunResult& scalar = dsa::bench::ResultOrEmpty(runner, row.scalar_key);
     if (clean.output_digest != scalar.output_digest) all_identical = false;
     std::printf("%-12s", row.name.c_str());
     for (const std::string& key : row.fault_keys) {
-      const dsa::sim::RunResult& r = runner.Result(key);
+      const dsa::sim::RunResult& r = dsa::bench::ResultOrEmpty(runner, key);
       const bool same = r.output_digest == clean.output_digest;
       if (!same) all_identical = false;
       char cell[32];

@@ -30,10 +30,10 @@ int main(int argc, char** argv) {
   std::printf("%-12s %12s %12s %12s | %s\n", "benchmark", "AutoVec",
               "Hand-coded", "DSA", "DSA energy savings");
   for (const Row& row : rows) {
-    const auto& base = runner.Result(row.keys[0]);
-    const auto& a = runner.Result(row.keys[1]);
-    const auto& h = runner.Result(row.keys[2]);
-    const auto& d = runner.Result(row.keys[3]);
+    const auto& base = dsa::bench::ResultOrEmpty(runner, row.keys[0]);
+    const auto& a = dsa::bench::ResultOrEmpty(runner, row.keys[1]);
+    const auto& h = dsa::bench::ResultOrEmpty(runner, row.keys[2]);
+    const auto& d = dsa::bench::ResultOrEmpty(runner, row.keys[3]);
     std::printf("%-12s %+11.1f%% %+11.1f%% %+11.1f%% | %+11.1f%%\n",
                 row.name.c_str(), dsa::bench::ImprovementPct(base, a),
                 dsa::bench::ImprovementPct(base, h),

@@ -180,7 +180,7 @@ int main(int argc, char** argv) {
   const Getter memo_get = [&runner](const Workload& wl, RunMode mode,
                                     const SystemConfig& c,
                                     const std::string& ctag) {
-    return runner.Result(runner.Submit(wl, mode, c, ctag));
+    return dsa::bench::ResultOrEmpty(runner, runner.Submit(wl, mode, c, ctag));
   };
   RenderAllTables(memo_get, cfg, orig_cfg);
   const int rc = dsa::bench::FinishBench(runner, opts, "matrix");

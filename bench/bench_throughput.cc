@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
   std::uint64_t total_steps = 0;
   double total_ms = 0.0;
   for (const std::string& key : keys) {
-    const RunResult& r = runner.Result(key);
+    const RunResult& r = dsa::bench::ResultOrEmpty(runner, key);
     total_steps += r.host_steps;
     total_ms += r.host_wall_ms;
     std::printf("%-28s %14llu %10.2f %10.1f\n", key.c_str(),

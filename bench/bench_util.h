@@ -6,7 +6,9 @@
 // consistency oracle: a driver exits non-zero if any output-equivalence,
 // determinism or invariant check fails, instead of silently printing a
 // wrong table. Common CLI: --jobs N, --json PATH, --filter SUBSTR,
-// --repeats K, --no-oracle.
+// --repeats K, --no-oracle, plus the resilience flags --isolate,
+// --journal/--resume, --deadline-ms, --mem-limit-mb, --breaker and
+// --fsync (docs/RESILIENCE.md).
 #pragma once
 
 #include <cctype>
@@ -14,11 +16,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fault/fault.h"
+#include "resilience/supervisor.h"
 #include "sim/report.h"
 #include "sim/runner.h"
 #include "sim/system.h"
@@ -34,15 +39,37 @@ struct BenchOptions {
   // --faults <spec>: deterministic fault injection for DSA cells, e.g.
   // "cidp@0,bitflip@2+3;seed=7" (grammar in docs/FAULTS.md).
   fault::FaultPlan faults;
+  // Resilience layer (docs/RESILIENCE.md): --isolate, --journal PATH,
+  // --resume PATH, --deadline-ms N, --mem-limit-mb N, --breaker N,
+  // --fsync none|interval|always.
+  resilience::SupervisorOptions resilience;
+  // Built (and attached to `runner`) by ParseBenchArgs when any
+  // resilience flag is given; FinishBench reads its census for the JSON.
+  std::shared_ptr<resilience::Supervisor> supervisor;
   bool serial = false;        // --serial: seed-style direct Run() loop
   bool compare = false;       // --compare: time serial vs. runner paths
   bool reference = false;     // --reference: pre-optimization sim paths
 };
 
+// Strict numeric flag parsing: the whole token must be a decimal number,
+// so `--jobs 4x` or `--jobs ""` is a usage error instead of whatever
+// atoi() would silently make of it.
+inline long ParseCountArg(const std::string& flag, const char* text) {
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "%s expects a decimal number, got \"%s\"\n",
+                 flag.c_str(), text);
+    std::exit(2);
+  }
+  return v;
+}
+
 // Parses the shared harness flags; unknown flags abort with usage so a
 // typo cannot silently fall back to defaults.
 inline BenchOptions ParseBenchArgs(int argc, char** argv) {
   BenchOptions o;
+  bool jobs_given = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> const char* {
@@ -53,9 +80,10 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--jobs") {
-      o.runner.jobs = std::atoi(value());
+      o.runner.jobs = static_cast<int>(ParseCountArg(arg, value()));
+      jobs_given = true;
     } else if (arg == "--repeats") {
-      o.runner.repeats = std::atoi(value());
+      o.runner.repeats = static_cast<int>(ParseCountArg(arg, value()));
     } else if (arg == "--json") {
       o.json_path = value();
     } else if (arg == "--filter") {
@@ -77,14 +105,77 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
       o.compare = true;
     } else if (arg == "--reference") {
       o.reference = true;
+    } else if (arg == "--isolate") {
+      o.resilience.isolate = true;
+    } else if (arg == "--journal") {
+      o.resilience.journal_path = value();
+    } else if (arg == "--resume") {
+      o.resilience.resume_path = value();
+    } else if (arg == "--deadline-ms") {
+      o.resilience.deadline_ms =
+          static_cast<std::uint64_t>(ParseCountArg(arg, value()));
+    } else if (arg == "--mem-limit-mb") {
+      o.resilience.mem_limit_mb =
+          static_cast<std::uint64_t>(ParseCountArg(arg, value()));
+    } else if (arg == "--breaker") {
+      o.resilience.breaker_threshold =
+          static_cast<int>(ParseCountArg(arg, value()));
+    } else if (arg == "--fsync") {
+      const char* mode = value();
+      if (!resilience::ParseFsyncPolicy(mode, o.resilience.journal.fsync)) {
+        std::fprintf(stderr,
+                     "--fsync expects none|interval|always, got \"%s\"\n",
+                     mode);
+        std::exit(2);
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--jobs N] [--repeats K] [--json PATH] "
                    "[--filter SUBSTR] [--trace PATH] [--faults SPEC] "
-                   "[--no-oracle] [--serial] [--compare] [--reference]\n",
+                   "[--no-oracle] [--serial] [--compare] [--reference] "
+                   "[--isolate] [--journal PATH] [--resume PATH] "
+                   "[--deadline-ms N] [--mem-limit-mb N] [--breaker N] "
+                   "[--fsync none|interval|always]\n",
                    argv[0]);
       std::exit(2);
     }
+  }
+  if (jobs_given) {
+    // Clamp to [1, hardware_concurrency]: more workers than cores only
+    // adds contention, and 0/negative would silently re-enable the
+    // autodetect the user just tried to override.
+    int hw = static_cast<int>(std::thread::hardware_concurrency());
+    if (hw <= 0) hw = 1;
+    if (o.runner.jobs < 1) {
+      std::fprintf(stderr, "warning: --jobs %d clamped to 1\n",
+                   o.runner.jobs);
+      o.runner.jobs = 1;
+    } else if (o.runner.jobs > hw) {
+      std::fprintf(stderr,
+                   "warning: --jobs %d exceeds the %d available hardware "
+                   "thread(s); clamped to %d\n",
+                   o.runner.jobs, hw, hw);
+      o.runner.jobs = hw;
+    }
+  }
+  if ((o.resilience.deadline_ms > 0 || o.resilience.mem_limit_mb > 0) &&
+      !o.resilience.isolate) {
+    std::fprintf(stderr,
+                 "--deadline-ms/--mem-limit-mb enforce limits on a forked "
+                 "child; add --isolate\n");
+    std::exit(2);
+  }
+  if (o.resilience.isolate && !o.trace_path.empty()) {
+    // The child's structured trace is not shipped across the isolation
+    // pipe, so --trace would end with "no job produced a trace".
+    std::fprintf(stderr, "--trace is not supported with --isolate\n");
+    std::exit(2);
+  }
+  if ((o.serial || o.compare) && o.resilience.any()) {
+    std::fprintf(stderr,
+                 "resilience flags apply to the batch runner; drop "
+                 "--serial/--compare\n");
+    std::exit(2);
   }
   if (o.faults.enabled() && o.runner.oracle && o.runner.repeats < 2 &&
       !o.faults.seed_explicit) {
@@ -107,6 +198,32 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
                  "<2 samples per job; only invariant and equivalence checks "
                  "will run (use --repeats 2 or --no-oracle)\n",
                  o.runner.repeats);
+  }
+  if (o.resilience.any()) {
+    o.supervisor = std::make_shared<resilience::Supervisor>(o.resilience);
+    std::string err;
+    if (!o.supervisor->Init(&err)) {
+      std::fprintf(stderr, "%s\n", err.c_str());
+      std::exit(2);
+    }
+    o.supervisor->Attach(o.runner);
+    if (o.resilience.isolate && !resilience::IsolationAvailable()) {
+      std::fprintf(stderr,
+                   "warning: fork() unavailable on this platform; --isolate "
+                   "falls back to in-process execution\n");
+    }
+    if (!o.resilience.resume_path.empty()) {
+      std::printf("resume: %llu completed cell(s) replayed from %s",
+                  static_cast<unsigned long long>(
+                      o.supervisor->replay().cells.size()),
+                  o.resilience.resume_path.c_str());
+      if (o.supervisor->replay().torn_bytes > 0) {
+        std::printf(" (%llu torn byte(s) truncated)",
+                    static_cast<unsigned long long>(
+                        o.supervisor->replay().torn_bytes));
+      }
+      std::printf("\n");
+    }
   }
   return o;
 }
@@ -133,8 +250,36 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
   return lower(name).find(lower(o.filter)) != std::string::npos;
 }
 
+// Rendering accessor used by the table loops instead of the throwing
+// BatchRunner::Result(): a cell that crashed, timed out, was skipped by
+// the circuit breaker or was cancelled by a graceful drain yields a
+// zeroed placeholder row (with a stderr note) so the driver still
+// renders its table and reaches FinishBench, which reports the failure
+// in the JSON and the exit code. Without resilience flags every such
+// failure still fails the run — the oracle records a run.exception
+// violation for any cell with an error.
+inline const sim::RunResult& ResultOrEmpty(sim::BatchRunner& runner,
+                                           const std::string& key) {
+  // The placeholder carries zeroed DSA stats, not an empty optional: the
+  // DSA-table printers dereference r.dsa unconditionally.
+  static const sim::RunResult kEmpty = [] {
+    sim::RunResult r;
+    r.dsa.emplace();
+    return r;
+  }();
+  const sim::JobOutcome& out = runner.Outcome(key);
+  if (out.cell_status != "ok" || out.runs.empty()) {
+    std::fprintf(stderr, "note: cell %s unavailable (%s); table row zeroed\n",
+                 key.c_str(), out.cell_status.c_str());
+    return kEmpty;
+  }
+  return out.result();
+}
+
 // Oracle summary + JSON emission + exit code for a runner-based driver.
-// Call after rendering the tables; returns the process exit code.
+// Call after rendering the tables; returns the process exit code:
+// 0 complete, 1 oracle violation or write failure, 3 interrupted by a
+// graceful drain (SIGINT/SIGTERM) with partial results emitted.
 inline int FinishBench(sim::BatchRunner& runner, const BenchOptions& o,
                        const char* bench_name) {
   const sim::BatchReport report = runner.Finish();
@@ -145,6 +290,33 @@ inline int FinishBench(sim::BatchRunner& runner, const BenchOptions& o,
       static_cast<unsigned long long>(report.executed_runs),
       static_cast<unsigned long long>(report.memo_hits), report.wall_ms,
       runner.options().jobs);
+  sim::BenchJsonExtras extras;
+  if (o.supervisor) {
+    extras = o.supervisor->Extras(report);
+  } else if (report.interrupted) {
+    extras.run_status = "interrupted";
+  }
+  if (report.restored_cells > 0) {
+    std::printf("[%s] %llu cell(s) restored from the resume journal\n",
+                bench_name,
+                static_cast<unsigned long long>(report.restored_cells));
+  }
+  if (extras.run_status == "interrupted") {
+    std::fprintf(stderr,
+                 "[%s] interrupted: %llu queued cell(s) cancelled by the "
+                 "graceful drain; emitting partial results\n",
+                 bench_name,
+                 static_cast<unsigned long long>(report.cancelled_cells));
+  }
+  if (extras.breaker_enabled) {
+    for (const auto& b : extras.breaker) {
+      if (b.trips == 0 && b.skipped == 0) continue;
+      std::printf("[%s] breaker %s: state=%s trips=%llu skipped=%llu\n",
+                  bench_name, b.workload.c_str(), b.state.c_str(),
+                  static_cast<unsigned long long>(b.trips),
+                  static_cast<unsigned long long>(b.skipped));
+    }
+  }
   if (runner.options().oracle) {
     if (report.ok()) {
       std::printf("[%s] oracle: all equivalence/determinism/invariant "
@@ -158,7 +330,8 @@ inline int FinishBench(sim::BatchRunner& runner, const BenchOptions& o,
     }
   }
   if (!o.json_path.empty()) {
-    if (sim::WriteBenchJson(o.json_path, bench_name, runner, report)) {
+    if (sim::WriteBenchJson(o.json_path, bench_name, runner, report,
+                            &extras)) {
       std::printf("[%s] wrote %s\n", bench_name, o.json_path.c_str());
     } else {
       std::fprintf(stderr, "[%s] could not write %s\n", bench_name,
@@ -192,7 +365,8 @@ inline int FinishBench(sim::BatchRunner& runner, const BenchOptions& o,
       return 1;
     }
   }
-  return report.ok() ? 0 : 1;
+  if (!report.ok()) return 1;
+  return extras.run_status == "interrupted" ? 3 : 0;
 }
 
 // Prints the Table 4 "Systems Setup" header so every bench is

@@ -37,10 +37,22 @@ echo "== chaos smoke (fault injection + guard recovery) =="
 # exits non-zero unless every injected run recovers bit-identically to
 # the fault-free digest (speculation guard rollback + blacklisting),
 # with the sanitizers watching the rollback machinery. The validator
-# re-checks the dsa-bench-json/3 contract including the faults block.
+# re-checks the dsa-bench-json/4 contract including the faults block.
 "$BUILD"/bench/bench_chaos --filter VecAdd --jobs 2 \
     --json "$BUILD"/BENCH_chaos_check.json
 python3 scripts/validate_bench.py "$BUILD"/BENCH_chaos_check.json
+
+echo "== chaos smoke under isolation + journal =="
+# The same chaos slice with the resilience layer composed in: every cell
+# runs in a forked child (--isolate) and lands in the crash-safe journal.
+# Proves the fault-injection path and process isolation compose, with the
+# sanitizers watching both sides of the pipe protocol.
+rm -f "$BUILD"/CHAOS_check.jnl
+"$BUILD"/bench/bench_chaos --filter VecAdd --jobs 2 --isolate \
+    --journal "$BUILD"/CHAOS_check.jnl \
+    --json "$BUILD"/BENCH_chaos_isolate_check.json
+python3 scripts/validate_bench.py "$BUILD"/BENCH_chaos_isolate_check.json
+grep -q '"run_status": "complete"' "$BUILD"/BENCH_chaos_isolate_check.json
 
 echo "== fault suite under ASan =="
 # The rollback/blacklist/watchdog tests rewrite CPU state and memory from
@@ -55,11 +67,28 @@ echo "== traced mini bench + trace validation =="
     --trace "$BUILD"/TRACE_check.json
 python3 scripts/validate_trace.py "$BUILD"/TRACE_check.json
 
+echo "== kill-and-resume soak smoke =="
+# bench_soak runs a seeded sweep, SIGKILLs itself mid-batch, resumes from
+# the crash-safe journal and gates on the resumed bench report being
+# bit-identical to an uninterrupted run (docs/RESILIENCE.md).
+"$BUILD"/bench/bench_soak --steps small --seed 7 \
+    --dir "$BUILD"/soak_check.tmp
+
+echo "== runner + resilience suites under TSan =="
+# The batch runner's thread pool and the resilience seams (journal
+# appends from worker threads, breaker state, drain flag) are the
+# concurrency-heavy surfaces; run their suites under ThreadSanitizer.
+cmake --preset tsan > /dev/null
+cmake --build build-tsan -j "$JOBS" --target test_runner test_resilience
+TSAN_OPTIONS="halt_on_error=1" build-tsan/tests/test_runner
+TSAN_OPTIONS="halt_on_error=1" build-tsan/tests/test_resilience
+rm -rf build-tsan
+
 echo "== release build + throughput smoke =="
 # Optimized build via the release preset (-O3, warnings-as-errors), then
 # the host-throughput driver on the VecAdd smoke slice. The driver's exit
 # code is gated by the differential oracle; the validator re-checks the
-# dsa-bench-json/3 contract and that every job reports MIPS > 0.
+# dsa-bench-json/4 contract and that every job reports MIPS > 0.
 cmake --preset release > /dev/null
 cmake --build build -j "$JOBS" --target bench_throughput
 build/bench/bench_throughput --filter VecAdd --repeats 2 \

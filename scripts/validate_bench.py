@@ -1,13 +1,21 @@
 #!/usr/bin/env python3
-"""Structural validator for dsa-bench-json/3 batch reports.
+"""Structural validator for dsa-bench-json/4 batch reports.
 
 Checks that a file produced by `--json PATH` (sim::WriteBenchJson,
 src/sim/runner.cc) honours the contract in docs/BENCH_SCHEMA.md:
-  * is well-formed JSON carrying the "dsa-bench-json/3" schema marker,
+  * is well-formed JSON carrying the "dsa-bench-json/4" schema marker,
   * has every required top-level field with a sane value,
   * reconciles the run census: sum of per-result `runs` == executed_runs,
-    every "ok" cell ran exactly `repeats` times, and `faulted_cells`
-    matches the number of results whose cell_status != "ok",
+    every "ok" cell ran exactly `repeats` times, `faulted_cells` matches
+    the number of results whose cell_status != "ok", `cancelled_cells`
+    matches the "cancelled" results and `restored_cells` matches the
+    results flagged `"restored": true`,
+  * checks run_status/cell_status consistency: run_status is "complete"
+    or "interrupted", and a "complete" run has no cancelled cells,
+  * validates the optional resilience blocks -- `journal` (path /
+    restored / appended, restored agreeing with restored_cells) and the
+    `breaker` census (per-workload state in closed/open/half-open with
+    non-negative counters),
   * carries an oracle verdict (and, by default, a passing one),
   * has one result object per distinct job with the required fields --
     faulted cells appear with a minimal payload (status, attempts, error)
@@ -27,7 +35,8 @@ import sys
 
 REQUIRED_TOP = [
     "schema", "bench", "jobs", "repeats", "wall_ms", "distinct_jobs",
-    "executed_runs", "faulted_cells", "memo_hits", "oracle", "results",
+    "executed_runs", "faulted_cells", "memo_hits", "restored_cells",
+    "cancelled_cells", "run_status", "oracle", "results",
 ]
 # Every result carries its cell status; completed cells carry the stats.
 REQUIRED_RESULT_ANY = ["job", "workload", "mode", "config", "cell_status",
@@ -38,7 +47,13 @@ REQUIRED_RESULT_OK = [
 ]
 REQUIRED_HOST = ["mips", "wall_ms", "steps"]
 REQUIRED_FAULTS = ["plan", "seed", "total_fired", "opportunities", "fired"]
+REQUIRED_JOURNAL = ["path", "restored", "appended"]
+REQUIRED_BREAKER_ENTRY = ["workload", "state", "failures", "trips", "skipped"]
 MODES = {"arm-original", "neon-autovec", "neon-handvec", "neon-dsa"}
+CELL_STATUSES = {"ok", "faulted", "crashed", "timeout", "oom", "skipped",
+                 "cancelled"}
+RUN_STATUSES = {"complete", "interrupted"}
+BREAKER_STATES = {"closed", "open", "half-open"}
 
 
 def fail(msg: str) -> None:
@@ -63,13 +78,53 @@ def main() -> None:
     for k in REQUIRED_TOP:
         if k not in doc:
             fail(f"missing top-level field '{k}'")
-    if doc["schema"] != "dsa-bench-json/3":
-        fail(f"schema is {doc['schema']!r}, expected 'dsa-bench-json/3'")
+    if doc["schema"] != "dsa-bench-json/4":
+        fail(f"schema is {doc['schema']!r}, expected 'dsa-bench-json/4'")
     if len(doc["results"]) != doc["distinct_jobs"]:
         fail(f"{len(doc['results'])} results for "
              f"{doc['distinct_jobs']} distinct jobs")
     if doc["wall_ms"] < 0:
         fail("negative batch wall_ms")
+    if doc["run_status"] not in RUN_STATUSES:
+        fail(f"run_status {doc['run_status']!r} not in {sorted(RUN_STATUSES)}")
+    if doc["run_status"] == "complete" and doc["cancelled_cells"] != 0:
+        fail(f"run_status 'complete' but cancelled_cells="
+             f"{doc['cancelled_cells']}")
+
+    if "journal" in doc:
+        jn = doc["journal"]
+        for k in REQUIRED_JOURNAL:
+            if k not in jn:
+                fail(f"journal block missing '{k}'")
+        if not jn["path"]:
+            fail("journal block with an empty path")
+        if jn["restored"] != doc["restored_cells"]:
+            fail(f"journal.restored={jn['restored']} disagrees with "
+                 f"restored_cells={doc['restored_cells']}")
+        if jn["appended"] < 0:
+            fail("negative journal.appended")
+    elif doc["restored_cells"] != 0:
+        fail(f"restored_cells={doc['restored_cells']} without a journal "
+             f"block")
+
+    if "breaker" in doc:
+        br = doc["breaker"]
+        if br.get("enabled") is not True:
+            fail("breaker block present but not enabled")
+        if "workloads" not in br:
+            fail("breaker block missing 'workloads'")
+        for b in br["workloads"]:
+            wl = b.get("workload", "<unnamed>")
+            for k in REQUIRED_BREAKER_ENTRY:
+                if k not in b:
+                    fail(f"breaker entry {wl}: missing '{k}'")
+            if b["state"] not in BREAKER_STATES:
+                fail(f"breaker entry {wl}: state {b['state']!r} not in "
+                     f"{sorted(BREAKER_STATES)}")
+            for k in ("failures", "trips", "skipped"):
+                if not isinstance(b[k], int) or b[k] < 0:
+                    fail(f"breaker entry {wl}: {k}={b[k]!r} not a "
+                         f"non-negative integer")
 
     oracle = doc["oracle"]
     for k in ("enabled", "ok", "violations"):
@@ -80,6 +135,8 @@ def main() -> None:
 
     runs_sum = 0
     faulted = 0
+    cancelled = 0
+    restored = 0
     for r in doc["results"]:
         job = r.get("job", "<unnamed>")
         for k in REQUIRED_RESULT_ANY:
@@ -87,11 +144,19 @@ def main() -> None:
                 fail(f"result {job}: missing '{k}'")
         if r["mode"] not in MODES:
             fail(f"result {job}: unknown mode {r['mode']!r}")
+        if r["cell_status"] not in CELL_STATUSES:
+            fail(f"result {job}: unknown cell_status {r['cell_status']!r}")
         runs_sum += r["runs"]
         if r["attempts"] < r["runs"]:
             fail(f"result {job}: attempts={r['attempts']} < runs={r['runs']}")
+        if r.get("restored"):
+            restored += 1
+            if r["cell_status"] != "ok":
+                fail(f"result {job}: restored cell with cell_status "
+                     f"{r['cell_status']!r}")
         if r["cell_status"] != "ok":
             faulted += 1
+            cancelled += r["cell_status"] == "cancelled"
             if not r.get("error"):
                 fail(f"result {job}: faulted cell without an 'error'")
             continue  # faulted cells carry a minimal payload only
@@ -128,10 +193,21 @@ def main() -> None:
     if faulted != doc["faulted_cells"]:
         fail(f"{faulted} results are faulted, faulted_cells says "
              f"{doc['faulted_cells']}")
+    if cancelled != doc["cancelled_cells"]:
+        fail(f"{cancelled} results are cancelled, cancelled_cells says "
+             f"{doc['cancelled_cells']}")
+    if restored != doc["restored_cells"]:
+        fail(f"{restored} results are flagged restored, restored_cells "
+             f"says {doc['restored_cells']}")
+    if cancelled > 0 and doc["run_status"] != "interrupted":
+        fail(f"{cancelled} cancelled cells in a "
+             f"{doc['run_status']!r} run")
 
     n = len(doc["results"])
     print(f"validate_bench: OK: {path}: {n} results "
-          f"({doc['faulted_cells']} faulted), oracle ok={oracle['ok']}")
+          f"({doc['faulted_cells']} faulted, {doc['cancelled_cells']} "
+          f"cancelled, {doc['restored_cells']} restored), "
+          f"run_status={doc['run_status']}, oracle ok={oracle['ok']}")
 
 
 if __name__ == "__main__":

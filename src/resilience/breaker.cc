@@ -1,0 +1,73 @@
+#include "resilience/breaker.h"
+
+namespace dsa::resilience {
+
+bool CircuitBreaker::Allow(const std::string& workload) {
+  if (threshold_ <= 0) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[workload];
+  switch (e.state) {
+    case State::kClosed:
+      return true;
+    case State::kHalfOpen:
+      // Exactly one probe at a time; concurrent siblings skip until the
+      // probe's verdict arrives.
+      if (e.probe_in_flight) {
+        ++e.skipped;
+        return false;
+      }
+      e.probe_in_flight = true;
+      return true;
+    case State::kOpen:
+      ++e.skipped;
+      if (++e.open_skips >= probe_after_) {
+        e.state = State::kHalfOpen;
+        e.open_skips = 0;
+      }
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::Record(const std::string& workload, bool success) {
+  if (threshold_ <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[workload];
+  const bool was_probe = e.state == State::kHalfOpen && e.probe_in_flight;
+  e.probe_in_flight = false;
+  if (success) {
+    e.state = State::kClosed;
+    e.consecutive_failures = 0;
+    return;
+  }
+  if (was_probe) {
+    // The probe failed: straight back to open, another trip.
+    e.state = State::kOpen;
+    e.open_skips = 0;
+    ++e.trips;
+    return;
+  }
+  if (++e.consecutive_failures >= threshold_ && e.state == State::kClosed) {
+    e.state = State::kOpen;
+    e.open_skips = 0;
+    ++e.trips;
+  }
+}
+
+std::vector<sim::BreakerCensusEntry> CircuitBreaker::Census() const {
+  std::vector<sim::BreakerCensusEntry> census;
+  std::lock_guard<std::mutex> lock(mu_);
+  census.reserve(entries_.size());
+  for (const auto& [workload, e] : entries_) {
+    sim::BreakerCensusEntry out;
+    out.workload = workload;
+    out.state = std::string(ToString(e.state));
+    out.failures = static_cast<std::uint64_t>(e.consecutive_failures);
+    out.trips = e.trips;
+    out.skipped = e.skipped;
+    census.push_back(std::move(out));
+  }
+  return census;
+}
+
+}  // namespace dsa::resilience

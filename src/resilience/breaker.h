@@ -1,0 +1,70 @@
+// Per-workload circuit breaker for the batch runner: after `threshold`
+// consecutive cell failures of one workload the breaker opens and
+// fails-fast that workload's remaining cells (cell_status "skipped"),
+// protecting a long sweep's wall clock from a workload that crashes or
+// times out on every attempt. After `probe_after` skipped cells the
+// breaker goes half-open and lets exactly one probe through: success
+// closes it again, failure re-opens it. Counting is deterministic (no
+// wall-clock cooldowns) so a resumed sweep behaves identically to an
+// uninterrupted one. Complements the per-cell step-budget watchdog and
+// wall-clock deadline (docs/RESILIENCE.md).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/runner.h"
+
+namespace dsa::resilience {
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  // threshold <= 0 disables the breaker entirely (Allow always passes).
+  CircuitBreaker(int threshold, int probe_after)
+      : threshold_(threshold), probe_after_(probe_after) {}
+
+  // Returns true when a cell of `workload` may execute. When it returns
+  // false the cell must be failed fast with DsaError{kBreakerOpen}.
+  // A true return from the open->half-open transition admits the probe.
+  [[nodiscard]] bool Allow(const std::string& workload);
+
+  // Reports the outcome of an executed (admitted) cell.
+  void Record(const std::string& workload, bool success);
+
+  [[nodiscard]] bool enabled() const { return threshold_ > 0; }
+
+  // Census for the bench JSON `breaker` block (one entry per workload
+  // that executed at least one cell).
+  [[nodiscard]] std::vector<sim::BreakerCensusEntry> Census() const;
+
+  [[nodiscard]] static std::string_view ToString(State s) {
+    switch (s) {
+      case State::kClosed: return "closed";
+      case State::kOpen: return "open";
+      case State::kHalfOpen: return "half-open";
+    }
+    return "?";
+  }
+
+ private:
+  struct Entry {
+    State state = State::kClosed;
+    int consecutive_failures = 0;
+    std::uint64_t trips = 0;    // closed/half-open -> open transitions
+    std::uint64_t skipped = 0;  // cells refused while open
+    int open_skips = 0;         // skips since the breaker last opened
+    bool probe_in_flight = false;
+  };
+
+  int threshold_;
+  int probe_after_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace dsa::resilience

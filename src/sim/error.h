@@ -21,6 +21,13 @@ enum class DsaErrorCode : std::uint8_t {
   kBadWorkload,    // workload variant missing or malformed
   kTransient,      // retryable harness failure (runner backoff applies)
   kInternal,       // invariant violation inside the simulator itself
+  // Process-level failures surfaced by the resilience layer
+  // (src/resilience, docs/RESILIENCE.md). Only raised for cells executed
+  // under --isolate, where a hard crash is contained in a forked child.
+  kCrash,        // child died on a signal (SIGSEGV/SIGABRT/...) or bad exit
+  kDeadline,     // cell exceeded its wall-clock deadline and was killed
+  kOutOfMemory,  // child hit its memory cap (rlimit -> bad_alloc) or OOM
+  kBreakerOpen,  // per-workload circuit breaker refused the cell
 };
 
 [[nodiscard]] constexpr std::string_view ToString(DsaErrorCode c) {
@@ -30,8 +37,24 @@ enum class DsaErrorCode : std::uint8_t {
     case DsaErrorCode::kBadWorkload: return "bad-workload";
     case DsaErrorCode::kTransient: return "transient";
     case DsaErrorCode::kInternal: return "internal";
+    case DsaErrorCode::kCrash: return "crash";
+    case DsaErrorCode::kDeadline: return "deadline";
+    case DsaErrorCode::kOutOfMemory: return "oom";
+    case DsaErrorCode::kBreakerOpen: return "breaker-open";
   }
   return "?";
+}
+
+// The per-cell status string the bench JSON reports for a cell poisoned by
+// this error code (docs/BENCH_SCHEMA.md, schema dsa-bench-json/4).
+[[nodiscard]] constexpr std::string_view CellStatusFor(DsaErrorCode c) {
+  switch (c) {
+    case DsaErrorCode::kCrash: return "crashed";
+    case DsaErrorCode::kDeadline: return "timeout";
+    case DsaErrorCode::kOutOfMemory: return "oom";
+    case DsaErrorCode::kBreakerOpen: return "skipped";
+    default: return "faulted";
+  }
 }
 
 class DsaError : public std::runtime_error {

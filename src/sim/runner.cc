@@ -72,6 +72,23 @@ std::string BatchRunner::Submit(BatchJob job) {
     auto pending = std::make_unique<Pending>();
     pending->job = std::move(job);
     pending->key = key;
+    // Resume seam: a journaled cell is answered without executing. The
+    // restore callback fills the full outcome (runs, stats, status), so
+    // downstream consumers cannot tell it apart from a fresh execution.
+    if (opts_.restore_fn) {
+      JobOutcome& out = pending->outcome;
+      if (opts_.restore_fn(key, out)) {
+        out.key = key;
+        out.workload_key = WorkloadKey(pending->job);
+        out.mode = pending->job.mode;
+        out.config_tag = pending->job.config_tag;
+        out.restored = true;
+        pending->done = true;
+        ++restored_cells_;
+        jobs_.emplace(key, std::move(pending));
+        return key;
+      }
+    }
     queue_.push_back(pending.get());
     ++in_flight_;
     jobs_.emplace(key, std::move(pending));
@@ -105,9 +122,25 @@ void BatchRunner::WorkerLoop() {
       p = queue_.front();
       queue_.pop_front();
     }
-    Execute(*p);
+    const bool drained = opts_.drain != nullptr &&
+                         opts_.drain->load(std::memory_order_relaxed);
+    if (drained) {
+      // Graceful drain: never start new work, but let in-flight cells
+      // finish so the journal and the partial report stay consistent.
+      JobOutcome& out = p->outcome;
+      out.key = p->key;
+      out.workload_key = WorkloadKey(p->job);
+      out.mode = p->job.mode;
+      out.config_tag = p->job.config_tag;
+      out.cell_status = "cancelled";
+      out.error = "drained: batch interrupted before this cell executed";
+    } else {
+      Execute(*p);
+      if (opts_.on_outcome) opts_.on_outcome(p->outcome);
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (drained) interrupted_ = true;
       p->done = true;
       --in_flight_;
     }
@@ -141,9 +174,11 @@ void BatchRunner::Execute(Pending& p) {
         out.error = e.what();
         // Only transient harness failures earn a bounded retry with
         // exponential backoff; deterministic errors (step limit, OOB,
-        // bad workload) would fail identically again.
+        // bad workload) would fail identically again. Process-level
+        // failures map to their own statuses ("crashed"/"timeout"/"oom"/
+        // "skipped") so the JSON census can tell them apart.
         if (!e.transient() || attempt >= opts_.max_retries) {
-          out.cell_status = "faulted";
+          out.cell_status = std::string(CellStatusFor(e.code()));
           return;
         }
         if (opts_.retry_backoff_ms > 0) {
@@ -176,7 +211,19 @@ const JobOutcome& BatchRunner::Get(const std::string& key) {
   return p->outcome;
 }
 
+const JobOutcome& BatchRunner::Outcome(const std::string& key) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = jobs_.find(key);
+  if (it == jobs_.end()) {
+    throw std::invalid_argument("BatchRunner::Outcome: unknown job " + key);
+  }
+  Pending* p = it->second.get();
+  done_cv_.wait(lock, [p] { return p->done; });
+  return p->outcome;
+}
+
 BatchReport BatchRunner::Finish() {
+  BatchReport report;
   {
     std::unique_lock<std::mutex> lock(mu_);
     done_cv_.wait(lock, [this] { return in_flight_ == 0; });
@@ -184,14 +231,22 @@ BatchReport BatchRunner::Finish() {
     for (const auto& [key, pending] : jobs_) {
       outcomes_.emplace(key, pending->outcome);
     }
+    report.memo_hits = memo_hits_;
+    report.restored_cells = restored_cells_;
+    report.interrupted = interrupted_;
   }
 
-  BatchReport report;
   report.distinct_jobs = outcomes_.size();
-  report.memo_hits = memo_hits_;
   for (const auto& [key, out] : outcomes_) {
     report.executed_runs += out.runs.size();
     if (out.cell_status != "ok") ++report.faulted_cells;
+    if (out.cell_status == "cancelled") {
+      // A graceful drain abandoned this cell before it executed; that is
+      // an interruption (BatchReport::interrupted, run_status in the
+      // JSON), not a correctness violation of anything that ran.
+      ++report.cancelled_cells;
+      continue;
+    }
     if (!out.error.empty()) {
       report.violations.push_back(
           oracle::Violation{key, "run.exception", out.error});
@@ -307,8 +362,12 @@ class JsonWriter {
 }  // namespace
 
 bool WriteBenchJson(const std::string& path, const std::string& bench_name,
-                    const BatchRunner& runner, const BatchReport& report) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
+                    const BatchRunner& runner, const BatchReport& report,
+                    const BenchJsonExtras* extras) {
+  // Write-then-rename so a reader (or a kill signal) can never observe a
+  // half-written report at `path`.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
   if (f == nullptr) return false;
   JsonWriter w(f);
 
@@ -321,7 +380,7 @@ bool WriteBenchJson(const std::string& path, const std::string& bench_name,
   }
 
   w.Open(nullptr, '{');
-  w.Str("schema", "dsa-bench-json/3");
+  w.Str("schema", "dsa-bench-json/4");
   w.Str("bench", bench_name);
   w.U64("jobs", static_cast<std::uint64_t>(runner.options().jobs));
   w.U64("repeats", static_cast<std::uint64_t>(runner.options().repeats));
@@ -330,6 +389,34 @@ bool WriteBenchJson(const std::string& path, const std::string& bench_name,
   w.U64("executed_runs", report.executed_runs);
   w.U64("faulted_cells", report.faulted_cells);
   w.U64("memo_hits", report.memo_hits);
+  w.U64("restored_cells", report.restored_cells);
+  w.U64("cancelled_cells", report.cancelled_cells);
+  w.Str("run_status", extras != nullptr ? extras->run_status
+                                        : (report.interrupted ? "interrupted"
+                                                              : "complete"));
+  if (extras != nullptr && !extras->journal_path.empty()) {
+    w.Open("journal", '{');
+    w.Str("path", extras->journal_path);
+    w.U64("restored", extras->journal_restored);
+    w.U64("appended", extras->journal_appended);
+    w.Close('}');
+  }
+  if (extras != nullptr && extras->breaker_enabled) {
+    w.Open("breaker", '{');
+    w.Bool("enabled", true);
+    w.Open("workloads", '[');
+    for (const BreakerCensusEntry& b : extras->breaker) {
+      w.Open(nullptr, '{');
+      w.Str("workload", b.workload);
+      w.Str("state", b.state);
+      w.U64("failures", b.failures);
+      w.U64("trips", b.trips);
+      w.U64("skipped", b.skipped);
+      w.Close('}');
+    }
+    w.Close(']');
+    w.Close('}');
+  }
 
   w.Open("oracle", '{');
   w.Bool("enabled", runner.options().oracle);
@@ -371,6 +458,7 @@ bool WriteBenchJson(const std::string& path, const std::string& bench_name,
     w.Str("config", out.config_tag);
     w.Str("cell_status", out.cell_status);
     w.U64("attempts", out.attempts);
+    if (out.restored) w.Bool("restored", true);
     if (!out.error.empty()) w.Str("error", out.error);
     w.U64("cycles", r.cycles);
     const auto base = baseline.find(out.workload_key);
@@ -488,7 +576,15 @@ bool WriteBenchJson(const std::string& path, const std::string& bench_name,
   w.Close(']');
   w.Close('}');
   w.Raw("\n");
-  return std::fclose(f) == 0;
+  if (std::fclose(f) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace dsa::sim

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -53,13 +54,20 @@ struct JobOutcome {
   std::vector<RunResult> runs;
   double wall_ms = 0;  // wall time of the first execution
   std::string error;   // non-empty if the job threw
-  // "ok" once every repeat completed; "faulted" when the cell was poisoned
-  // (watchdog step budget, memory fault, or retries exhausted). A faulted
-  // cell never aborts the batch — siblings keep running and the JSON
-  // records the failure (docs/FAULTS.md).
+  // "ok" once every repeat completed. Failure statuses, keyed on the
+  // DsaError code that poisoned the cell (sim::CellStatusFor): "faulted"
+  // (watchdog step budget, memory fault, retries exhausted), "crashed"
+  // (isolated child died on a signal), "timeout" (wall-clock deadline),
+  // "oom" (child memory cap), "skipped" (circuit breaker open) and
+  // "cancelled" (graceful drain before execution). A failed cell never
+  // aborts the batch — siblings keep running and the JSON records the
+  // failure (docs/FAULTS.md, docs/RESILIENCE.md).
   std::string cell_status = "ok";
   // run_fn invocations, including retried attempts (>= runs.size()).
   std::uint64_t attempts = 0;
+  // True when the outcome was replayed from a crash-safe journal instead
+  // of executed in this process (RunnerOptions::restore_fn).
+  bool restored = false;
 
   [[nodiscard]] const RunResult& result() const { return runs.at(0); }
 };
@@ -77,8 +85,22 @@ struct RunnerOptions {
   int max_retries = 2;
   int retry_backoff_ms = 10;  // doubles per attempt
   // Test seam: replaces sim::Run (instrumented or fault-injecting runs).
+  // The resilience layer (src/resilience/supervisor.h) also hooks here to
+  // wrap execution in a forked child with a deadline and circuit breaker.
   std::function<RunResult(const Workload&, RunMode, const SystemConfig&)>
       run_fn;
+  // Resume seam: consulted once per distinct job at Submit time. Returning
+  // true marks the cell done with the filled outcome (counted as restored)
+  // instead of queueing it — the crash-safe journal replays through this.
+  std::function<bool(const std::string& key, JobOutcome& out)> restore_fn;
+  // Completion hook: called from the worker thread right after a cell
+  // finished executing (not for restored or drained cells). The journal
+  // appends through this; it must not call back into the runner.
+  std::function<void(const JobOutcome&)> on_outcome;
+  // Graceful-drain flag (owned by the caller, typically set from a
+  // SIGINT/SIGTERM handler): once true, queued cells are marked
+  // "cancelled" instead of executed; in-flight cells finish normally.
+  std::atomic<bool>* drain = nullptr;
 };
 
 struct BatchReport {
@@ -87,7 +109,14 @@ struct BatchReport {
   std::uint64_t executed_runs = 0;  // completed runs across all cells
   std::uint64_t faulted_cells = 0;  // cells with cell_status != "ok"
   std::uint64_t memo_hits = 0;      // submissions answered from the memo
-  double wall_ms = 0;               // batch wall time (construction→Finish)
+  // Cells answered from the resume journal (RunnerOptions::restore_fn)
+  // and cells abandoned by a graceful drain, respectively. Restored cells
+  // contribute their recorded runs to executed_runs so a resumed batch
+  // reconciles exactly like the uninterrupted one.
+  std::uint64_t restored_cells = 0;
+  std::uint64_t cancelled_cells = 0;
+  bool interrupted = false;  // the drain flag fired during the batch
+  double wall_ms = 0;        // batch wall time (construction→Finish)
   [[nodiscard]] bool ok() const { return violations.empty(); }
 };
 
@@ -118,6 +147,11 @@ class BatchRunner {
   // Blocks until the job has run. Throws if the job threw.
   const JobOutcome& Get(const std::string& key);
   const RunResult& Result(const std::string& key) { return Get(key).result(); }
+  // Blocks until the job has run and returns its outcome without
+  // throwing, failed cells included — callers check cell_status. The
+  // resilient rendering path (bench::ResultOrEmpty) uses this so one
+  // crashed or cancelled cell cannot abort a whole table.
+  const JobOutcome& Outcome(const std::string& key);
 
   // Barrier: waits for every submitted job, then runs the oracle sweep.
   [[nodiscard]] BatchReport Finish();
@@ -150,22 +184,50 @@ class BatchRunner {
   std::deque<Pending*> queue_;
   std::uint64_t in_flight_ = 0;
   std::uint64_t memo_hits_ = 0;
+  std::uint64_t restored_cells_ = 0;
+  bool interrupted_ = false;  // a worker observed the drain flag
   bool stop_ = false;
 
   std::vector<std::thread> workers_;
   std::map<std::string, JobOutcome> outcomes_;  // filled by Finish()
 };
 
-// Writes the batch as machine-readable JSON (schema "dsa-bench-json/3"):
+// Resilience census for the bench JSON, filled by the resilience layer
+// (src/resilience/supervisor.h) — plain data here so sim does not depend
+// on the resilience module.
+struct BreakerCensusEntry {
+  std::string workload;
+  std::string state;  // "closed" | "open" | "half-open"
+  std::uint64_t failures = 0;  // consecutive failures seen
+  std::uint64_t trips = 0;     // closed->open transitions
+  std::uint64_t skipped = 0;   // cells refused while open
+};
+
+struct BenchJsonExtras {
+  // "complete" for a run that drained its whole queue, "interrupted" when
+  // a graceful drain (SIGINT/SIGTERM) abandoned queued cells.
+  std::string run_status = "complete";
+  bool breaker_enabled = false;
+  std::vector<BreakerCensusEntry> breaker;
+  std::string journal_path;  // empty = no journal attached
+  std::uint64_t journal_restored = 0;  // cells replayed on --resume
+  std::uint64_t journal_appended = 0;  // cells appended this run
+};
+
+// Writes the batch as machine-readable JSON (schema "dsa-bench-json/4"):
 // per-job cycles, speedup over the workload's scalar baseline when one is
 // in the batch, DSA stats (including the speculation guard's rollback and
 // blacklist counters), energy breakdown, wall time, host simulation
 // throughput (the `host` block), fault-injection report (`faults` block,
-// armed runs only), per-cell status/attempts, plus the oracle verdict.
-// Faulted cells appear with a minimal payload so a poisoned cell is
-// visible, not silently dropped. Returns false if the file could not be
+// armed runs only), per-cell status/attempts, the run_status/journal/
+// breaker resilience census (docs/RESILIENCE.md), plus the oracle
+// verdict. Failed cells appear with a minimal payload so a poisoned cell
+// is visible, not silently dropped. The file is written to a temporary
+// sibling and atomically renamed into place so an interrupted run never
+// leaves a truncated report. Returns false if the file could not be
 // written.
 bool WriteBenchJson(const std::string& path, const std::string& bench_name,
-                    const BatchRunner& runner, const BatchReport& report);
+                    const BatchRunner& runner, const BatchReport& report,
+                    const BenchJsonExtras* extras = nullptr);
 
 }  // namespace dsa::sim

@@ -118,7 +118,11 @@ void WriteEvent(std::FILE* f, bool& first, int pid, bool& takeover_open,
 
 bool WriteChromeTrace(const std::string& path,
                       const std::vector<ChromeProcess>& processes) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
+  // Write-then-rename: an interrupted run either leaves the previous trace
+  // intact or the complete new one, never a truncated JSON that
+  // chrome://tracing rejects (docs/RESILIENCE.md).
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
   if (f == nullptr) return false;
 
   std::fputs("{\n\"schema\": \"dsa-trace/1\",\n\"displayTimeUnit\": \"ns\",\n"
@@ -161,7 +165,15 @@ bool WriteChromeTrace(const std::string& path,
     std::fputs("}}", f);
   }
   std::fputs("\n]}\n}\n", f);
-  return std::fclose(f) == 0;
+  if (std::fclose(f) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace dsa::trace

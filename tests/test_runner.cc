@@ -163,12 +163,13 @@ TEST(BatchRunner, WritesWellFormedJson) {
   EXPECT_EQ(brackets, 0);
   EXPECT_FALSE(in_string);
   for (const char* needle :
-       {"\"schema\": \"dsa-bench-json/3\"", "\"bench\": \"runner_test\"",
+       {"\"schema\": \"dsa-bench-json/4\"", "\"bench\": \"runner_test\"",
         "\"oracle\"", "\"ok\": true", "\"results\"", "\"cycles\"",
         "\"speedup_vs_scalar\"", "\"energy\"", "\"output_digest\"",
         "\"host\"", "\"mips\"", "\"dsa\"", "\"takeovers\"",
         "\"cell_status\": \"ok\"", "\"faulted_cells\": 0",
-        "\"rollbacks\""}) {
+        "\"restored_cells\": 0", "\"cancelled_cells\": 0",
+        "\"run_status\": \"complete\"", "\"rollbacks\""}) {
     EXPECT_NE(json.find(needle), std::string::npos) << needle;
   }
   std::remove(path.c_str());
