@@ -1,7 +1,8 @@
 // Extended-suite grid (beyond the paper's benchmark list): the same
-// four-system comparison over FIR, MemCopy, AlphaBlend and Histogram,
+// four-system comparison over FIR, MemCopy, AlphaBlend and Histogram —
 // stressing multi-stream offsets, 16-lane kernels, runtime-invariant
-// coefficients and the indirect-addressing rejection.
+// coefficients and the indirect-addressing rejection — plus the streaming
+// suite (scanners, bulk memory ops; bench_stream adds the GB/s view).
 #include <array>
 #include <cstdio>
 #include <string>
@@ -9,6 +10,7 @@
 
 #include "bench/bench_util.h"
 #include "workloads/extended.h"
+#include "workloads/workloads.h"
 
 int main(int argc, char** argv) {
   const dsa::bench::BenchOptions opts = dsa::bench::ParseBenchArgs(argc, argv);
@@ -21,7 +23,11 @@ int main(int argc, char** argv) {
     std::array<std::string, 4> keys;  // scalar, autovec, handvec, dsa
   };
   std::vector<Row> rows;
-  for (const dsa::sim::Workload& wl : dsa::workloads::ExtendedSet()) {
+  std::vector<dsa::sim::Workload> suite = dsa::workloads::ExtendedSet();
+  for (auto& wl : dsa::workloads::StreamingSet()) {
+    suite.push_back(std::move(wl));
+  }
+  for (const dsa::sim::Workload& wl : suite) {
     if (!dsa::bench::KeepWorkload(opts, wl.name)) continue;
     rows.push_back(Row{wl.name, runner.SubmitMatrix(wl, cfg)});
   }

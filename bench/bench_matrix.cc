@@ -96,6 +96,21 @@ void PrintLoopTypes(const std::vector<Workload>& set, const SystemConfig& cfg,
   std::printf("\n");
 }
 
+void PrintStream(const std::vector<Workload>& set, const SystemConfig& cfg,
+                 const Getter& get) {
+  std::printf("streaming suite — GB/s at 1 GHz (bytes/cycle)\n");
+  std::printf("%-14s %10s %10s %12s\n", "kernel", "scalar", "DSA",
+              "DSA impr.");
+  for (const Workload& wl : set) {
+    const RunResult base = get(wl, RunMode::kScalar, cfg, "");
+    const RunResult d = get(wl, RunMode::kDsa, cfg, "");
+    std::printf("%-14s %10.3f %10.3f %+11.1f%%\n", wl.name.c_str(),
+                base.stream_gbps(), d.stream_gbps(),
+                dsa::bench::ImprovementPct(base, d));
+  }
+  std::printf("\n");
+}
+
 void PrintFig16(const std::vector<Workload>& set, const SystemConfig& ext_cfg,
                 const SystemConfig& orig_cfg, const Getter& get) {
   std::printf("Extended vs Original DSA — improvement over ARM original "
@@ -125,11 +140,13 @@ TableRun RenderAllTables(const Getter& get, const SystemConfig& cfg,
   const auto t0 = std::chrono::steady_clock::now();
   const std::vector<Workload> a3 = dsa::workloads::Article3Set();
   const std::vector<Workload> a2 = dsa::workloads::Article2Set();
+  const std::vector<Workload> stream = dsa::workloads::StreamingSet();
   PrintPerf(a3, cfg, get);
   PrintEnergy(a3, cfg, get);
   PrintLatency(a3, cfg, get);
   PrintLoopTypes(a3, cfg, get);
   PrintFig16(a2, cfg, orig_cfg, get);
+  PrintStream(stream, cfg, get);
   TableRun tr;
   tr.wall_ms = std::chrono::duration<double, std::milli>(
                    std::chrono::steady_clock::now() - t0)
@@ -176,6 +193,10 @@ int main(int argc, char** argv) {
   }
   for (const Workload& wl : dsa::workloads::Article2Set()) {
     runner.Submit(wl, RunMode::kDsa, orig_cfg, "orig");
+  }
+  for (const Workload& wl : dsa::workloads::StreamingSet()) {
+    runner.Submit(wl, RunMode::kScalar, cfg);
+    runner.Submit(wl, RunMode::kDsa, cfg);
   }
   const Getter memo_get = [&runner](const Workload& wl, RunMode mode,
                                     const SystemConfig& c,

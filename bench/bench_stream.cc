@@ -1,0 +1,140 @@
+// Streaming-throughput and generator-sweep driver. Part 1 runs the
+// streaming suite (workloads/streaming plus the byte kernels MemCopy and
+// StrCopy) through the four-system matrix and reports GB/s at the modeled
+// 1 GHz clock next to the usual improvement/energy columns. Part 2 is the
+// standing differential-fuzz harness: every generated program
+// (workloads/gen, population set by --gen-seed/--gen-count) runs scalar,
+// through the DSA fast path, and through the DSA `--reference` twin; the
+// oracle gates the digests of all three and the driver additionally
+// requires the fast and reference twins to agree cycle-for-cycle,
+// exiting non-zero on any divergence.
+#include <array>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "workloads/extended.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+// GB/s of one run at 1 GHz (bytes/cycle), or 0 when not applicable.
+double Gbps(const dsa::sim::RunResult& r) { return r.stream_gbps(); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const dsa::bench::BenchOptions opts = dsa::bench::ParseBenchArgs(argc, argv);
+  const dsa::sim::SystemConfig cfg = dsa::bench::BaseConfig(opts);
+  dsa::sim::SystemConfig cfg_ref = cfg;
+  cfg_ref.reference_path = true;
+  dsa::bench::PrintSetupHeader(cfg);
+
+  dsa::sim::BatchRunner runner(opts.runner);
+
+  // --- part 1: streaming suite, four-system matrix -------------------------
+  struct Row {
+    std::string name;
+    std::uint64_t bytes = 0;
+    std::array<std::string, 4> keys;  // scalar, autovec, handvec, dsa
+  };
+  std::vector<Row> rows;
+  std::vector<dsa::sim::Workload> suite = dsa::workloads::StreamingSet();
+  suite.push_back(dsa::workloads::MakeMemCopy());
+  suite.push_back(dsa::workloads::MakeStrCopy());
+  for (const dsa::sim::Workload& wl : suite) {
+    if (!dsa::bench::KeepWorkload(opts, wl.name)) continue;
+    rows.push_back(Row{wl.name, wl.stream_bytes, runner.SubmitMatrix(wl, cfg)});
+  }
+
+  // --- part 2: generated-program differential sweep ------------------------
+  const int gen_count = opts.gen_count > 0 ? opts.gen_count : 24;
+  struct GenJob {
+    std::string name;
+    std::string cls;
+    std::string scalar_key;
+    std::string dsa_key;
+    std::string ref_key;  // DSA through the pre-optimization twin
+  };
+  std::vector<GenJob> gen_jobs;
+  for (dsa::sim::Workload& wl :
+       dsa::workloads::gen::GeneratedSet(opts.gen_seed, gen_count)) {
+    if (!dsa::bench::KeepWorkload(opts, wl.name)) continue;
+    GenJob j;
+    j.name = wl.name;
+    j.cls = wl.gen->loop_class;
+    j.scalar_key = runner.Submit(wl, dsa::sim::RunMode::kScalar, cfg);
+    j.dsa_key = runner.Submit(wl, dsa::sim::RunMode::kDsa, cfg);
+    // Same workload key, different config tag: the oracle's equivalence
+    // group now spans fast path and reference twin.
+    j.ref_key = runner.Submit(wl, dsa::sim::RunMode::kDsa, cfg_ref, "ref");
+    gen_jobs.push_back(std::move(j));
+  }
+
+  std::printf("streaming suite — GB/s at 1 GHz (bytes/cycle)\n");
+  std::printf("%-14s %10s %8s %8s %8s %8s | %9s %8s\n", "kernel", "bytes",
+              "scalar", "autovec", "hand", "DSA", "DSA impr.", "energy");
+  for (const Row& row : rows) {
+    const auto& base = dsa::bench::ResultOrEmpty(runner, row.keys[0]);
+    const auto& a = dsa::bench::ResultOrEmpty(runner, row.keys[1]);
+    const auto& h = dsa::bench::ResultOrEmpty(runner, row.keys[2]);
+    const auto& d = dsa::bench::ResultOrEmpty(runner, row.keys[3]);
+    std::printf(
+        "%-14s %10llu %8.3f %8.3f %8.3f %8.3f | %+8.1f%% %+7.1f%%\n",
+        row.name.c_str(), static_cast<unsigned long long>(row.bytes),
+        Gbps(base), Gbps(a), Gbps(h), Gbps(d),
+        dsa::bench::ImprovementPct(base, d),
+        dsa::bench::EnergySavingsPct(base, d));
+  }
+
+  // Fast-vs-reference divergence check: the reference twin must reproduce
+  // every simulated stat bit-identically, so cycles and digests are
+  // compared exactly — any mismatch is an engine/CPU/cache bug surfaced
+  // by a generated program.
+  struct ClassAgg {
+    int programs = 0;
+    int takeovers = 0;
+    double speedup_sum = 0;
+  };
+  std::map<std::string, ClassAgg> by_class;
+  int divergences = 0;
+  for (const GenJob& j : gen_jobs) {
+    const auto& s = dsa::bench::ResultOrEmpty(runner, j.scalar_key);
+    const auto& d = dsa::bench::ResultOrEmpty(runner, j.dsa_key);
+    const auto& ref = dsa::bench::ResultOrEmpty(runner, j.ref_key);
+    ClassAgg& agg = by_class[j.cls];
+    ++agg.programs;
+    if (d.dsa.has_value() && d.dsa->takeovers > 0) ++agg.takeovers;
+    if (s.cycles > 0 && d.cycles > 0) {
+      agg.speedup_sum += dsa::sim::SpeedupOver(s, d);
+    }
+    if (d.cycles != ref.cycles || d.output_digest != ref.output_digest) {
+      ++divergences;
+      std::fprintf(stderr,
+                   "DIVERGENCE %s: fast cycles=%llu digest=%016llx vs "
+                   "reference cycles=%llu digest=%016llx\n",
+                   j.name.c_str(), static_cast<unsigned long long>(d.cycles),
+                   static_cast<unsigned long long>(d.output_digest),
+                   static_cast<unsigned long long>(ref.cycles),
+                   static_cast<unsigned long long>(ref.output_digest));
+    }
+  }
+
+  std::printf(
+      "\ngenerated sweep — %d program(s), base seed %llu (fast vs "
+      "reference twin)\n",
+      gen_count, static_cast<unsigned long long>(opts.gen_seed));
+  std::printf("%-16s %9s %10s %12s\n", "class", "programs", "takeovers",
+              "avg speedup");
+  for (const auto& [cls, agg] : by_class) {
+    std::printf("%-16s %9d %10d %11.2fx\n", cls.c_str(), agg.programs,
+                agg.takeovers,
+                agg.programs > 0 ? agg.speedup_sum / agg.programs : 0.0);
+  }
+  std::printf("fast-vs-reference divergences: %d\n", divergences);
+
+  const int rc = dsa::bench::FinishBench(runner, opts, "stream");
+  return divergences > 0 ? 1 : rc;
+}

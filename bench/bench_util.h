@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -49,21 +50,67 @@ struct BenchOptions {
   bool serial = false;        // --serial: seed-style direct Run() loop
   bool compare = false;       // --compare: time serial vs. runner paths
   bool reference = false;     // --reference: pre-optimization sim paths
+  // Seeded loop-nest generator (workloads/gen): --gen-seed is the base
+  // seed of the sweep, --gen-count the number of generated programs
+  // (0 = the driver's default population).
+  std::uint64_t gen_seed = 1;
+  int gen_count = 0;
 };
 
 // Strict numeric flag parsing: the whole token must be a decimal number,
 // so `--jobs 4x` or `--jobs ""` is a usage error instead of whatever
-// atoi() would silently make of it.
+// atoi() would silently make of it. Out-of-range values are refused too —
+// strtol saturates silently on ERANGE, which would turn an overflowed
+// `--deadline-ms 99999999999999999999` into LONG_MAX instead of an error.
 inline long ParseCountArg(const std::string& flag, const char* text) {
   char* end = nullptr;
+  errno = 0;
   const long v = std::strtol(text, &end, 10);
   if (end == text || *end != '\0') {
     std::fprintf(stderr, "%s expects a decimal number, got \"%s\"\n",
                  flag.c_str(), text);
     std::exit(2);
   }
+  if (errno == ERANGE) {
+    std::fprintf(stderr, "%s value \"%s\" is out of range\n", flag.c_str(),
+                 text);
+    std::exit(2);
+  }
   return v;
 }
+
+// Strict uint64 flag parsing for `--gen-seed`: any 64-bit seed is legal,
+// but a leading '-' or an overflowing token is refused instead of letting
+// strtoull wrap it around into a different (silently valid) seed.
+inline std::uint64_t ParseU64Arg(const std::string& flag, const char* text) {
+  const char* p = text;
+  while (std::isspace(static_cast<unsigned char>(*p))) ++p;
+  if (*p == '-' || *p == '+') {
+    std::fprintf(stderr, "%s expects an unsigned decimal number, got \"%s\"\n",
+                 flag.c_str(), text);
+    std::exit(2);
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "%s expects an unsigned decimal number, got \"%s\"\n",
+                 flag.c_str(), text);
+    std::exit(2);
+  }
+  if (errno == ERANGE) {
+    std::fprintf(stderr,
+                 "%s value \"%s\" overflows 64 bits; refusing to wrap it\n",
+                 flag.c_str(), text);
+    std::exit(2);
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+// Largest generated-program population one sweep may request. Far above
+// any useful sweep, but low enough that a typo'd count fails fast instead
+// of allocating for hours.
+inline constexpr long kMaxGenCount = 1'000'000;
 
 // Parses the shared harness flags; unknown flags abort with usage so a
 // typo cannot silently fall back to defaults.
@@ -99,6 +146,16 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
         std::fprintf(stderr, "%s\n", e.what());
         std::exit(2);
       }
+    } else if (arg == "--gen-seed") {
+      o.gen_seed = ParseU64Arg(arg, value());
+    } else if (arg == "--gen-count") {
+      const long n = ParseCountArg(arg, value());
+      if (n < 0 || n > kMaxGenCount) {
+        std::fprintf(stderr, "--gen-count must be in [0, %ld], got %ld\n",
+                     kMaxGenCount, n);
+        std::exit(2);
+      }
+      o.gen_count = static_cast<int>(n);
     } else if (arg == "--serial") {
       o.serial = true;
     } else if (arg == "--compare") {
@@ -133,6 +190,7 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
                    "usage: %s [--jobs N] [--repeats K] [--json PATH] "
                    "[--filter SUBSTR] [--trace PATH] [--faults SPEC] "
                    "[--no-oracle] [--serial] [--compare] [--reference] "
+                   "[--gen-seed S] [--gen-count N] "
                    "[--isolate] [--journal PATH] [--resume PATH] "
                    "[--deadline-ms N] [--mem-limit-mb N] [--breaker N] "
                    "[--fsync none|interval|always]\n",

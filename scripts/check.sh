@@ -37,7 +37,7 @@ echo "== chaos smoke (fault injection + guard recovery) =="
 # exits non-zero unless every injected run recovers bit-identically to
 # the fault-free digest (speculation guard rollback + blacklisting),
 # with the sanitizers watching the rollback machinery. The validator
-# re-checks the dsa-bench-json/4 contract including the faults block.
+# re-checks the dsa-bench-json/5 contract including the faults block.
 "$BUILD"/bench/bench_chaos --filter VecAdd --jobs 2 \
     --json "$BUILD"/BENCH_chaos_check.json
 python3 scripts/validate_bench.py "$BUILD"/BENCH_chaos_check.json
@@ -53,6 +53,16 @@ rm -f "$BUILD"/CHAOS_check.jnl
     --json "$BUILD"/BENCH_chaos_isolate_check.json
 python3 scripts/validate_bench.py "$BUILD"/BENCH_chaos_isolate_check.json
 grep -q '"run_status": "complete"' "$BUILD"/BENCH_chaos_isolate_check.json
+
+echo "== generator fuzz smoke under ASan (200 seeds) =="
+# 200 generated loop-nest programs (classes round-robin), every one run
+# oracle-gated through the fast DSA path AND the --reference twin;
+# bench_stream exits non-zero on any fast-vs-reference divergence in
+# cycles or output digest. ASan+UBSan watch the generated-program
+# interpreter paths. The validator re-checks the stream/gen JSON blocks.
+"$BUILD"/bench/bench_stream --gen-seed 11 --gen-count 200 \
+    --json "$BUILD"/BENCH_stream_check.json
+python3 scripts/validate_bench.py "$BUILD"/BENCH_stream_check.json
 
 echo "== fault suite under ASan =="
 # The rollback/blacklist/watchdog tests rewrite CPU state and memory from
@@ -79,16 +89,27 @@ echo "== runner + resilience suites under TSan =="
 # appends from worker threads, breaker state, drain flag) are the
 # concurrency-heavy surfaces; run their suites under ThreadSanitizer.
 cmake --preset tsan > /dev/null
-cmake --build build-tsan -j "$JOBS" --target test_runner test_resilience
+cmake --build build-tsan -j "$JOBS" --target test_runner test_resilience \
+    bench_stream
 TSAN_OPTIONS="halt_on_error=1" build-tsan/tests/test_runner
 TSAN_OPTIONS="halt_on_error=1" build-tsan/tests/test_resilience
+
+echo "== generator sweep under TSan (64 seeds, --jobs 4) =="
+# The 64-seed differential sweep through the batch runner's thread pool:
+# generated programs stream through worker threads while the oracle
+# cross-checks fast vs reference results, with TSan watching the memo
+# and journal seams. (--jobs clamps to the host's hardware threads.)
+TSAN_OPTIONS="halt_on_error=1" build-tsan/bench/bench_stream \
+    --gen-seed 11 --gen-count 64 --jobs 4 \
+    --json build-tsan/BENCH_stream_tsan.json
+python3 scripts/validate_bench.py build-tsan/BENCH_stream_tsan.json
 rm -rf build-tsan
 
 echo "== release build + throughput smoke =="
 # Optimized build via the release preset (-O3, warnings-as-errors), then
 # the host-throughput driver on the VecAdd smoke slice. The driver's exit
 # code is gated by the differential oracle; the validator re-checks the
-# dsa-bench-json/4 contract and that every job reports MIPS > 0.
+# dsa-bench-json/5 contract and that every job reports MIPS > 0.
 cmake --preset release > /dev/null
 cmake --build build -j "$JOBS" --target bench_throughput
 build/bench/bench_throughput --filter VecAdd --repeats 2 \

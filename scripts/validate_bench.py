@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
-"""Structural validator for dsa-bench-json/4 batch reports.
+"""Structural validator for dsa-bench-json/5 batch reports.
 
 Checks that a file produced by `--json PATH` (sim::WriteBenchJson,
 src/sim/runner.cc) honours the contract in docs/BENCH_SCHEMA.md:
-  * is well-formed JSON carrying the "dsa-bench-json/4" schema marker,
+  * is well-formed JSON carrying the "dsa-bench-json/5" schema marker,
   * has every required top-level field with a sane value,
   * reconciles the run census: sum of per-result `runs` == executed_runs,
     every "ok" cell ran exactly `repeats` times, `faulted_cells` matches
@@ -23,7 +23,11 @@ src/sim/runner.cc) honours the contract in docs/BENCH_SCHEMA.md:
   * has a host throughput block per completed result with mips > 0
     whenever the run executed at least one interpreter step,
   * cross-checks the `faults` block (fault-injected runs only): the
-    per-kind fired counters must sum to total_fired, and
+    per-kind fired counters must sum to total_fired,
+  * validates the optional `stream` block (bytes > 0; gbps must be
+    bytes/cycles at the modeled 1 GHz, cross-checked against `cycles`)
+    and the optional `gen` block (seed/class/count with a known
+    generator class, consistent across every result of one workload), and
   * uses "0x..." hex form for output digests.
 
 Exit code 0 = valid, 1 = validation failure, 2 = usage/IO error.
@@ -46,6 +50,10 @@ REQUIRED_RESULT_OK = [
     "l1", "l2", "dram_accesses", "energy",
 ]
 REQUIRED_HOST = ["mips", "wall_ms", "steps"]
+REQUIRED_STREAM = ["bytes", "gbps"]
+REQUIRED_GEN = ["seed", "class", "count"]
+GEN_CLASSES = {"counted", "sentinel", "conditional", "nested",
+               "stride-variant", "early-exit"}
 REQUIRED_FAULTS = ["plan", "seed", "total_fired", "opportunities", "fired"]
 REQUIRED_JOURNAL = ["path", "restored", "appended"]
 REQUIRED_BREAKER_ENTRY = ["workload", "state", "failures", "trips", "skipped"]
@@ -78,8 +86,8 @@ def main() -> None:
     for k in REQUIRED_TOP:
         if k not in doc:
             fail(f"missing top-level field '{k}'")
-    if doc["schema"] != "dsa-bench-json/4":
-        fail(f"schema is {doc['schema']!r}, expected 'dsa-bench-json/4'")
+    if doc["schema"] != "dsa-bench-json/5":
+        fail(f"schema is {doc['schema']!r}, expected 'dsa-bench-json/5'")
     if len(doc["results"]) != doc["distinct_jobs"]:
         fail(f"{len(doc['results'])} results for "
              f"{doc['distinct_jobs']} distinct jobs")
@@ -137,6 +145,7 @@ def main() -> None:
     faulted = 0
     cancelled = 0
     restored = 0
+    gen_by_workload = {}
     for r in doc["results"]:
         job = r.get("job", "<unnamed>")
         for k in REQUIRED_RESULT_ANY:
@@ -177,6 +186,37 @@ def main() -> None:
             fail(f"result {job}: negative wall time")
         if r["runs"] != doc["repeats"]:
             fail(f"result {job}: runs={r['runs']} != repeats")
+        if "stream" in r:
+            st = r["stream"]
+            for k in REQUIRED_STREAM:
+                if k not in st:
+                    fail(f"result {job}: stream block missing '{k}'")
+            if not isinstance(st["bytes"], int) or st["bytes"] <= 0:
+                fail(f"result {job}: stream.bytes={st['bytes']!r} not a "
+                     f"positive integer")
+            if r["cycles"] > 0:
+                expect = st["bytes"] / r["cycles"]
+                if abs(st["gbps"] - expect) > max(1e-9, expect * 1e-4):
+                    fail(f"result {job}: stream.gbps={st['gbps']} but "
+                         f"bytes/cycles={expect}")
+        if "gen" in r:
+            gb = r["gen"]
+            for k in REQUIRED_GEN:
+                if k not in gb:
+                    fail(f"result {job}: gen block missing '{k}'")
+            if gb["class"] not in GEN_CLASSES:
+                fail(f"result {job}: gen.class {gb['class']!r} not in "
+                     f"{sorted(GEN_CLASSES)}")
+            if not isinstance(gb["seed"], int) or gb["seed"] < 0:
+                fail(f"result {job}: gen.seed={gb['seed']!r} not a "
+                     f"non-negative integer")
+            if not isinstance(gb["count"], int) or gb["count"] < 0:
+                fail(f"result {job}: gen.count={gb['count']!r} not a "
+                     f"non-negative integer")
+            prev = gen_by_workload.setdefault(r["workload"], gb)
+            if prev != gb:
+                fail(f"result {job}: gen block {gb} disagrees with another "
+                     f"result of the same workload: {prev}")
         if "faults" in r:
             fb = r["faults"]
             for k in REQUIRED_FAULTS:

@@ -58,10 +58,12 @@ class Memory {
   }
 
   void ReadBlock(std::uint32_t addr, void* dst, std::size_t n) const {
+    if (n == 0) return;  // empty buffers may pass a null pointer
     CheckRange(addr, n);
     std::memcpy(dst, &bytes_[addr], n);
   }
   void WriteBlock(std::uint32_t addr, const void* src, std::size_t n) {
+    if (n == 0) return;  // empty buffers may pass a null pointer
     CheckRange(addr, n);
     std::memcpy(&bytes_[addr], src, n);
   }

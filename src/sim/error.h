@@ -46,7 +46,7 @@ enum class DsaErrorCode : std::uint8_t {
 }
 
 // The per-cell status string the bench JSON reports for a cell poisoned by
-// this error code (docs/BENCH_SCHEMA.md, schema dsa-bench-json/4).
+// this error code (docs/BENCH_SCHEMA.md, schema dsa-bench-json/5).
 [[nodiscard]] constexpr std::string_view CellStatusFor(DsaErrorCode c) {
   switch (c) {
     case DsaErrorCode::kCrash: return "crashed";

@@ -380,7 +380,7 @@ bool WriteBenchJson(const std::string& path, const std::string& bench_name,
   }
 
   w.Open(nullptr, '{');
-  w.Str("schema", "dsa-bench-json/4");
+  w.Str("schema", "dsa-bench-json/5");
   w.Str("bench", bench_name);
   w.U64("jobs", static_cast<std::uint64_t>(runner.options().jobs));
   w.U64("repeats", static_cast<std::uint64_t>(runner.options().repeats));
@@ -479,6 +479,22 @@ bool WriteBenchJson(const std::string& path, const std::string& bench_name,
     w.Dbl("wall_ms", r.host_wall_ms);
     w.U64("steps", r.host_steps);
     w.Close('}');
+
+    // Streaming throughput and generator provenance (schema /5), present
+    // only on workloads that declare them.
+    if (r.stream_bytes > 0) {
+      w.Open("stream", '{');
+      w.U64("bytes", r.stream_bytes);
+      w.Dbl("gbps", r.stream_gbps());
+      w.Close('}');
+    }
+    if (r.gen.has_value()) {
+      w.Open("gen", '{');
+      w.U64("seed", r.gen->seed);
+      w.Str("class", r.gen->loop_class);
+      w.U64("count", r.gen->count);
+      w.Close('}');
+    }
 
     w.Open("cpu", '{');
     w.U64("retired_total", r.cpu.retired_total);

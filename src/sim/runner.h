@@ -214,13 +214,14 @@ struct BenchJsonExtras {
   std::uint64_t journal_appended = 0;  // cells appended this run
 };
 
-// Writes the batch as machine-readable JSON (schema "dsa-bench-json/4"):
+// Writes the batch as machine-readable JSON (schema "dsa-bench-json/5"):
 // per-job cycles, speedup over the workload's scalar baseline when one is
 // in the batch, DSA stats (including the speculation guard's rollback and
 // blacklist counters), energy breakdown, wall time, host simulation
 // throughput (the `host` block), fault-injection report (`faults` block,
 // armed runs only), per-cell status/attempts, the run_status/journal/
-// breaker resilience census (docs/RESILIENCE.md), plus the oracle
+// breaker resilience census (docs/RESILIENCE.md), the `stream`/`gen`
+// blocks of streaming and generated workloads, plus the oracle
 // verdict. Failed cells appear with a minimal payload so a poisoned cell
 // is visible, not silently dropped. The file is written to a temporary
 // sibling and atomically renamed into place so an interrupted run never

@@ -29,10 +29,17 @@ double RunResult::host_mips() const {
   return static_cast<double>(host_steps) / (1000.0 * ms);
 }
 
+double RunResult::stream_gbps() const {
+  if (stream_bytes == 0 || cycles == 0) return 0.0;
+  // The modeled core runs at 1 GHz, so seconds = cycles * 1e-9 and
+  // GB/s (1e9 bytes/s) reduces to bytes per cycle.
+  return static_cast<double>(stream_bytes) / static_cast<double>(cycles);
+}
+
 double RunResult::detection_latency_pct() const {
-  if (!dsa.has_value() || cycles == 0) return 0.0;
+  if (!dsa.has_value() || cpu.retired_total == 0) return 0.0;
   return 100.0 * static_cast<double>(dsa->analysis_cycles) /
-         static_cast<double>(cycles);
+         static_cast<double>(cpu.retired_total);
 }
 
 namespace {
@@ -343,6 +350,8 @@ RunResult Run(const Workload& wl, RunMode mode, const SystemConfig& cfg) {
   RunResult res;
   res.workload = wl.name;
   res.mode = mode;
+  res.stream_bytes = wl.stream_bytes;
+  res.gen = wl.gen;
   res.host_wall_ms = std::chrono::duration<double, std::milli>(
                          std::chrono::steady_clock::now() - host_t0)
                          .count();

@@ -65,8 +65,21 @@ struct RunResult {
   // Millions of simulated instructions per host second.
   [[nodiscard]] double host_mips() const;
 
-  // Fraction of total cycles the DSA spent analyzing (detection latency,
-  // Article 2/3 latency tables). Zero for non-DSA modes.
+  // Copied from the workload: payload bytes of a streaming kernel (0 for
+  // non-streaming workloads) and generator provenance. Deterministic
+  // metadata, surfaced as the `stream`/`gen` blocks of the bench JSON.
+  std::uint64_t stream_bytes = 0;
+  std::optional<GenInfo> gen;
+  // Simulated streaming throughput in GB/s at the modeled 1 GHz clock
+  // (one byte per cycle == 1 GB/s). Zero for non-streaming workloads.
+  [[nodiscard]] double stream_gbps() const;
+
+  // Share of the retired instruction stream the DSA spent analyzing
+  // (detection latency, Article 2/3 latency tables). Both numerator and
+  // denominator count retired instructions — analysis_cycles ticks once
+  // per retire with a tracker in flight — so the ratio is bounded by 100%
+  // even when the superscalar core retires more instructions than it
+  // spends cycles. Zero for non-DSA modes.
   [[nodiscard]] double detection_latency_pct() const;
 };
 

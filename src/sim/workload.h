@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,16 @@ namespace dsa::sim {
 struct OutputRegion {
   std::uint32_t addr = 0;
   std::uint32_t bytes = 0;
+};
+
+// Provenance of a workload emitted by the seeded loop-nest generator
+// (workloads/gen): enough to reproduce the exact program from the CLI
+// (`bench_stream --gen-seed`) and to label it in reports. Carried into
+// RunResult and the bench JSON's `gen` block.
+struct GenInfo {
+  std::uint64_t seed = 0;   // exact per-program seed
+  std::string loop_class;   // generator grammar class slug, e.g. "sentinel"
+  std::uint64_t count = 0;  // elements the generated loop processes
 };
 
 struct Workload {
@@ -46,6 +57,14 @@ struct Workload {
   // fraction of loop *executions* by type, annotated by the author of the
   // workload, e.g. {"count", 0.8}, {"conditional", 0.2}.
   std::map<std::string, double> loop_type_fractions;
+
+  // Streaming workloads (workloads/streaming): bytes the kernel moves per
+  // execution (reads + writes of its payload buffers), the numerator of
+  // the GB/s column in bench_stream. 0 = not a streaming kernel.
+  std::uint64_t stream_bytes = 0;
+
+  // Set for programs emitted by the seeded loop-nest generator.
+  std::optional<GenInfo> gen;
 };
 
 }  // namespace dsa::sim

@@ -173,6 +173,7 @@ sim::Workload MakeMemCopy(int n) {
   wl.autovec = build_vec(0);
   wl.handvec = build_vec(8);
   wl.loop_type_fractions = {{"count", 1.0}};
+  wl.stream_bytes = 2u * static_cast<std::uint32_t>(n);  // read + write
 
   std::vector<std::uint8_t> src(n);
   std::uint32_t seed = 0x3E3C09EEu;

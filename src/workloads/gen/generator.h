@@ -1,0 +1,47 @@
+// Seeded loop-nest generator: given (seed, loop class) it emits a
+// randomized mini-ISA program exercising exactly one tracker state-machine
+// path, an exact C++ scalar reference model of the same computation, and
+// the golden outputs / digest regions derived from that model. Determinism
+// is a contract: the same (seed, class) pair produces a byte-identical
+// program (compare Program::Disassemble()) and golden digest, which is
+// what makes the 64/200/500-seed differential sweeps reproducible from a
+// single `--gen-seed` value.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "sim/workload.h"
+
+namespace dsa::workloads::gen {
+
+// One grammar class per tracker path (src/engine/tracker.h): the straight
+// count-loop path, the data-dependent-latch (sentinel) path, the Mapping
+// stage (conditional) path, the nest-fusion path, the kNonUnitStride
+// reject path, and the mid-body loop-exit (early abort) path.
+enum class LoopClass : std::uint8_t {
+  kCounted,
+  kSentinel,
+  kConditional,
+  kNested,
+  kStrideVariant,
+  kEarlyExit,
+};
+inline constexpr int kNumLoopClasses = 6;
+
+// Slug used in workload names ("gen-<slug>-s<seed>"), GenInfo::loop_class
+// and the bench JSON `gen.class` field.
+[[nodiscard]] std::string_view ToString(LoopClass c);
+
+// Emits the generated workload for (seed, class). All three binary
+// variants carry the same scalar program: generated programs measure the
+// DSA against its own scalar baseline, not against static vectorizers.
+[[nodiscard]] sim::Workload MakeGenerated(std::uint64_t seed, LoopClass cls);
+
+// `count` programs starting at `base_seed`, classes round-robin — the
+// population the differential-fuzz sweeps and bench_stream iterate.
+[[nodiscard]] std::vector<sim::Workload> GeneratedSet(std::uint64_t base_seed,
+                                                      int count);
+
+}  // namespace dsa::workloads::gen

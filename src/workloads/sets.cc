@@ -1,4 +1,5 @@
 // Benchmark sets matching each article's evaluation section.
+#include "workloads/extended.h"
 #include "workloads/workloads.h"
 
 namespace dsa::workloads {
@@ -27,6 +28,14 @@ std::vector<sim::Workload> Article3Set() {
   std::vector<sim::Workload> v = Article2Set();
   v.push_back(MakeStrCopy());
   v.push_back(MakeShiftAdd());
+  return v;
+}
+
+std::vector<sim::Workload> AllNamedWorkloads() {
+  std::vector<sim::Workload> v = Article3Set();
+  v.push_back(MakeVecAdd());
+  for (auto& wl : ExtendedSet()) v.push_back(std::move(wl));
+  for (auto& wl : StreamingSet()) v.push_back(std::move(wl));
   return v;
 }
 

@@ -62,6 +62,7 @@ sim::Workload MakeStrCopy(int length) {
   }
   wl.handvec = BuildScalar();
   wl.loop_type_fractions = {{"sentinel", 1.0}};
+  wl.stream_bytes = 2u * static_cast<std::uint32_t>(length + 1);
 
   std::vector<std::uint8_t> src(length + 1);
   std::vector<std::uint8_t> dst(length + 1);

@@ -1,0 +1,235 @@
+// Bulk memory kernels modeled on the Intel DSA offload set: MEMFILL (a
+// store-only broadcast, the maximum-lane write stream), MEMCMP returning
+// the first mismatch index (a count loop with a data-dependent early exit,
+// so the effective trip count is computed by the loop itself), and a
+// table-driven CRC-32 whose carried accumulator and indirect table load
+// keep it scalar in every system — the suite's serial anchor.
+#include "prog/assembler.h"
+#include "vectorizer/static_vectorizer.h"
+#include "workloads/common.h"
+#include "workloads/streaming/streaming.h"
+
+namespace dsa::workloads {
+
+using isa::Cond;
+using isa::Opcode;
+using isa::VecType;
+using prog::Assembler;
+
+namespace {
+
+constexpr std::uint32_t kA = 0x10000;
+constexpr std::uint32_t kB = 0x40000;
+constexpr std::uint32_t kDst = 0x70000;
+constexpr std::uint32_t kTab = 0x0C00;  // 256-entry u32 CRC table
+constexpr std::uint32_t kRes = 0x0A00;  // scalar result word
+
+constexpr int kFillByte = 0x5A;
+
+// Standard CRC-32 (poly 0xEDB88320) lookup table, also used to compute
+// the golden value so the ISA program and reference share one model.
+std::vector<std::uint32_t> Crc32Table() {
+  std::vector<std::uint32_t> tab(256);
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    tab[i] = c;
+  }
+  return tab;
+}
+
+}  // namespace
+
+sim::Workload MakeMemFill(int n) {
+  sim::Workload wl;
+  wl.name = "MemFill";
+  wl.mem_bytes = 1 << 20;
+  {
+    // Store-only count loop: the DSA's detector must accept a body with no
+    // load stream at all (tracker's require_store path, store side only).
+    Assembler as;
+    as.Movi(1, kDst);
+    as.Movi(5, kFillByte);
+    as.Movi(3, n);
+    const auto done = as.NewLabel();
+    as.Cmpi(3, 0);
+    as.B(Cond::kLe, done);
+    const auto loop = as.NewLabel();
+    as.Bind(loop);
+    as.Strb(5, 1, 1);
+    as.AluImm(Opcode::kSubi, 3, 3, 1);
+    as.Cmpi(3, 0);
+    as.B(Cond::kGt, loop);
+    as.Bind(done);
+    as.Halt();
+    wl.scalar = as.Finish();
+  }
+  auto build_vec = [&](int overhead) {
+    // vdup + vst1 chunks with a byte tail — what memset() compiles to.
+    Assembler as;
+    as.Movi(1, kDst);
+    as.Movi(5, kFillByte);
+    as.Movi(3, n);
+    as.Vdup(VecType::kI8, 8, 5);
+    const auto top = as.NewLabel();
+    const auto tail = as.NewLabel();
+    const auto done = as.NewLabel();
+    as.Bind(top);
+    as.Cmpi(3, 16);
+    as.B(Cond::kLt, tail);
+    as.Vst1(VecType::kI8, 8, 1);
+    for (int i = 0; i < overhead; ++i) as.Nop();
+    as.AluImm(Opcode::kSubi, 3, 3, 16);
+    as.B(Cond::kAl, top);
+    as.Bind(tail);
+    as.Cmpi(3, 0);
+    as.B(Cond::kLe, done);
+    as.Strb(5, 1, 1);
+    as.AluImm(Opcode::kSubi, 3, 3, 1);
+    as.B(Cond::kAl, tail);
+    as.Bind(done);
+    as.Halt();
+    return as.Finish();
+  };
+  wl.autovec = build_vec(0);
+  wl.handvec = build_vec(8);
+  wl.loop_type_fractions = {{"count", 1.0}};
+  wl.stream_bytes = static_cast<std::uint32_t>(n);
+
+  std::vector<std::uint8_t> dst(n, kFillByte);
+  wl.init = [](mem::Memory&) {};
+  AddGoldenOutput(wl, kDst, dst);
+  return wl;
+}
+
+sim::Workload MakeMemCmp(int n) {
+  sim::Workload wl;
+  wl.name = "MemCmp";
+  wl.mem_bytes = 1 << 20;
+  auto build = [&](bool guard) {
+    Assembler as;
+    as.Movi(0, kA);
+    as.Movi(1, kB);
+    as.Movi(3, n);
+    as.Movi(7, 0);  // index of first mismatch (n if equal)
+    if (guard) vectorizer::EmitAutoVecGuard(as, 0, 1, 9);
+    const auto done = as.NewLabel();
+    as.Cmpi(3, 0);
+    as.B(Cond::kLe, done);
+    const auto loop = as.NewLabel();
+    as.Bind(loop);
+    as.Ldrb(4, 0, 1);
+    as.Ldrb(5, 1, 1);
+    as.Cmp(4, 5);
+    as.B(Cond::kNe, done);  // data-dependent early exit
+    as.AluImm(Opcode::kAddi, 7, 7, 1);
+    as.Cmp(7, 3);
+    as.B(Cond::kLt, loop);
+    as.Bind(done);
+    as.Movi(1, kRes);
+    as.Str(7, 1);
+    as.Halt();
+    return as.Finish();
+  };
+  // The early exit means the trip count is unknowable statically: both
+  // static variants ship the scalar loop (AutoVec after its guard).
+  wl.scalar = build(false);
+  wl.autovec = build(true);
+  wl.handvec = build(false);
+  wl.loop_type_fractions = {{"dynamic-range", 1.0}};
+  wl.stream_bytes = 2u * static_cast<std::uint32_t>(n);
+
+  std::vector<std::uint8_t> a(n);
+  std::uint32_t seed = 0x3C3C3C01u;
+  for (int i = 0; i < n; ++i) {
+    a[i] = static_cast<std::uint8_t>(1 + XorShift(seed) % 255);
+  }
+  std::vector<std::uint8_t> b = a;
+  std::uint32_t mismatch = static_cast<std::uint32_t>(n);
+  if (n >= 8) {
+    mismatch = static_cast<std::uint32_t>(n - 7);
+    b[mismatch] = static_cast<std::uint8_t>(a[mismatch] ^ 0x80);
+  }
+  wl.init = [a, b](mem::Memory& m) {
+    WriteVec(m, kA, a);
+    WriteVec(m, kB, b);
+  };
+  AddGoldenOutput(wl, kRes, std::vector<std::uint32_t>{mismatch});
+  return wl;
+}
+
+sim::Workload MakeCrc32(int n) {
+  sim::Workload wl;
+  wl.name = "Crc32";
+  wl.mem_bytes = 1 << 20;
+  auto build = [&](bool guard) {
+    Assembler as;
+    as.Movi(0, kA);
+    as.Movi(2, kTab);
+    as.Movi(3, n);
+    as.Movi(6, -1);   // crc = 0xFFFFFFFF
+    as.Movi(10, 255);
+    as.Movi(11, 8);
+    as.Movi(12, 2);
+    if (guard) vectorizer::EmitAutoVecGuard(as, 0, 2, 9);
+    const auto fin = as.NewLabel();
+    as.Cmpi(3, 0);
+    as.B(Cond::kLe, fin);
+    const auto loop = as.NewLabel();
+    as.Bind(loop);
+    as.Ldrb(4, 0, 1);
+    as.Alu(Opcode::kEor, 5, 6, 4);   // crc ^ byte
+    as.Alu(Opcode::kAnd, 5, 5, 10);  // & 0xFF
+    as.Alu(Opcode::kLsl, 5, 5, 12);  // *4
+    as.Alu(Opcode::kAdd, 5, 5, 2);   // &tab[idx] — indirect addressing
+    as.Ldr(5, 5);
+    as.Alu(Opcode::kLsr, 6, 6, 11);  // crc >> 8 (logical)
+    as.Alu(Opcode::kEor, 6, 6, 5);
+    as.AluImm(Opcode::kSubi, 3, 3, 1);
+    as.Cmpi(3, 0);
+    as.B(Cond::kGt, loop);
+    as.Bind(fin);
+    as.Movi(7, -1);
+    as.Alu(Opcode::kEor, 6, 6, 7);   // final xor
+    as.Movi(1, kRes);
+    as.Str(6, 1);
+    as.Halt();
+    return as.Finish();
+  };
+  wl.scalar = build(false);
+  wl.autovec = build(true);
+  wl.handvec = build(false);
+  wl.loop_type_fractions = {{"non-vectorizable", 1.0}};
+  wl.stream_bytes = static_cast<std::uint32_t>(n);
+
+  const std::vector<std::uint32_t> tab = Crc32Table();
+  std::vector<std::uint8_t> src(n);
+  std::uint32_t seed = 0xC2C32017u;
+  for (int i = 0; i < n; ++i) src[i] = static_cast<std::uint8_t>(XorShift(seed));
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (int i = 0; i < n; ++i) {
+    crc = (crc >> 8) ^ tab[(crc ^ src[i]) & 0xFF];
+  }
+  crc ^= 0xFFFFFFFFu;
+  wl.init = [src, tab](mem::Memory& m) {
+    WriteVec(m, kTab, tab);
+    WriteVec(m, kA, src);
+  };
+  AddGoldenOutput(wl, kRes, std::vector<std::uint32_t>{crc});
+  return wl;
+}
+
+std::vector<sim::Workload> StreamingSet() {
+  std::vector<sim::Workload> v;
+  v.push_back(MakeWsScan());
+  v.push_back(MakeHtmlScan());
+  v.push_back(MakeCharClassLut());
+  v.push_back(MakeMemFill());
+  v.push_back(MakeMemCmp());
+  v.push_back(MakeCrc32());
+  return v;
+}
+
+}  // namespace dsa::workloads

@@ -1,0 +1,257 @@
+// Byte-classification scanners in the style of SIMD HTML parsing: a
+// classify pass (data-dependent if/else over every byte — the conditional
+// loop of Table 1 line 12) followed by a reduction pass accumulating the
+// bitmap into a count (carry-around scalar, scalar in every variant), plus
+// a 256-entry lookup-table classifier whose indirect load no vectorizer —
+// static or dynamic — may touch (Table 1 lines 6/7).
+#include "prog/assembler.h"
+#include "vectorizer/static_vectorizer.h"
+#include "workloads/common.h"
+#include "workloads/streaming/streaming.h"
+
+namespace dsa::workloads {
+
+using isa::Cond;
+using isa::Opcode;
+using isa::VecType;
+using prog::Assembler;
+
+namespace {
+
+constexpr std::uint32_t kIn = 0x10000;
+constexpr std::uint32_t kOut = 0x40000;
+constexpr std::uint32_t kLut = 0x0E00;  // 256-entry class table
+constexpr std::uint32_t kCnt = 0x0F00;  // reduction result word
+
+// The two scan predicates the suite ships: whitespace (c <= 32) and HTML
+// tag opener (c == '<').
+enum class Pred { kLeThreshold, kEqValue };
+
+// Classify pass, scalar if/else form: out[i] = pred(in[i]) ? 1 : 0 with a
+// store in each arm — the same shape as Susan's pass 2, which AutoVec
+// refuses and the DSA if-converts.
+void EmitScalarClassify(Assembler& as, int n, Pred pred, int value) {
+  as.Movi(0, kIn);
+  as.Movi(1, kOut);
+  as.Movi(10, value);
+  as.Movi(11, 1);
+  as.Movi(12, 0);
+  as.Movi(3, n);
+  const auto done = as.NewLabel();
+  as.Cmpi(3, 0);
+  as.B(Cond::kLe, done);  // empty-buffer guard
+  const auto loop = as.NewLabel();
+  const auto miss = as.NewLabel();
+  const auto next = as.NewLabel();
+  as.Bind(loop);
+  as.Ldrb(4, 0, 1);
+  as.Cmp(4, 10);
+  as.B(pred == Pred::kLeThreshold ? Cond::kGt : Cond::kNe, miss);
+  as.Strb(11, 1, 1);  // hit
+  as.B(Cond::kAl, next);
+  as.Bind(miss);
+  as.Strb(12, 1, 1);
+  as.Bind(next);
+  as.AluImm(Opcode::kSubi, 3, 3, 1);
+  as.Cmpi(3, 0);
+  as.B(Cond::kGt, loop);
+  as.Bind(done);
+}
+
+// Classify pass, hand-vectorized: vcge/vceq mask + vbsl blend of 1/0,
+// 16 bytes per chunk. Inputs are kept in 9..126 so signed i8 lane
+// compares agree with the unsigned byte semantics.
+void EmitHandVecClassify(Assembler& as, int n, Pred pred, int value,
+                         int overhead) {
+  as.Movi(0, kIn);
+  as.Movi(1, kOut);
+  as.Movi(10, value);
+  as.Movi(11, 1);
+  as.Movi(12, 0);
+  as.Movi(3, n);
+  as.Vdup(VecType::kI8, 10, 10);
+  as.Vdup(VecType::kI8, 11, 11);
+  as.Vdup(VecType::kI8, 12, 12);
+  vectorizer::ElementwiseLoopSpec spec;
+  spec.type = VecType::kI8;
+  spec.load_regs = {0};
+  spec.store_regs = {1};
+  spec.count_reg = 3;
+  spec.per_chunk_overhead_instrs = overhead;
+  spec.vector_ops = [pred](Assembler& a) {
+    if (pred == Pred::kLeThreshold) {
+      a.Vop(Opcode::kVcge, VecType::kI8, 8, 10, 1);  // mask = value >= c
+    } else {
+      a.Vop(Opcode::kVceq, VecType::kI8, 8, 1, 10);  // mask = c == value
+    }
+    a.Vbsl(8, 11, 12);  // 1 where mask else 0
+  };
+  spec.scalar_ops = [pred](Assembler& a) {
+    const auto hit_l = a.NewLabel();
+    const auto done_l = a.NewLabel();
+    a.Cmp(4, 10);
+    a.B(pred == Pred::kLeThreshold ? Cond::kLe : Cond::kEq, hit_l);
+    a.Mov(8, 12);
+    a.B(Cond::kAl, done_l);
+    a.Bind(hit_l);
+    a.Mov(8, 11);
+    a.Bind(done_l);
+  };
+  vectorizer::EmitElementwiseLoop(as, spec);
+}
+
+// Reduction pass: cnt = sum(out[0..n)). The accumulator is a carry-around
+// scalar (Table 1 line 10), so every variant keeps it scalar.
+void EmitScalarReduce(Assembler& as, int n) {
+  as.Movi(0, kOut);
+  as.Movi(6, 0);
+  as.Movi(3, n);
+  const auto done = as.NewLabel();
+  as.Cmpi(3, 0);
+  as.B(Cond::kLe, done);
+  const auto loop = as.NewLabel();
+  as.Bind(loop);
+  as.Ldrb(4, 0, 1);
+  as.Alu(Opcode::kAdd, 6, 6, 4);
+  as.AluImm(Opcode::kSubi, 3, 3, 1);
+  as.Cmpi(3, 0);
+  as.B(Cond::kGt, loop);
+  as.Bind(done);
+  as.Movi(1, kCnt);
+  as.Str(6, 1);
+}
+
+// Assembles the three binary variants of a scan workload and computes the
+// golden bitmap + count from the same predicate.
+sim::Workload MakeScan(const char* name, int n, Pred pred, int value,
+                       std::vector<std::uint8_t> src) {
+  sim::Workload wl;
+  wl.name = name;
+  wl.mem_bytes = 1 << 20;
+  {
+    Assembler as;
+    EmitScalarClassify(as, n, pred, value);
+    EmitScalarReduce(as, n);
+    as.Halt();
+    wl.scalar = as.Finish();
+  }
+  {
+    // AutoVec rejects the if/else classify (guard + scalar) and the
+    // carried-sum reduce.
+    Assembler as;
+    vectorizer::EmitAutoVecGuard(as, 0, 1, 6);
+    EmitScalarClassify(as, n, pred, value);
+    EmitScalarReduce(as, n);
+    as.Halt();
+    wl.autovec = as.Finish();
+  }
+  {
+    Assembler as;
+    EmitHandVecClassify(as, n, pred, value, /*overhead=*/8);
+    EmitScalarReduce(as, n);
+    as.Halt();
+    wl.handvec = as.Finish();
+  }
+  wl.loop_type_fractions = {{"conditional", 0.5}, {"count", 0.5}};
+  wl.stream_bytes = 3u * static_cast<std::uint32_t>(n);  // read+write+reread
+
+  std::vector<std::uint8_t> cls(n);
+  std::uint32_t cnt = 0;
+  for (int i = 0; i < n; ++i) {
+    const bool hit = pred == Pred::kLeThreshold
+                         ? src[i] <= static_cast<std::uint8_t>(value)
+                         : src[i] == static_cast<std::uint8_t>(value);
+    cls[i] = hit ? 1 : 0;
+    cnt += cls[i];
+  }
+  wl.init = [src](mem::Memory& m) { WriteVec(m, kIn, src); };
+  AddGoldenOutput(wl, kOut, cls);
+  AddGoldenOutput(wl, kCnt, std::vector<std::uint32_t>{cnt});
+  return wl;
+}
+
+// HTML-ish byte stream: printable ASCII with tags sprinkled in. Every
+// byte stays in 9..126 so i8 lane compares match unsigned semantics.
+std::vector<std::uint8_t> MakeHtmlBytes(int n, std::uint32_t seed) {
+  std::vector<std::uint8_t> src(n);
+  for (int i = 0; i < n; ++i) {
+    const std::uint32_t r = XorShift(seed);
+    if (r % 16 == 0) {
+      src[i] = '<';
+    } else if (r % 16 == 1) {
+      src[i] = '>';
+    } else if (r % 8 == 1) {
+      src[i] = ' ';
+    } else if (r % 32 == 2) {
+      src[i] = '\n';
+    } else {
+      src[i] = static_cast<std::uint8_t>(33 + r % 94);  // 33..126
+    }
+  }
+  return src;
+}
+
+}  // namespace
+
+sim::Workload MakeWsScan(int n) {
+  return MakeScan("WsScan", n, Pred::kLeThreshold, 32,
+                  MakeHtmlBytes(n, 0x57AB1E5Du));
+}
+
+sim::Workload MakeHtmlScan(int n) {
+  return MakeScan("HtmlScan", n, Pred::kEqValue, '<',
+                  MakeHtmlBytes(n, 0x173B00B5u));
+}
+
+sim::Workload MakeCharClassLut(int n) {
+  sim::Workload wl;
+  wl.name = "CharClassLut";
+  wl.mem_bytes = 1 << 20;
+  auto build = [&](bool guard) {
+    Assembler as;
+    as.Movi(0, kIn);
+    as.Movi(1, kOut);
+    as.Movi(2, kLut);
+    as.Movi(3, n);
+    if (guard) vectorizer::EmitAutoVecGuard(as, 0, 1, 9);
+    const auto done = as.NewLabel();
+    as.Cmpi(3, 0);
+    as.B(Cond::kLe, done);
+    const auto loop = as.NewLabel();
+    as.Bind(loop);
+    as.Ldrb(4, 0, 1);              // c = *in++
+    as.Alu(Opcode::kAdd, 5, 2, 4);  // &lut[c] — indirect addressing
+    as.Ldrb(6, 5);
+    as.Strb(6, 1, 1);
+    as.AluImm(Opcode::kSubi, 3, 3, 1);
+    as.Cmpi(3, 0);
+    as.B(Cond::kGt, loop);
+    as.Bind(done);
+    as.Halt();
+    return as.Finish();
+  };
+  wl.scalar = build(false);
+  wl.autovec = build(true);
+  wl.handvec = build(false);
+  wl.loop_type_fractions = {{"non-vectorizable", 1.0}};
+  wl.stream_bytes = 3u * static_cast<std::uint32_t>(n);
+
+  // Class table: 0 other, 1 alpha, 2 digit, 3 whitespace.
+  std::vector<std::uint8_t> lut(256, 0);
+  for (int c = 'a'; c <= 'z'; ++c) lut[c] = 1;
+  for (int c = 'A'; c <= 'Z'; ++c) lut[c] = 1;
+  for (int c = '0'; c <= '9'; ++c) lut[c] = 2;
+  for (int c : {' ', '\t', '\n', '\r'}) lut[c] = 3;
+
+  std::vector<std::uint8_t> src = MakeHtmlBytes(n, 0xC1A55E57u);
+  std::vector<std::uint8_t> cls(n);
+  for (int i = 0; i < n; ++i) cls[i] = lut[src[i]];
+  wl.init = [src, lut](mem::Memory& m) {
+    WriteVec(m, kLut, lut);
+    WriteVec(m, kIn, src);
+  };
+  AddGoldenOutput(wl, kOut, cls);
+  return wl;
+}
+
+}  // namespace dsa::workloads

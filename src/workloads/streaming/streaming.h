@@ -1,0 +1,50 @@
+// Streaming workload suite: byte-classification scanning in the style of
+// SIMD HTML/whitespace scanners and Intel-DSA-style bulk memory kernels
+// over large buffers. Every kernel is sentinel-heavy, conditional or
+// deliberately non-vectorizable — the loop classes static compilers fail
+// on and the DSA's differentiator — and every kernel declares golden
+// output digests (AddGoldenOutput) plus `stream_bytes` so bench_stream
+// can report GB/s next to the paper's speedup/energy columns.
+#pragma once
+
+#include <vector>
+
+#include "sim/workload.h"
+
+namespace dsa::workloads {
+
+// Whitespace scan over an HTML-like byte stream: pass 1 classifies each
+// byte (c <= 32 ? 1 : 0) through a data-dependent if/else — the
+// conditional loop the DSA maps and AutoVec refuses — and pass 2 reduces
+// the bitmap into a count word (carry-around scalar, everyone's scalar).
+[[nodiscard]] sim::Workload MakeWsScan(int n = 65536);
+
+// HTML token scan: marks '<' tag openers (c == '<' ? 1 : 0) the same
+// two-pass way; the equality test maps to a vceq/vbsl blend.
+[[nodiscard]] sim::Workload MakeHtmlScan(int n = 65536);
+
+// Byte classification through a 256-entry lookup table in memory —
+// cls[i] = lut[in[i]] — the classic simd_charclass shape. The LUT load is
+// indirect addressing, so every static and dynamic vectorizer must
+// reject it (Table 1 lines 6/7); the suite's negative control.
+[[nodiscard]] sim::Workload MakeCharClassLut(int n = 65536);
+
+// Byte memfill (DSA-offload style MEMFILL): a store-only count loop
+// broadcasting one value, the maximum-lane write stream.
+[[nodiscard]] sim::Workload MakeMemFill(int n = 65536);
+
+// Byte memcmp returning the index of the first mismatch: a count loop
+// with a data-dependent early exit, so the trip count is computed by the
+// loop itself — the dynamic-range-B shape no static vectorizer can size.
+[[nodiscard]] sim::Workload MakeMemCmp(int n = 65536);
+
+// Table-driven CRC-32 over a buffer: an indirect table load feeding a
+// carried accumulator — sequential by construction, scalar everywhere.
+[[nodiscard]] sim::Workload MakeCrc32(int n = 65536);
+
+// The streaming suite (the six kernels above at their default sizes).
+// bench_stream additionally pulls in MemCopy and StrCopy from the
+// existing sets to complete the memcpy/sentinel coverage.
+[[nodiscard]] std::vector<sim::Workload> StreamingSet();
+
+}  // namespace dsa::workloads

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "sim/workload.h"
+#include "workloads/gen/generator.h"
+#include "workloads/streaming/streaming.h"
 
 namespace dsa::workloads {
 
@@ -50,5 +52,12 @@ namespace dsa::workloads {
 [[nodiscard]] std::vector<sim::Workload> Article1Set();  // Fig. 12
 [[nodiscard]] std::vector<sim::Workload> Article2Set();  // Fig. 16
 [[nodiscard]] std::vector<sim::Workload> Article3Set();  // Figs. 7-9
+
+// Registry of every named (non-generated) workload the repo ships: the
+// article sets, the extended kernels (workloads/extended.h) and the
+// streaming suite (workloads/streaming/streaming.h). bench_matrix and the
+// golden-digest tests iterate this. Generated programs (workloads/gen)
+// are unbounded and addressed by (seed, class) instead.
+[[nodiscard]] std::vector<sim::Workload> AllNamedWorkloads();
 
 }  // namespace dsa::workloads

@@ -83,9 +83,10 @@ TEST(OracleInvariants, RejectsInconsistentRetiredSplit) {
 
 TEST(OracleInvariants, RejectsOutOfRangeDetectionLatency) {
   RunResult r = DsaResult();
-  // More analysis cycles than total cycles pushes the percentage over 100.
-  r.dsa->analysis_cycles = 2 * r.cycles;
-  r.dsa->observed_instructions = 4 * r.cycles;  // keep dsa_analysis quiet
+  // More analysis ticks than retired instructions pushes the percentage
+  // over 100.
+  r.dsa->analysis_cycles = 2 * r.cpu.retired_total;
+  r.dsa->observed_instructions = 4 * r.cpu.retired_total;  // keep dsa_analysis quiet
   EXPECT_TRUE(HasCheck(oracle::CheckInvariants(r, "j"),
                        "invariant.detection_latency"));
 }

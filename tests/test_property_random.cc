@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "prog/assembler.h"
+#include "sim/oracle.h"
 #include "sim/system.h"
+#include "workloads/gen/generator.h"
 
 namespace dsa::engine {
 namespace {
@@ -187,6 +189,33 @@ TEST_P(RandomLoops, OriginalDsaAlsoTransparent) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Fuzz, RandomLoops, ::testing::Range(0, 60));
+
+// Programs drawn from the seeded loop-nest generator (workloads/gen) must
+// satisfy the runner oracle's per-run invariants with tracing on: the
+// traced takeover-begin count balances against takeovers + rollbacks, and
+// every trace stage aggregate matches the engine's counters. This runs the
+// same CheckInvariants the batch runner applies, so a generator grammar
+// that drives the tracker into an inconsistent state fails here first.
+class GeneratedLoopInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratedLoopInvariants, OracleInvariantsHoldUnderTracing) {
+  const std::uint64_t base_seed = 0x5EEDull + GetParam() * 97ull;
+  sim::SystemConfig cfg;
+  cfg.trace.enabled = true;
+  for (const sim::Workload& wl :
+       dsa::workloads::gen::GeneratedSet(base_seed, 6)) {
+    const sim::RunResult r = sim::Run(wl, sim::RunMode::kDsa, cfg);
+    EXPECT_TRUE(r.output_ok) << wl.name;
+    ASSERT_TRUE(r.dsa.has_value()) << wl.name;
+    ASSERT_NE(r.trace, nullptr) << wl.name;
+    const auto violations = sim::oracle::CheckInvariants(r, wl.name);
+    EXPECT_TRUE(violations.empty())
+        << wl.name << ":\n" << sim::oracle::FormatViolations(violations);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, GeneratedLoopInvariants,
+                         ::testing::Range(0, 10));
 
 }  // namespace
 }  // namespace dsa::engine

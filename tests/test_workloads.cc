@@ -118,6 +118,57 @@ TEST(Gaussian, OddWidthsCorrect) {
   ExpectAllModesCorrect(MakeGaussian(130, 5));
 }
 
+// Streaming suite: every kernel must hold its golden digest in all four
+// modes at edge sizes — empty buffer, single element, and the non-lane
+// multiples around one NEON chunk that force every leftover path.
+class StreamingSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(StreamingSizes, WsScanAllModesCorrect) {
+  ExpectAllModesCorrect(MakeWsScan(GetParam()));
+}
+TEST_P(StreamingSizes, HtmlScanAllModesCorrect) {
+  ExpectAllModesCorrect(MakeHtmlScan(GetParam()));
+}
+TEST_P(StreamingSizes, CharClassLutAllModesCorrect) {
+  ExpectAllModesCorrect(MakeCharClassLut(GetParam()));
+}
+TEST_P(StreamingSizes, MemFillAllModesCorrect) {
+  ExpectAllModesCorrect(MakeMemFill(GetParam()));
+}
+TEST_P(StreamingSizes, MemCmpAllModesCorrect) {
+  ExpectAllModesCorrect(MakeMemCmp(GetParam()));
+}
+TEST_P(StreamingSizes, Crc32AllModesCorrect) {
+  ExpectAllModesCorrect(MakeCrc32(GetParam()));
+}
+INSTANTIATE_TEST_SUITE_P(EdgeSweep, StreamingSizes,
+                         ::testing::Values(0, 1, 15, 16, 17, 255, 4096));
+
+TEST(Streaming, SuiteDeclaresStreamBytesAndGoldens) {
+  const auto suite = StreamingSet();
+  EXPECT_EQ(suite.size(), 6u);
+  for (const Workload& wl : suite) {
+    EXPECT_GT(wl.stream_bytes, 0u) << wl.name;
+    EXPECT_FALSE(wl.outputs.empty()) << wl.name;
+    EXPECT_FALSE(wl.loop_type_fractions.empty()) << wl.name;
+  }
+}
+
+TEST(Streaming, CharClassLutIsTheNegativeControl) {
+  const RunResult r = sim::Run(MakeCharClassLut(4096), RunMode::kDsa, {});
+  EXPECT_TRUE(r.output_ok);
+  EXPECT_EQ(r.dsa->takeovers, 0u);
+}
+
+TEST(Streaming, MemCmpFindsThePlantedMismatch) {
+  // The builder plants a[n-7] != b[n-7] for n >= 8; the golden check
+  // in all modes asserts the loop reported exactly that index.
+  ExpectAllModesCorrect(MakeMemCmp(64));
+  const RunResult r = sim::Run(MakeMemCmp(64), RunMode::kDsa, {});
+  EXPECT_TRUE(r.output_ok);
+  EXPECT_GE(r.dsa->takeovers, 1u);
+}
+
 TEST(Workloads, ProgramsAreWellFormed) {
   for (const Workload& wl : Article3Set()) {
     EXPECT_FALSE(wl.scalar.empty()) << wl.name;
