@@ -4,9 +4,11 @@
 // reports how fast the simulator itself executes — millions of simulated
 // instructions per host second (MIPS), per job and in aggregate. Tracks
 // the interpreter hot-path work documented in docs/PERF.md; --reference
-// forces the pre-optimization code paths so fast-vs-reference throughput
-// is a one-flag A/B. The differential oracle still gates the exit code,
-// so a throughput run doubles as a correctness sweep.
+// forces the pre-optimization code paths and --dispatch switch the PR-3
+// decode-switch core (docs/DISPATCH.md), so fast-vs-reference and
+// threaded-vs-switch throughput are one-flag A/Bs. The differential
+// oracle still gates the exit code, so a throughput run doubles as a
+// correctness sweep.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -26,8 +28,9 @@ int main(int argc, char** argv) {
   SystemConfig orig_cfg = cfg;
   orig_cfg.dsa = dsa::engine::DsaConfig::Original();
   dsa::bench::PrintSetupHeader(cfg);
-  std::printf("simulator path: %s\n\n",
-              cfg.reference_path ? "reference (pre-optimization)" : "fast");
+  std::printf("simulator path: %s | dispatch: %s\n\n",
+              cfg.reference_path ? "reference (pre-optimization)" : "fast",
+              std::string(dsa::cpu::ToString(cfg.dispatch)).c_str());
 
   BatchRunner runner(opts.runner);
   std::vector<std::string> keys;

@@ -6,7 +6,8 @@
 // consistency oracle: a driver exits non-zero if any output-equivalence,
 // determinism or invariant check fails, instead of silently printing a
 // wrong table. Common CLI: --jobs N, --json PATH, --filter SUBSTR,
-// --repeats K, --no-oracle, plus the resilience flags --isolate,
+// --repeats K, --no-oracle, --dispatch switch|threaded, plus the
+// resilience flags --isolate,
 // --journal/--resume, --deadline-ms, --mem-limit-mb, --breaker and
 // --fsync (docs/RESILIENCE.md).
 #pragma once
@@ -50,6 +51,10 @@ struct BenchOptions {
   bool serial = false;        // --serial: seed-style direct Run() loop
   bool compare = false;       // --compare: time serial vs. runner paths
   bool reference = false;     // --reference: pre-optimization sim paths
+  // --dispatch switch|threaded: interpreter core for the batched run
+  // loops (docs/DISPATCH.md). Bit-identical simulated results either way;
+  // only host MIPS differs.
+  cpu::DispatchMode dispatch = cpu::DispatchMode::kThreaded;
   // Seeded loop-nest generator (workloads/gen): --gen-seed is the base
   // seed of the sweep, --gen-count the number of generated programs
   // (0 = the driver's default population).
@@ -162,6 +167,13 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
       o.compare = true;
     } else if (arg == "--reference") {
       o.reference = true;
+    } else if (arg == "--dispatch") {
+      const char* mode = value();
+      if (!cpu::ParseDispatchMode(mode, o.dispatch)) {
+        std::fprintf(stderr, "--dispatch expects switch|threaded, got \"%s\"\n",
+                     mode);
+        std::exit(2);
+      }
     } else if (arg == "--isolate") {
       o.resilience.isolate = true;
     } else if (arg == "--journal") {
@@ -190,6 +202,7 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
                    "usage: %s [--jobs N] [--repeats K] [--json PATH] "
                    "[--filter SUBSTR] [--trace PATH] [--faults SPEC] "
                    "[--no-oracle] [--serial] [--compare] [--reference] "
+                   "[--dispatch switch|threaded] "
                    "[--gen-seed S] [--gen-count N] "
                    "[--isolate] [--journal PATH] [--resume PATH] "
                    "[--deadline-ms N] [--mem-limit-mb N] [--breaker N] "
@@ -294,6 +307,7 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
   sim::SystemConfig cfg;
   cfg.trace.enabled = !o.trace_path.empty();
   cfg.reference_path = o.reference;
+  cfg.dispatch = o.dispatch;
   cfg.faults = o.faults;
   return cfg;
 }

@@ -15,6 +15,9 @@ KEEP=0
 BUILD=build-asan
 JOBS=$(nproc)
 
+echo "== doc drift (CLI table, doc index, markdown links) =="
+python3 scripts/validate_docs.py
+
 echo "== configure (ASan+UBSan) =="
 cmake --preset asan > /dev/null
 

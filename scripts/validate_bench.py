@@ -21,7 +21,9 @@ src/sim/runner.cc) honours the contract in docs/BENCH_SCHEMA.md:
     faulted cells appear with a minimal payload (status, attempts, error)
     instead of being silently dropped,
   * has a host throughput block per completed result with mips > 0
-    whenever the run executed at least one interpreter step,
+    whenever the run executed at least one interpreter step, and an
+    optional host.dispatch naming the interpreter core that ran
+    ("switch" or "threaded", docs/DISPATCH.md),
   * cross-checks the `faults` block (fault-injected runs only): the
     per-kind fired counters must sum to total_fired,
   * validates the optional `stream` block (bytes > 0; gbps must be
@@ -50,6 +52,9 @@ REQUIRED_RESULT_OK = [
     "l1", "l2", "dram_accesses", "energy",
 ]
 REQUIRED_HOST = ["mips", "wall_ms", "steps"]
+# host.dispatch is optional (added in a later /5 revision): the
+# interpreter core the batched run loops actually executed on.
+DISPATCH_MODES = {"switch", "threaded"}
 REQUIRED_STREAM = ["bytes", "gbps"]
 REQUIRED_GEN = ["seed", "class", "count"]
 GEN_CLASSES = {"counted", "sentinel", "conditional", "nested",
@@ -182,6 +187,9 @@ def main() -> None:
         if host["steps"] > 0 and not host["mips"] > 0:
             fail(f"result {job}: {host['steps']} steps but "
                  f"mips={host['mips']}")
+        if "dispatch" in host and host["dispatch"] not in DISPATCH_MODES:
+            fail(f"result {job}: host.dispatch {host['dispatch']!r} not in "
+                 f"{sorted(DISPATCH_MODES)}")
         if host["wall_ms"] < 0 or r["wall_ms"] < 0:
             fail(f"result {job}: negative wall time")
         if r["runs"] != doc["repeats"]:

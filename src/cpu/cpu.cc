@@ -25,9 +25,9 @@ bool CpuState::CondHolds(Cond c) const {
 
 Cpu::Cpu(const prog::Program& program, mem::Memory& memory,
          mem::Hierarchy& hierarchy, const TimingConfig& cfg,
-         bool reference_path)
+         bool reference_path, DispatchMode dispatch)
     : program_(program), memory_(memory), hierarchy_(hierarchy), cfg_(cfg),
-      reference_path_(reference_path) {
+      reference_path_(reference_path), dispatch_(dispatch) {
   decoded_.resize(program.size());
   predict_.assign(program.size(), kUntrained);
   for (std::size_t pc = 0; pc < program.size(); ++pc) {
@@ -45,6 +45,11 @@ Cpu::Cpu(const prog::Program& program, mem::Memory& memory,
       d.neon_extra =
           static_cast<std::uint16_t>(cfg_.neon.LatencyOf(ins.op) - 1);
     }
+  }
+  // The reference twin always runs the per-step switch core, so the
+  // threaded stream would be dead weight there.
+  if (dispatch_ == DispatchMode::kThreaded && !reference_path_) {
+    BuildThreaded();
   }
 }
 
@@ -534,6 +539,11 @@ Retired Cpu::Step() {
   return r;
 }
 
+// The threaded engine (dispatch.cc) retires each interesting instruction
+// of a skip batch on this shared per-step core; instantiate it here where
+// the definition lives.
+template void Cpu::StepImpl<true>(Retired& r);
+
 template <bool kRef>
 void Cpu::RunFreeImpl(std::uint64_t max_steps, std::uint64_t& steps) {
   Retired r;
@@ -552,6 +562,8 @@ void Cpu::RunFreeImpl(std::uint64_t max_steps, std::uint64_t& steps) {
 void Cpu::RunFree(std::uint64_t max_steps, std::uint64_t& steps) {
   if (reference_path_) {
     RunFreeImpl<true>(max_steps, steps);
+  } else if (dispatch_ == DispatchMode::kThreaded) {
+    RunFreeThreaded(max_steps, steps);
   } else {
     RunFreeImpl<false>(max_steps, steps);
   }
@@ -591,6 +603,10 @@ Retired Cpu::RunToInteresting(bool watch_window, std::uint32_t window_lo,
   if (reference_path_) {
     return RunToInterestingImpl<true>(watch_window, window_lo, window_hi,
                                       max_steps, steps, skipped);
+  }
+  if (dispatch_ == DispatchMode::kThreaded) {
+    return RunToInterestingThreaded(watch_window, window_lo, window_hi,
+                                    max_steps, steps, skipped);
   }
   return RunToInterestingImpl<false>(watch_window, window_lo, window_hi,
                                      max_steps, steps, skipped);
@@ -654,6 +670,11 @@ Cpu::CoveredOutcome Cpu::RunCoveredImpl(std::uint32_t coverage_start,
     }
   }  // publish pc + stat deltas before the timing replacement below
 
+  RewindCoveredStats(before, d);
+  return d;
+}
+
+void Cpu::RewindCoveredStats(const CpuStats& before, CoveredOutcome& d) {
   const std::uint64_t d_issue = stats_.issue_slots - before.issue_slots;
   const std::uint64_t d_other =
       stats_.other_stall_cycles - before.other_stall_cycles;
@@ -671,7 +692,6 @@ Cpu::CoveredOutcome Cpu::RunCoveredImpl(std::uint32_t coverage_start,
   stats_.mispredicts -= d_mispred;
 
   d.retired = d_retired;
-  return d;
 }
 
 Cpu::CoveredOutcome Cpu::RunCovered(std::uint32_t coverage_start,
@@ -683,6 +703,16 @@ Cpu::CoveredOutcome Cpu::RunCovered(std::uint32_t coverage_start,
   if (reference_path_) {
     return RunCoveredImpl<true>(coverage_start, coverage_latch, inner_start,
                                 inner_latch, count_latch, max_iterations);
+  }
+  // Fused-nest takeovers (outer coverage around a vectorized inner loop)
+  // need the per-retire glue accounting, which only the switch core
+  // implements; both dispatch modes route them there, so the modes stay
+  // bit-identical by construction (docs/DISPATCH.md).
+  const bool fused_nest =
+      coverage_start != inner_start || coverage_latch != inner_latch;
+  if (dispatch_ == DispatchMode::kThreaded && !fused_nest) {
+    return RunCoveredThreaded(coverage_start, coverage_latch, count_latch,
+                              max_iterations);
   }
   return RunCoveredImpl<false>(coverage_start, coverage_latch, inner_start,
                                inner_latch, count_latch, max_iterations);

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cpu/dispatch.h"
 #include "isa/instruction.h"
 #include "mem/cache.h"
 #include "mem/memory.h"
@@ -79,9 +80,15 @@ class Cpu {
   // `reference_path` forces the pre-optimization code paths (per-step
   // opcode re-derivation, unordered_map branch predictor); simulated
   // results are bit-identical either way (tests/test_reference_path.cc).
+  // `dispatch` selects the batched-loop interpreter core: the predecoded
+  // threaded-code engine (default) or the PR-3 decode-switch twin; both
+  // produce bit-identical results (tests/test_dispatch.cc). The reference
+  // path always runs on the per-step switch core, so `dispatch` has no
+  // effect when `reference_path` is set.
   Cpu(const prog::Program& program, mem::Memory& memory,
       mem::Hierarchy& hierarchy, const TimingConfig& cfg = {},
-      bool reference_path = false);
+      bool reference_path = false,
+      DispatchMode dispatch = DispatchMode::kThreaded);
 
   // Executes one instruction; returns the retire record. No-op when halted.
   Retired Step();
@@ -159,6 +166,12 @@ class Cpu {
   // Interpreter steps actually executed (host-side throughput metric; not
   // a simulated stat and never compared by the oracle).
   [[nodiscard]] std::uint64_t host_steps() const { return host_steps_; }
+
+  // Which interpreter core the batched loops run on (docs/DISPATCH.md).
+  [[nodiscard]] DispatchMode dispatch() const { return dispatch_; }
+  // Superinstruction pairs the lowering pass fused for this program
+  // (0 when the threaded engine is not active). Test/introspection only.
+  [[nodiscard]] std::uint32_t fused_pairs() const { return fused_pairs_; }
 
  private:
   // Per-PC instruction properties precomputed once at construction (the
@@ -264,6 +277,82 @@ class Cpu {
                                 std::uint32_t count_latch,
                                 std::uint64_t max_iterations);
 
+  // ---- threaded-code dispatch engine (src/cpu/dispatch.cc) -------------
+  //
+  // Lowered form of one instruction: every field a handler reads, packed
+  // so a slot covers the whole step without touching the Instruction.
+  // `extra` is the per-op stall the handler charges (mul/div/fp extras,
+  // NEON latency-1 for vector ops, the mispredict penalty for kB, the
+  // lane byte width for kVldLane/kVstLane) resolved at lowering time.
+  struct POp {
+    std::int32_t imm = 0;
+    std::int32_t post_inc = 0;
+    std::uint32_t extra = 0;
+    std::uint8_t rd = 0;
+    std::uint8_t rn = 0;
+    std::uint8_t rm = 0;
+    std::uint8_t ra = 0;
+    std::uint8_t cond = 0;   // isa::Cond
+    std::uint8_t vt = 0;     // isa::VecType
+    std::uint8_t op = 0;     // isa::Opcode (generic lane-op handler)
+    std::uint8_t flags = 0;  // kPopStaticTaken
+  };
+  static constexpr std::uint8_t kPopStaticTaken = 1;
+
+  // One dispatch slot per pc: `h` is the handler id the fused stream
+  // dispatches through (a superinstruction id when this pc heads a fused
+  // pair), `hp` the always-unfused handler id (the skip loop and branches
+  // into the middle of a pair use it), `a` the operands at this pc and
+  // `b` the second member's operands when `h` is fused.
+  struct TSlot {
+    std::uint8_t h = 0;
+    std::uint8_t hp = 0;
+    std::uint8_t flags = 0;  // kSlotLatch: interest filter of the skip loop
+    std::uint8_t pad = 0;
+    POp a;
+    POp b;
+  };
+  static constexpr std::uint8_t kSlotLatch = 1;
+
+  // The three batched-loop shapes share one threaded body template.
+  enum class TKind { kFree, kSkip, kCovered };
+  enum class TExit { kHalt, kBudget, kInterest, kRegion };
+
+  // Parameters of one threaded batch; unused fields ignored per TKind.
+  struct TRun {
+    std::uint64_t max_steps = 0;       // kFree/kSkip budget
+    bool watch_window = false;         // kSkip interest filter
+    std::uint32_t window_lo = 0;
+    std::uint32_t window_hi = 0;
+    std::uint32_t cov_start = 0;       // kCovered region + latch logic
+    std::uint32_t cov_latch = 0;
+    std::uint32_t count_latch = 0;
+    std::uint64_t max_iterations = 0;
+  };
+
+  void BuildThreaded();  // lowering + superinstruction selection
+
+  template <TKind K>
+  TExit ThreadedBody(BatchScope& b, const StepCtx& ctx, const TRun& p,
+                     std::uint64_t& steps, std::uint64_t& skipped,
+                     std::uint64_t& iterations);
+
+  void RunFreeThreaded(std::uint64_t max_steps, std::uint64_t& steps);
+  Retired RunToInterestingThreaded(bool watch_window, std::uint32_t window_lo,
+                                   std::uint32_t window_hi,
+                                   std::uint64_t max_steps,
+                                   std::uint64_t& steps,
+                                   std::uint64_t& skipped);
+  CoveredOutcome RunCoveredThreaded(std::uint32_t coverage_start,
+                                    std::uint32_t coverage_latch,
+                                    std::uint32_t count_latch,
+                                    std::uint64_t max_iterations);
+
+  // Removes the scalar cost of a covered run from the stats (issue slots,
+  // non-memory stalls, retires, branch counters) — shared by the switch
+  // and threaded covered loops.
+  void RewindCoveredStats(const CpuStats& before, CoveredOutcome& d);
+
   // Simple 2-bit saturating-counter branch predictor, indexed by pc.
   bool PredictTaken(std::uint32_t pc);
   void TrainPredictor(std::uint32_t pc, bool taken);
@@ -277,8 +366,12 @@ class Cpu {
   CpuState state_;
   CpuStats stats_;
   bool reference_path_;
+  DispatchMode dispatch_;
   std::uint64_t host_steps_ = 0;
   std::vector<DecodedInstr> decoded_;
+  // Threaded-code stream: one slot per pc (empty in switch/reference mode).
+  std::vector<TSlot> tslots_;
+  std::uint32_t fused_pairs_ = 0;
   // Fast-path predictor: one counter per PC, kUntrained until the first
   // branch retires there (preserving the static-fallback semantics of the
   // map-based predictor exactly).

@@ -473,11 +473,13 @@ bool WriteBenchJson(const std::string& path, const std::string& bench_name,
     w.Dbl("wall_ms", out.wall_ms);
     w.U64("runs", static_cast<std::uint64_t>(out.runs.size()));
 
-    // Host simulation throughput of the canonical run (schema /2).
+    // Host simulation throughput of the canonical run (schema /2;
+    // `dispatch` — the interpreter core that actually ran — added in /5).
     w.Open("host", '{');
     w.Dbl("mips", r.host_mips());
     w.Dbl("wall_ms", r.host_wall_ms);
     w.U64("steps", r.host_steps);
+    w.Str("dispatch", std::string(cpu::ToString(r.host_dispatch)));
     w.Close('}');
 
     // Streaming throughput and generator provenance (schema /5), present

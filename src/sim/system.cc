@@ -201,7 +201,8 @@ RunResult Run(const Workload& wl, RunMode mode, const SystemConfig& cfg) {
   if (wl.init) wl.init(memory);
   mem::Hierarchy hierarchy(cfg.memory);
   hierarchy.set_reference_path(cfg.reference_path);
-  cpu::Cpu cpu(*program, memory, hierarchy, cfg.timing, cfg.reference_path);
+  cpu::Cpu cpu(*program, memory, hierarchy, cfg.timing, cfg.reference_path,
+               cfg.dispatch);
 
   std::optional<engine::DsaEngine> engine;
   std::optional<fault::FaultInjector> injector;
@@ -356,6 +357,12 @@ RunResult Run(const Workload& wl, RunMode mode, const SystemConfig& cfg) {
                          std::chrono::steady_clock::now() - host_t0)
                          .count();
   res.host_steps = cpu.host_steps();
+  // Report what actually ran: reference and traced runs execute the
+  // per-step switch core regardless of the configured dispatch mode.
+  res.host_dispatch = (!cfg.reference_path && !tracer.has_value() &&
+                       cpu.dispatch() == cpu::DispatchMode::kThreaded)
+                          ? cpu::DispatchMode::kThreaded
+                          : cpu::DispatchMode::kSwitch;
   res.cycles = cpu.Cycles();
   res.cpu = cpu.stats();
   res.l1 = hierarchy.l1().stats();

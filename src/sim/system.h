@@ -62,6 +62,10 @@ struct RunResult {
   // determinism oracle and never part of FormatReport.
   std::uint64_t host_steps = 0;
   double host_wall_ms = 0.0;
+  // Interpreter core the batched loops actually ran on ("threaded" or
+  // "switch"; reference runs always report "switch"). Host metadata like
+  // host_steps: surfaced in the bench JSON host block, never compared.
+  cpu::DispatchMode host_dispatch = cpu::DispatchMode::kSwitch;
   // Millions of simulated instructions per host second.
   [[nodiscard]] double host_mips() const;
 
@@ -101,6 +105,11 @@ struct SystemConfig {
   // gating). Every simulated stat is bit-identical to the default fast
   // path; tests/test_reference_path.cc asserts it on every workload.
   bool reference_path = false;
+  // Interpreter core for the batched run loops: the predecoded
+  // threaded-code engine (default) or the PR-3 decode-switch twin.
+  // Simulated results are bit-identical either way (docs/DISPATCH.md,
+  // tests/test_dispatch.cc); ignored when reference_path is set.
+  cpu::DispatchMode dispatch = cpu::DispatchMode::kThreaded;
 };
 
 // Runs one workload variant end to end.
