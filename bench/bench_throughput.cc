@@ -1,14 +1,22 @@
 // Host-throughput driver: runs the same workload x mode matrix as
 // bench_matrix (Article 3 full matrix + Article 2 Original-DSA column,
-// plus the VecAdd microbenchmark as a cheap smoke slice) and
-// reports how fast the simulator itself executes — millions of simulated
-// instructions per host second (MIPS), per job and in aggregate. Tracks
-// the interpreter hot-path work documented in docs/PERF.md; --reference
-// forces the pre-optimization code paths and --dispatch switch the PR-3
-// decode-switch core (docs/DISPATCH.md), so fast-vs-reference and
-// threaded-vs-switch throughput are one-flag A/Bs. The differential
-// oracle still gates the exit code, so a throughput run doubles as a
-// correctness sweep.
+// plus the VecAdd and DispatchMicro microbenchmarks as cheap smoke
+// slices) and reports how fast the simulator itself executes — millions
+// of simulated instructions per host second (MIPS), per job and in
+// aggregate. Tracks the interpreter hot-path work documented in
+// docs/PERF.md; --reference forces the pre-optimization code paths and
+// --dispatch switch the PR-3 decode-switch core (docs/DISPATCH.md), so
+// fast-vs-reference and threaded-vs-switch throughput are one-flag A/Bs.
+// The differential oracle still gates the exit code, so a throughput run
+// doubles as a correctness sweep.
+//
+// --interleave N replaces the batch run with a load-immune A/B loop: per
+// cell, N back-to-back fast/--reference pairs on the same binary, median
+// of the per-pair MIPS ratios reported (and gated by --assert-ratio).
+// Both arms of a pair see the same host load, so the ratio is stable
+// where absolute MIPS swing ±30% with machine load; it is the
+// measurement the perf numbers in docs/PERF.md are quoted from.
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -16,12 +24,145 @@
 #include "bench/bench_util.h"
 #include "workloads/workloads.h"
 
+namespace {
+
+using dsa::sim::Run;
+using dsa::sim::RunMode;
+using dsa::sim::RunResult;
+using dsa::sim::SystemConfig;
+using dsa::sim::Workload;
+
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 != 0 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+int RunInterleaved(const dsa::bench::BenchOptions& opts,
+                   const SystemConfig& cfg, const SystemConfig& orig_cfg,
+                   const std::vector<Workload>& sweep,
+                   const std::vector<Workload>& article2) {
+  SystemConfig ref_cfg = cfg;
+  ref_cfg.reference_path = true;
+  SystemConfig ref_orig = orig_cfg;
+  ref_orig.reference_path = true;
+
+  struct Cell {
+    const Workload* wl = nullptr;
+    RunMode mode = RunMode::kScalar;
+    const SystemConfig* fast = nullptr;
+    const SystemConfig* ref = nullptr;
+    std::string key;
+    std::vector<double> fast_mips;
+    std::vector<double> ref_mips;
+    std::vector<double> ratios;
+  };
+  std::vector<Cell> cells;
+  for (const Workload& wl : sweep) {
+    if (!dsa::bench::KeepWorkload(opts, wl.name)) continue;
+    for (const RunMode m : {RunMode::kScalar, RunMode::kAutoVec,
+                            RunMode::kHandVec, RunMode::kDsa}) {
+      Cell c;
+      c.wl = &wl;
+      c.mode = m;
+      c.fast = &cfg;
+      c.ref = &ref_cfg;
+      c.key = wl.name + "@" + std::string(dsa::sim::ToString(m));
+      cells.push_back(std::move(c));
+    }
+  }
+  for (const Workload& wl : article2) {
+    if (!dsa::bench::KeepWorkload(opts, wl.name)) continue;
+    Cell c;
+    c.wl = &wl;
+    c.mode = RunMode::kDsa;
+    c.fast = &orig_cfg;
+    c.ref = &ref_orig;
+    c.key = wl.name + "@neon-dsa/orig";
+    cells.push_back(std::move(c));
+  }
+  if (cells.empty()) {
+    std::fprintf(stderr, "[interleave] no workload matches --filter %s\n",
+                 opts.filter.c_str());
+    return 2;
+  }
+
+  // Round-robin over cells inside each round, fast arm immediately
+  // followed by its reference twin: the two runs of a pair share whatever
+  // the host is doing at that moment, which is the whole point.
+  std::vector<double> agg_ratios;
+  for (int round = 0; round < opts.interleave; ++round) {
+    std::uint64_t fast_steps = 0;
+    std::uint64_t ref_steps = 0;
+    double fast_ms = 0.0;
+    double ref_ms = 0.0;
+    for (Cell& c : cells) {
+      const RunResult f = Run(*c.wl, c.mode, *c.fast);
+      const RunResult r = Run(*c.wl, c.mode, *c.ref);
+      if (f.output_digest != r.output_digest || f.cycles != r.cycles) {
+        // The A/B is only meaningful between bit-identical simulations;
+        // a divergence here is a correctness bug, not a perf result.
+        std::fprintf(stderr,
+                     "[interleave] %s: fast and --reference diverged "
+                     "(digest 0x%llx vs 0x%llx, cycles %llu vs %llu)\n",
+                     c.key.c_str(),
+                     static_cast<unsigned long long>(f.output_digest),
+                     static_cast<unsigned long long>(r.output_digest),
+                     static_cast<unsigned long long>(f.cycles),
+                     static_cast<unsigned long long>(r.cycles));
+        return 1;
+      }
+      c.fast_mips.push_back(f.host_mips());
+      c.ref_mips.push_back(r.host_mips());
+      c.ratios.push_back(r.host_mips() > 0.0 ? f.host_mips() / r.host_mips()
+                                             : 0.0);
+      fast_steps += f.host_steps;
+      fast_ms += f.host_wall_ms;
+      ref_steps += r.host_steps;
+      ref_ms += r.host_wall_ms;
+    }
+    const double fa =
+        fast_ms > 0.0
+            ? static_cast<double>(fast_steps) / (1000.0 * fast_ms)
+            : 0.0;
+    const double ra =
+        ref_ms > 0.0 ? static_cast<double>(ref_steps) / (1000.0 * ref_ms)
+                     : 0.0;
+    agg_ratios.push_back(ra > 0.0 ? fa / ra : 0.0);
+  }
+
+  std::printf("%-28s %10s %10s %10s\n", "job", "fast MIPS", "ref MIPS",
+              "ratio");
+  bool below_floor = false;
+  for (Cell& c : cells) {
+    const double ratio = Median(c.ratios);
+    const bool bad = opts.assert_ratio > 0.0 && ratio < opts.assert_ratio;
+    below_floor = below_floor || bad;
+    std::printf("%-28s %10.1f %10.1f %9.2fx%s\n", c.key.c_str(),
+                Median(c.fast_mips), Median(c.ref_mips), ratio,
+                bad ? "  << below floor" : "");
+  }
+  std::printf("\n[interleave] %d pair(s)/cell, medians; aggregate "
+              "fast/reference ratio %.2fx over %zu cell(s)\n",
+              opts.interleave, Median(agg_ratios), cells.size());
+  if (opts.assert_ratio > 0.0) {
+    if (below_floor) {
+      std::fprintf(stderr,
+                   "[interleave] FAIL: cell(s) below the --assert-ratio "
+                   "%.2f floor\n",
+                   opts.assert_ratio);
+      return 1;
+    }
+    std::printf("[interleave] assert-ratio %.2f: ok\n", opts.assert_ratio);
+  }
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using dsa::sim::BatchRunner;
-  using dsa::sim::RunMode;
-  using dsa::sim::RunResult;
-  using dsa::sim::SystemConfig;
-  using dsa::sim::Workload;
 
   const dsa::bench::BenchOptions opts = dsa::bench::ParseBenchArgs(argc, argv);
   const SystemConfig cfg = dsa::bench::BaseConfig(opts);
@@ -32,24 +173,33 @@ int main(int argc, char** argv) {
               cfg.reference_path ? "reference (pre-optimization)" : "fast",
               std::string(dsa::cpu::ToString(cfg.dispatch)).c_str());
 
-  BatchRunner runner(opts.runner);
-  std::vector<std::string> keys;
-  // VecAdd first: the cheap microbenchmark that `--filter VecAdd` selects
-  // as the CI smoke slice (scripts/check.sh).
+  // VecAdd and DispatchMicro first: the cheap microbenchmarks that
+  // `--filter VecAdd` / `--filter DispatchMicro` select as the CI smoke
+  // and perf-gate slices (scripts/check.sh).
   std::vector<Workload> sweep;
   sweep.push_back(dsa::workloads::MakeVecAdd());
+  sweep.push_back(dsa::workloads::MakeDispatchMicro());
   for (Workload& wl : dsa::workloads::Article3Set()) {
     sweep.push_back(std::move(wl));
   }
+  const std::vector<Workload> article2 = dsa::workloads::Article2Set();
+
+  if (opts.interleave > 0) {
+    return RunInterleaved(opts, cfg, orig_cfg, sweep, article2);
+  }
+
+  BatchRunner runner(opts.runner);
+  std::vector<std::string> keys;
   for (const Workload& wl : sweep) {
     if (!dsa::bench::KeepWorkload(opts, wl.name)) continue;
     for (std::string& k : runner.SubmitMatrix(wl, cfg)) {
       keys.push_back(std::move(k));
     }
   }
-  for (const Workload& wl : dsa::workloads::Article2Set()) {
+  for (const Workload& wl : article2) {
     if (!dsa::bench::KeepWorkload(opts, wl.name)) continue;
-    keys.push_back(runner.Submit(wl, RunMode::kDsa, orig_cfg, "orig"));
+    keys.push_back(runner.Submit(wl, dsa::sim::RunMode::kDsa, orig_cfg,
+                                 "orig"));
   }
   if (keys.empty()) {
     std::fprintf(stderr, "[throughput] no workload matches --filter %s\n",

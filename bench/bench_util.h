@@ -51,6 +51,15 @@ struct BenchOptions {
   bool serial = false;        // --serial: seed-style direct Run() loop
   bool compare = false;       // --compare: time serial vs. runner paths
   bool reference = false;     // --reference: pre-optimization sim paths
+  // --interleave N (bench_throughput): load-immune A/B measurement — per
+  // cell, N back-to-back fast/--reference pairs on the same binary, with
+  // the median of the per-pair host-MIPS ratios reported. Host load hits
+  // both arms of a pair alike, so the ratio survives the ±30% wall-clock
+  // swings documented in docs/PERF.md.
+  int interleave = 0;
+  // --assert-ratio X: with --interleave, exit non-zero unless every cell's
+  // median fast/reference ratio is >= X (the scripts/check.sh perf gate).
+  double assert_ratio = 0.0;
   // --dispatch switch|threaded: interpreter core for the batched run
   // loops (docs/DISPATCH.md). Bit-identical simulated results either way;
   // only host MIPS differs.
@@ -112,6 +121,21 @@ inline std::uint64_t ParseU64Arg(const std::string& flag, const char* text) {
   return static_cast<std::uint64_t>(v);
 }
 
+// Strict double parsing for `--assert-ratio`: whole token must be a
+// finite non-negative number.
+inline double ParseRatioArg(const std::string& flag, const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE || !(v >= 0.0) ||
+      !std::isfinite(v)) {
+    std::fprintf(stderr, "%s expects a non-negative number, got \"%s\"\n",
+                 flag.c_str(), text);
+    std::exit(2);
+  }
+  return v;
+}
+
 // Largest generated-program population one sweep may request. Far above
 // any useful sweep, but low enough that a typo'd count fails fast instead
 // of allocating for hours.
@@ -161,6 +185,15 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
         std::exit(2);
       }
       o.gen_count = static_cast<int>(n);
+    } else if (arg == "--interleave") {
+      const long n = ParseCountArg(arg, value());
+      if (n < 1 || n > 999) {
+        std::fprintf(stderr, "--interleave must be in [1, 999], got %ld\n", n);
+        std::exit(2);
+      }
+      o.interleave = static_cast<int>(n);
+    } else if (arg == "--assert-ratio") {
+      o.assert_ratio = ParseRatioArg(arg, value());
     } else if (arg == "--serial") {
       o.serial = true;
     } else if (arg == "--compare") {
@@ -202,6 +235,7 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
                    "usage: %s [--jobs N] [--repeats K] [--json PATH] "
                    "[--filter SUBSTR] [--trace PATH] [--faults SPEC] "
                    "[--no-oracle] [--serial] [--compare] [--reference] "
+                   "[--interleave N] [--assert-ratio X] "
                    "[--dispatch switch|threaded] "
                    "[--gen-seed S] [--gen-count N] "
                    "[--isolate] [--journal PATH] [--resume PATH] "
@@ -240,6 +274,22 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
     // The child's structured trace is not shipped across the isolation
     // pipe, so --trace would end with "no job produced a trace".
     std::fprintf(stderr, "--trace is not supported with --isolate\n");
+    std::exit(2);
+  }
+  if (o.interleave > 0 &&
+      (o.reference || o.serial || o.compare || !o.json_path.empty() ||
+       !o.trace_path.empty() || o.faults.enabled() || o.resilience.any())) {
+    // The interleave loop runs its own reference arm and bypasses the
+    // batch runner entirely, so the runner-side flags have nothing to
+    // attach to; refuse instead of silently ignoring them.
+    std::fprintf(stderr,
+                 "--interleave is a standalone fast-vs-reference A/B loop; "
+                 "drop --reference/--serial/--compare/--json/--trace/"
+                 "--faults and the resilience flags\n");
+    std::exit(2);
+  }
+  if (o.assert_ratio > 0.0 && o.interleave == 0) {
+    std::fprintf(stderr, "--assert-ratio requires --interleave\n");
     std::exit(2);
   }
   if ((o.serial || o.compare) && o.resilience.any()) {

@@ -40,7 +40,7 @@ echo "== chaos smoke (fault injection + guard recovery) =="
 # exits non-zero unless every injected run recovers bit-identically to
 # the fault-free digest (speculation guard rollback + blacklisting),
 # with the sanitizers watching the rollback machinery. The validator
-# re-checks the dsa-bench-json/5 contract including the faults block.
+# re-checks the dsa-bench-json/6 contract including the faults block.
 "$BUILD"/bench/bench_chaos --filter VecAdd --jobs 2 \
     --json "$BUILD"/BENCH_chaos_check.json
 python3 scripts/validate_bench.py "$BUILD"/BENCH_chaos_check.json
@@ -112,13 +112,23 @@ echo "== release build + throughput smoke =="
 # Optimized build via the release preset (-O3, warnings-as-errors), then
 # the host-throughput driver on the VecAdd smoke slice. The driver's exit
 # code is gated by the differential oracle; the validator re-checks the
-# dsa-bench-json/5 contract and that every job reports MIPS > 0.
+# dsa-bench-json/6 contract and that every job reports MIPS > 0.
 cmake --preset release > /dev/null
 cmake --build build -j "$JOBS" --target bench_throughput
 build/bench/bench_throughput --filter VecAdd --repeats 2 \
     --json build/BENCH_throughput_check.json
 grep -q '"ok": true' build/BENCH_throughput_check.json
 python3 scripts/validate_bench.py build/BENCH_throughput_check.json
+
+echo "== perf smoke (fast vs reference, load-immune) =="
+# The interleaved A/B harness runs fast and --reference back-to-back per
+# pair on the dispatch-bound microloop, so both sides see the same host
+# load and the median-of-pairs ratio is immune to absolute machine speed.
+# The fast threaded path measures 6.7-9x on this workload; 3.0x is the
+# conservative floor that catches any hot-path regression without being
+# flaky under CI load. Digest+cycle equality is enforced on every pair.
+build/bench/bench_throughput --filter DispatchMicro \
+    --interleave 3 --assert-ratio 3.0
 
 if [[ "$KEEP" -eq 0 ]]; then
   rm -rf "$BUILD"

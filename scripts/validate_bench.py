@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
-"""Structural validator for dsa-bench-json/5 batch reports.
+"""Structural validator for dsa-bench-json/6 batch reports.
 
 Checks that a file produced by `--json PATH` (sim::WriteBenchJson,
 src/sim/runner.cc) honours the contract in docs/BENCH_SCHEMA.md:
-  * is well-formed JSON carrying the "dsa-bench-json/5" schema marker,
+  * is well-formed JSON carrying the "dsa-bench-json/6" schema marker,
   * has every required top-level field with a sane value,
   * reconciles the run census: sum of per-result `runs` == executed_runs,
     every "ok" cell ran exactly `repeats` times, `faulted_cells` matches
@@ -23,7 +23,9 @@ src/sim/runner.cc) honours the contract in docs/BENCH_SCHEMA.md:
   * has a host throughput block per completed result with mips > 0
     whenever the run executed at least one interpreter step, and an
     optional host.dispatch naming the interpreter core that ran
-    ("switch" or "threaded", docs/DISPATCH.md),
+    ("switch" or "threaded", docs/DISPATCH.md), plus a host.phases
+    block (new in /6) whose non-negative dispatch/observe/mem/neon
+    millisecond buckets sum to at most host.wall_ms,
   * cross-checks the `faults` block (fault-injected runs only): the
     per-kind fired counters must sum to total_fired,
   * validates the optional `stream` block (bytes > 0; gbps must be
@@ -52,6 +54,9 @@ REQUIRED_RESULT_OK = [
     "l1", "l2", "dram_accesses", "energy",
 ]
 REQUIRED_HOST = ["mips", "wall_ms", "steps"]
+# host.phases (new in /6): disjoint host-time buckets attributing the wall
+# time of the run loop -- each non-negative, summing to at most wall_ms.
+REQUIRED_PHASES = ["dispatch_ms", "observe_ms", "mem_ms", "neon_ms"]
 # host.dispatch is optional (added in a later /5 revision): the
 # interpreter core the batched run loops actually executed on.
 DISPATCH_MODES = {"switch", "threaded"}
@@ -91,8 +96,8 @@ def main() -> None:
     for k in REQUIRED_TOP:
         if k not in doc:
             fail(f"missing top-level field '{k}'")
-    if doc["schema"] != "dsa-bench-json/5":
-        fail(f"schema is {doc['schema']!r}, expected 'dsa-bench-json/5'")
+    if doc["schema"] != "dsa-bench-json/6":
+        fail(f"schema is {doc['schema']!r}, expected 'dsa-bench-json/6'")
     if len(doc["results"]) != doc["distinct_jobs"]:
         fail(f"{len(doc['results'])} results for "
              f"{doc['distinct_jobs']} distinct jobs")
@@ -190,6 +195,19 @@ def main() -> None:
         if "dispatch" in host and host["dispatch"] not in DISPATCH_MODES:
             fail(f"result {job}: host.dispatch {host['dispatch']!r} not in "
                  f"{sorted(DISPATCH_MODES)}")
+        if "phases" not in host:
+            fail(f"result {job}: host block missing 'phases' (new in /6)")
+        phases = host["phases"]
+        for k in REQUIRED_PHASES:
+            if k not in phases:
+                fail(f"result {job}: host.phases missing '{k}'")
+            if not isinstance(phases[k], (int, float)) or phases[k] < 0:
+                fail(f"result {job}: host.phases.{k}={phases[k]!r} not a "
+                     f"non-negative number")
+        phase_sum = sum(phases[k] for k in REQUIRED_PHASES)
+        if phase_sum > host["wall_ms"] * 1.0001 + 1e-9:
+            fail(f"result {job}: host.phases sum to {phase_sum} ms, more "
+                 f"than host.wall_ms={host['wall_ms']}")
         if host["wall_ms"] < 0 or r["wall_ms"] < 0:
             fail(f"result {job}: negative wall time")
         if r["runs"] != doc["repeats"]:

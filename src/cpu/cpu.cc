@@ -28,6 +28,10 @@ Cpu::Cpu(const prog::Program& program, mem::Memory& memory,
          bool reference_path, DispatchMode dispatch)
     : program_(program), memory_(memory), hierarchy_(hierarchy), cfg_(cfg),
       reference_path_(reference_path), dispatch_(dispatch) {
+  l1_ = &hierarchy_.l1_runs();
+  l1_shift_ = l1_->line_shift();
+  l1_mask_ = hierarchy_.l1_line_mask();
+  l1_hit_ = hierarchy_.l1_hit_latency();
   decoded_.resize(program.size());
   predict_.assign(program.size(), kUntrained);
   for (std::size_t pc = 0; pc < program.size(); ++pc) {

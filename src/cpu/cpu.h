@@ -173,6 +173,33 @@ class Cpu {
   // (0 when the threaded engine is not active). Test/introspection only.
   [[nodiscard]] std::uint32_t fused_pairs() const { return fused_pairs_; }
 
+  // Observation-relevance class of a pc, written by
+  // DsaEngine::FillObserveClasses and read by the threaded skip loop
+  // (docs/DISPATCH.md): kInert retires run unobserved and are credited via
+  // ObserveSkipped; kExit ends the batch *before* executing, so the engine
+  // observes the retire per-step; kLatchExec executes the latch inline and
+  // materializes the retire for the engine only when the branch is taken.
+  // Lowering defaults every latch candidate to kExit, so a Cpu whose
+  // classes were never filled behaves exactly like the pre-relevance skip
+  // loop. No-op in switch/reference mode (no threaded stream to annotate).
+  enum class ObsClass : std::uint8_t { kInert, kExit, kLatchExec };
+  void SetObserveClass(std::uint32_t pc, ObsClass c) {
+    if (pc >= tslots_.size()) return;
+    std::uint8_t f = static_cast<std::uint8_t>(
+        tslots_[pc].flags & ~(kSlotObsExit | kSlotObsExecExit));
+    if (c == ObsClass::kExit) {
+      f |= kSlotObsExit;
+    } else if (c == ObsClass::kLatchExec) {
+      f |= kSlotObsExecExit;
+    }
+    tslots_[pc].flags = f;
+  }
+  // Predecoded latch-candidate bit (kB with a backward target) — the only
+  // opcode an idle engine can react to; FillObserveClasses keys on it.
+  [[nodiscard]] bool latch_candidate(std::uint32_t pc) const {
+    return pc < decoded_.size() && decoded_[pc].latch_candidate;
+  }
+
  private:
   // Per-PC instruction properties precomputed once at construction (the
   // DecodedProgram side table) so Step() never re-derives per-opcode facts.
@@ -307,16 +334,25 @@ class Cpu {
   struct TSlot {
     std::uint8_t h = 0;
     std::uint8_t hp = 0;
-    std::uint8_t flags = 0;  // kSlotLatch: interest filter of the skip loop
+    std::uint8_t flags = 0;  // kSlot* observation-relevance bits below
     std::uint8_t pad = 0;
     POp a;
     POp b;
   };
+  // Slot flags. kSlotLatch is the immutable predecode fact (latch
+  // candidate); the two observation bits are the *mutable* relevance class
+  // (ObsClass) the skip loop dispatches on, rewritten whenever the engine's
+  // cooldown/blacklist state changes (SetObserveClass). Neither bit set
+  // means kInert.
   static constexpr std::uint8_t kSlotLatch = 1;
+  static constexpr std::uint8_t kSlotObsExit = 2;      // ObsClass::kExit
+  static constexpr std::uint8_t kSlotObsExecExit = 4;  // ObsClass::kLatchExec
 
   // The three batched-loop shapes share one threaded body template.
   enum class TKind { kFree, kSkip, kCovered };
-  enum class TExit { kHalt, kBudget, kInterest, kRegion };
+  // kInterestExec: a kLatchExec latch was executed inline and taken — the
+  // materialized retire record is already filled; the caller must NOT step.
+  enum class TExit { kHalt, kBudget, kInterest, kInterestExec, kRegion };
 
   // Parameters of one threaded batch; unused fields ignored per TKind.
   struct TRun {
@@ -335,7 +371,7 @@ class Cpu {
   template <TKind K>
   TExit ThreadedBody(BatchScope& b, const StepCtx& ctx, const TRun& p,
                      std::uint64_t& steps, std::uint64_t& skipped,
-                     std::uint64_t& iterations);
+                     std::uint64_t& iterations, Retired* obs);
 
   void RunFreeThreaded(std::uint64_t max_steps, std::uint64_t& steps);
   Retired RunToInterestingThreaded(bool watch_window, std::uint32_t window_lo,
@@ -359,6 +395,35 @@ class Cpu {
 
   std::uint32_t MemAccessLatency(std::uint32_t addr, std::uint32_t bytes);
 
+  // ---- way-predicted memory runs (threaded core only) ------------------
+  //
+  // While consecutive accesses in a batch stay within one resident L1
+  // line, the handlers count the hits in this batch-local record and
+  // charge the cache once when the run closes (Cache::CreditRun) — the
+  // tick/LRU/hit-count transition is identical to the same number of
+  // per-access Access() calls, because nothing else touches the cache
+  // while a run is open. The writeback lambda closes the run on every
+  // batch exit, including exception unwind.
+  struct MemRun {
+    std::uint64_t line = kNoRunLine;
+    mem::Cache::Way* way = nullptr;
+    std::uint32_t hits = 0;
+  };
+  static constexpr std::uint64_t kNoRunLine = ~std::uint64_t{0};
+
+  void FlushMemRun(MemRun& run) {
+    if (run.hits != 0) l1_->CreditRun(run.way, run.hits);
+    run.line = kNoRunLine;
+    run.hits = 0;
+  }
+
+  // Run-miss slow path: closes the pending run, then either opens a new
+  // run on a resident single-line access (a hit — 0 stall, exactly like
+  // the switch core's hit-latency clamp) or falls through to the full
+  // hierarchy access and re-probes so the *next* access can open a run.
+  std::uint32_t MemRunSlow(std::uint32_t addr, std::uint32_t bytes,
+                           std::uint64_t line, MemRun& run);
+
   const prog::Program& program_;
   mem::Memory& memory_;
   mem::Hierarchy& hierarchy_;
@@ -368,6 +433,12 @@ class Cpu {
   bool reference_path_;
   DispatchMode dispatch_;
   std::uint64_t host_steps_ = 0;
+  // L1 geometry hoisted at construction for the threaded memory fast path
+  // (members so MemRunSlow sees them; the hot loop re-hoists into locals).
+  mem::Cache* l1_ = nullptr;
+  std::uint32_t l1_shift_ = 0;
+  std::uint32_t l1_mask_ = 0;
+  std::uint32_t l1_hit_ = 0;
   std::vector<DecodedInstr> decoded_;
   // Threaded-code stream: one slot per pc (empty in switch/reference mode).
   std::vector<TSlot> tslots_;

@@ -213,7 +213,11 @@ void Cpu::BuildThreaded() {
     const Instruction& ins = d.ins;
     TSlot& s = tslots_[pc];
     s.h = s.hp = PlainHandler(ins.op);
-    if (d.latch_candidate) s.flags |= kSlotLatch;
+    // Latch candidates default to the observe-exit class: a Cpu whose
+    // observation classes are never filled (direct RunToInteresting
+    // callers, tests) batches exactly like the pre-relevance skip loop.
+    // DsaEngine::FillObserveClasses rewrites the two obs bits at run time.
+    if (d.latch_candidate) s.flags |= kSlotLatch | kSlotObsExit;
 
     POp& p = s.a;
     p.imm = ins.imm;
@@ -298,6 +302,19 @@ void Cpu::BuildThreaded() {
     memory_.FailRange((addr_), (n_));                                     \
   }
 
+// Memory latency through the batch-local way-predicted run (MemRun,
+// cpu.h): while consecutive accesses stay in the run's resident L1 line,
+// each hit is counted locally and stalls 0 cycles — exactly the switch
+// core's hit-latency clamp — and the cache is charged once when the run
+// closes (MemRunSlow / the writeback lambda). Anything else (line change,
+// straddling access, non-resident line) takes the slow path.
+#define DSA_MEMLAT(a_, n_)                                                \
+  ((static_cast<std::uint64_t>(a_) >> lshift) == mrun.line &&             \
+           ((a_) & lmask) + (n_) <= lmask + 1u                            \
+       ? (++mrun.hits, 0u)                                                \
+       : MemRunSlow((a_), (n_),                                           \
+                    static_cast<std::uint64_t>(a_) >> lshift, mrun))
+
 #define DSA_C_LDR(P)                                                      \
   do {                                                                    \
     const POp& p_ = (P);                                                  \
@@ -307,7 +324,7 @@ void Cpu::BuildThreaded() {
     std::memcpy(&v_, mbase + addr_, 4);                                   \
     lr[p_.rd] = v_;                                                       \
     lr[p_.rn] += p_.post_inc;                                             \
-    acc.mem_stall += MemAccessLatency(addr_, 4);                          \
+    acc.mem_stall += DSA_MEMLAT(addr_, 4);                          \
     ++acc.mem_reads;                                                      \
     ++acc.steps;                                                          \
   } while (0)
@@ -321,7 +338,7 @@ void Cpu::BuildThreaded() {
     std::memcpy(&v_, mbase + addr_, 2);                                   \
     lr[p_.rd] = v_;                                                       \
     lr[p_.rn] += p_.post_inc;                                             \
-    acc.mem_stall += MemAccessLatency(addr_, 2);                          \
+    acc.mem_stall += DSA_MEMLAT(addr_, 2);                          \
     ++acc.mem_reads;                                                      \
     ++acc.steps;                                                          \
   } while (0)
@@ -333,7 +350,7 @@ void Cpu::BuildThreaded() {
     DSA_MEMCHECK(addr_, 1)                                                \
     lr[p_.rd] = mbase[addr_];                                             \
     lr[p_.rn] += p_.post_inc;                                             \
-    acc.mem_stall += MemAccessLatency(addr_, 1);                          \
+    acc.mem_stall += DSA_MEMLAT(addr_, 1);                          \
     ++acc.mem_reads;                                                      \
     ++acc.steps;                                                          \
   } while (0)
@@ -346,7 +363,7 @@ void Cpu::BuildThreaded() {
     const std::uint32_t v_ = lr[p_.rd];                                   \
     std::memcpy(mbase + addr_, &v_, 4);                                   \
     lr[p_.rn] += p_.post_inc;                                             \
-    acc.mem_stall += MemAccessLatency(addr_, 4);                          \
+    acc.mem_stall += DSA_MEMLAT(addr_, 4);                          \
     ++acc.mem_writes;                                                     \
     ++acc.steps;                                                          \
   } while (0)
@@ -359,7 +376,7 @@ void Cpu::BuildThreaded() {
     const std::uint16_t v_ = static_cast<std::uint16_t>(lr[p_.rd]);       \
     std::memcpy(mbase + addr_, &v_, 2);                                   \
     lr[p_.rn] += p_.post_inc;                                             \
-    acc.mem_stall += MemAccessLatency(addr_, 2);                          \
+    acc.mem_stall += DSA_MEMLAT(addr_, 2);                          \
     ++acc.mem_writes;                                                     \
     ++acc.steps;                                                          \
   } while (0)
@@ -371,7 +388,7 @@ void Cpu::BuildThreaded() {
     DSA_MEMCHECK(addr_, 1)                                                \
     mbase[addr_] = static_cast<std::uint8_t>(lr[p_.rd]);                  \
     lr[p_.rn] += p_.post_inc;                                             \
-    acc.mem_stall += MemAccessLatency(addr_, 1);                          \
+    acc.mem_stall += DSA_MEMLAT(addr_, 1);                          \
     ++acc.mem_writes;                                                     \
     ++acc.steps;                                                          \
   } while (0)
@@ -502,12 +519,16 @@ void Cpu::BuildThreaded() {
 template <Cpu::TKind K>
 Cpu::TExit Cpu::ThreadedBody(BatchScope& b, const StepCtx& ctx, const TRun& p,
                              std::uint64_t& steps, std::uint64_t& skipped,
-                             std::uint64_t& iterations) {
+                             std::uint64_t& iterations, Retired* obs) {
   const TSlot* const tab = tslots_.data();
   std::uint8_t* const ptab = ctx.ptab;
   std::uint8_t* const mbase = ctx.mbase;
   const std::size_t msize = ctx.msize;
   const std::uint32_t psize = ctx.psize;
+  // L1 line geometry for the way-predicted memory run, hoisted into
+  // unaliased locals like every other member the hot loop reads.
+  const std::uint32_t lshift = l1_shift_;
+  const std::uint32_t lmask = l1_mask_;
 
   // Mode parameters copied out of `p`: it lives behind a reference the
   // interpreter's byte stores could alias, locals are load-once.
@@ -535,8 +556,13 @@ Cpu::TExit Cpu::ThreadedBody(BatchScope& b, const StepCtx& ctx, const TRun& p,
   [[maybe_unused]] int depth = 0;  // kBl/kRet nesting inside a covered region
   const TSlot* s = nullptr;
   TExit ex = TExit::kHalt;
+  MemRun mrun;  // open way-predicted L1 run, confined to this batch
 
   const auto writeback = [&]() {
+    // Close the memory run first: its deferred hits must reach the cache
+    // before any access outside the batch (the observed step, NEON cost
+    // walks) can touch L1.
+    FlushMemRun(mrun);
     std::memcpy(state_.regs.data(), lr, sizeof(lr));
     state_.cmp_diff = cmp_diff;
     b.pc = pc;
@@ -578,7 +604,7 @@ Cpu::TExit Cpu::ThreadedBody(BatchScope& b, const StepCtx& ctx, const TRun& p,
     }
     s = tab + pc;
     if constexpr (K == TKind::kSkip) {
-      if ((s->flags & kSlotLatch) != 0 ||
+      if ((s->flags & kSlotObsExit) != 0 ||
           (watch && (pc < wlo || pc >= whi))) {
         ex = TExit::kInterest;
         goto done;
@@ -602,11 +628,15 @@ Cpu::TExit Cpu::ThreadedBody(BatchScope& b, const StepCtx& ctx, const TRun& p,
     }
     s = tab + pc;
     if constexpr (K == TKind::kSkip) {
-      // Interest filter: latch candidates always; outside the cooldown
-      // window only when watching. The interesting instruction is NOT
-      // executed here — the wrapper retires it observed on the shared
-      // switch core, with the budget for it already consumed above.
-      if ((s->flags & kSlotLatch) != 0 ||
+      // Interest filter on the observation-relevance class: kExit pcs end
+      // the batch with the instruction NOT executed — the wrapper retires
+      // it observed on the shared switch core, with the budget for it
+      // already consumed above. (Unfilled classes default every latch
+      // candidate to kExit; the window check serves direct callers that
+      // never fill.) kLatchExec latches carry kSlotObsExecExit instead and
+      // fall through to their own handler, which exits with a materialized
+      // record only when the branch is taken. Inert pcs just execute.
+      if ((s->flags & kSlotObsExit) != 0 ||
           (watch && (pc < wlo || pc >= whi))) {
         ex = TExit::kInterest;
         goto done;
@@ -737,6 +767,25 @@ Cpu::TExit Cpu::ThreadedBody(BatchScope& b, const StepCtx& ctx, const TRun& p,
     std::uint32_t next_ = pc + 1;
     DSA_C_B(s->a, pc, next_);
     DSA_C_LATCH(pc, next_)
+    if constexpr (K == TKind::kSkip) {
+      // kLatchExec: the engine only reacts to this latch when it is
+      // *taken* (not-taken retires are provably inert — HandleLatch
+      // returns before any stage counter). Execute it inline either way;
+      // on taken, materialize the exact record StepBody would produce
+      // (kB: no mem fields, branch_taken, resolved next_pc) and exit
+      // without counting it as skipped — the caller hands it to Observe.
+      // next_ != pc + 1 is a valid taken proxy: kSlotObsExecExit is only
+      // ever set on backward branches (imm <= pc).
+      if ((s->flags & kSlotObsExecExit) != 0 && next_ != pc + 1) {
+        obs->pc = pc;
+        obs->instr = ctx.dtab[pc].src;
+        obs->branch_taken = true;
+        obs->next_pc = next_;
+        pc = next_;
+        ex = TExit::kInterestExec;
+        goto done;
+      }
+    }
     DSA_NEXT(next_);
   }
   LBl: {
@@ -772,7 +821,7 @@ Cpu::TExit Cpu::ThreadedBody(BatchScope& b, const StepCtx& ctx, const TRun& p,
     DSA_MEMCHECK(addr_, 16)
     std::memcpy(state_.vregs.q(A.rd).bytes.data(), mbase + addr_, 16);
     lr[A.rn] += A.post_inc;
-    acc.mem_stall += MemAccessLatency(addr_, 16);
+    acc.mem_stall += DSA_MEMLAT(addr_, 16);
     acc.other_stall += A.extra;
     ++acc.mem_reads;
     ++acc.steps;
@@ -785,7 +834,7 @@ Cpu::TExit Cpu::ThreadedBody(BatchScope& b, const StepCtx& ctx, const TRun& p,
     DSA_MEMCHECK(addr_, 16)
     std::memcpy(mbase + addr_, state_.vregs.q(A.rd).bytes.data(), 16);
     lr[A.rn] += A.post_inc;
-    acc.mem_stall += MemAccessLatency(addr_, 16);
+    acc.mem_stall += DSA_MEMLAT(addr_, 16);
     acc.other_stall += A.extra;
     ++acc.mem_writes;
     ++acc.steps;
@@ -809,7 +858,7 @@ Cpu::TExit Cpu::ThreadedBody(BatchScope& b, const StepCtx& ctx, const TRun& p,
     }
     state_.vregs.q(A.rd).SetLane(static_cast<VecType>(A.vt), A.imm, v_);
     lr[A.rn] += A.post_inc;
-    acc.mem_stall += MemAccessLatency(addr_, bytes_);
+    acc.mem_stall += DSA_MEMLAT(addr_, bytes_);
     ++acc.mem_reads;
     ++acc.steps;
     ++acc.vec;
@@ -831,7 +880,7 @@ Cpu::TExit Cpu::ThreadedBody(BatchScope& b, const StepCtx& ctx, const TRun& p,
       std::memcpy(mbase + addr_, &v_, 4);
     }
     lr[A.rn] += A.post_inc;
-    acc.mem_stall += MemAccessLatency(addr_, bytes_);
+    acc.mem_stall += DSA_MEMLAT(addr_, bytes_);
     ++acc.mem_writes;
     ++acc.steps;
     ++acc.vec;
@@ -1019,6 +1068,7 @@ Cpu::TExit Cpu::ThreadedBody(BatchScope& b, const StepCtx& ctx, const TRun& p,
 }
 
 #undef DSA_MEMCHECK
+#undef DSA_MEMLAT
 #undef DSA_C_LDR
 #undef DSA_C_LDRH
 #undef DSA_C_LDRB
@@ -1037,6 +1087,38 @@ Cpu::TExit Cpu::ThreadedBody(BatchScope& b, const StepCtx& ctx, const TRun& p,
 #undef DSA_FUSE_MID
 #undef DSA_HANDLERS
 
+// ---- run-miss slow path of the way-predicted memory fast path ------------
+
+std::uint32_t Cpu::MemRunSlow(std::uint32_t addr, std::uint32_t bytes,
+                              std::uint64_t line, MemRun& run) {
+  // Close the pending run before anything else can touch the cache: the
+  // deferred hits must land in arrival order relative to this access.
+  if (run.hits != 0) l1_->CreditRun(run.way, run.hits);
+  run.hits = 0;
+  const bool single_line = (addr & l1_mask_) + bytes <= l1_mask_ + 1;
+  if (single_line) {
+    if (mem::Cache::Way* w = l1_->ResidentWay(line)) {
+      // Resident single-line access: an L1 hit, which stalls 0 cycles
+      // after the hit-latency clamp. Open a run with this hit deferred.
+      run.line = line;
+      run.way = w;
+      run.hits = 1;
+      return 0;
+    }
+  }
+  run.line = kNoRunLine;
+  const std::uint32_t lat = hierarchy_.AccessRange(addr, bytes);
+  if (single_line) {
+    // The access just filled (or re-ranked) the line; re-probe so the
+    // *next* access to it takes the inline run path.
+    if (mem::Cache::Way* w = l1_->ResidentWay(line)) {
+      run.line = line;
+      run.way = w;
+    }
+  }
+  return lat > l1_hit_ ? lat - l1_hit_ : 0;
+}
+
 // ---- batched-loop wrappers -----------------------------------------------
 
 void Cpu::RunFreeThreaded(std::uint64_t max_steps, std::uint64_t& steps) {
@@ -1046,7 +1128,7 @@ void Cpu::RunFreeThreaded(std::uint64_t max_steps, std::uint64_t& steps) {
   p.max_steps = max_steps;
   std::uint64_t skipped = 0;
   std::uint64_t iterations = 0;
-  ThreadedBody<TKind::kFree>(b, ctx, p, steps, skipped, iterations);
+  ThreadedBody<TKind::kFree>(b, ctx, p, steps, skipped, iterations, nullptr);
 }
 
 Retired Cpu::RunToInterestingThreaded(bool watch_window,
@@ -1056,6 +1138,7 @@ Retired Cpu::RunToInterestingThreaded(bool watch_window,
                                       std::uint64_t& steps,
                                       std::uint64_t& skipped) {
   TExit e;
+  Retired r{};
   {
     const StepCtx ctx = MakeCtx();
     BatchScope b(*this);
@@ -1065,13 +1148,16 @@ Retired Cpu::RunToInterestingThreaded(bool watch_window,
     p.window_lo = window_lo;
     p.window_hi = window_hi;
     std::uint64_t iterations = 0;
-    e = ThreadedBody<TKind::kSkip>(b, ctx, p, steps, skipped, iterations);
+    e = ThreadedBody<TKind::kSkip>(b, ctx, p, steps, skipped, iterations, &r);
   }  // scope closed: pc and stat deltas published before the observed step
+  // kInterestExec: a kLatchExec latch already executed inline and filled
+  // `r` with the exact record the switch core produces for a taken kB
+  // (its accounting went through the batch accumulator above).
+  if (e == TExit::kInterestExec) return r;
   if (e != TExit::kInterest) return Retired{};
   // The interesting instruction retires on the shared per-step switch
   // core with observation on, so the engine sees the exact record the
   // switch twin produces. Its budget was already consumed above.
-  Retired r;
   StepImpl<true>(r);
   return r;
 }
@@ -1092,7 +1178,8 @@ Cpu::CoveredOutcome Cpu::RunCoveredThreaded(std::uint32_t coverage_start,
     p.max_iterations = max_iterations;
     std::uint64_t steps = 0;
     std::uint64_t skipped = 0;
-    ThreadedBody<TKind::kCovered>(b, ctx, p, steps, skipped, d.iterations);
+    ThreadedBody<TKind::kCovered>(b, ctx, p, steps, skipped, d.iterations,
+                                  nullptr);
   }  // publish pc + stat deltas before the timing replacement below
   RewindCoveredStats(before, d);
   return d;

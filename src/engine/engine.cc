@@ -86,6 +86,9 @@ void DsaEngine::StoreRecord(const LoopRecord& rec, bool count_class) {
 }
 
 void DsaEngine::RecomputeCooldownBounds() {
+  // Every caller is a cooldowns_ mutation, so the relevance classes any
+  // CPU derived from the old state are stale from here on.
+  ++obs_epoch_;
   if (cooldowns_.empty()) {
     cd_skip_lo_ = 1;
     cd_skip_hi_ = 0;
@@ -96,6 +99,57 @@ void DsaEngine::RecomputeCooldownBounds() {
   for (const auto& [latch, cd] : cooldowns_) {
     cd_skip_lo_ = std::max(cd_skip_lo_, cd.start_pc);
     cd_skip_hi_ = std::min(cd_skip_hi_, latch);
+  }
+}
+
+void DsaEngine::FillObserveClasses(cpu::Cpu& cpu) const {
+  using ObsClass = cpu::Cpu::ObsClass;
+  const std::uint32_t n = static_cast<std::uint32_t>(cpu.program().size());
+  for (std::uint32_t pc = 0; pc < n; ++pc) {
+    ObsClass c;
+    if (!cpu.latch_candidate(pc)) {
+      // Non-latch retire: inert exactly when the idle fast path of
+      // Observe() would take it (no cooldowns, or pc strictly inside
+      // every cooldown's window); otherwise the retire can erase a
+      // cooldown, so it must be observed.
+      c = (cooldowns_.empty() ||
+           (pc >= cd_skip_lo_ && pc < cd_skip_hi_))
+              ? ObsClass::kInert
+              : ObsClass::kExit;
+    } else {
+      // Latch candidate. A retire here can still hit the cooldown
+      // maintenance scan of *another* cooldown whose closed [start, latch]
+      // window excludes this pc — that erases it, so observe per-step.
+      bool hits_other_cooldown = false;
+      for (const auto& [other_latch, cd] : cooldowns_) {
+        if (other_latch == pc) continue;
+        if (pc < cd.start_pc || pc > other_latch) {
+          hits_other_cooldown = true;
+          break;
+        }
+      }
+      if (hits_other_cooldown) {
+        c = ObsClass::kExit;
+      } else if (const auto it = cooldowns_.find(pc);
+                 it != cooldowns_.end()) {
+        // Cooled latch. Sentinel watch reacts to *taken* retires
+        // (extra-iteration counting, possible re-speculation): execute
+        // inline, observe only when taken. Every other cooled latch is
+        // fully inert — HandleLatch bails on the cooldown before any
+        // stage counter, taken or not.
+        c = (it->second.sentinel_watch && !IsBlacklisted(pc))
+                ? ObsClass::kLatchExec
+                : ObsClass::kInert;
+      } else if (IsBlacklisted(pc)) {
+        // HandleLatch bails on the blacklist before CountStage: inert.
+        c = ObsClass::kInert;
+      } else {
+        // Fresh latch: a taken retire starts loop detection; a not-taken
+        // one is a nullopt before any counter.
+        c = ObsClass::kLatchExec;
+      }
+    }
+    cpu.SetObserveClass(pc, c);
   }
 }
 
@@ -117,56 +171,65 @@ std::optional<TakeoverPlan> DsaEngine::Observe(const cpu::Retired& r,
   if (!trackers_.empty()) ++stats_.analysis_cycles;
 
   // --- cooldown maintenance -----------------------------------------------
-  bool erased = false;
-  for (auto it = cooldowns_.begin(); it != cooldowns_.end();) {
-    Cooldown& cd = it->second;
-    const std::uint32_t latch = it->first;
-    if (r.pc == latch && r.instr->op == Opcode::kB) {
-      if (r.branch_taken && cd.sentinel_watch && !IsBlacklisted(latch)) {
-        ++cd.extra_iterations;
-        // The sentinel loop outlived its speculated range: speculate again
-        // with a doubled window (Section 4.6.5's continued execution case).
-        if (LoopRecord* rec = dsa_cache_.LookupMutable(latch)) {
-          if (rec->cls == LoopClass::kSentinel) {
-            TakeoverPlan plan;
-            plan.record = *rec;
-            plan.from_cache = true;
-            plan.max_iterations = std::max<std::uint64_t>(
-                cd.next_range, rec->body.lanes());
-            plan.expected_iterations = plan.max_iterations;
-            CountStage(Stage::kSpeculativeExecution, latch);
-            ++stats_.sentinel_respeculations;
-            if (tracer_) {
-              tracer_->Emit(trace::EventKind::kRespeculation, latch,
-                            plan.max_iterations);
-              tracer_->Emit(trace::EventKind::kSpecWindow, latch,
-                            plan.max_iterations);
+  // While the pc sits strictly inside every cooldown's [start, latch)
+  // window the scan below is provably a no-op (same argument as the idle
+  // fast path) — which is where nearly every retire lands while a tracker
+  // is in flight — so the fast path skips it.
+  if (reference_path_ ||
+      !(cooldowns_.empty() ||
+        (r.pc >= cd_skip_lo_ && r.pc < cd_skip_hi_))) {
+    bool erased = false;
+    for (auto it = cooldowns_.begin(); it != cooldowns_.end();) {
+      Cooldown& cd = it->second;
+      const std::uint32_t latch = it->first;
+      if (r.pc == latch && r.instr->op == Opcode::kB) {
+        if (r.branch_taken && cd.sentinel_watch && !IsBlacklisted(latch)) {
+          ++cd.extra_iterations;
+          // The sentinel loop outlived its speculated range: speculate
+          // again with a doubled window (Section 4.6.5's continued
+          // execution case).
+          if (LoopRecord* rec = dsa_cache_.LookupMutable(latch)) {
+            if (rec->cls == LoopClass::kSentinel) {
+              TakeoverPlan plan;
+              plan.record = *rec;
+              plan.from_cache = true;
+              plan.max_iterations = std::max<std::uint64_t>(
+                  cd.next_range, rec->body.lanes());
+              plan.expected_iterations = plan.max_iterations;
+              CountStage(Stage::kSpeculativeExecution, latch);
+              ++stats_.sentinel_respeculations;
+              if (tracer_) {
+                tracer_->Emit(trace::EventKind::kRespeculation, latch,
+                              plan.max_iterations);
+                tracer_->Emit(trace::EventKind::kSpecWindow, latch,
+                              plan.max_iterations);
+              }
+              return SelfCoverage(plan);
             }
-            return SelfCoverage(plan);
           }
         }
+        ++it;
+        continue;
       }
-      ++it;
-      continue;
-    }
-    if (r.pc < cd.start_pc || r.pc > latch) {
-      // The loop exited; a sentinel record learns the real range for the
-      // next execution (Section 4.6.5's three predicting possibilities).
-      if (cd.sentinel_watch) {
-        if (LoopRecord* rec = dsa_cache_.LookupMutable(latch)) {
-          const std::uint64_t lanes = rec->body.lanes();
-          rec->speculative_range = static_cast<std::uint32_t>(
-              RoundUpLanes(cd.covered + cd.extra_iterations, lanes));
-          dsa_cache_.Reseal(latch);
+      if (r.pc < cd.start_pc || r.pc > latch) {
+        // The loop exited; a sentinel record learns the real range for the
+        // next execution (Section 4.6.5's three predicting possibilities).
+        if (cd.sentinel_watch) {
+          if (LoopRecord* rec = dsa_cache_.LookupMutable(latch)) {
+            const std::uint64_t lanes = rec->body.lanes();
+            rec->speculative_range = static_cast<std::uint32_t>(
+                RoundUpLanes(cd.covered + cd.extra_iterations, lanes));
+            dsa_cache_.Reseal(latch);
+          }
         }
+        it = cooldowns_.erase(it);
+        erased = true;
+      } else {
+        ++it;
       }
-      it = cooldowns_.erase(it);
-      erased = true;
-    } else {
-      ++it;
     }
+    if (erased) RecomputeCooldownBounds();
   }
-  if (erased) RecomputeCooldownBounds();
 
   // --- feed active trackers -------------------------------------------------
   {
@@ -511,6 +574,7 @@ void DsaEngine::RecordRollback(const TakeoverPlan& plan, cpu::Cpu& cpu) {
   }
   if (strikes >= cfg_.blacklist_strikes && blacklist_.count(latch) == 0) {
     blacklist_.insert(latch);
+    ++obs_epoch_;  // blacklist feeds FillObserveClasses
     ++stats_.blacklisted_loops;
     if (tracer_) {
       tracer_->Emit(trace::EventKind::kLoopBlacklisted, latch, strikes);

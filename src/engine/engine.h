@@ -134,6 +134,17 @@ class DsaEngine {
   }
   void ObserveSkipped(std::uint64_t n) { stats_.observed_instructions += n; }
 
+  // Lowering-time observation relevance (docs/DISPATCH.md): writes one
+  // ObsClass per pc into the CPU's threaded stream, proving per pc how an
+  // idle engine would react to a retire there — inert (pure
+  // observed_instructions credit), exit-and-observe, or
+  // execute-inline-and-observe-only-when-taken. Valid while idle() and
+  // until observe_epoch() changes; the epoch bumps on every mutation the
+  // classification reads (cooldown set/erase via RecomputeCooldownBounds,
+  // blacklist insert), so callers re-fill lazily on epoch mismatch.
+  void FillObserveClasses(cpu::Cpu& cpu) const;
+  [[nodiscard]] std::uint64_t observe_epoch() const { return obs_epoch_; }
+
  private:
   struct Cooldown {
     std::uint32_t start_pc = 0;
@@ -180,6 +191,11 @@ class DsaEngine {
   // cooldowns_ mutation.
   std::uint32_t cd_skip_lo_ = 1;
   std::uint32_t cd_skip_hi_ = 0;
+  // Bumped whenever cooldowns_ or blacklist_ change — the two inputs of
+  // FillObserveClasses — so sim::Run re-fills the CPU's observation
+  // classes exactly when they could have gone stale. Starts at 1 so a
+  // caller caching 0 always fills on first use.
+  std::uint64_t obs_epoch_ = 1;
   std::vector<std::uint32_t> done_scratch_;  // reused across Observe calls
 };
 

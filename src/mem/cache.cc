@@ -22,10 +22,18 @@ Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
   ways_.resize(static_cast<std::size_t>(num_sets_) * cfg.ways);
   while ((1u << line_shift_) < cfg.line_bytes) ++line_shift_;
   while ((1u << set_shift_) < num_sets_) ++set_shift_;
-  buf_line_.fill(kNoLine);
+  res_.resize(kResidencyEntries);
 }
 
 bool Cache::AccessWalk(std::uint32_t addr) {
+  if (!time_walks_) return AccessWalkImpl(addr);
+  const std::uint64_t t0 = HostTsc();
+  const bool hit = AccessWalkImpl(addr);
+  walk_tsc_ += HostTsc() - t0;
+  return hit;
+}
+
+bool Cache::AccessWalkImpl(std::uint32_t addr) {
   ++tick_;
   const std::uint32_t set = SetIndex(addr);
   const std::uint32_t tag = Tag(addr);
@@ -39,8 +47,7 @@ bool Cache::AccessWalk(std::uint32_t addr) {
       way.last_use = tick_;
       ++stats_.hits;
       const std::uint64_t line = addr >> line_shift_;
-      buf_line_[line & (kLineBuf - 1)] = line;
-      buf_way_[line & (kLineBuf - 1)] = &way;
+      res_[line & (kResidencyEntries - 1)] = {line, &way};
       return true;
     }
     if (!way.valid) {
@@ -50,18 +57,22 @@ bool Cache::AccessWalk(std::uint32_t addr) {
       victim = &way;
     }
   }
-  // The fill evicts whatever line the victim way held: drop any buffer slot
-  // still pointing at it before the slot could serve a stale hit.
-  for (std::size_t s = 0; s < kLineBuf; ++s) {
-    if (buf_way_[s] == victim) buf_line_[s] = kNoLine;
+  // The fill evicts whatever line the victim way held: drop the residency
+  // entry still pointing at it before it could serve a stale hit. The old
+  // line reconstructs from the victim's tag+set, and at most one entry can
+  // map it (a way holds one line at a time), so this is O(1) — no scan.
+  if (victim->valid) {
+    const std::uint64_t old_line =
+        (static_cast<std::uint64_t>(victim->tag) << set_shift_) | set;
+    Resident& old = res_[old_line & (kResidencyEntries - 1)];
+    if (old.line == old_line) old.line = kNoLine;
   }
   victim->valid = true;
   victim->tag = tag;
   victim->last_use = tick_;
   ++stats_.misses;
   const std::uint64_t line = addr >> line_shift_;
-  buf_line_[line & (kLineBuf - 1)] = line;
-  buf_way_[line & (kLineBuf - 1)] = victim;
+  res_[line & (kResidencyEntries - 1)] = {line, victim};
   return false;
 }
 
@@ -88,7 +99,7 @@ int Cache::WayOf(std::uint32_t addr) const {
 void Cache::Flush() {
   for (Way& w : ways_) w = Way{};
   tick_ = 0;
-  buf_line_.fill(kNoLine);
+  for (Resident& r : res_) r = Resident{};
 }
 
 std::uint32_t Hierarchy::AccessMiss(std::uint32_t addr) {

@@ -4,12 +4,26 @@
 // lines would be resident and charges hit/miss latencies.
 #pragma once
 
-#include <array>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
 namespace dsa::mem {
+
+// Host-side cycle stamp for the phase stopwatch (docs/PERF.md): raw rdtsc
+// on x86 (a couple of ns, monotonic enough for deltas), steady_clock ticks
+// elsewhere. Units are arbitrary — the sim layer converts accumulated
+// deltas to milliseconds by calibrating one tsc span against the run's
+// wall clock, so no frequency query is needed.
+inline std::uint64_t HostTsc() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_ia32_rdtsc();
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
 
 struct CacheConfig {
   std::uint32_t size_bytes = 64 * 1024;
@@ -30,30 +44,55 @@ struct CacheStats {
 
 class Cache {
  public:
+  struct Way {
+    std::uint32_t tag = 0;
+    bool valid = false;
+    std::uint64_t last_use = 0;  // for true LRU
+  };
+
   explicit Cache(const CacheConfig& cfg);
 
   // Touches the line containing addr. Returns true on hit. On miss the line
   // is filled, evicting the first invalid way of its set, else the LRU way.
   //
-  // A repeated access to a recently used line takes the inline line-buffer
-  // shortcut instead of the set-associative walk; the side effects (tick
-  // advance, LRU stamp, hit count) are identical, so stats and residency
-  // cannot diverge. The buffer is direct-mapped on the low line bits so
-  // alternating streams (load A[i] / store B[i]) keep hitting it.
+  // A repeated access to a resident line takes the inline way-predicted
+  // shortcut through the residency map instead of the set-associative
+  // walk; the side effects (tick advance, LRU stamp, hit count) are
+  // identical, so stats and residency cannot diverge.
   // set_reference_path(true) disables the shortcut.
   bool Access(std::uint32_t addr) {
     if (fast_path_) {
       const std::uint64_t line = addr >> line_shift_;
-      const std::size_t slot = line & (kLineBuf - 1);
-      if (buf_line_[slot] == line) {
+      const Resident& r = res_[line & (kResidencyEntries - 1)];
+      if (r.line == line) {
         ++tick_;
-        buf_way_[slot]->last_use = tick_;
+        r.way->last_use = tick_;
         ++stats_.hits;
         return true;
       }
     }
     return AccessWalk(addr);
   }
+
+  // Way-predicted run interface (the threaded core's batched memory fast
+  // path, docs/PERF.md). ResidentWay is a pure residency probe — no stats,
+  // no LRU stamp — returning the way holding `line` (addr >> line_shift())
+  // when the residency map knows it, else nullptr (which also covers the
+  // reference path, where runs must never form). CreditRun applies `n`
+  // batched same-line hits with exactly the state transition of n
+  // consecutive Access() hits; the caller guarantees no other access to
+  // this cache happened since the run opened.
+  [[nodiscard]] Way* ResidentWay(std::uint64_t line) {
+    if (!fast_path_) return nullptr;
+    const Resident& r = res_[line & (kResidencyEntries - 1)];
+    return r.line == line ? r.way : nullptr;
+  }
+  void CreditRun(Way* way, std::uint64_t n) {
+    tick_ += n;
+    way->last_use = tick_;
+    stats_.hits += n;
+  }
+  [[nodiscard]] std::uint32_t line_shift() const { return line_shift_; }
 
   // True if the line containing addr is currently resident (no LRU update).
   [[nodiscard]] bool Probe(std::uint32_t addr) const;
@@ -67,18 +106,18 @@ class Cache {
   // Forces the pre-optimization full set walk on every access.
   void set_reference_path(bool ref) { fast_path_ = !ref; }
 
+  // Host attribution of set-walk time (the `mem` phase of host.phases):
+  // off by default so reference runs and tests pay nothing.
+  void set_time_walks(bool on) { time_walks_ = on; }
+  [[nodiscard]] std::uint64_t walk_tsc() const { return walk_tsc_; }
+
   [[nodiscard]] const CacheConfig& config() const { return cfg_; }
   [[nodiscard]] const CacheStats& stats() const { return stats_; }
   [[nodiscard]] std::uint32_t num_sets() const { return num_sets_; }
 
  private:
-  struct Way {
-    std::uint32_t tag = 0;
-    bool valid = false;
-    std::uint64_t last_use = 0;  // for true LRU
-  };
-
   bool AccessWalk(std::uint32_t addr);
+  bool AccessWalkImpl(std::uint32_t addr);
 
   // line_bytes and num_sets_ are validated powers of two, so index/tag
   // extraction is shift/mask work instead of two divisions.
@@ -96,15 +135,23 @@ class Cache {
   std::vector<Way> ways_;  // num_sets_ * cfg_.ways, row-major by set
   CacheStats stats_;
   std::uint64_t tick_ = 0;
-  // Line-buffer shortcut state: buf_line_[slot] == line implies buf_way_
-  // holds that resident line (ways_ never reallocates, so the pointer stays
-  // valid until the line is evicted, which invalidates the slot). Empty
-  // slots hold kNoLine, which no 32-bit address can shift into.
-  static constexpr std::size_t kLineBuf = 8;
+  // Residency map: a direct-mapped line -> way table in front of the set
+  // walk. res_[line & mask].line == line implies that way holds the line
+  // (ways_ never reallocates, so the pointer stays valid until the line is
+  // evicted, which invalidates the entry in O(1): a way holds one line at
+  // a time, so at most one map entry ever points at it). Sized to cover a
+  // 512 kB footprint at 64 B lines so streaming kernels rarely collide;
+  // empty entries hold kNoLine, which no 32-bit address can shift into.
+  struct Resident {
+    std::uint64_t line = kNoLine;
+    Way* way = nullptr;
+  };
+  static constexpr std::size_t kResidencyEntries = 8192;  // power of two
   static constexpr std::uint64_t kNoLine = ~std::uint64_t{0};
-  std::array<std::uint64_t, kLineBuf> buf_line_;
-  std::array<Way*, kLineBuf> buf_way_{};
+  std::vector<Resident> res_;
   bool fast_path_ = true;
+  bool time_walks_ = false;
+  std::uint64_t walk_tsc_ = 0;
 };
 
 // Two-level hierarchy: L1 -> L2 -> DRAM. Access() returns the latency in
@@ -150,6 +197,25 @@ class Hierarchy {
     fast_path_ = !ref;
     l1_.set_reference_path(ref);
     l2_.set_reference_path(ref);
+  }
+
+  // L1 geometry + the run interface for the threaded core's batched
+  // memory fast path (cpu.h). Everything the core may do to the cache is
+  // expressed through Cache's own invariant-preserving API.
+  [[nodiscard]] Cache& l1_runs() { return l1_; }
+  [[nodiscard]] std::uint32_t l1_line_mask() const { return line_mask_; }
+  [[nodiscard]] std::uint32_t l1_hit_latency() const {
+    return cfg_.l1.hit_latency;
+  }
+
+  // Phase stopwatch: accumulated host-tsc spent inside set walks at either
+  // level (the `mem` bucket of host.phases; sim/system.cc).
+  void set_time_walks(bool on) {
+    l1_.set_time_walks(on);
+    l2_.set_time_walks(on);
+  }
+  [[nodiscard]] std::uint64_t walk_tsc() const {
+    return l1_.walk_tsc() + l2_.walk_tsc();
   }
 
   [[nodiscard]] const Cache& l1() const { return l1_; }

@@ -380,7 +380,7 @@ bool WriteBenchJson(const std::string& path, const std::string& bench_name,
   }
 
   w.Open(nullptr, '{');
-  w.Str("schema", "dsa-bench-json/5");
+  w.Str("schema", "dsa-bench-json/6");
   w.Str("bench", bench_name);
   w.U64("jobs", static_cast<std::uint64_t>(runner.options().jobs));
   w.U64("repeats", static_cast<std::uint64_t>(runner.options().repeats));
@@ -474,12 +474,19 @@ bool WriteBenchJson(const std::string& path, const std::string& bench_name,
     w.U64("runs", static_cast<std::uint64_t>(out.runs.size()));
 
     // Host simulation throughput of the canonical run (schema /2;
-    // `dispatch` — the interpreter core that actually ran — added in /5).
+    // `dispatch` — the interpreter core that actually ran — added in /5;
+    // `phases` — where the host milliseconds went — added in /6).
     w.Open("host", '{');
     w.Dbl("mips", r.host_mips());
     w.Dbl("wall_ms", r.host_wall_ms);
     w.U64("steps", r.host_steps);
     w.Str("dispatch", std::string(cpu::ToString(r.host_dispatch)));
+    w.Open("phases", '{');
+    w.Dbl("dispatch_ms", r.host_phases.dispatch_ms);
+    w.Dbl("observe_ms", r.host_phases.observe_ms);
+    w.Dbl("mem_ms", r.host_phases.mem_ms);
+    w.Dbl("neon_ms", r.host_phases.neon_ms);
+    w.Close('}');
     w.Close('}');
 
     // Streaming throughput and generator provenance (schema /5), present

@@ -143,6 +143,17 @@ CoveredDelta RunCovered(cpu::Cpu& cpu, const TakeoverPlan& plan) {
   return d;
 }
 
+// Phase stopwatch (RunResult::HostPhases): charges the tsc span [t0, now)
+// minus the cache-walk tsc accrued inside it — the walks are owned by the
+// mem bucket — to `bucket`. Clamped defensively: a core migration can skew
+// rdtsc, and a negative span must not wrap the unsigned accumulator.
+void ChargePhase(std::uint64_t& bucket, std::uint64_t t0, std::uint64_t walk0,
+                 const mem::Hierarchy& hierarchy) {
+  const std::uint64_t span = mem::HostTsc() - t0;
+  const std::uint64_t walks = hierarchy.walk_tsc() - walk0;
+  if (span > walks) bucket += span - walks;
+}
+
 [[noreturn]] void ThrowStepLimit(const Workload& wl, const cpu::Cpu& cpu,
                                  std::uint64_t steps) {
   throw DsaError(DsaErrorCode::kStepLimit,
@@ -201,6 +212,10 @@ RunResult Run(const Workload& wl, RunMode mode, const SystemConfig& cfg) {
   if (wl.init) wl.init(memory);
   mem::Hierarchy hierarchy(cfg.memory);
   hierarchy.set_reference_path(cfg.reference_path);
+  // Time the cache set walks for host.phases attribution. Off on the
+  // reference path: its per-access walks would pay one tsc read each,
+  // and reference runs report their whole loop under dispatch anyway.
+  hierarchy.set_time_walks(!cfg.reference_path);
   cpu::Cpu cpu(*program, memory, hierarchy, cfg.timing, cfg.reference_path,
                cfg.dispatch);
 
@@ -238,7 +253,15 @@ RunResult Run(const Workload& wl, RunMode mode, const SystemConfig& cfg) {
   }
 
   std::uint64_t steps = 0;
+  // Host phase buckets (RunResult::HostPhases), in raw tsc ticks; converted
+  // to ms at the end against the run's own tsc/wall ratio. The spans are
+  // disjoint and the walk tsc they contain is subtracted out, so the four
+  // buckets can never sum past the wall time.
+  std::uint64_t tsc_dispatch = 0;
+  std::uint64_t tsc_observe = 0;
+  std::uint64_t tsc_neon = 0;
   const auto host_t0 = std::chrono::steady_clock::now();
+  const std::uint64_t host_tsc0 = mem::HostTsc();
   try {
     // Fast loops: without a per-retire consumer the interpreter batches
     // instructions inside the Cpu (no Retired materialization, no per-step
@@ -247,30 +270,61 @@ RunResult Run(const Workload& wl, RunMode mode, const SystemConfig& cfg) {
     // (tests/test_reference_path.cc and the differential oracle).
     const bool per_step = cfg.reference_path || tracer.has_value();
     if (!per_step && !engine.has_value()) {
+      const std::uint64_t w0 = hierarchy.walk_tsc();
+      const std::uint64_t t0 = mem::HostTsc();
       cpu.RunFree(cfg.max_steps, steps);
+      ChargePhase(tsc_dispatch, t0, w0, hierarchy);
       if (steps > cfg.max_steps) ThrowStepLimit(wl, cpu, steps);
     } else if (!per_step) {
       // DSA fast loop: while the engine is idle, run unobserved up to the
       // next retire its filter cares about; per-step only while a tracker
       // is analyzing a loop body.
+      //
+      // On the threaded core the engine's observation-relevance classes —
+      // re-filled lazily whenever its epoch moves — replace the coarse
+      // pc-window watch entirely (watch=false): the per-slot classes are
+      // strictly finer, and the window would force an exit at every cooled
+      // latch the classes prove inert. The switch core has no slot stream
+      // to hold classes, so it keeps the window filter.
+      const bool threaded_fast =
+          cpu.dispatch() == cpu::DispatchMode::kThreaded;
+      std::uint64_t obs_epoch = 0;  // engine epochs start at 1: always fill
       while (!cpu.halted()) {
         cpu::Retired r;
         if (engine->idle()) {
+          if (threaded_fast && engine->observe_epoch() != obs_epoch) {
+            const std::uint64_t t0 = mem::HostTsc();
+            engine->FillObserveClasses(cpu);
+            obs_epoch = engine->observe_epoch();
+            tsc_observe += mem::HostTsc() - t0;
+          }
           std::uint64_t skipped = 0;
-          r = cpu.RunToInteresting(engine->has_cooldowns(),
+          const std::uint64_t w0 = hierarchy.walk_tsc();
+          const std::uint64_t t0 = mem::HostTsc();
+          r = cpu.RunToInteresting(!threaded_fast && engine->has_cooldowns(),
                                    engine->cooldown_window_lo(),
                                    engine->cooldown_window_hi(), cfg.max_steps,
                                    steps, skipped);
+          ChargePhase(tsc_dispatch, t0, w0, hierarchy);
           if (skipped != 0) engine->ObserveSkipped(skipped);
           if (steps > cfg.max_steps) ThrowStepLimit(wl, cpu, steps);
           if (r.instr == nullptr) break;  // halted before anything interesting
         } else {
           if (++steps > cfg.max_steps) ThrowStepLimit(wl, cpu, steps);
+          const std::uint64_t w0 = hierarchy.walk_tsc();
+          const std::uint64_t t0 = mem::HostTsc();
           r = cpu.Step();
+          // Tracker-window retires: the per-step structure exists to feed
+          // the trackers, so the whole span is observation time.
+          ChargePhase(tsc_observe, t0, w0, hierarchy);
           if (r.instr == nullptr) break;
         }
+        const std::uint64_t obs_t0 = mem::HostTsc();
         std::optional<TakeoverPlan> plan = engine->Observe(r, cpu.state());
+        tsc_observe += mem::HostTsc() - obs_t0;
         if (plan.has_value()) {
+          const std::uint64_t w0 = hierarchy.walk_tsc();
+          const std::uint64_t t0 = mem::HostTsc();
           if (guard.has_value()) guard->Arm(*plan, cpu);
           const cpu::Cpu::CoveredOutcome d = cpu.RunCovered(
               plan->coverage_start, plan->coverage_latch,
@@ -287,11 +341,17 @@ RunResult Run(const Workload& wl, RunMode mode, const SystemConfig& cfg) {
                                    d.glue_instrs);
             if (d.fused_glue_store) engine->DemoteFusion(plan->coverage_latch);
           }
+          ChargePhase(tsc_neon, t0, w0, hierarchy);
         }
       }
     } else {
       // Reference / traced per-step loop: one Step() and one observation per
-      // retired instruction, exactly the pre-optimization structure.
+      // retired instruction, exactly the pre-optimization structure. Phase
+      // attribution stays coarse here — the whole loop is one dispatch span
+      // (minus timed walks on traced runs) — because wrapping every Step()
+      // of the slow twin in tsc reads would only distort the comparison.
+      const std::uint64_t loop_w0 = hierarchy.walk_tsc();
+      const std::uint64_t loop_t0 = mem::HostTsc();
       while (!cpu.halted()) {
         if (++steps > cfg.max_steps) ThrowStepLimit(wl, cpu, steps);
         const cpu::Retired r = cpu.Step();
@@ -337,6 +397,7 @@ RunResult Run(const Workload& wl, RunMode mode, const SystemConfig& cfg) {
           }
         }
       }
+      ChargePhase(tsc_dispatch, loop_t0, loop_w0, hierarchy);
     }
 
   } catch (const DsaError&) {
@@ -356,6 +417,19 @@ RunResult Run(const Workload& wl, RunMode mode, const SystemConfig& cfg) {
   res.host_wall_ms = std::chrono::duration<double, std::milli>(
                          std::chrono::steady_clock::now() - host_t0)
                          .count();
+  // tsc -> ms against this run's own ratio, so frequency scaling (or the
+  // steady_clock fallback of HostTsc) cancels out of the attribution.
+  const std::uint64_t host_tsc_span = mem::HostTsc() - host_tsc0;
+  if (host_tsc_span > 0) {
+    const double ms_per_tick =
+        res.host_wall_ms / static_cast<double>(host_tsc_span);
+    res.host_phases.dispatch_ms =
+        static_cast<double>(tsc_dispatch) * ms_per_tick;
+    res.host_phases.observe_ms = static_cast<double>(tsc_observe) * ms_per_tick;
+    res.host_phases.neon_ms = static_cast<double>(tsc_neon) * ms_per_tick;
+    res.host_phases.mem_ms =
+        static_cast<double>(hierarchy.walk_tsc()) * ms_per_tick;
+  }
   res.host_steps = cpu.host_steps();
   // Report what actually ran: reference and traced runs execute the
   // per-step switch core regardless of the configured dispatch mode.

@@ -69,6 +69,24 @@ struct RunResult {
   // Millions of simulated instructions per host second.
   [[nodiscard]] double host_mips() const;
 
+  // Host-side phase attribution of the run loop (the `host.phases` block
+  // of dsa-bench-json/6): where the host milliseconds went. dispatch =
+  // batched interpreter loops; observe = engine observation (Observe
+  // calls, relevance-class fills, per-step spans while a tracker is in
+  // flight); mem = cache set walks at either level; neon = covered
+  // takeover execution + timing replacement. Buckets are disjoint tsc
+  // spans of the run, so their sum never exceeds host_wall_ms. Per-step
+  // runs (reference/traced) attribute the whole loop to dispatch (mem
+  // stays 0 on the reference path, whose walks are untimed). Host
+  // metadata: never compared by the oracle, absent from FormatReport.
+  struct HostPhases {
+    double dispatch_ms = 0.0;
+    double observe_ms = 0.0;
+    double mem_ms = 0.0;
+    double neon_ms = 0.0;
+  };
+  HostPhases host_phases;
+
   // Copied from the workload: payload bytes of a streaming kernel (0 for
   // non-streaming workloads) and generator provenance. Deterministic
   // metadata, surfaced as the `stream`/`gen` blocks of the bench JSON.

@@ -1,0 +1,72 @@
+// DispatchMicro: a long pure-ALU counted loop (two accumulators, a
+// decrement, a compare, a backward branch — no loads or stores until the
+// final result spill). Nothing here vectorizes, misses the cache or
+// mispredicts in steady state, so host wall time is interpreter dispatch
+// plus engine observation and almost nothing else. That makes it the
+// measurement substrate for the load-immune fast-vs-reference perf gate
+// (bench_throughput --interleave, scripts/check.sh): the ratio moves only
+// when the hot dispatch/observation paths regress, not when the host is
+// busy. The per-cell iteration count is far above every other workload so
+// the pair ratios are stable at small --interleave counts.
+#include <vector>
+
+#include "prog/assembler.h"
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace dsa::workloads {
+
+using isa::Cond;
+using isa::Opcode;
+using prog::Assembler;
+
+namespace {
+
+constexpr std::uint32_t kOut = 0x10000;
+
+prog::Program BuildLoop(int n) {
+  Assembler as;
+  as.Movi(0, kOut);
+  as.Movi(3, n);  // iteration counter
+  as.Movi(5, 1);  // accumulator a
+  as.Movi(6, 2);  // accumulator b
+  const auto loop = as.NewLabel();
+  as.Bind(loop);
+  as.Alu(Opcode::kAdd, 5, 5, 6);
+  as.AluImm(Opcode::kAddi, 6, 6, 1);
+  as.AluImm(Opcode::kSubi, 3, 3, 1);
+  as.Cmpi(3, 0);
+  as.B(Cond::kGt, loop);
+  as.Str(5, 0, 4);  // spill both accumulators for the output digest
+  as.Str(6, 0, 4);
+  as.Halt();
+  return as.Finish();
+}
+
+}  // namespace
+
+sim::Workload MakeDispatchMicro(int n) {
+  sim::Workload wl;
+  wl.name = "DispatchMicro";
+  wl.mem_bytes = 1 << 17;
+  // The same scalar binary in every mode: the explicit-SIMD variants have
+  // nothing to vectorize, and the point is comparing host execution of one
+  // instruction stream across simulator paths.
+  wl.scalar = BuildLoop(n);
+  wl.autovec = wl.scalar;
+  wl.handvec = wl.scalar;
+  wl.loop_type_fractions = {{"count", 1.0}};
+
+  std::uint32_t a = 1;
+  std::uint32_t b = 2;
+  for (int i = 0; i < n; ++i) {
+    a += b;
+    b += 1;
+  }
+  const std::vector<std::uint32_t> out = {a, b};
+  wl.init = [](mem::Memory& m) { m.Write32(kOut, 0); };
+  AddGoldenOutput(wl, kOut, out);
+  return wl;
+}
+
+}  // namespace dsa::workloads

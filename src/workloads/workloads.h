@@ -48,6 +48,12 @@ namespace dsa::workloads {
 // dependency with distance `dist` (Fig. 14).
 [[nodiscard]] sim::Workload MakeShiftAdd(int n = 4096, int dist = 8);
 
+// Pure-ALU counted loop with no steady-state memory traffic: the
+// dispatch-bound measurement substrate of the interleaved fast-vs-
+// reference perf gate (bench_throughput --interleave, scripts/check.sh).
+// Same scalar binary in every mode; nothing vectorizes.
+[[nodiscard]] sim::Workload MakeDispatchMicro(int n = 300000);
+
 // The benchmark sets used by each article's evaluation.
 [[nodiscard]] std::vector<sim::Workload> Article1Set();  // Fig. 12
 [[nodiscard]] std::vector<sim::Workload> Article2Set();  // Fig. 16

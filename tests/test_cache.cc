@@ -88,6 +88,87 @@ TEST(Cache, FillsInvalidWaysInOrderBeforeEvicting) {
   EXPECT_EQ(c.WayOf(0x000), -1);  // evicted
 }
 
+TEST(Cache, FastPathMatchesReferenceWalkOnRandomStream) {
+  // The way-predicted fast path must be invisible in every observable:
+  // same hit/miss verdict per access, same stats, same final way layout as
+  // the pre-optimization full set walk. The address stream churns a
+  // footprint several times the cache so evictions (and therefore
+  // residency-map invalidations) happen constantly.
+  Cache fast(TinyCache());
+  Cache ref(TinyCache());
+  ref.set_reference_path(true);
+  std::uint32_t s = 0x12345678u;
+  for (int i = 0; i < 20000; ++i) {
+    s ^= s << 13;
+    s ^= s >> 17;
+    s ^= s << 5;
+    const std::uint32_t addr = s % 1024;
+    EXPECT_EQ(fast.Access(addr), ref.Access(addr)) << "access " << i;
+  }
+  EXPECT_EQ(fast.stats().hits, ref.stats().hits);
+  EXPECT_EQ(fast.stats().misses, ref.stats().misses);
+  for (std::uint32_t a = 0; a < 1024; a += 16) {
+    EXPECT_EQ(fast.WayOf(a), ref.WayOf(a)) << "addr " << a;
+  }
+}
+
+TEST(Cache, EvictionInvalidatesResidencyMapping) {
+  Cache c(TinyCache());  // 4 sets x 2 ways; set-0 lines are 0x40 apart
+  c.Access(0x000);
+  EXPECT_NE(c.ResidentWay(0x000u >> c.line_shift()), nullptr);
+  c.Access(0x040);
+  c.Access(0x080);  // set 0 overflows: 0x000 is the LRU victim
+  EXPECT_EQ(c.ResidentWay(0x000u >> c.line_shift()), nullptr);
+  EXPECT_FALSE(c.Probe(0x000));
+  // A stale mapping would short-circuit this into a phantom hit.
+  const std::uint64_t misses = c.stats().misses;
+  EXPECT_FALSE(c.Access(0x000));
+  EXPECT_EQ(c.stats().misses, misses + 1);
+}
+
+TEST(Cache, CreditRunMatchesRepeatedAccessHits) {
+  // One CreditRun(way, n) must leave stats, LRU order and future victim
+  // choice exactly where n consecutive Access() hits would.
+  Cache a(TinyCache());
+  Cache b(TinyCache());
+  a.Access(0x040);
+  b.Access(0x040);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(a.Access(0x040));
+  Cache::Way* w = b.ResidentWay(0x040u >> b.line_shift());
+  ASSERT_NE(w, nullptr);
+  b.CreditRun(w, 5);
+  a.Access(0x000);
+  b.Access(0x000);
+  a.Access(0x080);  // evicts the LRU of set 0 — must agree on the victim
+  b.Access(0x080);
+  EXPECT_EQ(a.stats().hits, b.stats().hits);
+  EXPECT_EQ(a.stats().misses, b.stats().misses);
+  for (const std::uint32_t addr : {0x000u, 0x040u, 0x080u}) {
+    EXPECT_EQ(a.WayOf(addr), b.WayOf(addr)) << "addr " << addr;
+  }
+}
+
+TEST(Cache, ReferencePathNeverOpensRuns) {
+  Cache c(TinyCache());
+  c.set_reference_path(true);
+  c.Access(0x040);
+  EXPECT_EQ(c.ResidentWay(0x040u >> c.line_shift()), nullptr);
+}
+
+TEST(Cache, ResidencySlotCollisionFallsBackToWalk) {
+  // Two lines 8192 lines apart share a residency slot (the map is 8192
+  // entries, direct-mapped). The loser of the slot must still hit through
+  // the set walk — a collision costs speed, never correctness.
+  Cache c(TinyCache());
+  const std::uint32_t a = 0x000;
+  const std::uint32_t b = a + (8192u << 4);  // same slot, same set, 2 ways
+  c.Access(a);
+  c.Access(b);
+  EXPECT_TRUE(c.Access(a));
+  EXPECT_EQ(c.stats().hits, 1u);
+  EXPECT_EQ(c.stats().misses, 2u);
+}
+
 TEST(Cache, BadConfigThrows) {
   EXPECT_THROW(Cache(CacheConfig{100, 24, 2, 1}), std::invalid_argument);
   EXPECT_THROW(Cache(CacheConfig{128, 16, 0, 1}), std::invalid_argument);

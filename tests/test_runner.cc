@@ -163,10 +163,12 @@ TEST(BatchRunner, WritesWellFormedJson) {
   EXPECT_EQ(brackets, 0);
   EXPECT_FALSE(in_string);
   for (const char* needle :
-       {"\"schema\": \"dsa-bench-json/5\"", "\"bench\": \"runner_test\"",
+       {"\"schema\": \"dsa-bench-json/6\"", "\"bench\": \"runner_test\"",
         "\"oracle\"", "\"ok\": true", "\"results\"", "\"cycles\"",
         "\"speedup_vs_scalar\"", "\"energy\"", "\"output_digest\"",
         "\"host\"", "\"mips\"", "\"dsa\"", "\"takeovers\"",
+        "\"phases\"", "\"dispatch_ms\"", "\"observe_ms\"", "\"mem_ms\"",
+        "\"neon_ms\"",
         "\"cell_status\": \"ok\"", "\"faulted_cells\": 0",
         "\"restored_cells\": 0", "\"cancelled_cells\": 0",
         "\"run_status\": \"complete\"", "\"rollbacks\""}) {
