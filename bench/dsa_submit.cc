@@ -1,0 +1,75 @@
+// dsa_submit — client for the dsa_serve daemon (docs/SERVING.md).
+// Submits one sweep (or ping) and maps the typed response onto exit
+// codes scripts can branch on: 0 all cells ok, 1 cell failures or an
+// interrupted sweep, 2 usage, 4 admission refused, 5 transport failure.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "serve/client.h"
+#include "serve/flags.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: dsa_submit --socket PATH [options]\n"
+               "  --socket PATH       daemon socket (required)\n"
+               "  --filter SUBSTR     only cells whose JobKey contains "
+               "SUBSTR (case-insensitive)\n"
+               "  --client NAME       admission-quota identity (default "
+               "dsa_submit)\n"
+               "  --deadline-ms N     give up on the request after N ms\n"
+               "  --json PATH         dump the raw response JSON to PATH\n"
+               "  --ping              liveness probe (no cells)\n"
+               "  --quiet             suppress the failed-cell listing\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dsa::serve::ClientOptions opts;
+  const auto value = [&](int& i, const std::string& flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+      Usage();
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket") {
+      opts.socket_path = value(i, arg);
+    } else if (arg == "--filter") {
+      opts.filter = value(i, arg);
+    } else if (arg == "--client") {
+      opts.client_name = value(i, arg);
+    } else if (arg == "--deadline-ms") {
+      std::string err;
+      if (!dsa::serve::ParseU64Text(value(i, arg), opts.deadline_ms, &err)) {
+        std::fprintf(stderr, "--deadline-ms %s\n", err.c_str());
+        return 2;
+      }
+    } else if (arg == "--json") {
+      opts.json_path = value(i, arg);
+    } else if (arg == "--ping") {
+      opts.ping = true;
+    } else if (arg == "--quiet") {
+      opts.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      Usage();
+      return 2;
+    }
+  }
+  if (opts.socket_path.empty()) {
+    Usage();
+    return 2;
+  }
+  return dsa::serve::Submit(opts);
+}

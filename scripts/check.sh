@@ -93,9 +93,12 @@ echo "== runner + resilience suites under TSan =="
 # concurrency-heavy surfaces; run their suites under ThreadSanitizer.
 cmake --preset tsan > /dev/null
 cmake --build build-tsan -j "$JOBS" --target test_runner test_resilience \
-    bench_stream
+    test_serve bench_stream
 TSAN_OPTIONS="halt_on_error=1" build-tsan/tests/test_runner
 TSAN_OPTIONS="halt_on_error=1" build-tsan/tests/test_resilience
+# The serving daemon's pool/dispatcher/cache locking under TSan (the
+# fork-isolate e2e case self-skips: multi-threaded fork is unsupported).
+TSAN_OPTIONS="halt_on_error=1" build-tsan/tests/test_serve
 
 echo "== generator sweep under TSan (64 seeds, --jobs 4) =="
 # The 64-seed differential sweep through the batch runner's thread pool:
@@ -129,6 +132,88 @@ echo "== perf smoke (fast vs reference, load-immune) =="
 # flaky under CI load. Digest+cycle equality is enforced on every pair.
 build/bench/bench_throughput --filter DispatchMicro \
     --interleave 3 --assert-ratio 3.0
+
+echo "== serving daemon smoke (kill -9, restart, cache bit-identity) =="
+# The daemon's whole crash-tolerance story, end to end (docs/SERVING.md):
+# a dsa_serve with a --kill-after drill SIGKILLs itself mid-sweep, a
+# restarted daemon over the same cache serves the completed cells from
+# disk and simulates only the rest, and the merged response is gated
+# bit-identical (cycles + output digests) against an uninterrupted
+# bench_matrix run of the same cells. A third submit must be fully cached.
+cmake --build build -j "$JOBS" --target bench_matrix dsa_serve dsa_submit
+SOCK=build/dsa_serve_check.sock
+CACHE=build/serve_cache_check
+rm -rf "$CACHE" "$SOCK"
+build/bench/bench_matrix --filter BitCount --jobs "$JOBS" --repeats 1 \
+    --json build/BENCH_serve_ref.json
+grep -q '"ok": true' build/BENCH_serve_ref.json
+
+wait_for_daemon() {
+  for _ in $(seq 1 100); do
+    if build/bench/dsa_submit --socket "$SOCK" --ping --quiet \
+        > /dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "dsa_serve never answered the ping" >&2
+  return 1
+}
+
+build/bench/dsa_serve --socket "$SOCK" --cache "$CACHE" --kill-after 2 &
+SERVE_PID=$!
+wait_for_daemon
+set +e
+build/bench/dsa_submit --socket "$SOCK" --filter BitCount --quiet
+RC=$?
+wait "$SERVE_PID"
+set -e
+# The daemon SIGKILLed itself mid-sweep: the client sees a torn
+# connection (exit 5), never a fabricated result.
+[[ "$RC" -eq 5 ]]
+
+build/bench/dsa_serve --socket "$SOCK" --cache "$CACHE" &
+SERVE_PID=$!
+wait_for_daemon
+build/bench/dsa_submit --socket "$SOCK" --filter BitCount \
+    --json build/SERVE_check.json --quiet
+python3 scripts/validate_serve.py build/SERVE_check.json \
+    --ref build/BENCH_serve_ref.json --min-cached 2
+build/bench/dsa_submit --socket "$SOCK" --filter BitCount \
+    --json build/SERVE_check2.json --quiet
+python3 scripts/validate_serve.py build/SERVE_check2.json \
+    --ref build/BENCH_serve_ref.json --all-cached
+# Graceful drain: SIGTERM finishes in-flight work and exits 3.
+set +e
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+RC=$?
+set -e
+[[ "$RC" -eq 3 ]]
+
+echo "== serving daemon crash drill (isolated cell, typed 'crashed') =="
+# One cell aborts inside its fork isolate; the daemon classifies it as
+# "crashed" while every sibling completes — failure poisons one cell,
+# never the sweep.
+build/bench/dsa_serve --socket "$SOCK" --isolate \
+    --crash-cell "BitCount@neon-dsa/orig" &
+SERVE_PID=$!
+wait_for_daemon
+set +e
+build/bench/dsa_submit --socket "$SOCK" --filter BitCount \
+    --json build/SERVE_crash_check.json --quiet
+RC=$?
+set -e
+[[ "$RC" -eq 1 ]]  # cells failed, sweep completed
+python3 scripts/validate_serve.py build/SERVE_crash_check.json \
+    --expect-crashed "BitCount@neon-dsa/orig"
+set +e
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+RC=$?
+set -e
+[[ "$RC" -eq 3 ]]
+rm -rf "$CACHE" "$SOCK"
 
 if [[ "$KEEP" -eq 0 ]]; then
   rm -rf "$BUILD"

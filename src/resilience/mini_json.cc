@@ -167,9 +167,12 @@ class Parser {
             else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
             else return false;
           }
-          // Our writers only \u-escape control characters (< 0x20); emit
-          // anything in Latin-1 range as one byte, larger as UTF-8.
-          if (code < 0x80) {
+          // Our writers (JsonEscape) \u00XX-escape control characters and
+          // any byte that is not part of a well-formed UTF-8 sequence.
+          // Decode everything below 0x100 back to the single original
+          // byte so escape -> parse is a byte-exact round trip even for
+          // binary strings; larger code points decode as UTF-8.
+          if (code < 0x100) {
             out.push_back(static_cast<char>(code));
           } else if (code < 0x800) {
             out.push_back(static_cast<char>(0xC0 | (code >> 6)));
@@ -301,19 +304,70 @@ std::string DumpJson(const JsonValue& v) {
   return out;
 }
 
+namespace {
+
+// Length (2..4) of the well-formed UTF-8 sequence starting at s[i], or 0
+// when the bytes do not form one. Strict per RFC 3629: no overlong
+// encodings, no surrogate code points, nothing above U+10FFFF — exactly
+// the sequences a JSON consumer must accept as text.
+std::size_t Utf8SequenceLength(std::string_view s, std::size_t i) {
+  const auto byte = [&](std::size_t k) -> unsigned {
+    return k < s.size() ? static_cast<unsigned char>(s[k]) : 0u;
+  };
+  const auto cont = [](unsigned c) { return c >= 0x80 && c <= 0xBF; };
+  const unsigned c0 = byte(i), c1 = byte(i + 1), c2 = byte(i + 2),
+                 c3 = byte(i + 3);
+  if (c0 >= 0xC2 && c0 <= 0xDF) return cont(c1) ? 2 : 0;
+  if (c0 == 0xE0) return (c1 >= 0xA0 && c1 <= 0xBF && cont(c2)) ? 3 : 0;
+  if (c0 >= 0xE1 && c0 <= 0xEC) return (cont(c1) && cont(c2)) ? 3 : 0;
+  if (c0 == 0xED) return (c1 >= 0x80 && c1 <= 0x9F && cont(c2)) ? 3 : 0;
+  if (c0 >= 0xEE && c0 <= 0xEF) return (cont(c1) && cont(c2)) ? 3 : 0;
+  if (c0 == 0xF0) {
+    return (c1 >= 0x90 && c1 <= 0xBF && cont(c2) && cont(c3)) ? 4 : 0;
+  }
+  if (c0 >= 0xF1 && c0 <= 0xF3) {
+    return (cont(c1) && cont(c2) && cont(c3)) ? 4 : 0;
+  }
+  if (c0 == 0xF4) {
+    return (c1 >= 0x80 && c1 <= 0x8F && cont(c2) && cont(c3)) ? 4 : 0;
+  }
+  return 0;  // 0x80-0xC1 and 0xF5-0xFF are never lead bytes
+}
+
+}  // namespace
+
 std::string JsonEscape(std::string_view s) {
   std::string out;
   out.reserve(s.size());
-  for (const char c : s) {
+  const auto escape_byte = [&out](unsigned char b) {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "\\u%04x", b);
+    out += buf;
+  };
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const unsigned char c = static_cast<unsigned char>(s[i]);
     if (c == '"' || c == '\\') {
       out.push_back('\\');
-      out.push_back(c);
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-      out += buf;
+      out.push_back(static_cast<char>(c));
+      ++i;
+    } else if (c < 0x20) {
+      escape_byte(c);
+      ++i;
+    } else if (c < 0x80) {
+      out.push_back(static_cast<char>(c));
+      ++i;
+    } else if (const std::size_t len = Utf8SequenceLength(s, i); len > 0) {
+      // A complete, well-formed UTF-8 sequence passes through verbatim.
+      out.append(s.substr(i, len));
+      i += len;
     } else {
-      out.push_back(c);
+      // Stray continuation byte, overlong form, surrogate, truncated
+      // tail: escape the byte as \u00XX so the emitted document is
+      // always valid JSON text, whatever bytes land in an error string
+      // (the parser decodes \u00XX back to the identical byte).
+      escape_byte(c);
+      ++i;
     }
   }
   return out;

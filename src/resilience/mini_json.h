@@ -59,6 +59,11 @@ class JsonValue {
 [[nodiscard]] std::string DumpJson(const JsonValue& v);
 
 // Escapes `s` as the contents of a JSON string literal (no quotes).
+// Arbitrary byte strings are safe: control characters and any byte that
+// is not part of a well-formed UTF-8 sequence are emitted as \u00XX, so
+// the output is always valid JSON text, and ParseJson decodes \u00XX
+// back to the identical byte (escape -> parse is byte-exact even for
+// binary input — the serving daemon's responses rely on this).
 [[nodiscard]] std::string JsonEscape(std::string_view s);
 
 }  // namespace dsa::resilience

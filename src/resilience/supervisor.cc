@@ -30,6 +30,8 @@ void InstallAbnormalExitFlush() {
   (void)std::at_quick_exit(&FlushAllJournals);
 }
 
+}  // namespace
+
 void InstallDrainHandler() {
 #if defined(__unix__) || defined(__APPLE__)
   static bool installed = false;
@@ -43,8 +45,6 @@ void InstallDrainHandler() {
   (void)::sigaction(SIGTERM, &sa, nullptr);
 #endif
 }
-
-}  // namespace
 
 Supervisor::Supervisor(SupervisorOptions opts)
     : opts_(std::move(opts)),
@@ -91,7 +91,13 @@ void Supervisor::Attach(sim::RunnerOptions& ro) {
                   : inner(wl, mode, cfg);
       breaker_.Record(wl.name, /*success=*/true);
       return r;
-    } catch (const sim::DsaError&) {
+    } catch (...) {
+      // Every failure reaches the breaker, not just sim::DsaError: an
+      // exception escaping the cell any other way (bad_alloc in-process,
+      // a test seam throwing std::runtime_error) used to skip Record —
+      // and when the failed cell was a half-open probe, that wedged
+      // probe_in_flight forever: the breaker never re-opened and every
+      // sibling was skipped with no path back to closed.
       breaker_.Record(wl.name, /*success=*/false);
       throw;
     }

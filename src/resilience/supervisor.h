@@ -23,6 +23,13 @@
 
 namespace dsa::resilience {
 
+// Installs the SIGINT/SIGTERM graceful-drain handler (idempotent): the
+// handler sets Supervisor::DrainFlag() and fsyncs every open journal,
+// both async-signal-safe. Supervisor::Attach calls this; it is exposed
+// for long-lived drivers that drain without a Supervisor (the serving
+// daemon, src/serve/daemon.cc).
+void InstallDrainHandler();
+
 struct SupervisorOptions {
   // Process isolation (--isolate): run each cell in a forked child.
   bool isolate = false;

@@ -1,0 +1,425 @@
+#include "serve/cache.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "mem/memory.h"
+#include "resilience/journal.h"
+#include "resilience/mini_json.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define DSA_HAVE_CACHE_FS 1
+#else
+#define DSA_HAVE_CACHE_FS 0
+#endif
+
+namespace dsa::serve {
+
+namespace {
+
+// FNV-1a, 64-bit: the repo's digest primitive (the output-digest oracle
+// uses the same construction), here accumulated field-by-field so the
+// hash is a pure function of declared content, never of padding.
+struct Fnv1a {
+  std::uint64_t h = 1469598103934665603ull;
+
+  void Bytes(const void* data, std::size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+  }
+  void U64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  }
+  void I64(std::int64_t v) { U64(static_cast<std::uint64_t>(v)); }
+  void F64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void Str(std::string_view s) {
+    U64(s.size());
+    Bytes(s.data(), s.size());
+  }
+};
+
+void HashProgram(Fnv1a& f, const prog::Program& p) {
+  f.U64(p.size());
+  for (const isa::Instruction& ins : p.code()) {
+    f.I64(static_cast<std::int64_t>(ins.op));
+    f.I64(static_cast<std::int64_t>(ins.cond));
+    f.I64(static_cast<std::int64_t>(ins.vt));
+    f.I64(ins.rd);
+    f.I64(ins.rn);
+    f.I64(ins.rm);
+    f.I64(ins.ra);
+    f.I64(ins.imm);
+    f.I64(ins.post_inc);
+  }
+}
+
+std::string Hex64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string Hex0x(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+bool ParseHexU64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 16);
+  if (errno != 0 || end == s.c_str() || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+std::string Slurp(const std::string& path, bool& ok) {
+  std::ifstream in(path, std::ios::binary);
+  ok = in.good();
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+std::uint64_t WorkloadDigest(const sim::Workload& wl) {
+  Fnv1a f;
+  f.Str(wl.name);
+  f.U64(wl.mem_bytes);
+  HashProgram(f, wl.scalar);
+  HashProgram(f, wl.autovec);
+  HashProgram(f, wl.handvec);
+  f.U64(wl.outputs.size());
+  for (const sim::OutputRegion& r : wl.outputs) {
+    f.U64(r.addr);
+    f.U64(r.bytes);
+  }
+  f.U64(wl.loop_type_fractions.size());
+  for (const auto& [type, fraction] : wl.loop_type_fractions) {
+    f.Str(type);
+    f.F64(fraction);
+  }
+  f.U64(wl.stream_bytes);
+  f.U64(wl.gen.has_value() ? 1 : 0);
+  if (wl.gen.has_value()) {
+    f.U64(wl.gen->seed);
+    f.Str(wl.gen->loop_class);
+    f.U64(wl.gen->count);
+  }
+  // The input data set: run the init hook against a fresh memory image
+  // and fold the whole image in, so two workloads that differ only in
+  // their data (a different seed, a different constant table) never
+  // share a cache entry.
+  mem::Memory m(wl.mem_bytes);
+  if (wl.init) wl.init(m);
+  f.Bytes(m.data(), m.size());
+  return f.h;
+}
+
+std::uint64_t ConfigDigest(const sim::SystemConfig& cfg) {
+  Fnv1a f;
+  // cpu::TimingConfig
+  f.U64(cfg.timing.superscalar_width);
+  f.U64(cfg.timing.branch_mispredict_penalty);
+  f.U64(cfg.timing.int_mul_extra);
+  f.U64(cfg.timing.int_div_extra);
+  f.U64(cfg.timing.fp_extra);
+  f.U64(cfg.timing.fp_div_extra);
+  f.U64(cfg.timing.neon.alu_latency);
+  f.U64(cfg.timing.neon.mul_latency);
+  f.U64(cfg.timing.neon.mem_latency);
+  f.U64(cfg.timing.neon.lane_move);
+  f.U64(cfg.timing.neon.pipeline_fill);
+  // mem::Hierarchy::Config
+  for (const auto& c : {cfg.memory.l1, cfg.memory.l2}) {
+    f.U64(c.size_bytes);
+    f.U64(c.line_bytes);
+    f.U64(c.ways);
+    f.U64(c.hit_latency);
+  }
+  f.U64(cfg.memory.dram_latency);
+  f.U64(cfg.memory.next_line_prefetch ? 1 : 0);
+  // engine::DsaConfig
+  f.U64(cfg.dsa.dsa_cache_bytes);
+  f.U64(cfg.dsa.dsa_cache_entry_bytes);
+  f.U64(cfg.dsa.verification_cache_bytes);
+  f.U64(cfg.dsa.verification_entry_bytes);
+  f.U64(cfg.dsa.array_maps);
+  f.U64(cfg.dsa.neon_regs);
+  f.U64(cfg.dsa.trace_capacity);
+  f.U64(cfg.dsa.enable_conditional_loops ? 1 : 0);
+  f.U64(cfg.dsa.enable_sentinel_loops ? 1 : 0);
+  f.U64(cfg.dsa.enable_dynamic_range_loops ? 1 : 0);
+  f.U64(cfg.dsa.enable_partial_vectorization ? 1 : 0);
+  f.U64(cfg.dsa.enable_loop_fusion ? 1 : 0);
+  f.U64(cfg.dsa.enable_cidp ? 1 : 0);
+  f.U64(cfg.dsa.pipeline_flush_latency);
+  f.U64(cfg.dsa.dsa_cache_access_latency);
+  f.U64(cfg.dsa.verification_cache_access_latency);
+  f.U64(cfg.dsa.array_map_access_latency);
+  f.U64(cfg.dsa.partial_window_resync_latency);
+  f.U64(cfg.dsa.speculative_select_latency);
+  f.U64(cfg.dsa.blacklist_strikes);
+  f.U64(cfg.dsa.rollback_penalty);
+  f.U64(cfg.dsa.guard_margin_iterations);
+  // energy::EnergyParams
+  f.F64(cfg.energy.scalar_instr);
+  f.F64(cfg.energy.mem_instr_extra);
+  f.F64(cfg.energy.branch_extra);
+  f.F64(cfg.energy.mispredict_flush);
+  f.F64(cfg.energy.vector_instr);
+  f.F64(cfg.energy.l1_access);
+  f.F64(cfg.energy.l2_access);
+  f.F64(cfg.energy.dram_access);
+  f.F64(cfg.energy.core_static);
+  f.F64(cfg.energy.neon_static);
+  f.F64(cfg.energy.dsa_static);
+  f.F64(cfg.energy.dsa_analysis_per_instr);
+  f.F64(cfg.energy.dsa_cache_access);
+  f.F64(cfg.energy.vc_access);
+  f.F64(cfg.energy.array_map_access);
+  // trace::TraceConfig — enabled changes the RunResult payload (trace
+  // aggregates), so traced and untraced cells never alias.
+  f.U64(cfg.trace.enabled ? 1 : 0);
+  f.U64(cfg.trace.capacity);
+  // fault::FaultPlan
+  f.U64(cfg.faults.specs.size());
+  for (const auto& spec : cfg.faults.specs) {
+    f.I64(static_cast<std::int64_t>(spec.kind));
+    f.U64(spec.trigger);
+    f.U64(spec.count);
+  }
+  f.U64(cfg.faults.seed);
+  f.U64(cfg.faults.seed_explicit ? 1 : 0);
+  // harness knobs
+  f.U64(cfg.max_steps);
+  f.U64(cfg.reference_path ? 1 : 0);
+  f.I64(static_cast<std::int64_t>(cfg.dispatch));
+  return f.h;
+}
+
+std::string CacheKey::FileName() const {
+  Fnv1a f;
+  f.Str(job_key);
+  f.U64(workload_digest);
+  f.U64(config_digest);
+  f.Str(engine_version);
+  f.Str(bench_schema);
+  return Hex64(f.h) + ".cell";
+}
+
+CacheKey KeyFor(const sim::BatchJob& job) {
+  CacheKey key;
+  key.job_key = sim::JobKey(job);
+  key.workload_digest = WorkloadDigest(job.workload);
+  key.config_digest = ConfigDigest(job.config);
+  return key;
+}
+
+bool ResultCache::Open(const std::string& dir, std::string* error) {
+#if DSA_HAVE_CACHE_FS
+  if (dir.empty()) {
+    if (error != nullptr) *error = "cache: empty directory path";
+    return false;
+  }
+  if (::mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    if (error != nullptr) {
+      *error = "cache: cannot create " + dir + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  struct stat st = {};
+  if (::stat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    if (error != nullptr) *error = "cache: " + dir + " is not a directory";
+    return false;
+  }
+  dir_ = dir;
+  return true;
+#else
+  (void)dir;
+  if (error != nullptr) *error = "cache: filesystem API unavailable";
+  return false;
+#endif
+}
+
+bool ResultCache::Load(const CacheKey& key, sim::JobOutcome& out) {
+  if (!open()) return false;
+  const std::string path = dir_ + "/" + key.FileName();
+  bool readable = false;
+  const std::string data = Slurp(path, readable);
+  if (!readable) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    return false;
+  }
+  // Entry line: `CCCCCCCC <json>\n` — complete, CRC-matching, parseable,
+  // and carrying the exact key it claims to answer for. Anything less is
+  // quarantined and recomputed, never trusted.
+  const auto quarantine = [&] {
+#if DSA_HAVE_CACHE_FS
+    const std::string aside = path + ".quarantine";
+    if (::rename(path.c_str(), aside.c_str()) != 0) (void)::unlink(path.c_str());
+#endif
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.quarantined;
+    ++stats_.misses;
+  };
+  std::uint64_t crc = 0;
+  if (data.size() < 10 || data.back() != '\n' || data[8] != ' ' ||
+      !ParseHexU64(data.substr(0, 8), crc)) {
+    quarantine();
+    return false;
+  }
+  const std::string payload = data.substr(9, data.size() - 10);
+  if (resilience::Crc32(payload.data(), payload.size()) != crc) {
+    quarantine();
+    return false;
+  }
+  resilience::JsonValue entry;
+  if (!resilience::ParseJson(payload, entry) || !entry.is_object()) {
+    quarantine();
+    return false;
+  }
+  const auto field = [&entry](std::string_view name) -> std::string {
+    const resilience::JsonValue* v = entry.Find(name);
+    return v != nullptr ? v->AsString() : std::string();
+  };
+  std::uint64_t wl_digest = 0;
+  std::uint64_t cfg_digest = 0;
+  const bool digests_ok =
+      ParseHexU64(field("workload_digest").substr(
+                      field("workload_digest").rfind("0x") == 0 ? 2 : 0),
+                  wl_digest) &&
+      ParseHexU64(field("config_digest").substr(
+                      field("config_digest").rfind("0x") == 0 ? 2 : 0),
+                  cfg_digest);
+  const resilience::JsonValue* cell = entry.Find("cell");
+  if (field("schema") != kCacheEntrySchema || !digests_ok ||
+      cell == nullptr || !cell->is_object()) {
+    quarantine();
+    return false;
+  }
+  // A well-formed entry for a different key (hash collision, copied
+  // file) is a miss, not corruption — leave it in place.
+  if (field("key") != key.job_key || wl_digest != key.workload_digest ||
+      cfg_digest != key.config_digest ||
+      field("engine") != key.engine_version ||
+      field("bench_schema") != key.bench_schema) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    return false;
+  }
+  std::string parsed_key;
+  sim::JobOutcome parsed;
+  if (!resilience::ParseOutcomePayload(resilience::DumpJson(*cell),
+                                       parsed_key, parsed) ||
+      parsed_key != key.job_key) {
+    quarantine();
+    return false;
+  }
+  out = std::move(parsed);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.hits;
+  return true;
+}
+
+bool ResultCache::Store(const CacheKey& key, const sim::JobOutcome& out) {
+#if DSA_HAVE_CACHE_FS
+  if (!open()) return false;
+  std::string payload = "{\"schema\":\"";
+  payload += kCacheEntrySchema;
+  payload += "\",\"key\":\"";
+  payload += resilience::JsonEscape(key.job_key);
+  payload += "\",\"workload_digest\":\"";
+  payload += Hex0x(key.workload_digest);
+  payload += "\",\"config_digest\":\"";
+  payload += Hex0x(key.config_digest);
+  payload += "\",\"engine\":\"";
+  payload += resilience::JsonEscape(key.engine_version);
+  payload += "\",\"bench_schema\":\"";
+  payload += resilience::JsonEscape(key.bench_schema);
+  payload += "\",\"cell\":";
+  payload += resilience::SerializeOutcome(out);
+  payload += "}";
+  char crc[12];
+  std::snprintf(crc, sizeof(crc), "%08x",
+                resilience::Crc32(payload.data(), payload.size()));
+  std::string line = crc;
+  line += ' ';
+  line += payload;
+  line += '\n';
+
+  const std::string name = key.FileName();
+  const std::string tmp =
+      dir_ + "/.tmp." + std::to_string(::getpid()) + "." + name;
+  const std::string path = dir_ + "/" + name;
+  const auto fail = [&] {
+    (void)::unlink(tmp.c_str());
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.store_failures;
+    return false;
+  };
+  const int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0666);
+  if (fd < 0) return fail();
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(fd, line.data() + off, line.size() - off);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      ::close(fd);
+      return fail();
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  // fsync before the rename: once the entry is visible under its final
+  // name it must be complete even across a kill -9 or power cut.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return fail();
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) return fail();
+  // Persist the directory entry too, so the rename itself survives.
+  const int dfd = ::open(dir_.c_str(), O_RDONLY);
+  if (dfd >= 0) {
+    (void)::fsync(dfd);
+    ::close(dfd);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.stores;
+  return true;
+#else
+  (void)key;
+  (void)out;
+  return false;
+#endif
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace dsa::serve

@@ -1,0 +1,106 @@
+// Persistent content-addressed result cache of the serving daemon
+// (docs/SERVING.md): one file per completed cell, keyed by the workload
+// digest, the config digest, the engine version and the bench-schema
+// version, so a daemon restart — including a kill -9 mid-sweep — serves
+// every previously completed cell bit-identically without re-simulating,
+// and any engine or schema change invalidates the whole cache by
+// construction (the version labels are part of the key hash, so stale
+// entries are simply never addressed again).
+//
+// Entry format: one journal-style CRC-framed line, `CCCCCCCC <json>\n`
+// (the same framing as the crash-safe journal, docs/RESILIENCE.md),
+// where the JSON carries the full key for verification plus the cell's
+// serialized JobOutcome. Writes go to a temporary sibling, fsync, then
+// an atomic rename — a torn write can never be observed under the final
+// name. A corrupt or mismatched entry is quarantined (renamed to
+// `<name>.quarantine`) and recomputed instead of trusted.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "sim/runner.h"
+
+namespace dsa::serve {
+
+// Version labels baked into every cache key. Bump kEngineVersion on any
+// change that can alter simulated results (timing, energy, engine
+// behaviour); kBenchSchema tracks the serialized-outcome contract
+// (docs/BENCH_SCHEMA.md) and must match the schema WriteBenchJson emits.
+inline constexpr std::string_view kEngineVersion = "dsa-engine/9";
+inline constexpr std::string_view kBenchSchema = "dsa-bench-json/6";
+inline constexpr std::string_view kCacheEntrySchema = "dsa-serve-cache/1";
+
+// FNV-1a 64-bit digest of the workload's complete definition: name,
+// memory size, all three program variants instruction by instruction,
+// declared output regions, streaming payload size, generator provenance,
+// and the initial memory image the init hook writes. Two workloads with
+// equal digests run the same simulation.
+[[nodiscard]] std::uint64_t WorkloadDigest(const sim::Workload& wl);
+
+// FNV-1a 64-bit digest over every SystemConfig field the simulation
+// reads (timing, memory hierarchy, DSA structures/features/latencies,
+// energy parameters, fault plan, step budget, reference path, dispatch
+// engine, trace enablement).
+[[nodiscard]] std::uint64_t ConfigDigest(const sim::SystemConfig& cfg);
+
+struct CacheKey {
+  std::string job_key;  // "name[#wtag]@mode[/ctag]" (sim::JobKey)
+  std::uint64_t workload_digest = 0;
+  std::uint64_t config_digest = 0;
+  std::string engine_version{kEngineVersion};
+  std::string bench_schema{kBenchSchema};
+
+  // Content address: 16 lowercase hex digits of the combined key hash,
+  // plus the ".cell" suffix.
+  [[nodiscard]] std::string FileName() const;
+};
+
+// The full key for one batch job (digests computed here).
+[[nodiscard]] CacheKey KeyFor(const sim::BatchJob& job);
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;        // absent or version-mismatched entries
+  std::uint64_t stores = 0;        // entries promoted to disk
+  std::uint64_t quarantined = 0;   // corrupt entries moved aside
+  std::uint64_t store_failures = 0;
+};
+
+class ResultCache {
+ public:
+  ResultCache() = default;
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  // Creates `dir` if needed. False with `error` filled when the
+  // directory cannot be created or is not writable.
+  [[nodiscard]] bool Open(const std::string& dir, std::string* error = nullptr);
+
+  [[nodiscard]] bool open() const { return !dir_.empty(); }
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  // Looks the key up. True fills `out` with the recorded outcome
+  // (cell_status "ok" by construction — only completed cells are
+  // stored). A corrupt entry is quarantined and reported as a miss; an
+  // entry whose stored key fields disagree with `key` (hash collision,
+  // hand-edited file) is a miss too.
+  [[nodiscard]] bool Load(const CacheKey& key, sim::JobOutcome& out);
+
+  // Promotes one completed cell to disk (atomic tmp + rename, fsync'd
+  // before the rename so a kill -9 right after Store returns can never
+  // lose or tear the entry). Call only for cell_status == "ok".
+  [[nodiscard]] bool Store(const CacheKey& key, const sim::JobOutcome& out);
+
+  [[nodiscard]] CacheStats stats() const;
+
+ private:
+  std::string dir_;
+  mutable std::mutex mu_;
+  CacheStats stats_;
+};
+
+}  // namespace dsa::serve

@@ -1,0 +1,141 @@
+#include "serve/client.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "resilience/mini_json.h"
+#include "serve/proto.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#define DSA_HAVE_SERVE 1
+#else
+#define DSA_HAVE_SERVE 0
+#endif
+
+namespace dsa::serve {
+
+namespace {
+
+std::string BuildRequest(const ClientOptions& opts) {
+  using resilience::JsonEscape;
+  std::string req = "{\"schema\":\"dsa-serve/1\",\"kind\":\"";
+  req += opts.ping ? "ping" : "sweep";
+  req += "\",\"client\":\"";
+  req += JsonEscape(opts.client_name);
+  req += "\"";
+  if (!opts.filter.empty()) {
+    req += ",\"filter\":\"";
+    req += JsonEscape(opts.filter);
+    req += "\"";
+  }
+  if (opts.deadline_ms > 0) {
+    req += ",\"deadline_ms\":";
+    req += std::to_string(opts.deadline_ms);
+  }
+  req += "}";
+  return req;
+}
+
+std::string Field(const resilience::JsonValue& obj, std::string_view name) {
+  const resilience::JsonValue* v = obj.Find(name);
+  return v != nullptr ? v->AsString() : std::string();
+}
+
+}  // namespace
+
+int Submit(const ClientOptions& opts) {
+#if DSA_HAVE_SERVE
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  if (opts.socket_path.empty() ||
+      opts.socket_path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "[dsa_submit] bad socket path \"%s\"\n",
+                 opts.socket_path.c_str());
+    return 5;
+  }
+  std::memcpy(addr.sun_path, opts.socket_path.c_str(),
+              opts.socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "[dsa_submit] socket: %s\n", std::strerror(errno));
+    return 5;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    std::fprintf(stderr, "[dsa_submit] connect %s: %s\n",
+                 opts.socket_path.c_str(), std::strerror(errno));
+    ::close(fd);
+    return 5;
+  }
+  if (!SendFrame(fd, kFrameRequest, BuildRequest(opts))) {
+    std::fprintf(stderr, "[dsa_submit] send failed (daemon gone?)\n");
+    ::close(fd);
+    return 5;
+  }
+  char type = 0;
+  std::string json;
+  const RecvStatus rs = RecvFrame(fd, type, json);
+  ::close(fd);
+  if (rs != RecvStatus::kOk || type != kFrameResponse) {
+    std::fprintf(stderr, "[dsa_submit] response: %s\n",
+                 std::string(ToString(rs)).c_str());
+    return 5;
+  }
+
+  if (!opts.json_path.empty()) {
+    std::ofstream out(opts.json_path, std::ios::binary | std::ios::trunc);
+    out << json << "\n";
+    if (!out.good()) {
+      std::fprintf(stderr, "[dsa_submit] cannot write %s\n",
+                   opts.json_path.c_str());
+      return 5;
+    }
+  }
+
+  resilience::JsonValue resp;
+  if (!resilience::ParseJson(json, resp) || !resp.is_object()) {
+    std::fprintf(stderr, "[dsa_submit] response is not valid JSON\n");
+    return 5;
+  }
+  const std::string status = Field(resp, "status");
+  const std::string error = Field(resp, "error");
+  const std::string ok_n = Field(resp, "cells_ok");
+  const std::string failed_n = Field(resp, "cells_failed");
+  const std::string cached_n = Field(resp, "cells_cached");
+  std::printf("[dsa_submit] status=%s ok=%s failed=%s cached=%s%s%s\n",
+              status.c_str(), ok_n.empty() ? "0" : ok_n.c_str(),
+              failed_n.empty() ? "0" : failed_n.c_str(),
+              cached_n.empty() ? "0" : cached_n.c_str(),
+              error.empty() ? "" : " error=", error.c_str());
+  const resilience::JsonValue* cells = resp.Find("cells");
+  if (!opts.quiet && cells != nullptr && cells->is_array()) {
+    for (const resilience::JsonValue& cell : cells->array) {
+      if (!cell.is_object()) continue;
+      const std::string cell_status = Field(cell, "cell_status");
+      if (cell_status == "ok") continue;
+      std::printf("[dsa_submit]   %-40s %-10s %s\n",
+                  Field(cell, "job").c_str(), cell_status.c_str(),
+                  Field(cell, "error").c_str());
+    }
+  }
+
+  if (status == "ok") {
+    return (failed_n.empty() || failed_n == "0") ? 0 : 1;
+  }
+  if (status == "interrupted") return 1;
+  // overload / deadline / bad-request: the request was refused before or
+  // instead of simulation — an admission verdict, not a cell failure.
+  return 4;
+#else
+  (void)opts;
+  std::fprintf(stderr, "[dsa_submit] unix sockets unavailable\n");
+  return 5;
+#endif
+}
+
+}  // namespace dsa::serve

@@ -1,0 +1,30 @@
+// Client side of the serving protocol (docs/SERVING.md): connects to a
+// running dsa_serve, submits one request frame, renders the response and
+// maps it to a process exit code the scripts can branch on:
+//   0 — status "ok" and every cell completed ("ok", cached or fresh)
+//   1 — the sweep ran but cells failed, or the daemon drained mid-sweep
+//   4 — admission refused the request (overload / deadline / bad-request)
+//   5 — transport failure: no daemon, torn frame, protocol violation
+// (2 is reserved for usage errors, matching every bench driver; 3 is the
+// daemon's own drained-exit code.)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dsa::serve {
+
+struct ClientOptions {
+  std::string socket_path;
+  std::string client_name = "dsa_submit";  // admission-quota identity
+  std::string filter;                      // JobKey substring; "" = all
+  std::uint64_t deadline_ms = 0;           // request deadline; 0 = none
+  bool ping = false;                       // liveness probe, no cells
+  std::string json_path;  // dump the raw response JSON here ("" = don't)
+  bool quiet = false;     // suppress the per-cell table
+};
+
+// Runs one request against the daemon and returns the exit code above.
+[[nodiscard]] int Submit(const ClientOptions& opts);
+
+}  // namespace dsa::serve

@@ -1,0 +1,156 @@
+// The crash-tolerant simulation daemon (dsa_serve, docs/SERVING.md): a
+// long-lived process on a Unix-domain socket that answers sweep requests
+// from the persistent result cache when it can and simulates the misses
+// on a respawning worker pool, with every failure classified through the
+// DsaError taxonomy into a per-cell status — exactly the statuses a CLI
+// sweep reports, because both paths execute through sim::ExecuteCell.
+//
+// Crash tolerance story, layer by layer:
+//   - a cell that SIGSEGVs/OOMs/overruns its deadline is contained by
+//     the fork isolate (--isolate) and poisons only its own cell;
+//   - a task whose exception escapes in-process kills one pool worker,
+//     which is respawned with bounded exponential backoff (pool.h);
+//   - a workload that fails repeatedly trips its circuit breaker and is
+//     failed fast instead of re-simulated (resilience/breaker.h);
+//   - the daemon itself dying (kill -9) loses at most the in-flight
+//     cells: completed cells were promoted to the persistent cache with
+//     fsync + atomic rename, so a restarted daemon serves them
+//     bit-identically (cache.h);
+//   - SIGINT/SIGTERM drain gracefully: in-flight cells finish, queued
+//     work is rejected with the typed "overload" status, exit code 3.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "resilience/breaker.h"
+#include "serve/cache.h"
+#include "serve/pool.h"
+#include "sim/runner.h"
+
+namespace dsa::serve {
+
+// Admission control for the request queue: a bounded total queue depth
+// plus a per-client in-flight quota, so one greedy client cannot starve
+// the socket for everyone else. Refusals are typed ("overload: ...")
+// and become the response's `status` — the client exits 4, distinct
+// from simulation failures.
+class AdmissionControl {
+ public:
+  AdmissionControl(int queue_limit, int client_quota)
+      : queue_limit_(queue_limit), client_quota_(client_quota) {}
+
+  // Empty string = admitted (caller must pair with Done); otherwise the
+  // typed refusal reason, starting with "overload:".
+  [[nodiscard]] std::string Admit(const std::string& client);
+  void Done(const std::string& client);
+  [[nodiscard]] int depth() const;
+
+ private:
+  int queue_limit_;
+  int client_quota_;
+  mutable std::mutex mu_;
+  int depth_ = 0;
+  std::map<std::string, int> per_client_;
+};
+
+struct DaemonOptions {
+  std::string socket_path;
+  // Persistent result cache directory; empty disables the cache (every
+  // request re-simulates).
+  std::string cache_dir;
+  int workers = 2;       // simulation worker threads
+  int queue_limit = 8;   // admission: max requests queued + in flight
+  int client_quota = 4;  // admission: max per client name
+  // Deadline applied to requests that do not carry their own; 0 = none.
+  std::uint64_t default_deadline_ms = 0;
+  // Per-cell containment (resilience/isolate.h): fork isolation, cell
+  // wall-clock deadline, child address-space cap.
+  bool isolate = false;
+  std::uint64_t cell_deadline_ms = 0;
+  std::uint64_t mem_limit_mb = 0;
+  // Per-workload circuit breaker; 0 disables.
+  int breaker_threshold = 0;
+  int breaker_probe_after = 2;
+  // Executions per cell (>= 2 feeds the determinism oracle's data; the
+  // daemon default is 1 — cache hits make repeats pointless).
+  int repeats = 1;
+  // --- crash-drill hooks (tests/check.sh only) -----------------------
+  // SIGKILL the daemon after this many executed (non-cached) cells, so
+  // the kill-and-restart soak can die mid-sweep deterministically.
+  std::uint64_t kill_after = 0;
+  // abort() inside the isolated child of every cell whose JobKey
+  // contains this substring (requires isolate) — exercises the
+  // "crashed" classification end to end.
+  std::string crash_cell;
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonOptions opts);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  // Opens the cache, binds the socket, installs the drain handler.
+  [[nodiscard]] bool Init(std::string* error = nullptr);
+
+  // Accept loop; returns the process exit code (3 after a graceful
+  // SIGINT/SIGTERM drain — the only way Serve returns).
+  [[nodiscard]] int Serve();
+
+  [[nodiscard]] const DaemonOptions& options() const { return opts_; }
+
+ private:
+  struct Request {
+    int fd = -1;
+    std::string client;
+    std::string kind;    // "sweep" | "ping"
+    std::string filter;  // case-insensitive JobKey substring; "" = all
+    std::uint64_t deadline_ms = 0;  // 0 = none
+    std::chrono::steady_clock::time_point received;
+  };
+
+  void AcceptOne();
+  void DispatcherMain();
+  void ProcessRequest(Request& req);
+  void RespondError(int fd, const std::string& status,
+                    const std::string& error);
+  [[nodiscard]] std::string BuildResponse(
+      const std::string& status, const std::string& error,
+      const std::vector<sim::JobOutcome>& cells,
+      const std::vector<bool>& cached);
+  // One cell, end to end: cache probe -> breaker -> ExecuteCell under
+  // the isolate -> breaker record -> cache store -> kill_after drill.
+  void RunCell(const sim::BatchJob& job,
+               std::chrono::steady_clock::time_point deadline,
+               sim::JobOutcome& out, bool& cached);
+
+  DaemonOptions opts_;
+  ResultCache cache_;
+  resilience::CircuitBreaker breaker_;
+  AdmissionControl admission_;
+  std::unique_ptr<WorkerPool> pool_;
+  int listen_fd_ = -1;
+
+  std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+  std::thread dispatcher_;
+
+  std::atomic<std::uint64_t> executed_cells_{0};  // kill_after counter
+  std::atomic<std::uint64_t> requests_served_{0};
+};
+
+}  // namespace dsa::serve

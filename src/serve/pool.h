@@ -1,0 +1,94 @@
+// Persistent worker pool of the serving daemon (docs/SERVING.md): a
+// fixed set of long-lived threads draining one shared task queue. The
+// pool is crash-tolerant at the *thread* level the same way the fork
+// isolate is at the *process* level: a task whose exception escapes
+// kills only its worker, and a supervisor thread respawns the worker
+// with bounded exponential backoff. A worker that keeps dying is
+// retired after `max_strikes` consecutive escapes so a poisoned queue
+// cannot spin the host at full respawn rate forever.
+//
+// Note the division of labour: simulation cells never rely on this —
+// SIGSEGV/OOM/deadline are contained by the fork isolate and surface as
+// classified DsaError, which ExecuteCell turns into a cell status. The
+// pool's respawn path is the second line of defence, for in-process
+// failures (bad_alloc, logic bugs) that would otherwise take down the
+// daemon.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dsa::serve {
+
+struct PoolOptions {
+  int workers = 2;
+  // Respawn backoff: min(backoff_base_ms << strikes, backoff_cap_ms),
+  // where `strikes` counts consecutive escapes of that worker slot.
+  int backoff_base_ms = 10;
+  int backoff_cap_ms = 2000;
+  // Consecutive escapes after which a worker slot is retired for good.
+  int max_strikes = 5;
+};
+
+struct PoolStats {
+  std::uint64_t executed = 0;   // tasks that ran to completion
+  std::uint64_t escaped = 0;    // tasks whose exception escaped (worker died)
+  std::uint64_t respawns = 0;   // workers relaunched after an escape
+  std::uint64_t discarded = 0;  // queued tasks dropped (all workers retired)
+  int live_workers = 0;
+};
+
+class WorkerPool {
+ public:
+  explicit WorkerPool(const PoolOptions& opts = {});
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // Enqueues one task. False once Shutdown began or every worker slot
+  // has been retired (the task is not queued).
+  bool Submit(std::function<void()> task);
+
+  // Blocks until the queue is empty and no task is in flight. If every
+  // worker retires while tasks are still queued, the leftovers are
+  // discarded (counted in stats) so Drain can never hang.
+  void Drain();
+
+  // Drains, then joins all threads. Idempotent.
+  void Shutdown();
+
+  [[nodiscard]] PoolStats stats() const;
+
+ private:
+  struct Slot {
+    std::thread thread;
+    int strikes = 0;
+    bool dead = false;     // worker exited after an escape; needs respawn
+    bool retired = false;  // exceeded max_strikes; never respawned
+  };
+
+  void WorkerMain(int slot);
+  void SupervisorMain();
+  [[nodiscard]] int live_workers_locked() const;
+
+  PoolOptions opts_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers: queue non-empty or stopping
+  std::condition_variable idle_cv_;   // Drain: queue empty and nothing running
+  std::condition_variable reap_cv_;   // supervisor: a worker died or stopping
+  std::deque<std::function<void()>> queue_;
+  std::vector<Slot> slots_;
+  std::thread supervisor_;
+  PoolStats stats_;
+  int in_flight_ = 0;
+  bool stopping_ = false;
+  bool shut_down_ = false;
+};
+
+}  // namespace dsa::serve

@@ -28,6 +28,10 @@ enum class DsaErrorCode : std::uint8_t {
   kDeadline,     // cell exceeded its wall-clock deadline and was killed
   kOutOfMemory,  // child hit its memory cap (rlimit -> bad_alloc) or OOM
   kBreakerOpen,  // per-workload circuit breaker refused the cell
+  // Admission control of the serving daemon (src/serve, docs/SERVING.md)
+  // refused the work: request queue full, client over quota, or a
+  // graceful drain in progress. Never raised for CLI sweeps.
+  kOverload,
 };
 
 [[nodiscard]] constexpr std::string_view ToString(DsaErrorCode c) {
@@ -41,6 +45,7 @@ enum class DsaErrorCode : std::uint8_t {
     case DsaErrorCode::kDeadline: return "deadline";
     case DsaErrorCode::kOutOfMemory: return "oom";
     case DsaErrorCode::kBreakerOpen: return "breaker-open";
+    case DsaErrorCode::kOverload: return "overload";
   }
   return "?";
 }
@@ -53,6 +58,7 @@ enum class DsaErrorCode : std::uint8_t {
     case DsaErrorCode::kDeadline: return "timeout";
     case DsaErrorCode::kOutOfMemory: return "oom";
     case DsaErrorCode::kBreakerOpen: return "skipped";
+    case DsaErrorCode::kOverload: return "skipped";  // refused, not executed
     default: return "faulted";
   }
 }

@@ -148,27 +148,28 @@ void BatchRunner::WorkerLoop() {
   }
 }
 
-void BatchRunner::Execute(Pending& p) {
-  JobOutcome& out = p.outcome;
-  out.key = p.key;
-  out.workload_key = WorkloadKey(p.job);
-  out.mode = p.job.mode;
-  out.config_tag = p.job.config_tag;
+void ExecuteCell(const BatchJob& job, const RunnerOptions& opts,
+                 JobOutcome& out) {
+  out.key = JobKey(job);
+  out.workload_key = WorkloadKey(job);
+  out.mode = job.mode;
+  out.config_tag = job.config_tag;
 
   // Watchdog: cap the cell's interpreter step budget so a runaway loop
   // trips DsaError{kStepLimit} instead of wedging the worker thread.
-  SystemConfig cfg = p.job.config;
-  if (opts_.max_cell_steps > 0 &&
-      (cfg.max_steps == 0 || cfg.max_steps > opts_.max_cell_steps)) {
-    cfg.max_steps = opts_.max_cell_steps;
+  SystemConfig cfg = job.config;
+  if (opts.max_cell_steps > 0 &&
+      (cfg.max_steps == 0 || cfg.max_steps > opts.max_cell_steps)) {
+    cfg.max_steps = opts.max_cell_steps;
   }
 
-  for (int rep = 0; rep < opts_.repeats; ++rep) {
+  const int repeats = opts.repeats < 1 ? 1 : opts.repeats;
+  for (int rep = 0; rep < repeats; ++rep) {
     const auto t0 = std::chrono::steady_clock::now();
     for (int attempt = 0;; ++attempt) {
       ++out.attempts;
       try {
-        out.runs.push_back(opts_.run_fn(p.job.workload, p.job.mode, cfg));
+        out.runs.push_back(opts.run_fn(job.workload, job.mode, cfg));
         break;
       } catch (const DsaError& e) {
         out.error = e.what();
@@ -177,13 +178,13 @@ void BatchRunner::Execute(Pending& p) {
         // bad workload) would fail identically again. Process-level
         // failures map to their own statuses ("crashed"/"timeout"/"oom"/
         // "skipped") so the JSON census can tell them apart.
-        if (!e.transient() || attempt >= opts_.max_retries) {
+        if (!e.transient() || attempt >= opts.max_retries) {
           out.cell_status = std::string(CellStatusFor(e.code()));
           return;
         }
-        if (opts_.retry_backoff_ms > 0) {
+        if (opts.retry_backoff_ms > 0) {
           std::this_thread::sleep_for(std::chrono::milliseconds(
-              static_cast<std::int64_t>(opts_.retry_backoff_ms) << attempt));
+              static_cast<std::int64_t>(opts.retry_backoff_ms) << attempt));
         }
         out.error.clear();
       } catch (const std::exception& e) {
@@ -195,6 +196,11 @@ void BatchRunner::Execute(Pending& p) {
     if (rep == 0) out.wall_ms = ElapsedMs(t0);
   }
   out.cell_status = "ok";
+}
+
+void BatchRunner::Execute(Pending& p) {
+  ExecuteCell(p.job, opts_, p.outcome);
+  p.outcome.key = p.key;  // the memo key (== JobKey(p.job) by Submit)
 }
 
 const JobOutcome& BatchRunner::Get(const std::string& key) {

@@ -120,6 +120,16 @@ struct BatchReport {
   [[nodiscard]] bool ok() const { return violations.empty(); }
 };
 
+// Executes one cell — `opts.repeats` runs of `opts.run_fn` under the
+// step-budget watchdog override, the transient-only retry policy and the
+// DsaError -> cell_status mapping — filling `out` (keys, runs, status,
+// attempts, first-run wall time). The BatchRunner's workers execute
+// through this, and so does the serving daemon (src/serve/daemon.cc), so
+// a cell failing under dsa_serve is classified exactly like the same
+// cell failing in a CLI sweep. `opts.run_fn` must be set.
+void ExecuteCell(const BatchJob& job, const RunnerOptions& opts,
+                 JobOutcome& out);
+
 class BatchRunner {
  public:
   explicit BatchRunner(RunnerOptions opts = {});

@@ -606,5 +606,197 @@ TEST(Drain, SupervisorReportsInterruptedRunStatus) {
   Supervisor::DrainFlag().store(false);
 }
 
+// ---------------------------------------------------------------------------
+// mini_json binary-safety: JsonEscape -> ParseJson is byte-exact for
+// arbitrary (including non-UTF-8) input — the serving daemon embeds
+// simulation error strings in its responses and relies on this.
+
+TEST(MiniJson, EverySingleByteRoundTripsThroughEscapeAndParse) {
+  for (int b = 0; b < 256; ++b) {
+    const std::string original(1, static_cast<char>(b));
+    std::string text = "\"";
+    text += JsonEscape(original);
+    text += '"';
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(ParseJson(text, v, &err)) << "byte " << b << ": " << err;
+    ASSERT_TRUE(v.is_string()) << "byte " << b;
+    EXPECT_EQ(v.AsString(), original) << "byte " << b;
+  }
+}
+
+TEST(MiniJson, FullBinaryStringRoundTripsByteExactly) {
+  std::string original;
+  for (int b = 0; b < 256; ++b) original.push_back(static_cast<char>(b));
+  // Stress the validator's resynchronization: valid UTF-8 islands between
+  // stretches of garbage.
+  original += "\xC3\xA9 plain \xF0\x9F\x99\x82 text \xFF\xFE";
+  std::string text = "\"";
+  text += JsonEscape(original);
+  text += '"';
+  JsonValue v;
+  ASSERT_TRUE(ParseJson(text, v));
+  EXPECT_EQ(v.AsString(), original);
+}
+
+TEST(MiniJson, MalformedUtf8IsEscapedToPureAscii) {
+  // Lone continuation byte, truncated two-byte sequence, overlong
+  // encoding of '/': each must come out as \u00XX escapes, never as raw
+  // high bytes that would make the emitted JSON invalid UTF-8.
+  const std::vector<std::string> cases = {"\xFF", "\xC3", "\xC0\xAF",
+                                          "ok\x80stray"};
+  for (const std::string& bad : cases) {
+    const std::string escaped = JsonEscape(bad);
+    for (const char c : escaped) {
+      EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+      EXPECT_LT(static_cast<unsigned char>(c), 0x7Fu);
+    }
+    std::string text = "\"";
+    text += escaped;
+    text += '"';
+    JsonValue v;
+    ASSERT_TRUE(ParseJson(text, v));
+    EXPECT_EQ(v.AsString(), bad);
+  }
+}
+
+TEST(MiniJson, WellFormedUtf8PassesThroughUnescaped) {
+  const std::string utf8 = "caf\xC3\xA9 \xE2\x82\xAC \xF0\x9F\x99\x82";
+  EXPECT_EQ(JsonEscape(utf8), utf8);
+}
+
+// ---------------------------------------------------------------------------
+// Breaker half-open wedge (regression): a probe cell that dies with a
+// *non*-DsaError used to escape the supervisor's wrapper without a
+// Record(false), leaving probe_in_flight latched — the breaker sat in
+// half-open forever, admitting nothing and never re-opening. The fix
+// records the probe failure on any escape path.
+
+TEST(Breaker, ProbeDyingWithNonDsaErrorReopensInsteadOfWedging) {
+  SupervisorOptions so;
+  so.breaker_threshold = 2;
+  so.breaker_probe_after = 2;
+  so.install_signal_drain = false;
+  Supervisor sup(so);
+  ASSERT_TRUE(sup.Init());
+  RunnerOptions o;
+  o.jobs = 1;  // serialize so the transition sequence is deterministic
+  o.repeats = 1;
+  o.oracle = false;
+  o.max_retries = 0;
+  o.retry_backoff_ms = 0;
+  // Not a DsaError: the class of escape that used to bypass Record().
+  o.run_fn = [](const Workload&, RunMode,
+                const SystemConfig&) -> sim::RunResult {
+    throw std::runtime_error("probe dies outside the DsaError taxonomy");
+  };
+  sup.Attach(o);
+  BatchRunner runner(o);
+  const Workload wl = workloads::MakeVecAdd(512);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 6; ++i) {
+    keys.push_back(
+        runner.Submit(wl, RunMode::kDsa, {}, "cfg" + std::to_string(i)));
+  }
+  (void)runner.Finish();
+  // Cells 0-1 fail (-> open, trip 1), 2-3 are skipped (-> half-open),
+  // cell 4 is the probe: its runtime_error must count as a probe failure
+  // and re-open the breaker (trip 2), so cell 5 is skipped — not wedged
+  // behind a probe_in_flight that never clears.
+  EXPECT_EQ(runner.outcomes().at(keys[0]).cell_status, "faulted");
+  EXPECT_EQ(runner.outcomes().at(keys[1]).cell_status, "faulted");
+  EXPECT_EQ(runner.outcomes().at(keys[2]).cell_status, "skipped");
+  EXPECT_EQ(runner.outcomes().at(keys[3]).cell_status, "skipped");
+  EXPECT_EQ(runner.outcomes().at(keys[4]).cell_status, "faulted");
+  EXPECT_EQ(runner.outcomes().at(keys[5]).cell_status, "skipped");
+  const auto census = sup.breaker().Census();
+  ASSERT_EQ(census.size(), 1u);
+  EXPECT_EQ(census[0].state, "open");  // wedged would read "half-open"
+  EXPECT_EQ(census[0].trips, 2u);
+  EXPECT_EQ(census[0].skipped, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Interval-fsync kill drill: a journal cut off at *any* byte (the disk
+// image a kill -9 between fsyncs can leave) must replay only complete,
+// bit-identical records — the torn tail is dropped, never resurrected as
+// a partial cell.
+
+TEST(Journal, TruncationAtEveryByteNeverResurrectsAPartialCell) {
+  const Workload wl = workloads::MakeVecAdd(256);
+  std::vector<JobOutcome> appended;
+  appended.push_back(RunOneCell(wl, RunMode::kScalar));
+  appended.push_back(RunOneCell(wl, RunMode::kAutoVec));
+  appended.push_back(RunOneCell(wl, RunMode::kDsa));
+
+  const std::string path = TempPath("killdrill");
+  std::remove(path.c_str());
+  {
+    Journal j;
+    JournalOptions jo;
+    jo.fsync = FsyncPolicy::kInterval;
+    jo.fsync_interval = 2;  // a crash window of up to one record
+    ASSERT_TRUE(j.Open(path, jo));
+    for (const JobOutcome& out : appended) j.Append(out);
+    EXPECT_EQ(j.appended(), appended.size());
+  }
+  const std::string intact = Slurp(path);
+  ASSERT_GT(intact.size(), 0u);
+  std::map<std::string, std::string> expected;
+  for (const JobOutcome& out : appended) {
+    expected[out.key] = SerializeOutcome(out);
+  }
+
+  const std::string cut = path + ".cut";
+  // Every byte under sanitizers is slow; a stride still crosses every
+  // record boundary because record lengths are not multiples of it.
+  const std::size_t stride = intact.size() > 4096 ? 3 : 1;
+  std::size_t max_cells = 0;
+  for (std::size_t len = 0; len <= intact.size();
+       len = (len + stride <= intact.size() ? len + stride
+                                            : len + 1)) {
+    Spew(cut, intact.substr(0, len));
+    ReplayResult replay;
+    std::string err;
+    ASSERT_TRUE(ReplayJournal(cut, replay, &err)) << "len " << len << ": "
+                                                  << err;
+    EXPECT_LE(replay.valid_bytes, len) << "len " << len;
+    // Only a prefix of the appended records may replay, each bit-equal
+    // to what was appended — a torn record yields nothing, not a
+    // half-filled cell.
+    EXPECT_LE(replay.cells.size(), appended.size());
+    for (std::size_t i = 0; i < appended.size(); ++i) {
+      const bool present = replay.cells.count(appended[i].key) > 0;
+      const bool prefix_holds = i < replay.cells.size();
+      EXPECT_EQ(present, prefix_holds)
+          << "len " << len << " cell " << appended[i].key;
+    }
+    for (const auto& [key, cell] : replay.cells) {
+      ASSERT_EQ(expected.count(key), 1u) << "len " << len;
+      EXPECT_EQ(SerializeOutcome(cell), expected.at(key))
+          << "len " << len << " cell " << key;
+    }
+    if (replay.cells.size() > max_cells) max_cells = replay.cells.size();
+  }
+  EXPECT_EQ(max_cells, appended.size());  // the full file replays fully
+
+  // And re-opening a torn journal for append keeps working: the tail is
+  // truncated, new records land on a clean frame boundary.
+  Spew(cut, intact.substr(0, intact.size() - 7));
+  {
+    Journal j;
+    ASSERT_TRUE(j.Open(cut, JournalOptions{}));
+    JobOutcome extra = appended[0];
+    extra.key = "post-truncation-cell";
+    j.Append(extra);
+  }
+  ReplayResult after;
+  ASSERT_TRUE(ReplayJournal(cut, after));
+  EXPECT_EQ(after.torn_bytes, 0u);
+  EXPECT_EQ(after.cells.count("post-truncation-cell"), 1u);
+  std::remove(cut.c_str());
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace dsa::resilience

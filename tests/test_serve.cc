@@ -1,0 +1,746 @@
+// Serving-layer tests (src/serve, docs/SERVING.md): strict flag-value
+// parsing, wire-protocol framing over a socketpair, workload/config
+// digests, the persistent result cache (round trip, corruption
+// quarantine, version invalidation), the respawning worker pool,
+// admission control, and the daemon end to end over a real Unix-domain
+// socket — submit, cache-hit resubmit with bit-identical results,
+// malformed requests, request deadlines and the graceful drain.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "resilience/mini_json.h"
+#include "resilience/supervisor.h"
+#include "serve/cache.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "serve/flags.h"
+#include "serve/pool.h"
+#include "serve/proto.h"
+#include "sim/runner.h"
+#include "workloads/workloads.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#define DSA_SERVE_E2E 1
+#else
+#define DSA_SERVE_E2E 0
+#endif
+
+// Forking the isolate out of the daemon's multi-threaded process is fine
+// under ASan (glibc's atfork handlers serialize malloc) but not under
+// TSan, whose runtime does not support multi-threaded fork.
+#if defined(__SANITIZE_THREAD__)
+#define DSA_UNDER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DSA_UNDER_TSAN 1
+#endif
+#endif
+#ifndef DSA_UNDER_TSAN
+#define DSA_UNDER_TSAN 0
+#endif
+
+namespace dsa::serve {
+namespace {
+
+using sim::BatchJob;
+using sim::JobOutcome;
+using sim::RunMode;
+using sim::RunResult;
+using sim::SystemConfig;
+using sim::Workload;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "serve_" + name + "_" +
+         std::to_string(::getpid());
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void Spew(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << data;
+}
+
+// ---------------------------------------------------------------------------
+// Strict flag-value parsing (satellite: no silent defaults).
+
+TEST(ServeFlags, ParsesWellFormedValues) {
+  std::uint64_t u = 0;
+  EXPECT_TRUE(ParseU64Text("0", u));
+  EXPECT_EQ(u, 0u);
+  EXPECT_TRUE(ParseU64Text("18446744073709551615", u));
+  EXPECT_EQ(u, UINT64_MAX);
+  long c = 0;
+  EXPECT_TRUE(ParseCountText("42", c));
+  EXPECT_EQ(c, 42);
+  EXPECT_TRUE(ParseCountText("-3", c));
+  EXPECT_EQ(c, -3);
+}
+
+TEST(ServeFlags, RefusesMalformedU64) {
+  std::uint64_t u = 0;
+  std::string err;
+  EXPECT_FALSE(ParseU64Text("", u, &err));
+  EXPECT_FALSE(ParseU64Text("12abc", u, &err));
+  EXPECT_NE(err.find("12abc"), std::string::npos);
+  EXPECT_FALSE(ParseU64Text("abc", u, &err));
+  // A sign must not sneak through strtoull's wrap-around.
+  EXPECT_FALSE(ParseU64Text("-1", u, &err));
+  EXPECT_FALSE(ParseU64Text("+1", u, &err));
+  // One past UINT64_MAX.
+  EXPECT_FALSE(ParseU64Text("18446744073709551616", u, &err));
+  EXPECT_NE(err.find("overflows"), std::string::npos);
+}
+
+TEST(ServeFlags, RefusesMalformedCount) {
+  long c = 0;
+  std::string err;
+  EXPECT_FALSE(ParseCountText("", c, &err));
+  EXPECT_FALSE(ParseCountText("7x", c, &err));
+  EXPECT_FALSE(ParseCountText("999999999999999999999999", c, &err));
+  EXPECT_NE(err.find("out of range"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol framing.
+
+#if DSA_SERVE_E2E
+
+struct SocketPair {
+  int a = -1;
+  int b = -1;
+  SocketPair() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = fds[0];
+    b = fds[1];
+  }
+  ~SocketPair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+};
+
+TEST(Proto, FrameRoundTripsTypeAndPayload) {
+  SocketPair sp;
+  const std::string payload = "{\"x\":1}";
+  ASSERT_TRUE(SendFrame(sp.a, kFrameRequest, payload));
+  char type = 0;
+  std::string got;
+  EXPECT_EQ(RecvFrame(sp.b, type, got), RecvStatus::kOk);
+  EXPECT_EQ(type, kFrameRequest);
+  EXPECT_EQ(got, payload);
+}
+
+TEST(Proto, CleanEofIsClosedNotCorrupt) {
+  SocketPair sp;
+  ::close(sp.a);
+  sp.a = -1;
+  char type = 0;
+  std::string got;
+  EXPECT_EQ(RecvFrame(sp.b, type, got), RecvStatus::kClosed);
+}
+
+TEST(Proto, TornHeaderAndTornPayloadAreCorrupt) {
+  {
+    SocketPair sp;
+    // Half a header, then hangup.
+    ASSERT_EQ(::write(sp.a, "DSAS\x05", 5), 5);
+    ::close(sp.a);
+    sp.a = -1;
+    char type = 0;
+    std::string got;
+    EXPECT_EQ(RecvFrame(sp.b, type, got), RecvStatus::kCorrupt);
+  }
+  {
+    SocketPair sp;
+    // A valid frame cut off mid-payload (peer died mid-send).
+    std::string frame;
+    {
+      SocketPair full;
+      ASSERT_TRUE(SendFrame(full.a, kFrameRequest, "{\"k\":\"v\"}"));
+      char buf[64];
+      const ssize_t n = ::read(full.b, buf, sizeof(buf));
+      ASSERT_GT(n, 12);
+      frame.assign(buf, static_cast<std::size_t>(n));
+    }
+    ASSERT_EQ(::write(sp.a, frame.data(), frame.size() - 3),
+              static_cast<ssize_t>(frame.size() - 3));
+    ::close(sp.a);
+    sp.a = -1;
+    char type = 0;
+    std::string got;
+    EXPECT_EQ(RecvFrame(sp.b, type, got), RecvStatus::kCorrupt);
+  }
+}
+
+TEST(Proto, CrcMismatchAndBadMagicAreCorrupt) {
+  {
+    SocketPair sp;
+    std::string frame;
+    {
+      SocketPair full;
+      ASSERT_TRUE(SendFrame(full.a, kFrameResponse, "{\"ok\":true}"));
+      char buf[64];
+      const ssize_t n = ::read(full.b, buf, sizeof(buf));
+      ASSERT_GT(n, 12);
+      frame.assign(buf, static_cast<std::size_t>(n));
+    }
+    frame.back() ^= 0x40;  // flip a payload bit; CRC must catch it
+    ASSERT_EQ(::write(sp.a, frame.data(), frame.size()),
+              static_cast<ssize_t>(frame.size()));
+    char type = 0;
+    std::string got;
+    EXPECT_EQ(RecvFrame(sp.b, type, got), RecvStatus::kCorrupt);
+  }
+  {
+    SocketPair sp;
+    const char junk[12] = {'J', 'U', 'N', 'K', 1, 0, 0, 0, 0, 0, 0, 0};
+    ASSERT_EQ(::write(sp.a, junk, sizeof(junk)), 12);
+    char type = 0;
+    std::string got;
+    EXPECT_EQ(RecvFrame(sp.b, type, got), RecvStatus::kCorrupt);
+  }
+}
+
+TEST(Proto, OversizeLengthIsRefusedWithoutAllocation) {
+  SocketPair sp;
+  // Header claiming a 2 GB payload: must be classified, not allocated.
+  std::string header = "DSAS";
+  const std::uint32_t len = 0x80000000u;
+  for (int i = 0; i < 4; ++i) {
+    header.push_back(static_cast<char>((len >> (8 * i)) & 0xFF));
+  }
+  header.append(4, '\0');
+  ASSERT_EQ(::write(sp.a, header.data(), header.size()), 12);
+  char type = 0;
+  std::string got;
+  EXPECT_EQ(RecvFrame(sp.b, type, got), RecvStatus::kCorrupt);
+  // And the sender refuses to build such a frame in the first place.
+  const std::string huge(kMaxFrameBytes, 'x');
+  EXPECT_FALSE(SendFrame(sp.a, kFrameRequest, huge));
+}
+
+#endif  // DSA_SERVE_E2E
+
+// ---------------------------------------------------------------------------
+// Cache keys: digests are stable and sensitive.
+
+TEST(CacheKeyDigests, WorkloadDigestIsStableAcrossConstructions) {
+  const Workload a = workloads::MakeVecAdd(512);
+  const Workload b = workloads::MakeVecAdd(512);
+  EXPECT_EQ(WorkloadDigest(a), WorkloadDigest(b));
+}
+
+TEST(CacheKeyDigests, WorkloadDigestSeesProgramAndDataChanges) {
+  const Workload base = workloads::MakeVecAdd(512);
+  const std::uint64_t d0 = WorkloadDigest(base);
+
+  // A different element count changes program constants and init data.
+  EXPECT_NE(WorkloadDigest(workloads::MakeVecAdd(256)), d0);
+
+  Workload renamed = base;
+  renamed.name = "VecAddRenamed";
+  EXPECT_NE(WorkloadDigest(renamed), d0);
+
+  Workload patched = base;
+  ASSERT_FALSE(patched.scalar.code().empty());
+  patched.scalar.code()[0].imm ^= 1;
+  EXPECT_NE(WorkloadDigest(patched), d0);
+
+  Workload different_data = base;
+  auto inner = base.init;
+  different_data.init = [inner](mem::Memory& m) {
+    if (inner) inner(m);
+    m.data()[0] ^= 0xFF;  // same programs, different input image
+  };
+  EXPECT_NE(WorkloadDigest(different_data), d0);
+}
+
+TEST(CacheKeyDigests, ConfigDigestSeesEveryLayer) {
+  const SystemConfig base;
+  const std::uint64_t d0 = ConfigDigest(base);
+  EXPECT_EQ(ConfigDigest(SystemConfig{}), d0);
+
+  SystemConfig timing = base;
+  timing.timing.superscalar_width += 1;
+  EXPECT_NE(ConfigDigest(timing), d0);
+
+  SystemConfig memcfg = base;
+  memcfg.memory.dram_latency += 10;
+  EXPECT_NE(ConfigDigest(memcfg), d0);
+
+  SystemConfig dsa = base;
+  dsa.dsa = engine::DsaConfig::Original();
+  EXPECT_NE(ConfigDigest(dsa), d0);
+
+  SystemConfig energy = base;
+  energy.energy.scalar_instr *= 2;
+  EXPECT_NE(ConfigDigest(energy), d0);
+
+  SystemConfig steps = base;
+  steps.max_steps += 1;
+  EXPECT_NE(ConfigDigest(steps), d0);
+}
+
+TEST(CacheKeyDigests, FileNameEncodesEveryKeyField) {
+  CacheKey key;
+  key.job_key = "VecAdd@arm-original";
+  key.workload_digest = 0x1111;
+  key.config_digest = 0x2222;
+  const std::string name = key.FileName();
+  EXPECT_EQ(name.size(), 16u + 5u);
+  EXPECT_NE(name.find(".cell"), std::string::npos);
+
+  // Any key-field change addresses a different file — version bumps
+  // invalidate the whole cache by construction.
+  CacheKey other = key;
+  other.engine_version = "dsa-engine/0";
+  EXPECT_NE(other.FileName(), name);
+  other = key;
+  other.bench_schema = "dsa-bench-json/0";
+  EXPECT_NE(other.FileName(), name);
+  other = key;
+  other.job_key = "VecAdd@neon-dsa";
+  EXPECT_NE(other.FileName(), name);
+  other = key;
+  other.workload_digest ^= 1;
+  EXPECT_NE(other.FileName(), name);
+  other = key;
+  other.config_digest ^= 1;
+  EXPECT_NE(other.FileName(), name);
+}
+
+// ---------------------------------------------------------------------------
+// Persistent result cache.
+
+JobOutcome FakeOutcome(const std::string& key) {
+  JobOutcome out;
+  out.key = key;
+  out.workload_key = "VecAdd";
+  out.mode = RunMode::kScalar;
+  out.cell_status = "ok";
+  out.attempts = 1;
+  RunResult r;
+  r.workload = "VecAdd";
+  r.mode = RunMode::kScalar;
+  r.output_ok = true;
+  r.cycles = 123456;
+  r.output_digest = 0xDEADBEEFCAFEF00Dull;
+  out.runs.push_back(r);
+  return out;
+}
+
+CacheKey FakeKey(const std::string& job_key) {
+  CacheKey key;
+  key.job_key = job_key;
+  key.workload_digest = 0xAAAA;
+  key.config_digest = 0xBBBB;
+  return key;
+}
+
+TEST(ResultCacheTest, StoreLoadRoundTripsTheOutcome) {
+  ResultCache cache;
+  std::string err;
+  ASSERT_TRUE(cache.Open(TempPath("roundtrip"), &err)) << err;
+  const CacheKey key = FakeKey("VecAdd@arm-original");
+  const JobOutcome out = FakeOutcome("VecAdd@arm-original");
+
+  JobOutcome in;
+  EXPECT_FALSE(cache.Load(key, in));  // cold
+  ASSERT_TRUE(cache.Store(key, out));
+  ASSERT_TRUE(cache.Load(key, in));
+  EXPECT_EQ(in.key, out.key);
+  EXPECT_EQ(in.cell_status, "ok");
+  ASSERT_FALSE(in.runs.empty());
+  EXPECT_EQ(in.result().cycles, out.result().cycles);
+  EXPECT_EQ(in.result().output_digest, out.result().output_digest);
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.stores, 1u);
+  EXPECT_EQ(stats.quarantined, 0u);
+}
+
+TEST(ResultCacheTest, CorruptEntryIsQuarantinedNotTrusted) {
+  ResultCache cache;
+  const std::string dir = TempPath("corrupt");
+  ASSERT_TRUE(cache.Open(dir));
+  const CacheKey key = FakeKey("VecAdd@arm-original");
+  ASSERT_TRUE(cache.Store(key, FakeOutcome("VecAdd@arm-original")));
+
+  const std::string path = dir + "/" + key.FileName();
+  std::string raw = Slurp(path);
+  ASSERT_GT(raw.size(), 20u);
+  raw[15] ^= 0x20;  // flip one payload byte under the CRC
+  Spew(path, raw);
+
+  JobOutcome in;
+  EXPECT_FALSE(cache.Load(key, in));
+  EXPECT_EQ(cache.stats().quarantined, 1u);
+  // The corrupt entry was moved aside, not deleted (forensics) and not
+  // served; a fresh Store repopulates the slot.
+  EXPECT_FALSE(Slurp(path + ".quarantine").empty());
+  ASSERT_TRUE(cache.Store(key, FakeOutcome("VecAdd@arm-original")));
+  EXPECT_TRUE(cache.Load(key, in));
+}
+
+TEST(ResultCacheTest, TruncatedEntryIsQuarantined) {
+  ResultCache cache;
+  const std::string dir = TempPath("trunc");
+  ASSERT_TRUE(cache.Open(dir));
+  const CacheKey key = FakeKey("VecAdd@neon-dsa");
+  ASSERT_TRUE(cache.Store(key, FakeOutcome("VecAdd@neon-dsa")));
+  const std::string path = dir + "/" + key.FileName();
+  const std::string raw = Slurp(path);
+  Spew(path, raw.substr(0, raw.size() / 2));  // torn write, no newline
+  JobOutcome in;
+  EXPECT_FALSE(cache.Load(key, in));
+  EXPECT_EQ(cache.stats().quarantined, 1u);
+}
+
+TEST(ResultCacheTest, EntryForADifferentKeyIsAMissNotCorruption) {
+  ResultCache cache;
+  const std::string dir = TempPath("mismatch");
+  ASSERT_TRUE(cache.Open(dir));
+  const CacheKey stored = FakeKey("VecAdd@arm-original");
+  ASSERT_TRUE(cache.Store(stored, FakeOutcome("VecAdd@arm-original")));
+
+  // Plant the (valid) entry under the name a different key addresses —
+  // a hash collision in effigy. Load must verify the stored key fields
+  // and miss, leaving the file alone.
+  CacheKey other = stored;
+  other.job_key = "VecAdd@neon-dsa";
+  ASSERT_EQ(::rename((dir + "/" + stored.FileName()).c_str(),
+                     (dir + "/" + other.FileName()).c_str()),
+            0);
+  JobOutcome in;
+  EXPECT_FALSE(cache.Load(other, in));
+  EXPECT_EQ(cache.stats().quarantined, 0u);
+  EXPECT_FALSE(Slurp(dir + "/" + other.FileName()).empty());
+}
+
+TEST(ResultCacheTest, VersionBumpInvalidatesByConstruction) {
+  ResultCache cache;
+  ASSERT_TRUE(cache.Open(TempPath("version")));
+  CacheKey key = FakeKey("VecAdd@arm-original");
+  ASSERT_TRUE(cache.Store(key, FakeOutcome("VecAdd@arm-original")));
+
+  CacheKey bumped = key;
+  bumped.engine_version = "dsa-engine/next";
+  JobOutcome in;
+  EXPECT_FALSE(cache.Load(bumped, in));  // different address: plain miss
+  EXPECT_EQ(cache.stats().quarantined, 0u);
+  EXPECT_TRUE(cache.Load(key, in));  // old entry still serves its version
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool: respawn with backoff, retirement, drain.
+
+TEST(WorkerPoolTest, ExecutesSubmittedTasks) {
+  WorkerPool pool(PoolOptions{.workers = 2});
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(pool.Submit([&ran] { ++ran; }));
+  }
+  pool.Drain();
+  EXPECT_EQ(ran.load(), 16);
+  EXPECT_EQ(pool.stats().executed, 16u);
+  EXPECT_EQ(pool.stats().escaped, 0u);
+}
+
+TEST(WorkerPoolTest, EscapedTaskKillsOnlyItsWorkerAndRespawns) {
+  WorkerPool pool(
+      PoolOptions{.workers = 1, .backoff_base_ms = 1, .max_strikes = 5});
+  ASSERT_TRUE(pool.Submit([] { throw std::runtime_error("poison"); }));
+  // Wait for the respawn, then prove the pool still executes.
+  std::atomic<bool> ran{false};
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pool.stats().live_workers > 0 &&
+        pool.Submit([&ran] { ran = true; })) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  pool.Drain();
+  EXPECT_TRUE(ran.load());
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.escaped, 1u);
+  EXPECT_GE(stats.respawns, 1u);
+  EXPECT_EQ(stats.executed, 1u);
+}
+
+TEST(WorkerPoolTest, RepeatOffenderIsRetiredAndSubmitRefuses) {
+  WorkerPool pool(
+      PoolOptions{.workers = 1, .backoff_base_ms = 1, .max_strikes = 2});
+  for (int i = 0; i < 2; ++i) {
+    // Serialize the escapes so both strikes land on the same worker.
+    ASSERT_TRUE(pool.Submit([] { throw std::runtime_error("poison"); }));
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (pool.stats().escaped != static_cast<std::uint64_t>(i + 1) &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  // After max_strikes consecutive escapes the slot retires for good.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (pool.stats().live_workers != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(pool.stats().live_workers, 0);
+  EXPECT_FALSE(pool.Submit([] {}));
+  pool.Drain();  // must not hang with every worker gone
+}
+
+// ---------------------------------------------------------------------------
+// Admission control.
+
+TEST(AdmissionControlTest, BoundsTotalQueueDepth) {
+  AdmissionControl ac(/*queue_limit=*/2, /*client_quota=*/2);
+  EXPECT_EQ(ac.Admit("a"), "");
+  EXPECT_EQ(ac.Admit("b"), "");
+  const std::string refused = ac.Admit("c");
+  EXPECT_NE(refused.find("overload"), std::string::npos);
+  EXPECT_NE(refused.find("queue full"), std::string::npos);
+  ac.Done("a");
+  EXPECT_EQ(ac.Admit("c"), "");
+  EXPECT_EQ(ac.depth(), 2);
+}
+
+TEST(AdmissionControlTest, EnforcesPerClientQuota) {
+  AdmissionControl ac(/*queue_limit=*/8, /*client_quota=*/1);
+  EXPECT_EQ(ac.Admit("greedy"), "");
+  const std::string refused = ac.Admit("greedy");
+  EXPECT_NE(refused.find("over quota"), std::string::npos);
+  EXPECT_EQ(ac.Admit("other"), "");  // siblings unaffected
+  ac.Done("greedy");
+  EXPECT_EQ(ac.Admit("greedy"), "");
+}
+
+// ---------------------------------------------------------------------------
+// Daemon end to end over a real socket.
+
+#if DSA_SERVE_E2E
+
+class DaemonE2E : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    resilience::Supervisor::DrainFlag().store(false);
+  }
+
+  void TearDown() override {
+    if (daemon_ != nullptr) {
+      resilience::Supervisor::DrainFlag().store(true);
+      if (serve_thread_.joinable()) serve_thread_.join();
+      EXPECT_EQ(exit_code_, 3);  // graceful drain is exit 3, always
+    }
+    resilience::Supervisor::DrainFlag().store(false);
+  }
+
+  // Short socket path: sun_path is ~108 bytes and TempDir can be long.
+  std::string SocketPath(const char* tag) {
+    return "/tmp/dsa_serve_t" + std::to_string(::getpid()) + "_" + tag +
+           ".sock";
+  }
+
+  void Start(DaemonOptions opts) {
+    socket_path_ = opts.socket_path;
+    daemon_ = std::make_unique<Daemon>(std::move(opts));
+    std::string err;
+    ASSERT_TRUE(daemon_->Init(&err)) << err;
+    serve_thread_ = std::thread([this] { exit_code_ = daemon_->Serve(); });
+    ClientOptions ping;
+    ping.socket_path = socket_path_;
+    ping.ping = true;
+    ping.quiet = true;
+    for (int i = 0; i < 250; ++i) {
+      if (Submit(ping) == 0) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    FAIL() << "daemon never answered the ping";
+  }
+
+  resilience::JsonValue SubmitAndParse(const std::string& filter,
+                                       int expect_exit,
+                                       const char* tag) {
+    ClientOptions c;
+    c.socket_path = socket_path_;
+    c.filter = filter;
+    c.json_path = TempPath(std::string("resp_") + tag) + ".json";
+    EXPECT_EQ(Submit(c), expect_exit);
+    resilience::JsonValue resp;
+    EXPECT_TRUE(resilience::ParseJson(Slurp(c.json_path), resp));
+    return resp;
+  }
+
+  static std::string Field(const resilience::JsonValue& obj,
+                           std::string_view name) {
+    const resilience::JsonValue* v = obj.Find(name);
+    return v != nullptr ? v->AsString() : std::string();
+  }
+
+  static bool FieldBool(const resilience::JsonValue& obj,
+                        std::string_view name) {
+    const resilience::JsonValue* v = obj.Find(name);
+    return v != nullptr && v->AsBool();
+  }
+
+  std::string socket_path_;
+  std::unique_ptr<Daemon> daemon_;
+  std::thread serve_thread_;
+  int exit_code_ = -1;
+};
+
+TEST_F(DaemonE2E, CacheHitResubmitIsBitIdentical) {
+  DaemonOptions opts;
+  opts.socket_path = SocketPath("cache");
+  opts.cache_dir = TempPath("daemon_cache");
+  opts.workers = 2;
+  Start(std::move(opts));
+
+  // One small cell: the scalar BitCount run of the bench_matrix space.
+  const resilience::JsonValue first =
+      SubmitAndParse("BitCount@arm-original", 0, "first");
+  EXPECT_EQ(Field(first, "status"), "ok");
+  EXPECT_EQ(Field(first, "cells_cached"), "0");
+  ASSERT_TRUE(first.Find("cells") != nullptr &&
+              first.Find("cells")->is_array());
+  ASSERT_EQ(first.Find("cells")->array.size(), 1u);
+  const resilience::JsonValue& cell0 = first.Find("cells")->array[0];
+  EXPECT_EQ(Field(cell0, "cell_status"), "ok");
+  EXPECT_FALSE(FieldBool(cell0, "cached"));
+
+  const resilience::JsonValue second =
+      SubmitAndParse("BitCount@arm-original", 0, "second");
+  EXPECT_EQ(Field(second, "cells_cached"), "1");
+  const resilience::JsonValue& cell1 = second.Find("cells")->array[0];
+  EXPECT_TRUE(FieldBool(cell1, "cached"));
+  // The promise of the persistent cache: bit-identical cycles + digest.
+  EXPECT_EQ(Field(cell1, "cycles"), Field(cell0, "cycles"));
+  EXPECT_EQ(Field(cell1, "output_digest"), Field(cell0, "output_digest"));
+  EXPECT_NE(Field(cell1, "output_digest"), "");
+}
+
+TEST_F(DaemonE2E, MalformedRequestsGetTypedRefusals) {
+  DaemonOptions opts;
+  opts.socket_path = SocketPath("bad");
+  Start(std::move(opts));
+
+  // A filter matching nothing is a bad request, not an empty sweep.
+  ClientOptions c;
+  c.socket_path = socket_path_;
+  c.filter = "no-such-workload-xyz";
+  c.quiet = true;
+  EXPECT_EQ(Submit(c), 4);
+
+  // Hand-rolled connection: a frame that is not JSON.
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  ASSERT_TRUE(SendFrame(fd, kFrameRequest, "this is not json"));
+  char type = 0;
+  std::string json;
+  ASSERT_EQ(RecvFrame(fd, type, json), RecvStatus::kOk);
+  ::close(fd);
+  resilience::JsonValue resp;
+  ASSERT_TRUE(resilience::ParseJson(json, resp));
+  EXPECT_EQ(Field(resp, "status"), "bad-request");
+
+  // Raw garbage bytes (corrupt frame): the daemon hangs up without a
+  // response and must survive to answer the next request.
+  fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  ASSERT_EQ(::write(fd, "garbage-bytes", 13), 13);
+  ::close(fd);
+  ClientOptions ping;
+  ping.socket_path = socket_path_;
+  ping.ping = true;
+  ping.quiet = true;
+  int rc = -1;
+  for (int i = 0; i < 100; ++i) {
+    rc = Submit(ping);
+    if (rc == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(rc, 0);
+
+  // An unknown request schema is refused with a typed bad-request.
+  ClientOptions unknown = c;
+  unknown.filter.clear();
+  // (Covered above via raw frame; the client always sends the right
+  // schema, so exercise the deadline refusal here instead.)
+  unknown.deadline_ms = 1;
+  unknown.quiet = true;
+  EXPECT_EQ(Submit(unknown), 4);  // expires before any cell completes
+}
+
+TEST_F(DaemonE2E, IsolatedCrashCellPoisonsOnlyItself) {
+#if DSA_UNDER_TSAN
+  GTEST_SKIP() << "fork from the daemon's threaded process is unsupported "
+                  "under TSan";
+#endif
+  DaemonOptions opts;
+  opts.socket_path = SocketPath("crash");
+  opts.isolate = true;
+  // The Fig-16 "orig" DSA cell crashes; the extended sibling completes.
+  opts.crash_cell = "BitCount@neon-dsa/orig";
+  Start(std::move(opts));
+
+  const resilience::JsonValue resp =
+      SubmitAndParse("BitCount@neon-dsa", 1, "crash");
+  EXPECT_EQ(Field(resp, "status"), "ok");
+  ASSERT_TRUE(resp.Find("cells") != nullptr && resp.Find("cells")->is_array());
+  ASSERT_EQ(resp.Find("cells")->array.size(), 2u);
+  int crashed = 0;
+  int ok = 0;
+  for (const resilience::JsonValue& cell : resp.Find("cells")->array) {
+    const std::string status = Field(cell, "cell_status");
+    if (Field(cell, "job") == "BitCount@neon-dsa/orig") {
+      EXPECT_EQ(status, "crashed");
+      ++crashed;
+    } else {
+      EXPECT_EQ(status, "ok");
+      ++ok;
+    }
+  }
+  EXPECT_EQ(crashed, 1);
+  EXPECT_EQ(ok, 1);
+}
+
+#endif  // DSA_SERVE_E2E
+
+}  // namespace
+}  // namespace dsa::serve
