@@ -22,6 +22,11 @@ void Usage() {
                "  --deadline-ms N     give up on the request after N ms\n"
                "  --json PATH         dump the raw response JSON to PATH\n"
                "  --ping              liveness probe (no cells)\n"
+               "  --health            health census probe (no cells)\n"
+               "  --retries N         retry transport transients up to N "
+               "times with doubling backoff (default 0)\n"
+               "  --recv-timeout-ms N give up on a wedged response read "
+               "after N ms per read (default none)\n"
                "  --quiet             suppress the failed-cell listing\n");
 }
 
@@ -56,6 +61,24 @@ int main(int argc, char** argv) {
       opts.json_path = value(i, arg);
     } else if (arg == "--ping") {
       opts.ping = true;
+    } else if (arg == "--health") {
+      opts.health = true;
+    } else if (arg == "--retries") {
+      long v = 0;
+      std::string err;
+      if (!dsa::serve::ParseCountText(value(i, arg), v, &err) || v < 0) {
+        std::fprintf(stderr, "--retries %s\n",
+                     err.empty() ? "expects a count >= 0" : err.c_str());
+        return 2;
+      }
+      opts.retries = static_cast<int>(v);
+    } else if (arg == "--recv-timeout-ms") {
+      std::string err;
+      if (!dsa::serve::ParseU64Text(value(i, arg), opts.recv_timeout_ms,
+                                    &err)) {
+        std::fprintf(stderr, "--recv-timeout-ms %s\n", err.c_str());
+        return 2;
+      }
     } else if (arg == "--quiet") {
       opts.quiet = true;
     } else if (arg == "--help" || arg == "-h") {

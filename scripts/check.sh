@@ -140,7 +140,8 @@ echo "== serving daemon smoke (kill -9, restart, cache bit-identity) =="
 # disk and simulates only the rest, and the merged response is gated
 # bit-identical (cycles + output digests) against an uninterrupted
 # bench_matrix run of the same cells. A third submit must be fully cached.
-cmake --build build -j "$JOBS" --target bench_matrix dsa_serve dsa_submit
+cmake --build build -j "$JOBS" --target bench_matrix dsa_serve dsa_submit \
+    dsa_chaos_client bench_soak_serve
 SOCK=build/dsa_serve_check.sock
 CACHE=build/serve_cache_check
 rm -rf "$CACHE" "$SOCK"
@@ -214,6 +215,60 @@ RC=$?
 set -e
 [[ "$RC" -eq 3 ]]
 rm -rf "$CACHE" "$SOCK"
+
+echo "== serve protocol fuzz smoke (seeded hostile clients) =="
+# dsa_chaos_client replays a seeded stream of hostile connections —
+# garbage bytes, torn frames, oversize headers, slow-loris drips — and
+# proves the daemon answers a well-behaved ping after every attack. The
+# short read deadline makes the reader reap held connections inside the
+# smoke's budget; the health probe then validates the hostile-traffic
+# census and a clean SIGTERM drain must still exit 3.
+rm -rf "$CACHE" "$SOCK"
+build/bench/dsa_serve --socket "$SOCK" --cache "$CACHE" \
+    --read-deadline-ms 500 &
+SERVE_PID=$!
+wait_for_daemon
+build/bench/dsa_chaos_client --socket "$SOCK" --seed 11 --rounds 24 \
+    --slow-ms 20
+build/bench/dsa_submit --socket "$SOCK" --health \
+    --json build/SERVE_health_check.json --quiet
+python3 scripts/validate_serve.py build/SERVE_health_check.json \
+    --expect-health
+set +e
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+RC=$?
+set -e
+[[ "$RC" -eq 3 ]]
+rm -rf "$CACHE" "$SOCK"
+
+echo "== kill-and-chaos soak gate (io-faults + kill -9 + scrub) =="
+# bench_soak_serve composes the whole hostile-environment story: each
+# round installs a seeded io-fault plan, runs chaos clients against the
+# daemon, kills it (SIGKILL or --kill-after suicide), plants one byte of
+# cache corruption for the next boot scrub, and restarts. The drill gates
+# internally on every served cell being bit-identical to an in-process
+# reference sweep; the validator re-checks the final response against the
+# same reference from the outside.
+rm -rf build/soak_serve_check.tmp
+build/bench/bench_soak_serve --filter BitCount --seed 7 --rounds 2 \
+    --dir build/soak_serve_check.tmp --keep
+python3 scripts/validate_serve.py build/soak_serve_check.tmp/final.json \
+    --ref build/soak_serve_check.tmp/reference.json --min-cached 1
+python3 scripts/validate_serve.py build/soak_serve_check.tmp/health.json \
+    --expect-health
+rm -rf build/soak_serve_check.tmp
+
+echo "== io-fault + serve suites under standalone UBSan =="
+# The injector's bit-twiddling (splitmix64, CRC frames, census arrays)
+# and the daemon's reader/dispatcher teardown run once more under
+# undefined-behaviour sanitizing without ASan interceptors — the
+# configuration closest to the release build.
+cmake --preset ubsan > /dev/null
+cmake --build build-ubsan -j "$JOBS" --target test_serve test_resilience
+UBSAN_OPTIONS="halt_on_error=1" build-ubsan/tests/test_resilience
+UBSAN_OPTIONS="halt_on_error=1" build-ubsan/tests/test_serve
+rm -rf build-ubsan
 
 if [[ "$KEEP" -eq 0 ]]; then
   rm -rf "$BUILD"

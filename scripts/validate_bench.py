@@ -65,7 +65,8 @@ REQUIRED_GEN = ["seed", "class", "count"]
 GEN_CLASSES = {"counted", "sentinel", "conditional", "nested",
                "stride-variant", "early-exit"}
 REQUIRED_FAULTS = ["plan", "seed", "total_fired", "opportunities", "fired"]
-REQUIRED_JOURNAL = ["path", "restored", "appended"]
+REQUIRED_JOURNAL = ["path", "restored", "appended", "write_failures",
+                    "fsync_failures"]
 REQUIRED_BREAKER_ENTRY = ["workload", "state", "failures", "trips", "skipped"]
 MODES = {"arm-original", "neon-autovec", "neon-handvec", "neon-dsa"}
 CELL_STATUSES = {"ok", "faulted", "crashed", "timeout", "oom", "skipped",
@@ -121,6 +122,19 @@ def main() -> None:
                  f"restored_cells={doc['restored_cells']}")
         if jn["appended"] < 0:
             fail("negative journal.appended")
+        # Host-I/O degradation is typed, never silent: non-zero failure
+        # counters must carry the [io-fault] warning string, and a clean
+        # journal must not cry wolf.
+        failures = jn.get("write_failures", 0) + jn.get("fsync_failures", 0)
+        if failures > 0 and "[io-fault]" not in jn.get("warning", ""):
+            fail(f"journal reports {failures} host-I/O failure(s) without "
+                 f"an [io-fault] warning")
+        if failures == 0 and jn.get("warning"):
+            fail(f"journal.warning present with zero failures: "
+                 f"{jn['warning']!r}")
+        for k in ("write_failures", "fsync_failures"):
+            if k in jn and (not isinstance(jn[k], int) or jn[k] < 0):
+                fail(f"journal.{k}={jn[k]!r} is not a non-negative integer")
     elif doc["restored_cells"] != 0:
         fail(f"restored_cells={doc['restored_cells']} without a journal "
              f"block")

@@ -12,7 +12,12 @@ contract in docs/SERVING.md:
   * the cells_ok / cells_failed / cells_cached tallies reconcile with
     the cells array,
   * the cache, pool and breaker telemetry blocks are present with sane
-    values (breaker states in closed/open/half-open),
+    values (breaker states in closed/open/half-open), including the
+    cache store_failures / fsync_failures degradation counters,
+  * when a "health" block is present (a `dsa_submit --health` probe) it
+    carries the hostile-traffic counters, the boot-scrub census and a
+    per-kind io-fault census whose fired tallies never exceed their
+    opportunities (--expect-health makes the block mandatory),
 and optionally cross-checks the serving path against the CLI path:
   * --ref BENCH.json: every "ok" cell must appear in the bench_matrix
     report (matched by job key) with bit-identical cycles and output
@@ -26,6 +31,7 @@ Exit code 0 = valid, 1 = validation failure, 2 = usage/IO error.
 
   $ python3 scripts/validate_serve.py response.json [--ref bench.json]
         [--min-cached N] [--all-cached] [--expect-crashed JOBKEY]
+        [--expect-health]
 """
 import json
 import sys
@@ -105,7 +111,7 @@ def check_telemetry(resp: dict) -> None:
         err("cache: missing telemetry block")
     else:
         for field in ("hits", "misses", "stores", "quarantined",
-                      "store_failures"):
+                      "store_failures", "fsync_failures"):
             v = cache.get(field)
             if not isinstance(v, int) or v < 0:
                 err(f"cache.{field}: {v!r} is not a non-negative integer")
@@ -125,6 +131,63 @@ def check_telemetry(resp: dict) -> None:
         for i, entry in enumerate(breaker):
             if entry.get("state") not in BREAKER_STATES:
                 err(f"breaker[{i}]: unknown state {entry.get('state')!r}")
+
+
+IO_FAULT_KINDS = ["enospc", "eio", "short-write", "fsync-fail",
+                  "rename-fail", "open-fail"]
+
+
+def check_health(resp: dict, required: bool) -> None:
+    health = resp.get("health")
+    if health is None:
+        if required:
+            err("health: block missing (--expect-health)")
+        return
+    if not isinstance(health, dict):
+        err("health: not an object")
+        return
+    for field in ("requests_served", "corrupt_frames", "read_timeouts",
+                  "refused_connections"):
+        v = health.get(field)
+        if not isinstance(v, int) or v < 0:
+            err(f"health.{field}: {v!r} is not a non-negative integer")
+    scrub = health.get("scrub")
+    if not isinstance(scrub, dict):
+        err("health.scrub: missing census")
+    else:
+        for field in ("checked", "ok", "quarantined"):
+            v = scrub.get(field)
+            if not isinstance(v, int) or v < 0:
+                err(f"health.scrub.{field}: {v!r} is not a non-negative "
+                    f"integer")
+        if isinstance(scrub.get("checked"), int):
+            if scrub.get("ok", 0) + scrub.get("quarantined", 0) > \
+                    scrub["checked"]:
+                err("health.scrub: ok + quarantined exceeds checked")
+    io = health.get("io_faults")
+    if not isinstance(io, dict):
+        err("health.io_faults: missing census")
+        return
+    if not isinstance(io.get("active"), bool):
+        err("health.io_faults.active: not a boolean")
+    if not isinstance(io.get("plan"), str):
+        err("health.io_faults.plan: not a string")
+    census = io.get("census")
+    if not isinstance(census, dict):
+        err("health.io_faults.census: missing")
+        return
+    for kind in IO_FAULT_KINDS:
+        entry = census.get(kind)
+        if not isinstance(entry, dict):
+            err(f"health.io_faults.census.{kind}: missing")
+            continue
+        opp = entry.get("opportunities")
+        fired = entry.get("fired")
+        if not isinstance(opp, int) or not isinstance(fired, int):
+            err(f"health.io_faults.census.{kind}: non-integer tallies")
+        elif fired > opp:
+            err(f"health.io_faults.census.{kind}: fired {fired} > "
+                f"opportunities {opp}")
 
 
 def check_ref(cells: list, ref_path: str) -> None:
@@ -162,11 +225,15 @@ def main() -> None:
     min_cached = None
     all_cached = False
     expect_crashed = None
+    expect_health = False
     i = 1
     while i < len(args):
         if args[i] == "--ref" and i + 1 < len(args):
             ref_path = args[i + 1]
             i += 2
+        elif args[i] == "--expect-health":
+            expect_health = True
+            i += 1
         elif args[i] == "--min-cached" and i + 1 < len(args):
             min_cached = int(args[i + 1])
             i += 2
@@ -190,6 +257,7 @@ def main() -> None:
     cells = check_cells(resp)
     check_tallies(resp, cells)
     check_telemetry(resp)
+    check_health(resp, expect_health)
 
     if ref_path is not None:
         check_ref(cells, ref_path)

@@ -11,6 +11,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "resilience/iofault.h"
 #include "resilience/mini_json.h"
 
 namespace dsa::resilience {
@@ -495,7 +496,7 @@ bool Journal::Open(const std::string& path, const JournalOptions& opts,
   Close();
   ReplayResult scan;
   if (!ReplayJournal(path, scan, error)) return false;
-  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  const int fd = IoOpen(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
   if (fd < 0) {
     if (error != nullptr) {
       *error = "cannot open " + path + ": " + std::strerror(errno);
@@ -520,6 +521,8 @@ bool Journal::Open(const std::string& path, const JournalOptions& opts,
   fd_ = fd;
   appended_ = 0;
   since_fsync_ = 0;
+  write_failures_ = 0;
+  fsync_failures_ = 0;
   RegisterFd(fd_);
   if (scan.records == 0) {
     std::string header = "{";
@@ -545,18 +548,22 @@ void Journal::AppendLine(const std::string& payload) {
   // truncation handles.
   std::size_t off = 0;
   while (off < line.size()) {
-    const ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
+    const ssize_t n = IoWrite(fd_, line.data() + off, line.size() - off);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
-      return;  // disk full / IO error: next replay truncates the tear
+      // Disk full / IO error: the next replay truncates the tear. The
+      // failure is counted, not swallowed — the bench JSON surfaces it
+      // as a typed [io-fault] durability warning.
+      ++write_failures_;
+      return;
     }
     off += static_cast<std::size_t>(n);
   }
   if (opts_.fsync == FsyncPolicy::kAlways) {
-    ::fsync(fd_);
+    if (IoFsync(fd_) != 0) ++fsync_failures_;
   } else if (opts_.fsync == FsyncPolicy::kInterval) {
     if (++since_fsync_ >= opts_.fsync_interval) {
-      ::fsync(fd_);
+      if (IoFsync(fd_) != 0) ++fsync_failures_;
       since_fsync_ = 0;
     }
   }
@@ -573,7 +580,7 @@ void Journal::Append(const sim::JobOutcome& out) {
 void Journal::Flush() {
   std::lock_guard<std::mutex> lock(mu_);
   if (fd_ >= 0) {
-    ::fsync(fd_);
+    if (IoFsync(fd_) != 0) ++fsync_failures_;
     since_fsync_ = 0;
   }
 }
@@ -581,7 +588,7 @@ void Journal::Flush() {
 void Journal::Close() {
   std::lock_guard<std::mutex> lock(mu_);
   if (fd_ < 0) return;
-  ::fsync(fd_);
+  if (IoFsync(fd_) != 0) ++fsync_failures_;
   DeregisterFd(fd_);
   ::close(fd_);
   fd_ = -1;
@@ -590,6 +597,16 @@ void Journal::Close() {
 std::uint64_t Journal::appended() const {
   std::lock_guard<std::mutex> lock(mu_);
   return appended_;
+}
+
+std::uint64_t Journal::write_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return write_failures_;
+}
+
+std::uint64_t Journal::fsync_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fsync_failures_;
 }
 
 void FlushAllJournals() {

@@ -96,6 +96,13 @@ class Journal {
   [[nodiscard]] bool open() const { return fd_ >= 0; }
   [[nodiscard]] const std::string& path() const { return path_; }
   [[nodiscard]] std::uint64_t appended() const;
+  // Host-I/O failures observed while appending (write(2) could not land
+  // a record; fsync(2) refused durability). Non-zero means the journal
+  // may be missing records or lagging the disk — surfaced as a typed
+  // [io-fault] warning in the bench JSON journal census instead of being
+  // silently swallowed.
+  [[nodiscard]] std::uint64_t write_failures() const;
+  [[nodiscard]] std::uint64_t fsync_failures() const;
 
  private:
   void AppendLine(const std::string& payload);  // caller holds mu_
@@ -105,6 +112,8 @@ class Journal {
   JournalOptions opts_;
   int fd_ = -1;
   std::uint64_t appended_ = 0;
+  std::uint64_t write_failures_ = 0;
+  std::uint64_t fsync_failures_ = 0;
   int since_fsync_ = 0;
 };
 

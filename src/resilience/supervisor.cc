@@ -134,6 +134,8 @@ sim::BenchJsonExtras Supervisor::Extras(const sim::BatchReport& report) const {
                                                       : opts_.resume_path;
     extras.journal_restored = report.restored_cells;
     extras.journal_appended = journal_.appended();
+    extras.journal_write_failures = journal_.write_failures();
+    extras.journal_fsync_failures = journal_.fsync_failures();
   }
   return extras;
 }

@@ -1,17 +1,21 @@
 #include "serve/cache.h"
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <utility>
+#include <vector>
 
 #include "mem/memory.h"
+#include "resilience/iofault.h"
 #include "resilience/journal.h"
 #include "resilience/mini_json.h"
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -100,6 +104,47 @@ std::string Slurp(const std::string& path, bool& ok) {
   std::ostringstream ss;
   ss << in.rdbuf();
   return ss.str();
+}
+
+// Structural validity of one cache-entry file: complete `CCCCCCCC json\n`
+// frame, matching CRC, entry-schema label, parseable hex digests and a
+// round-trippable cell payload. The boot-time scrub keeps any entry that
+// passes (Load still re-verifies and compares the key on every hit);
+// anything that fails would be quarantined at serving time anyway, so the
+// scrub moves it aside before the daemon starts answering requests.
+bool EntryStructurallyValid(const std::string& data) {
+  std::uint64_t crc = 0;
+  if (data.size() < 10 || data.back() != '\n' || data[8] != ' ' ||
+      !ParseHexU64(data.substr(0, 8), crc)) {
+    return false;
+  }
+  const std::string payload = data.substr(9, data.size() - 10);
+  if (resilience::Crc32(payload.data(), payload.size()) != crc) return false;
+  resilience::JsonValue entry;
+  if (!resilience::ParseJson(payload, entry) || !entry.is_object())
+    return false;
+  const auto field = [&entry](std::string_view name) -> std::string {
+    const resilience::JsonValue* v = entry.Find(name);
+    return v != nullptr ? v->AsString() : std::string();
+  };
+  std::uint64_t digest = 0;
+  const auto hex_field = [&](std::string_view name) {
+    std::string s = field(name);
+    if (s.rfind("0x", 0) == 0) s = s.substr(2);
+    return ParseHexU64(s, digest);
+  };
+  if (field("schema") != kCacheEntrySchema || field("key").empty() ||
+      field("engine").empty() || field("bench_schema").empty() ||
+      !hex_field("workload_digest") || !hex_field("config_digest")) {
+    return false;
+  }
+  const resilience::JsonValue* cell = entry.Find("cell");
+  if (cell == nullptr || !cell->is_object()) return false;
+  std::string parsed_key;
+  sim::JobOutcome parsed;
+  return resilience::ParseOutcomePayload(resilience::DumpJson(*cell),
+                                         parsed_key, parsed) &&
+         parsed_key == field("key");
 }
 
 }  // namespace
@@ -372,43 +417,61 @@ bool ResultCache::Store(const CacheKey& key, const sim::JobOutcome& out) {
   line += '\n';
 
   const std::string name = key.FileName();
-  const std::string tmp =
-      dir_ + "/.tmp." + std::to_string(::getpid()) + "." + name;
+  // Per-process sequence in the tmp name: two ResultCache instances in
+  // one process (two daemons sharing a cache dir in tests) storing the
+  // same key must not stomp each other's half-written tmp file.
+  static std::atomic<std::uint64_t> g_tmp_seq{0};
+  const std::uint64_t seq = g_tmp_seq.fetch_add(1, std::memory_order_relaxed);
+  const std::string tmp = dir_ + "/.tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(seq) + "." + name;
   const std::string path = dir_ + "/" + name;
-  const auto fail = [&] {
+  const auto fail = [&](bool fsync_refused) {
     (void)::unlink(tmp.c_str());
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.store_failures;
+    if (fsync_refused) ++stats_.fsync_failures;
     return false;
   };
-  const int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0666);
-  if (fd < 0) return fail();
+  // All host I/O below goes through the injectable shims
+  // (resilience/iofault.h) so ENOSPC/EIO/short-write/fsync-fail/
+  // rename-fail each have a deterministic rehearsal path.
+  const int fd = resilience::IoOpen(tmp.c_str(),
+                                    O_CREAT | O_TRUNC | O_WRONLY, 0666);
+  if (fd < 0) return fail(false);
   std::size_t off = 0;
   while (off < line.size()) {
-    const ssize_t n = ::write(fd, line.data() + off, line.size() - off);
+    const ssize_t n =
+        resilience::IoWrite(fd, line.data() + off, line.size() - off);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
       ::close(fd);
-      return fail();
+      return fail(false);
     }
     off += static_cast<std::size_t>(n);
   }
   // fsync before the rename: once the entry is visible under its final
-  // name it must be complete even across a kill -9 or power cut.
-  if (::fsync(fd) != 0) {
+  // name it must be complete even across a kill -9 or power cut. A
+  // refused fsync means the entry is NOT durable — never publish it.
+  if (resilience::IoFsync(fd) != 0) {
     ::close(fd);
-    return fail();
+    return fail(true);
   }
   ::close(fd);
-  if (::rename(tmp.c_str(), path.c_str()) != 0) return fail();
-  // Persist the directory entry too, so the rename itself survives.
+  if (resilience::IoRename(tmp.c_str(), path.c_str()) != 0)
+    return fail(false);
+  // Persist the directory entry too, so the rename itself survives. The
+  // entry is already published and valid at this point, so a refused
+  // directory fsync degrades the durability claim (counted) without
+  // failing the store.
+  bool dir_fsync_failed = false;
   const int dfd = ::open(dir_.c_str(), O_RDONLY);
   if (dfd >= 0) {
-    (void)::fsync(dfd);
+    if (resilience::IoFsync(dfd) != 0) dir_fsync_failed = true;
     ::close(dfd);
   }
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.stores;
+  if (dir_fsync_failed) ++stats_.fsync_failures;
   return true;
 #else
   (void)key;
@@ -417,9 +480,52 @@ bool ResultCache::Store(const CacheKey& key, const sim::JobOutcome& out) {
 #endif
 }
 
+ScrubStats ResultCache::Scrub() {
+  ScrubStats s;
+#if DSA_HAVE_CACHE_FS
+  if (!open()) return s;
+  std::vector<std::string> entries;
+  if (DIR* d = ::opendir(dir_.c_str())) {
+    while (const dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      // Only published entries: tmp files and prior quarantines are not
+      // servable state and stay untouched.
+      if (name.size() > 5 && name.compare(name.size() - 5, 5, ".cell") == 0)
+        entries.push_back(name);
+    }
+    ::closedir(d);
+  }
+  for (const std::string& name : entries) {
+    const std::string path = dir_ + "/" + name;
+    bool readable = false;
+    const std::string data = Slurp(path, readable);
+    ++s.checked;
+    if (readable && EntryStructurallyValid(data)) {
+      ++s.ok;
+      continue;
+    }
+    // Deliberately a direct ::rename, not the injectable shim: the scrub
+    // is the repair path, and an armed rename-fail plan must target the
+    // Store publish rename, not the cleanup.
+    const std::string aside = path + ".quarantine";
+    if (::rename(path.c_str(), aside.c_str()) != 0)
+      (void)::unlink(path.c_str());
+    ++s.quarantined;
+  }
+#endif
+  std::lock_guard<std::mutex> lock(mu_);
+  scrub_stats_ = s;
+  return s;
+}
+
 CacheStats ResultCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+ScrubStats ResultCache::scrub_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return scrub_stats_;
 }
 
 }  // namespace dsa::serve

@@ -67,6 +67,21 @@ struct CacheStats {
   std::uint64_t stores = 0;        // entries promoted to disk
   std::uint64_t quarantined = 0;   // corrupt entries moved aside
   std::uint64_t store_failures = 0;
+  // fsync(2) refused durability during a store: the tmp-file fsync (also
+  // counted as a store_failure — the entry is never published) or the
+  // directory fsync after the rename (the entry IS published and valid,
+  // but the rename itself may not survive a power cut). Either way the
+  // daemon degrades to recompute-without-promote instead of pretending
+  // the disk accepted the entry.
+  std::uint64_t fsync_failures = 0;
+};
+
+// Startup cache scrub census (docs/SERVING.md): every `*.cell` entry is
+// structurally verified before the daemon serves from the directory.
+struct ScrubStats {
+  std::uint64_t checked = 0;      // entries examined
+  std::uint64_t ok = 0;           // structurally valid entries kept
+  std::uint64_t quarantined = 0;  // corrupt entries moved aside on boot
 };
 
 class ResultCache {
@@ -92,15 +107,29 @@ class ResultCache {
 
   // Promotes one completed cell to disk (atomic tmp + rename, fsync'd
   // before the rename so a kill -9 right after Store returns can never
-  // lose or tear the entry). Call only for cell_status == "ok".
+  // lose or tear the entry). Call only for cell_status == "ok". Host I/O
+  // routes through the injectable fault shims (resilience/iofault.h), so
+  // every failure mode — ENOSPC, EIO, short writes, fsync refusal, a
+  // failed rename — has a deterministic rehearsal path.
   [[nodiscard]] bool Store(const CacheKey& key, const sim::JobOutcome& out);
 
+  // Boot-time integrity sweep: verifies the CRC frame, schema label, key
+  // fields and cell payload of every `*.cell` entry in the directory and
+  // quarantines (renames to `<name>.quarantine`) anything invalid, so a
+  // torn or bit-rotted entry is caught before the daemon starts serving
+  // rather than on first Load. Returns the census; also retrievable via
+  // scrub_stats(). Quarantines here are NOT double-counted into
+  // CacheStats::quarantined (that counter tracks serving-time findings).
+  ScrubStats Scrub();
+
   [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] ScrubStats scrub_stats() const;
 
  private:
   std::string dir_;
   mutable std::mutex mu_;
   CacheStats stats_;
+  ScrubStats scrub_stats_;
 };
 
 }  // namespace dsa::serve

@@ -1,9 +1,11 @@
 #include "serve/client.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <thread>
 
 #include "resilience/mini_json.h"
 #include "serve/proto.h"
@@ -24,7 +26,7 @@ namespace {
 std::string BuildRequest(const ClientOptions& opts) {
   using resilience::JsonEscape;
   std::string req = "{\"schema\":\"dsa-serve/1\",\"kind\":\"";
-  req += opts.ping ? "ping" : "sweep";
+  req += opts.health ? "health" : (opts.ping ? "ping" : "sweep");
   req += "\",\"client\":\"";
   req += JsonEscape(opts.client_name);
   req += "\"";
@@ -46,10 +48,15 @@ std::string Field(const resilience::JsonValue& obj, std::string_view name) {
   return v != nullptr ? v->AsString() : std::string();
 }
 
-}  // namespace
-
-int Submit(const ClientOptions& opts) {
 #if DSA_HAVE_SERVE
+
+// One request/response exchange. Returns the exit code; sets
+// `transient` when a code-5 failure is a transport transient (daemon
+// not up, torn frame, connection lost) that a bounded retry may heal.
+int Attempt(const ClientOptions& opts, std::string& json, bool& got_response,
+            bool& transient) {
+  got_response = false;
+  transient = false;
   sockaddr_un addr = {};
   addr.sun_family = AF_UNIX;
   if (opts.socket_path.empty() ||
@@ -70,22 +77,59 @@ int Submit(const ClientOptions& opts) {
     std::fprintf(stderr, "[dsa_submit] connect %s: %s\n",
                  opts.socket_path.c_str(), std::strerror(errno));
     ::close(fd);
+    transient = true;  // daemon restarting (ECONNREFUSED/ENOENT)
     return 5;
+  }
+  if (opts.recv_timeout_ms > 0) {
+    timeval tv = {};
+    tv.tv_sec = static_cast<time_t>(opts.recv_timeout_ms / 1000);
+    tv.tv_usec =
+        static_cast<suseconds_t>((opts.recv_timeout_ms % 1000) * 1000);
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   }
   if (!SendFrame(fd, kFrameRequest, BuildRequest(opts))) {
     std::fprintf(stderr, "[dsa_submit] send failed (daemon gone?)\n");
     ::close(fd);
+    transient = true;
     return 5;
   }
   char type = 0;
-  std::string json;
   const RecvStatus rs = RecvFrame(fd, type, json);
   ::close(fd);
   if (rs != RecvStatus::kOk || type != kFrameResponse) {
     std::fprintf(stderr, "[dsa_submit] response: %s\n",
                  std::string(ToString(rs)).c_str());
+    transient = true;  // torn frame / daemon died mid-response
     return 5;
   }
+  got_response = true;
+  return 0;
+}
+
+#endif  // DSA_HAVE_SERVE
+
+}  // namespace
+
+int Submit(const ClientOptions& opts) {
+#if DSA_HAVE_SERVE
+  std::string json;
+  bool got_response = false;
+  bool transient = false;
+  int rc = Attempt(opts, json, got_response, transient);
+  for (int attempt = 0; !got_response && transient && attempt < opts.retries;
+       ++attempt) {
+    // Deterministic exponential backoff: 50, 100, 200, ... ms. Bounded
+    // by --retries; a daemon that never comes back still fails typed
+    // with exit 5.
+    const auto backoff = std::chrono::milliseconds(50LL << attempt);
+    std::fprintf(stderr,
+                 "[dsa_submit] transient transport failure, retry %d/%d in %lld ms\n",
+                 attempt + 1, opts.retries,
+                 static_cast<long long>(backoff.count()));
+    std::this_thread::sleep_for(backoff);
+    rc = Attempt(opts, json, got_response, transient);
+  }
+  if (!got_response) return rc;
 
   if (!opts.json_path.empty()) {
     std::ofstream out(opts.json_path, std::ios::binary | std::ios::trunc);

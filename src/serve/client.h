@@ -20,8 +20,19 @@ struct ClientOptions {
   std::string filter;                      // JobKey substring; "" = all
   std::uint64_t deadline_ms = 0;           // request deadline; 0 = none
   bool ping = false;                       // liveness probe, no cells
+  bool health = false;  // health census probe (kind "health"), no cells
   std::string json_path;  // dump the raw response JSON here ("" = don't)
   bool quiet = false;     // suppress the per-cell table
+  // Bounded deterministic retry on *transport* transients only — the
+  // daemon not up yet (ECONNREFUSED), a torn/corrupt response frame, a
+  // connection closed mid-exchange. Admission refusals and cell
+  // failures are verdicts, never retried. Backoff doubles from 50 ms
+  // per attempt (50, 100, 200, ...). Default 0 keeps the historical
+  // fail-fast behaviour.
+  int retries = 0;
+  // Per-read deadline on the response socket (SO_RCVTIMEO); guards the
+  // client against a wedged daemon. 0 = block indefinitely.
+  std::uint64_t recv_timeout_ms = 0;
 };
 
 // Runs one request against the daemon and returns the exit code above.

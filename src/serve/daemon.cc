@@ -9,8 +9,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <set>
+#include <stdexcept>
 #include <utility>
 
+#include "resilience/iofault.h"
 #include "resilience/isolate.h"
 #include "resilience/journal.h"
 #include "resilience/mini_json.h"
@@ -39,6 +41,8 @@ std::string Lower(std::string s) {
   for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
   return s;
 }
+
+}  // namespace
 
 // The daemon's sweep space IS bench_matrix's batch (same sets, same
 // modes, same config tags, default configs), deduplicated by JobKey —
@@ -80,8 +84,6 @@ std::vector<sim::BatchJob> SweepJobs(const std::string& filter) {
   }
   return jobs;
 }
-
-}  // namespace
 
 std::string AdmissionControl::Admit(const std::string& client) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -149,6 +151,29 @@ bool Daemon::Init(std::string* error) {
   if (!opts_.cache_dir.empty() && !cache_.Open(opts_.cache_dir, error)) {
     return false;
   }
+  // Install the host-I/O fault plan before anything touches the disk, so
+  // the very first store/journal write already draws from the plan's
+  // deterministic opportunity sequence.
+  if (!opts_.io_fault_plan.empty()) {
+    try {
+      resilience::InstallIoFaultPlan(
+          resilience::ParseIoFaultPlan(opts_.io_fault_plan));
+    } catch (const std::invalid_argument& e) {
+      if (error != nullptr) *error = e.what();
+      return false;
+    }
+  }
+  // Scrub before serving: a torn or bit-rotted entry is quarantined on
+  // boot, not discovered (and silently recomputed) on first Load.
+  if (cache_.open() && opts_.scrub) {
+    const ScrubStats s = cache_.Scrub();
+    if (s.quarantined > 0) {
+      std::fprintf(stderr,
+                   "[dsa_serve] cache scrub: quarantined %" PRIu64
+                   " of %" PRIu64 " entries\n",
+                   s.quarantined, s.checked);
+    }
+  }
 
   sockaddr_un addr = {};
   addr.sun_family = AF_UNIX;
@@ -211,9 +236,13 @@ int Daemon::Serve() {
   // Graceful drain: stop accepting, let the in-flight request finish,
   // reject everything still queued with the typed overload status.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     stopping_ = true;
     queue_cv_.notify_all();
+    // Reader threads are detached and dereference `this`; teardown must
+    // outwait every one of them. Post-stopping_ readers refuse inline
+    // and exit quickly (reads are already deadline-bounded).
+    readers_cv_.wait(lock, [this] { return readers_ == 0; });
   }
   if (dispatcher_.joinable()) dispatcher_.join();
   pool_->Shutdown();
@@ -232,26 +261,77 @@ void Daemon::AcceptOne() {
 #if DSA_HAVE_SERVE
   const int fd = ::accept(listen_fd_, nullptr, nullptr);
   if (fd < 0) return;
-  // Bound how long a silent client can pin the accept loop.
-  timeval tv = {5, 0};
-  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  // The frame read happens on a short-lived reader thread, not here: a
+  // slow-loris client dripping header bytes must never stall the accept
+  // loop for well-behaved clients. Readers are capped so a connection
+  // flood degrades to typed refusals instead of unbounded threads.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || readers_ >= kMaxReaders) {
+      refused_connections_.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      return;
+    }
+    ++readers_;
+  }
+  try {
+    std::thread(&Daemon::HandleConnection, this, fd).detach();
+  } catch (const std::system_error&) {
+    refused_connections_.fetch_add(1, std::memory_order_relaxed);
+    ::close(fd);
+    std::lock_guard<std::mutex> lock(mu_);
+    --readers_;
+    readers_cv_.notify_all();
+  }
+#endif
+}
+
+void Daemon::HandleConnection(int fd) {
+#if DSA_HAVE_SERVE
+  // Decrement-and-notify runs under mu_ on every exit path so Serve()'s
+  // teardown wait cannot miss the last reader.
+  const auto reader_done = [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    --readers_;
+    readers_cv_.notify_all();
+  };
+  // Bound each read(2): a peer that stops sending mid-frame times the
+  // read out (classified kError with EAGAIN) instead of pinning the
+  // reader forever.
+  if (opts_.read_deadline_ms > 0) {
+    timeval tv = {};
+    tv.tv_sec = static_cast<time_t>(opts_.read_deadline_ms / 1000);
+    tv.tv_usec =
+        static_cast<suseconds_t>((opts_.read_deadline_ms % 1000) * 1000);
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
 
   char type = 0;
   std::string json;
   const RecvStatus rs = RecvFrame(fd, type, json);
   if (rs != RecvStatus::kOk) {
     // A torn or corrupt frame is not a request — there is nothing
-    // trustworthy to answer, and the CRC already classified it.
+    // trustworthy to answer, and the CRC already classified it. Census
+    // the hostile traffic so `health` can report it.
+    if (rs == RecvStatus::kCorrupt) {
+      corrupt_frames_.fetch_add(1, std::memory_order_relaxed);
+    } else if (rs == RecvStatus::kError &&
+               (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      read_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    }
     ::close(fd);
+    reader_done();
     return;
   }
   if (type != kFrameRequest) {
     RespondError(fd, "bad-request", "expected a 'Q' frame");
+    reader_done();
     return;
   }
   resilience::JsonValue req;
   if (!resilience::ParseJson(json, req) || !req.is_object()) {
     RespondError(fd, "bad-request", "request is not a JSON object");
+    reader_done();
     return;
   }
   const auto field = [&req](std::string_view name) -> std::string {
@@ -261,6 +341,7 @@ void Daemon::AcceptOne() {
   if (field("schema") != "dsa-serve/1") {
     RespondError(fd, "bad-request",
                  "unknown request schema \"" + field("schema") + "\"");
+    reader_done();
     return;
   }
   Request r;
@@ -274,21 +355,37 @@ void Daemon::AcceptOne() {
     if (!ParseU64Text(v->AsString().c_str(), r.deadline_ms)) {
       RespondError(fd, "bad-request",
                    "deadline_ms " + v->AsString() + " is not a u64");
+      reader_done();
       return;
     }
   }
-  if (r.kind != "sweep" && r.kind != "ping") {
+  if (r.kind != "sweep" && r.kind != "ping" && r.kind != "health") {
     RespondError(fd, "bad-request", "unknown kind \"" + r.kind + "\"");
+    reader_done();
     return;
   }
   const std::string refused = admission_.Admit(r.client);
   if (!refused.empty()) {
     RespondError(fd, "overload", refused);
+    reader_done();
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  queue_.push_back(std::move(r));
-  queue_cv_.notify_one();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_) {
+      queue_.push_back(std::move(r));
+      queue_cv_.notify_one();
+      // Inline reader_done: mu_ is already held here.
+      --readers_;
+      readers_cv_.notify_all();
+      return;
+    }
+  }
+  // The dispatcher may already have drained its queue; enqueueing now
+  // would leak the fd. Refuse inline instead.
+  RespondError(fd, "overload", "overload: daemon draining");
+  admission_.Done(r.client);
+  reader_done();
 #endif
 }
 
@@ -332,8 +429,9 @@ void Daemon::ProcessRequest(Request& req) {
                      std::to_string(req.deadline_ms) + " ms in the queue");
     return;
   }
-  if (req.kind == "ping") {
-    const std::string body = BuildResponse("ok", "", {}, {});
+  if (req.kind == "ping" || req.kind == "health") {
+    const std::string body =
+        BuildResponse("ok", "", {}, {}, /*health=*/req.kind == "health");
     (void)SendFrame(req.fd, kFrameResponse, body);
     ::close(req.fd);
     return;
@@ -507,7 +605,8 @@ void Daemon::RespondError(int fd, const std::string& status,
 std::string Daemon::BuildResponse(const std::string& status,
                                   const std::string& error,
                                   const std::vector<sim::JobOutcome>& cells,
-                                  const std::vector<bool>& cached) {
+                                  const std::vector<bool>& cached,
+                                  bool health) {
   using resilience::JsonEscape;
   std::uint64_t ok = 0;
   std::uint64_t failed = 0;
@@ -578,6 +677,8 @@ std::string Daemon::BuildResponse(const std::string& status,
   body += std::to_string(cs.quarantined);
   body += ",\"store_failures\":";
   body += std::to_string(cs.store_failures);
+  body += ",\"fsync_failures\":";
+  body += std::to_string(cs.fsync_failures);
   body += "}";
 
   if (pool_ != nullptr) {
@@ -612,7 +713,49 @@ std::string Daemon::BuildResponse(const std::string& status,
     body += std::to_string(e.skipped);
     body += "}";
   }
-  body += "]}";
+  body += "]";
+
+  if (health) {
+    // kHealth census (docs/SERVING.md): hostile-client counters, the
+    // boot scrub verdict and the installed io-fault plan with its
+    // per-kind opportunity/fired tallies.
+    const ScrubStats ss = cache_.scrub_stats();
+    body += ",\"health\":{\"requests_served\":";
+    body += std::to_string(requests_served_.load(std::memory_order_relaxed));
+    body += ",\"corrupt_frames\":";
+    body += std::to_string(corrupt_frames_.load(std::memory_order_relaxed));
+    body += ",\"read_timeouts\":";
+    body += std::to_string(read_timeouts_.load(std::memory_order_relaxed));
+    body += ",\"refused_connections\":";
+    body +=
+        std::to_string(refused_connections_.load(std::memory_order_relaxed));
+    body += ",\"scrub\":{\"checked\":";
+    body += std::to_string(ss.checked);
+    body += ",\"ok\":";
+    body += std::to_string(ss.ok);
+    body += ",\"quarantined\":";
+    body += std::to_string(ss.quarantined);
+    body += "},\"io_faults\":{\"active\":";
+    body += resilience::IoFaultsActive() ? "true" : "false";
+    body += ",\"plan\":\"";
+    body += JsonEscape(resilience::FormatIoFaultPlan(
+        resilience::CurrentIoFaultPlan()));
+    body += "\",\"census\":{";
+    const resilience::IoFaultCensus census = resilience::GetIoFaultCensus();
+    for (int k = 0; k < resilience::kNumIoFaultKinds; ++k) {
+      if (k > 0) body += ',';
+      body += "\"";
+      body += resilience::ToString(static_cast<resilience::IoFaultKind>(k));
+      body += "\":{\"opportunities\":";
+      body += std::to_string(census.opportunities[static_cast<std::size_t>(k)]);
+      body += ",\"fired\":";
+      body += std::to_string(census.fired[static_cast<std::size_t>(k)]);
+      body += "}";
+    }
+    body += "}}}";
+  }
+
+  body += "}";
   return body;
 }
 

@@ -84,6 +84,18 @@ struct DaemonOptions {
   // Executions per cell (>= 2 feeds the determinism oracle's data; the
   // daemon default is 1 — cache hits make repeats pointless).
   int repeats = 1;
+  // Injectable host-I/O fault plan (resilience/iofault.h grammar, e.g.
+  // "fsync-fail@0+;seed=7"), installed process-wide at Init. Empty = no
+  // injection. Parse errors fail Init with a typed message.
+  std::string io_fault_plan;
+  // Per-read deadline on client connections (SO_RCVTIMEO): a slow-loris
+  // client dripping header bytes is cut off instead of pinning a reader.
+  // 0 = no deadline.
+  std::uint64_t read_deadline_ms = 5000;
+  // Boot-time cache scrub (cache.h Scrub): verify every entry before
+  // serving, quarantining corruption up front. On by default; the flag
+  // exists so tests can observe first-Load quarantine behaviour.
+  bool scrub = true;
   // --- crash-drill hooks (tests/check.sh only) -----------------------
   // SIGKILL the daemon after this many executed (non-cached) cells, so
   // the kill-and-restart soak can die mid-sweep deterministically.
@@ -93,6 +105,13 @@ struct DaemonOptions {
   // "crashed" classification end to end.
   std::string crash_cell;
 };
+
+// The daemon's sweep space — bench_matrix's batch (same sets, same
+// modes, same config tags, default configs) deduplicated by JobKey and
+// optionally narrowed by a case-insensitive substring filter. Exposed so
+// the chaos soak (bench/bench_soak_serve.cc) can compute its reference
+// truth from exactly the cells the daemon will serve.
+[[nodiscard]] std::vector<sim::BatchJob> SweepJobs(const std::string& filter);
 
 class Daemon {
  public:
@@ -115,13 +134,18 @@ class Daemon {
   struct Request {
     int fd = -1;
     std::string client;
-    std::string kind;    // "sweep" | "ping"
+    std::string kind;    // "sweep" | "ping" | "health"
     std::string filter;  // case-insensitive JobKey substring; "" = all
     std::uint64_t deadline_ms = 0;  // 0 = none
     std::chrono::steady_clock::time_point received;
   };
 
   void AcceptOne();
+  // Runs on a short-lived reader thread, one per accepted connection:
+  // bounded frame read (SO_RCVTIMEO per read), parse, admission,
+  // enqueue. Keeping the read off the accept loop is what stops one
+  // slow-loris client from stalling every other connection.
+  void HandleConnection(int fd);
   void DispatcherMain();
   void ProcessRequest(Request& req);
   void RespondError(int fd, const std::string& status,
@@ -129,7 +153,7 @@ class Daemon {
   [[nodiscard]] std::string BuildResponse(
       const std::string& status, const std::string& error,
       const std::vector<sim::JobOutcome>& cells,
-      const std::vector<bool>& cached);
+      const std::vector<bool>& cached, bool health = false);
   // One cell, end to end: cache probe -> breaker -> ExecuteCell under
   // the isolate -> breaker record -> cache store -> kill_after drill.
   void RunCell(const sim::BatchJob& job,
@@ -149,8 +173,20 @@ class Daemon {
   bool stopping_ = false;
   std::thread dispatcher_;
 
+  // Detached reader threads in flight. Serve() refuses to tear the
+  // daemon down until this drains to zero — a reader dereferences
+  // `this`, so destruction must wait for it. Readers are capped
+  // (kMaxReaders); connections over the cap are closed and counted.
+  int readers_ = 0;                  // guarded by mu_
+  std::condition_variable readers_cv_;
+  static constexpr int kMaxReaders = 64;
+
   std::atomic<std::uint64_t> executed_cells_{0};  // kill_after counter
   std::atomic<std::uint64_t> requests_served_{0};
+  // Hostile-client census, reported by the `health` request kind.
+  std::atomic<std::uint64_t> corrupt_frames_{0};
+  std::atomic<std::uint64_t> read_timeouts_{0};
+  std::atomic<std::uint64_t> refused_connections_{0};
 };
 
 }  // namespace dsa::serve

@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "resilience/iofault.h"
 #include "resilience/journal.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -32,10 +33,15 @@ std::uint32_t GetU32(const unsigned char* p) {
 
 #if DSA_HAVE_SOCKETS
 
+// Frame writes route through the injectable host-I/O shim
+// (resilience/iofault.h): an armed write-kind plan (enospc/eio/
+// short-write) perturbs DSAS frames exactly like any other host write,
+// which is how the chaos drill rehearses a daemon whose responses fail
+// mid-frame. Short writes from the shim just continue the loop.
 bool WriteAll(int fd, const char* data, std::size_t len) {
   std::size_t off = 0;
   while (off < len) {
-    const ssize_t n = ::write(fd, data + off, len - off);
+    const ssize_t n = resilience::IoWrite(fd, data + off, len - off);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
       return false;

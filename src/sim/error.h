@@ -32,6 +32,13 @@ enum class DsaErrorCode : std::uint8_t {
   // refused the work: request queue full, client over quota, or a
   // graceful drain in progress. Never raised for CLI sweeps.
   kOverload,
+  // Host-I/O failure (src/resilience/iofault.h): a write/fsync/rename/
+  // open the durability story depends on failed — disk full, flaky
+  // medium, fd exhaustion. The cell result itself is unaffected (the
+  // cache degrades to recompute-without-promote; the journal counts the
+  // miss), but the failure is typed so nothing claims durability it did
+  // not deliver.
+  kIoFault,
 };
 
 [[nodiscard]] constexpr std::string_view ToString(DsaErrorCode c) {
@@ -46,6 +53,7 @@ enum class DsaErrorCode : std::uint8_t {
     case DsaErrorCode::kOutOfMemory: return "oom";
     case DsaErrorCode::kBreakerOpen: return "breaker-open";
     case DsaErrorCode::kOverload: return "overload";
+    case DsaErrorCode::kIoFault: return "io-fault";
   }
   return "?";
 }
@@ -59,6 +67,7 @@ enum class DsaErrorCode : std::uint8_t {
     case DsaErrorCode::kOutOfMemory: return "oom";
     case DsaErrorCode::kBreakerOpen: return "skipped";
     case DsaErrorCode::kOverload: return "skipped";  // refused, not executed
+    case DsaErrorCode::kIoFault: return "faulted";   // host I/O, not the cell
     default: return "faulted";
   }
 }

@@ -405,6 +405,19 @@ bool WriteBenchJson(const std::string& path, const std::string& bench_name,
     w.Str("path", extras->journal_path);
     w.U64("restored", extras->journal_restored);
     w.U64("appended", extras->journal_appended);
+    w.U64("write_failures", extras->journal_write_failures);
+    w.U64("fsync_failures", extras->journal_fsync_failures);
+    if (extras->journal_write_failures > 0 ||
+        extras->journal_fsync_failures > 0) {
+      // Typed degradation instead of silent success: the journal hit the
+      // host's disk limits and some records may not be durable.
+      w.Str("warning",
+            "[io-fault] " +
+                std::to_string(extras->journal_write_failures) +
+                " write failure(s), " +
+                std::to_string(extras->journal_fsync_failures) +
+                " fsync failure(s): journal durability not guaranteed");
+    }
     w.Close('}');
   }
   if (extras != nullptr && extras->breaker_enabled) {

@@ -222,6 +222,11 @@ struct BenchJsonExtras {
   std::string journal_path;  // empty = no journal attached
   std::uint64_t journal_restored = 0;  // cells replayed on --resume
   std::uint64_t journal_appended = 0;  // cells appended this run
+  // Host-I/O failures while appending (resilience/journal.h): non-zero
+  // means durability was NOT delivered and the journal block carries a
+  // typed "[io-fault]" warning instead of silently claiming it.
+  std::uint64_t journal_write_failures = 0;
+  std::uint64_t journal_fsync_failures = 0;
 };
 
 // Writes the batch as machine-readable JSON (schema "dsa-bench-json/5"):

@@ -4,11 +4,14 @@
 // state transitions, and the graceful drain. Everything runs against the
 // real BatchRunner — the same seams the bench drivers use.
 #include <gtest/gtest.h>
+#include <fcntl.h>
 #include <signal.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -18,6 +21,7 @@
 #include <vector>
 
 #include "resilience/breaker.h"
+#include "resilience/iofault.h"
 #include "resilience/isolate.h"
 #include "resilience/journal.h"
 #include "resilience/mini_json.h"
@@ -795,6 +799,191 @@ TEST(Journal, TruncationAtEveryByteNeverResurrectsAPartialCell) {
   EXPECT_EQ(after.torn_bytes, 0u);
   EXPECT_EQ(after.cells.count("post-truncation-cell"), 1u);
   std::remove(cut.c_str());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Host-I/O fault injection (iofault.h, docs/FAULTS.md).
+
+// The injector is process-global; every test must leave it disarmed.
+struct IoFaultPlanGuard {
+  ~IoFaultPlanGuard() { ClearIoFaultPlan(); }
+};
+
+TEST(IoFaultPlan, KindTokensRoundTrip) {
+  for (int k = 0; k < kNumIoFaultKinds; ++k) {
+    const auto kind = static_cast<IoFaultKind>(k);
+    IoFaultKind parsed;
+    ASSERT_TRUE(ParseIoFaultKind(ToString(kind), parsed)) << ToString(kind);
+    EXPECT_EQ(parsed, kind);
+  }
+  IoFaultKind out;
+  EXPECT_FALSE(ParseIoFaultKind("sigbus", out));
+  EXPECT_FALSE(ParseIoFaultKind("", out));
+}
+
+TEST(IoFaultPlan, GrammarRoundTripsThroughFormat) {
+  for (const char* spec :
+       {"enospc@0", "fsync-fail@0+", "short-write@2+3;seed=42",
+        "eio@1,rename-fail@0+2", "open-fail@7;seed=1"}) {
+    const IoFaultPlan plan = ParseIoFaultPlan(spec);
+    ASSERT_TRUE(plan.enabled()) << spec;
+    const std::string canonical = FormatIoFaultPlan(plan);
+    const IoFaultPlan again = ParseIoFaultPlan(canonical);
+    EXPECT_EQ(FormatIoFaultPlan(again), canonical) << spec;
+    EXPECT_EQ(again.specs.size(), plan.specs.size());
+    EXPECT_EQ(again.seed, plan.seed);
+  }
+  EXPECT_EQ(ParseIoFaultPlan("short-write@2+3;seed=42").seed, 42u);
+  EXPECT_TRUE(ParseIoFaultPlan("fsync-fail@0+").specs[0].count == UINT64_MAX);
+}
+
+TEST(IoFaultPlan, RefusesMalformedSpecs) {
+  for (const char* bad :
+       {"enospc", "enospc@", "@3", "frobnicate@0", "enospc@x",
+        "enospc@0+x", "enospc@0;seed=", "enospc@0;seed=12x", ","}) {
+    EXPECT_THROW((void)ParseIoFaultPlan(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(IoFaultInjector, PassthroughWhenDisarmed) {
+  IoFaultPlanGuard guard;
+  ClearIoFaultPlan();
+  EXPECT_FALSE(IoFaultsActive());
+  const std::string path = TempPath("iofault_passthrough");
+  const int fd = IoOpen(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0666);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(IoWrite(fd, "abc", 3), 3);
+  EXPECT_EQ(IoFsync(fd), 0);
+  ::close(fd);
+  const std::string moved = path + ".moved";
+  EXPECT_EQ(IoRename(path.c_str(), moved.c_str()), 0);
+  std::remove(moved.c_str());
+}
+
+// Replays one fixed syscall script against the installed plan and
+// records which calls failed — the determinism contract is that the
+// same (plan, seed) yields the same verdict sequence every time.
+std::string RunFaultScript() {
+  const std::string path = TempPath("iofault_script");
+  std::string verdicts;
+  for (int i = 0; i < 6; ++i) {
+    const int fd = IoOpen(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0666);
+    if (fd < 0) {
+      verdicts += 'O';  // open refused
+      continue;
+    }
+    const ssize_t n = IoWrite(fd, "0123456789", 10);
+    verdicts += n == 10 ? '.' : (n > 0 ? 'S' : 'W');
+    verdicts += IoFsync(fd) == 0 ? '.' : 'F';
+    ::close(fd);
+    const std::string to = path + ".pub";
+    verdicts += IoRename(path.c_str(), to.c_str()) == 0 ? '.' : 'R';
+    std::remove(to.c_str());
+  }
+  std::remove(path.c_str());
+  return verdicts;
+}
+
+TEST(IoFaultInjector, SamePlanSameSeedSameSequence) {
+  IoFaultPlanGuard guard;
+  const char* spec =
+      "eio@1+2,short-write@0+,fsync-fail@2,rename-fail@4+;seed=99";
+  InstallIoFaultPlan(ParseIoFaultPlan(spec));
+  ASSERT_TRUE(IoFaultsActive());
+  const std::string first = RunFaultScript();
+  const IoFaultCensus census1 = GetIoFaultCensus();
+
+  InstallIoFaultPlan(ParseIoFaultPlan(spec));  // reinstall resets counters
+  const std::string second = RunFaultScript();
+  const IoFaultCensus census2 = GetIoFaultCensus();
+
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(census1.opportunities, census2.opportunities);
+  EXPECT_EQ(census1.fired, census2.fired);
+  EXPECT_GT(census1.total_fired(), 0u);
+  // The armed kinds actually fired: eio twice, fsync once, renames from
+  // opportunity 4 on.
+  EXPECT_EQ(census1.fired[static_cast<int>(IoFaultKind::kEio)], 2u);
+  EXPECT_EQ(census1.fired[static_cast<int>(IoFaultKind::kFsyncFail)], 1u);
+  EXPECT_GE(census1.fired[static_cast<int>(IoFaultKind::kRenameFail)], 1u);
+}
+
+TEST(IoFaultInjector, ShortWriteAlwaysMakesProgress) {
+  IoFaultPlanGuard guard;
+  InstallIoFaultPlan(ParseIoFaultPlan("short-write@0+;seed=3"));
+  const std::string path = TempPath("iofault_short");
+  const int fd = IoOpen(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0666);
+  ASSERT_GE(fd, 0);
+  // Every shortened write still lands >= 1 byte, so a standard retry
+  // loop terminates with the full payload on disk.
+  const std::string payload(64, 'z');
+  std::size_t off = 0;
+  int calls = 0;
+  while (off < payload.size()) {
+    const ssize_t n = IoWrite(fd, payload.data() + off, payload.size() - off);
+    ASSERT_GT(n, 0);
+    ASSERT_LE(static_cast<std::size_t>(n), payload.size() - off);
+    off += static_cast<std::size_t>(n);
+    ++calls;
+  }
+  ::close(fd);
+  EXPECT_GT(calls, 1);  // at least one write actually got shortened
+  EXPECT_EQ(Slurp(path), payload);
+  std::remove(path.c_str());
+}
+
+TEST(IoFaultInjector, ErrnoMatchesTheRealSyscall) {
+  IoFaultPlanGuard guard;
+  InstallIoFaultPlan(ParseIoFaultPlan("enospc@0"));
+  const std::string path = TempPath("iofault_errno");
+  const int fd = IoOpen(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0666);
+  ASSERT_GE(fd, 0);
+  errno = 0;
+  EXPECT_EQ(IoWrite(fd, "x", 1), -1);
+  EXPECT_EQ(errno, ENOSPC);
+  EXPECT_EQ(IoWrite(fd, "x", 1), 1);  // count exhausted: passthrough
+  ::close(fd);
+  std::remove(path.c_str());
+
+  InstallIoFaultPlan(ParseIoFaultPlan("open-fail@0"));
+  errno = 0;
+  EXPECT_LT(IoOpen(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0666), 0);
+  EXPECT_EQ(errno, EMFILE);
+  std::remove(path.c_str());
+}
+
+// Satellite: the journal counts refused writes/fsyncs instead of
+// swallowing them — the bench JSON surfaces them as a typed warning.
+TEST(JournalTest, CountsWriteAndFsyncFailures) {
+  IoFaultPlanGuard guard;
+  const std::string path = TempPath("iofault_journal");
+  Journal j;
+  JournalOptions opts;
+  opts.fsync = FsyncPolicy::kAlways;
+  ASSERT_TRUE(j.Open(path, opts));
+  EXPECT_EQ(j.write_failures(), 0u);
+  EXPECT_EQ(j.fsync_failures(), 0u);
+
+  JobOutcome out;
+  out.key = "cell-a";
+  out.cell_status = "ok";
+
+  InstallIoFaultPlan(ParseIoFaultPlan("fsync-fail@0+"));
+  j.Append(out);
+  EXPECT_EQ(j.write_failures(), 0u);
+  EXPECT_GE(j.fsync_failures(), 1u);
+
+  InstallIoFaultPlan(ParseIoFaultPlan("eio@0+"));
+  j.Append(out);
+  EXPECT_GE(j.write_failures(), 1u);
+
+  ClearIoFaultPlan();
+  j.Append(out);  // recovered: clean appends still land
+  j.Close();
+  ReplayResult replay;
+  ASSERT_TRUE(ReplayJournal(path, replay));
+  EXPECT_GE(replay.cells.count("cell-a"), 1u);
   std::remove(path.c_str());
 }
 

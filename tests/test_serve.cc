@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "resilience/iofault.h"
 #include "resilience/mini_json.h"
 #include "resilience/supervisor.h"
 #include "serve/cache.h"
@@ -31,6 +32,7 @@
 #include "workloads/workloads.h"
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <dirent.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -455,6 +457,165 @@ TEST(ResultCacheTest, VersionBumpInvalidatesByConstruction) {
 }
 
 // ---------------------------------------------------------------------------
+// Typed degradation under injected host-I/O faults (resilience/iofault.h):
+// every fault kind must surface as a counted store failure — never a
+// published-but-torn entry, never a silent success.
+
+struct IoFaultPlanGuard {
+  ~IoFaultPlanGuard() { resilience::ClearIoFaultPlan(); }
+};
+
+class ResultCacheIoFault : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ResultCacheIoFault, StoreFailsTypedAndNothingTornIsServed) {
+  IoFaultPlanGuard guard;
+  ResultCache cache;
+  const std::string dir = TempPath(std::string("iofault_") + GetParam());
+  ASSERT_TRUE(cache.Open(dir));
+  const CacheKey key = FakeKey("VecAdd@arm-original");
+
+  resilience::InstallIoFaultPlan(resilience::ParseIoFaultPlan(GetParam()));
+  EXPECT_FALSE(cache.Store(key, FakeOutcome("VecAdd@arm-original")));
+  EXPECT_EQ(cache.stats().store_failures, 1u);
+  EXPECT_EQ(cache.stats().stores, 0u);
+  // Nothing was published under the final name, and nothing torn can be
+  // loaded — the failed store is a clean miss, not corruption.
+  JobOutcome in;
+  EXPECT_FALSE(cache.Load(key, in));
+  EXPECT_EQ(cache.stats().quarantined, 0u);
+
+  // Degradation is recompute-without-promote: once the fault plan is
+  // exhausted (count=1), the same store succeeds and round-trips.
+  resilience::ClearIoFaultPlan();
+  EXPECT_TRUE(cache.Store(key, FakeOutcome("VecAdd@arm-original")));
+  EXPECT_TRUE(cache.Load(key, in));
+  EXPECT_EQ(in.result().output_digest, 0xDEADBEEFCAFEF00Dull);
+}
+
+INSTANTIATE_TEST_SUITE_P(EveryFailingKind, ResultCacheIoFault,
+                         ::testing::Values("enospc@0", "eio@0", "open-fail@0",
+                                           "fsync-fail@0", "rename-fail@0"));
+
+TEST(ResultCacheIoFaultDetail, TmpFsyncRefusalCountsBothCensusFields) {
+  IoFaultPlanGuard guard;
+  ResultCache cache;
+  ASSERT_TRUE(cache.Open(TempPath("iofault_fsync_census")));
+  resilience::InstallIoFaultPlan(resilience::ParseIoFaultPlan("fsync-fail@0"));
+  EXPECT_FALSE(cache.Store(FakeKey("VecAdd@arm-original"),
+                           FakeOutcome("VecAdd@arm-original")));
+  // A refused tmp fsync means the entry was never durable: counted as a
+  // store failure AND as a refused fsync.
+  EXPECT_EQ(cache.stats().store_failures, 1u);
+  EXPECT_EQ(cache.stats().fsync_failures, 1u);
+}
+
+TEST(ResultCacheIoFaultDetail, ShortWritesAreRetriedToAnIntactEntry) {
+  IoFaultPlanGuard guard;
+  ResultCache cache;
+  ASSERT_TRUE(cache.Open(TempPath("iofault_short")));
+  const CacheKey key = FakeKey("VecAdd@arm-original");
+  // Every write is shortened, but Store's retry loop finishes the line;
+  // the published entry must be byte-perfect (the CRC proves it).
+  resilience::InstallIoFaultPlan(
+      resilience::ParseIoFaultPlan("short-write@0+;seed=5"));
+  ASSERT_TRUE(cache.Store(key, FakeOutcome("VecAdd@arm-original")));
+  const resilience::IoFaultCensus census = resilience::GetIoFaultCensus();
+  EXPECT_GT(census.fired[static_cast<int>(
+                resilience::IoFaultKind::kShortWrite)],
+            0u);
+  JobOutcome in;
+  EXPECT_TRUE(cache.Load(key, in));
+  EXPECT_EQ(cache.stats().quarantined, 0u);
+  EXPECT_EQ(in.result().cycles, 123456u);
+}
+
+// ---------------------------------------------------------------------------
+// Boot-time cache scrub.
+
+TEST(ResultCacheScrub, QuarantinesCorruptEntriesBeforeServing) {
+  ResultCache cache;
+  const std::string dir = TempPath("scrub");
+  ASSERT_TRUE(cache.Open(dir));
+  const CacheKey good = FakeKey("VecAdd@arm-original");
+  const CacheKey bad = FakeKey("VecAdd@neon-dsa");
+  ASSERT_TRUE(cache.Store(good, FakeOutcome("VecAdd@arm-original")));
+  ASSERT_TRUE(cache.Store(bad, FakeOutcome("VecAdd@neon-dsa")));
+
+  // Bit-rot one entry on disk, then scrub as a fresh boot would.
+  const std::string victim = dir + "/" + bad.FileName();
+  std::string raw = Slurp(victim);
+  ASSERT_GT(raw.size(), 24u);
+  raw[raw.size() / 2] ^= 0x5A;
+  Spew(victim, raw);
+
+  const ScrubStats stats = cache.Scrub();
+  EXPECT_EQ(stats.checked, 2u);
+  EXPECT_EQ(stats.ok, 1u);
+  EXPECT_EQ(stats.quarantined, 1u);
+  EXPECT_EQ(cache.scrub_stats().quarantined, 1u);
+  // The corrupt entry was moved aside (forensics), the good one kept.
+  EXPECT_FALSE(Slurp(victim + ".quarantine").empty());
+  EXPECT_TRUE(Slurp(victim).empty());
+  JobOutcome in;
+  EXPECT_TRUE(cache.Load(good, in));
+  EXPECT_FALSE(cache.Load(bad, in));
+}
+
+TEST(ResultCacheScrub, CleanDirectoryScrubsGreen) {
+  ResultCache cache;
+  ASSERT_TRUE(cache.Open(TempPath("scrub_clean")));
+  ASSERT_TRUE(cache.Store(FakeKey("VecAdd@arm-original"),
+                          FakeOutcome("VecAdd@arm-original")));
+  const ScrubStats stats = cache.Scrub();
+  EXPECT_EQ(stats.checked, 1u);
+  EXPECT_EQ(stats.ok, 1u);
+  EXPECT_EQ(stats.quarantined, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Two cache instances sharing one directory (two daemons in the soak
+// drill): concurrent stores of the same keys must never publish a torn
+// entry — every load sees either nothing or a complete CRC-valid cell.
+
+TEST(SharedCacheDir, ConcurrentStoresNeverTearEntries) {
+  const std::string dir = TempPath("shared");
+  ResultCache a;
+  ResultCache b;
+  ASSERT_TRUE(a.Open(dir));
+  ASSERT_TRUE(b.Open(dir));
+
+  constexpr int kKeys = 8;
+  constexpr int kRounds = 25;
+  std::atomic<bool> torn{false};
+  const auto hammer = [&](ResultCache& cache) {
+    for (int r = 0; r < kRounds; ++r) {
+      for (int k = 0; k < kKeys; ++k) {
+        const std::string jk = "VecAdd@key" + std::to_string(k);
+        (void)cache.Store(FakeKey(jk), FakeOutcome(jk));
+        JobOutcome in;
+        if (cache.Load(FakeKey(jk), in) &&
+            in.result().output_digest != 0xDEADBEEFCAFEF00Dull) {
+          torn = true;  // served bytes that match no store ever issued
+        }
+      }
+    }
+  };
+  std::thread ta([&] { hammer(a); });
+  std::thread tb([&] { hammer(b); });
+  ta.join();
+  tb.join();
+  EXPECT_FALSE(torn.load());
+  // Nobody quarantined anything: rename is atomic, so no reader ever saw
+  // a half-written entry under a final name.
+  EXPECT_EQ(a.stats().quarantined, 0u);
+  EXPECT_EQ(b.stats().quarantined, 0u);
+  // And no tmp litter survived the races.
+  const ScrubStats stats = a.Scrub();
+  EXPECT_EQ(stats.checked, static_cast<std::uint64_t>(kKeys));
+  EXPECT_EQ(stats.quarantined, 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Worker pool: respawn with backoff, retirement, drain.
 
 TEST(WorkerPoolTest, ExecutesSubmittedTasks) {
@@ -738,6 +899,280 @@ TEST_F(DaemonE2E, IsolatedCrashCellPoisonsOnlyItself) {
   }
   EXPECT_EQ(crashed, 1);
   EXPECT_EQ(ok, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Hostile-environment hardening (docs/SERVING.md failure matrix).
+
+int CountOpenFds() {
+  int n = 0;
+  DIR* d = ::opendir("/proc/self/fd");
+  if (d == nullptr) return -1;
+  while (::readdir(d) != nullptr) ++n;
+  ::closedir(d);
+  return n;
+}
+
+int RawConnect(const std::string& socket_path) {
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+TEST_F(DaemonE2E, FsyncRefusalDegradesToRecomputeWithoutPromote) {
+  IoFaultPlanGuard guard;
+  DaemonOptions opts;
+  opts.socket_path = SocketPath("iofault");
+  opts.cache_dir = TempPath("daemon_iofault_cache");
+  // Every tmp-file fsync refuses: no cell is ever durable, so nothing
+  // may be promoted — and nothing may pretend to be.
+  opts.io_fault_plan = "fsync-fail@0+";
+  Start(std::move(opts));
+
+  const resilience::JsonValue first =
+      SubmitAndParse("BitCount@arm-original", 0, "iofault_first");
+  EXPECT_EQ(Field(first, "status"), "ok");  // the cell itself is healthy
+  const resilience::JsonValue second =
+      SubmitAndParse("BitCount@arm-original", 0, "iofault_second");
+  // Degraded mode: recomputed, not served from a cache that never
+  // accepted the entry.
+  EXPECT_EQ(Field(second, "cells_cached"), "0");
+  const resilience::JsonValue* cache = second.Find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_NE(Field(*cache, "store_failures"), "0");
+  EXPECT_NE(Field(*cache, "fsync_failures"), "0");
+
+  // The health census names the armed plan and its fired faults.
+  ClientOptions h;
+  h.socket_path = socket_path_;
+  h.health = true;
+  h.quiet = true;
+  h.json_path = TempPath("resp_iofault_health") + ".json";
+  ASSERT_EQ(Submit(h), 0);
+  resilience::JsonValue resp;
+  ASSERT_TRUE(resilience::ParseJson(Slurp(h.json_path), resp));
+  const resilience::JsonValue* health = resp.Find("health");
+  ASSERT_NE(health, nullptr);
+  const resilience::JsonValue* io = health->Find("io_faults");
+  ASSERT_NE(io, nullptr);
+  EXPECT_TRUE(FieldBool(*io, "active"));
+  EXPECT_NE(Field(*io, "plan").find("fsync-fail@0+"), std::string::npos);
+}
+
+TEST_F(DaemonE2E, BootScrubQuarantinesPlantedCorruption) {
+  const std::string cache_dir = TempPath("daemon_scrub_cache");
+  const std::string socket = SocketPath("scrub");
+  // Seed the cache with one completed cell, then corrupt it on disk the
+  // way bit-rot (or a torn non-atomic writer) would.
+  {
+    DaemonOptions opts;
+    opts.socket_path = socket;
+    opts.cache_dir = cache_dir;
+    Start(std::move(opts));
+    SubmitAndParse("BitCount@arm-original", 0, "scrub_seed");
+    resilience::Supervisor::DrainFlag().store(true);
+    serve_thread_.join();
+    EXPECT_EQ(exit_code_, 3);
+    daemon_.reset();
+    resilience::Supervisor::DrainFlag().store(false);
+  }
+  std::string victim;
+  {
+    DIR* d = ::opendir(cache_dir.c_str());
+    ASSERT_NE(d, nullptr);
+    while (dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name.size() > 5 && name.rfind(".cell") == name.size() - 5) {
+        victim = cache_dir + "/" + name;
+      }
+    }
+    ::closedir(d);
+  }
+  ASSERT_FALSE(victim.empty());
+  std::string raw = Slurp(victim);
+  ASSERT_GT(raw.size(), 24u);
+  raw[raw.size() / 2] ^= 0x5A;
+  Spew(victim, raw);
+
+  // A restarting daemon scrubs on boot: the corrupt entry is quarantined
+  // before serving, the resubmit recomputes, and health reports it.
+  DaemonOptions opts;
+  opts.socket_path = socket;
+  opts.cache_dir = cache_dir;
+  Start(std::move(opts));
+  const resilience::JsonValue resp =
+      SubmitAndParse("BitCount@arm-original", 0, "scrub_recompute");
+  EXPECT_EQ(Field(resp, "status"), "ok");
+  EXPECT_EQ(Field(resp, "cells_cached"), "0");
+
+  ClientOptions h;
+  h.socket_path = socket;
+  h.health = true;
+  h.quiet = true;
+  h.json_path = TempPath("resp_scrub_health") + ".json";
+  ASSERT_EQ(Submit(h), 0);
+  resilience::JsonValue hv;
+  ASSERT_TRUE(resilience::ParseJson(Slurp(h.json_path), hv));
+  const resilience::JsonValue* health = hv.Find("health");
+  ASSERT_NE(health, nullptr);
+  const resilience::JsonValue* scrub = health->Find("scrub");
+  ASSERT_NE(scrub, nullptr);
+  EXPECT_EQ(Field(*scrub, "quarantined"), "1");
+  EXPECT_FALSE(Slurp(victim + ".quarantine").empty());
+}
+
+TEST_F(DaemonE2E, SeededProtocolFuzzNoHangNoFdLeak) {
+  DaemonOptions opts;
+  opts.socket_path = SocketPath("fuzz");
+  opts.read_deadline_ms = 400;
+  Start(std::move(opts));
+  const int baseline = CountOpenFds();
+  ASSERT_GT(baseline, 0);
+
+  // splitmix64 — one seed, one reproducible hostile byte stream.
+  std::uint64_t state = 0x9e3779b97f4a7c15ull * 17;
+  const auto next = [&state] {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  ClientOptions ping;
+  ping.socket_path = socket_path_;
+  ping.ping = true;
+  ping.quiet = true;
+  ping.recv_timeout_ms = 5000;
+  ping.retries = 2;
+  for (int round = 0; round < 24; ++round) {
+    const int fd = RawConnect(socket_path_);
+    ASSERT_GE(fd, 0);
+    switch (next() % 4) {
+      case 0: {  // pure garbage
+        std::string junk(1 + next() % 128, '\0');
+        for (char& c : junk) c = static_cast<char>(next() & 0xFF);
+        (void)!::write(fd, junk.data(), junk.size());
+        break;
+      }
+      case 1:  // torn header
+        (void)!::write(fd, "DSAS\x10\x00", 2 + next() % 4);
+        break;
+      case 2: {  // oversize length claim
+        std::string hdr = "DSAS\xff\xff\xff\x7f";
+        hdr.append(4, '\0');
+        (void)!::write(fd, hdr.data(), hdr.size());
+        break;
+      }
+      case 3:  // connect-and-vanish
+      default:
+        break;
+    }
+    ::close(fd);
+    // After every attack the daemon still answers a well-behaved ping
+    // within its deadline: no hang, no wedged reader.
+    ASSERT_EQ(Submit(ping), 0) << "daemon unresponsive after round "
+                               << round;
+  }
+  // Reader teardown is asynchronous; poll until every hostile fd is
+  // returned. A leak shows as a persistently raised count.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  int fds = -1;
+  while (std::chrono::steady_clock::now() < deadline) {
+    fds = CountOpenFds();
+    if (fds <= baseline + 2) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_LE(fds, baseline + 2) << "fd leak after hostile traffic";
+}
+
+TEST_F(DaemonE2E, SlowLorisCannotStallOtherClients) {
+  DaemonOptions opts;
+  opts.socket_path = SocketPath("loris");
+  opts.read_deadline_ms = 300;
+  Start(std::move(opts));
+
+  // A client that sends three header bytes and then just... holds.
+  const int loris = RawConnect(socket_path_);
+  ASSERT_GE(loris, 0);
+  ASSERT_EQ(::write(loris, "DSA", 3), 3);
+
+  // Well-behaved traffic is answered immediately — the drip lives on its
+  // own reader thread, not in the accept loop.
+  ClientOptions ping;
+  ping.socket_path = socket_path_;
+  ping.ping = true;
+  ping.quiet = true;
+  ping.recv_timeout_ms = 2000;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(Submit(ping), 0);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(2));
+
+  // The reader's deadline reaps the drip and counts it.
+  ClientOptions h;
+  h.socket_path = socket_path_;
+  h.health = true;
+  h.quiet = true;
+  bool timed_out = false;
+  for (int i = 0; i < 100 && !timed_out; ++i) {
+    h.json_path = TempPath("resp_loris_" + std::to_string(i)) + ".json";
+    ASSERT_EQ(Submit(h), 0);
+    resilience::JsonValue hv;
+    ASSERT_TRUE(resilience::ParseJson(Slurp(h.json_path), hv));
+    const resilience::JsonValue* health = hv.Find("health");
+    ASSERT_NE(health, nullptr);
+    timed_out = Field(*health, "read_timeouts") != "0";
+    if (!timed_out) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  EXPECT_TRUE(timed_out) << "read deadline never reaped the slow-loris";
+  ::close(loris);
+}
+
+TEST(ClientRetry, BoundedBackoffRidesOutALateBindingDaemon) {
+  resilience::Supervisor::DrainFlag().store(false);
+  const std::string socket =
+      "/tmp/dsa_serve_t" + std::to_string(::getpid()) + "_retry.sock";
+  DaemonOptions opts;
+  opts.socket_path = socket;
+  auto daemon = std::make_unique<Daemon>(opts);
+  int exit_code = -1;
+  std::thread late([&] {
+    // The daemon binds ~300 ms after the client's first attempt: attempt
+    // 0 and likely attempt 1 get ECONNREFUSED, a later retry lands.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    std::string err;
+    ASSERT_TRUE(daemon->Init(&err)) << err;
+    exit_code = daemon->Serve();
+  });
+
+  ClientOptions c;
+  c.socket_path = socket;
+  c.ping = true;
+  c.quiet = true;
+  c.recv_timeout_ms = 5000;
+  c.retries = 8;  // 50+100+200+... ms of budget, plenty for 300 ms
+  EXPECT_EQ(Submit(c), 0);
+
+  // And with retries exhausted against a dead socket, the typed
+  // transport exit code (5) comes back instead of a hang.
+  ClientOptions dead = c;
+  dead.socket_path = socket + ".nobody";
+  dead.retries = 1;
+  EXPECT_EQ(Submit(dead), 5);
+
+  resilience::Supervisor::DrainFlag().store(true);
+  late.join();
+  EXPECT_EQ(exit_code, 3);
+  resilience::Supervisor::DrainFlag().store(false);
 }
 
 #endif  // DSA_SERVE_E2E
